@@ -1,0 +1,8 @@
+let () =
+  List.iter
+    (fun (name, src) ->
+      let oc = open_out (Printf.sprintf "programs/%s.datalog" name) in
+      output_string oc (String.trim src);
+      output_char oc '\n';
+      close_out oc)
+    Recstep.Programs.all

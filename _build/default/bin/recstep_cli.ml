@@ -1,0 +1,142 @@
+(* The RecStep command-line interface.
+
+     recstep run program.datalog --fact arc=edges.tsv --out results/
+     recstep run program.datalog --fact arc=edges.tsv --engine Souffle-like
+     recstep gen gnp -n 1000 -p 0.01 -o arc.tsv
+     recstep gen rmat -n 65536 -m 655360 -o arc.tsv
+
+   Programs use the paper's syntax (see lib/core/parser.mli); facts are
+   whitespace-separated integer tuples, one per line. *)
+
+open Cmdliner
+
+let load_facts an specs =
+  List.map
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          let arity = Recstep.Analyzer.arity an name in
+          (name, Recstep.Frontend.load_tsv ~name ~arity path)
+      | None -> failwith (Printf.sprintf "bad --fact %S (expected name=path)" spec))
+    specs
+
+let explain program =
+  let an = Recstep.Analyzer.analyze program in
+  List.iter
+    (fun (s : Recstep.Analyzer.stratum) ->
+      Printf.printf "stratum %d%s: %s\n" s.Recstep.Analyzer.index
+        (if s.Recstep.Analyzer.recursive then " (recursive)" else "")
+        (String.concat ", " s.Recstep.Analyzer.preds);
+      List.iter
+        (fun rule ->
+          Printf.printf "  rule: %s\n" (Recstep.Ast.rule_to_string rule);
+          match Recstep.Planner.compile_rule an s rule with
+          | Recstep.Planner.Fact t ->
+              Printf.printf "    fact (%s)\n"
+                (String.concat ", " (Array.to_list (Array.map string_of_int t)))
+          | Recstep.Planner.Query { base; deltas } ->
+              Printf.printf "    base plan:\n%s" (Rs_exec.Plan.to_string base);
+              List.iteri
+                (fun i d -> Printf.printf "    delta plan %d:\n%s" i (Rs_exec.Plan.to_string d))
+                deltas)
+        s.Recstep.Analyzer.rules)
+    an.Recstep.Analyzer.strata
+
+let run_cmd program_path facts out_dir engine workers verbose explain_only =
+  let program = Recstep.Parser.parse_file program_path in
+  if explain_only then explain program
+  else begin
+  let an = Recstep.Analyzer.analyze program in
+  let edb = load_facts an facts in
+  let pool = Rs_parallel.Pool.create ~workers () in
+  Rs_parallel.Pool.begin_run pool;
+  let lookup =
+    match engine with
+    | None ->
+        let result = Recstep.Interpreter.run ~pool ~edb program in
+        if verbose then
+          Printf.printf "iterations=%d queries=%d pbme_strata=%d io_bytes=%d\n"
+            result.Recstep.Interpreter.iterations result.Recstep.Interpreter.queries
+            result.Recstep.Interpreter.pbme_strata result.Recstep.Interpreter.io_bytes;
+        result.Recstep.Interpreter.relation_of
+    | Some name -> (
+        match Rs_engines.Engines.by_name name with
+        | Some (module E : Rs_engines.Engine_intf.S) -> E.run ~pool ~edb program
+        | None ->
+            failwith
+              (Printf.sprintf "unknown engine %S (known: %s)" name
+                 (String.concat ", " (List.map Rs_engines.Engines.name Rs_engines.Engines.all))))
+  in
+  let stats = Rs_parallel.Pool.stats pool in
+  let outputs = if program.Recstep.Ast.outputs = [] then an.Recstep.Analyzer.idbs else program.Recstep.Ast.outputs in
+  List.iter
+    (fun name ->
+      let rel = lookup name in
+      (match out_dir with
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          Recstep.Frontend.save_tsv rel (Filename.concat dir (name ^ ".tsv"))
+      | None -> ());
+      Printf.printf "%-16s %d tuples\n" name (Rs_relation.Relation.nrows rel))
+    outputs;
+  Printf.printf "done in %.4fs simulated on %d workers (%.4fs wall)\n" stats.Rs_parallel.Pool.vtime
+    stats.Rs_parallel.Pool.workers stats.Rs_parallel.Pool.wall
+  end
+
+let gen_cmd kind n m p seed out =
+  let rel =
+    match kind with
+    | "gnp" -> Rs_datagen.Graphs.gnp ~seed ~n ~p
+    | "rmat" -> Rs_datagen.Graphs.rmat ~seed ~n ~m:(if m = 0 then 10 * n else m)
+    | other -> (
+        match List.assoc_opt other Rs_datagen.Graphs.real_world_profiles with
+        | Some _ -> Rs_datagen.Graphs.real_world_like ~seed ~scale:1 other
+        | None -> failwith (Printf.sprintf "unknown generator %S (gnp, rmat, or a preset)" other))
+  in
+  Recstep.Frontend.save_tsv rel out;
+  Printf.printf "wrote %d edges to %s\n" (Rs_relation.Relation.nrows rel) out
+
+(* --- cmdliner wiring --- *)
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Datalog program file")
+
+let facts_arg =
+  Arg.(value & opt_all string [] & info [ "fact"; "f" ] ~docv:"NAME=PATH" ~doc:"input relation from a TSV file")
+
+let out_arg = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc:"write output relations as TSV under DIR")
+
+let engine_arg =
+  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"NAME" ~doc:"evaluate with a baseline engine instead of RecStep")
+
+let workers_arg = Arg.(value & opt int 16 & info [ "workers"; "j" ] ~doc:"simulated worker count")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print engine statistics")
+
+let explain_arg =
+  Arg.(value & flag & info [ "explain" ] ~doc:"print the stratification and generated query plans instead of evaluating")
+
+let run_term =
+  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg)
+
+let kind_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"gnp | rmat | livejournal | orkut | arabic | twitter")
+
+let n_arg = Arg.(value & opt int 1000 & info [ "n"; "num-vertices" ] ~doc:"vertex count")
+
+let m_arg = Arg.(value & opt int 0 & info [ "m"; "num-edges" ] ~doc:"edge count (rmat; default 10n)")
+
+let p_arg = Arg.(value & opt float 0.001 & info [ "p"; "prob" ] ~doc:"edge probability (gnp)")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+
+let gen_out_arg = Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"PATH" ~doc:"output TSV path")
+
+let gen_term = Term.(const gen_cmd $ kind_arg $ n_arg $ m_arg $ p_arg $ seed_arg $ gen_out_arg)
+
+let () =
+  let run = Cmd.v (Cmd.info "run" ~doc:"evaluate a Datalog program") run_term in
+  let gen = Cmd.v (Cmd.info "gen" ~doc:"generate benchmark datasets") gen_term in
+  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; gen ] in
+  exit (Cmd.eval main)

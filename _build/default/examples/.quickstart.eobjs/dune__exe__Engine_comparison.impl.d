@@ -1,0 +1,1 @@
+examples/engine_comparison.ml: List Printf Recstep Rs_datagen Rs_engines Rs_parallel Rs_relation String

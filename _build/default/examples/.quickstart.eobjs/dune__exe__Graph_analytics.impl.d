@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Array List Printf Recstep Rs_datagen Rs_parallel Rs_relation

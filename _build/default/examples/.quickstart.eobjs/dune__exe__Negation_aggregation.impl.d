@@ -1,0 +1,1 @@
+examples/negation_aggregation.ml: Array List Printf Recstep String

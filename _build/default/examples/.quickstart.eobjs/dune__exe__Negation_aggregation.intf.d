@@ -1,0 +1,1 @@
+examples/negation_aggregation.mli:

@@ -1,0 +1,1 @@
+examples/program_analysis.ml: List Printf Recstep Rs_datagen Rs_parallel Rs_relation String

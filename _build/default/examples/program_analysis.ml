@@ -1,0 +1,42 @@
+(* Program analysis with non-linear and mutual recursion.
+
+     dune exec examples/program_analysis.exe
+
+   Runs the two static analyses from the paper's evaluation on generated
+   program graphs: Andersen's points-to analysis (non-linear recursion: two
+   pointsTo atoms in one body) and the context-sensitive points-to analysis
+   CSPA (three mutually recursive relations). Prints result sizes and the
+   stratification the rule analyzer derived. *)
+
+let show_strata src =
+  let an = Recstep.Analyzer.analyze (Recstep.Parser.parse src) in
+  List.iter
+    (fun s ->
+      Printf.printf "  stratum %d%s: %s\n" s.Recstep.Analyzer.index
+        (if s.Recstep.Analyzer.recursive then " (recursive)" else "")
+        (String.concat ", " s.Recstep.Analyzer.preds))
+    an.Recstep.Analyzer.strata
+
+let () =
+  print_endline "== Andersen's points-to analysis ==";
+  show_strata Recstep.Programs.andersen;
+  let edb = Rs_datagen.Prog_analysis.andersen ~seed:1 ~nvars:1000 in
+  List.iter
+    (fun (name, r) -> Printf.printf "  input %-10s %6d facts\n" name (Rs_relation.Relation.nrows r))
+    edb;
+  let result, stats = Recstep.Frontend.run_text ~edb Recstep.Programs.andersen in
+  Printf.printf "  pointsTo: %d facts in %d iterations (%.4fs simulated)\n\n"
+    (List.length (Recstep.Frontend.result_rows result "pointsTo"))
+    result.Recstep.Interpreter.iterations stats.Rs_parallel.Pool.vtime;
+
+  print_endline "== Context-sensitive points-to analysis (CSPA) ==";
+  show_strata Recstep.Programs.cspa;
+  let edb = Rs_datagen.Prog_analysis.cspa_input ~seed:2 ~scale:1 "httpd" in
+  let result, stats = Recstep.Frontend.run_text ~edb Recstep.Programs.cspa in
+  List.iter
+    (fun out ->
+      Printf.printf "  %-12s %6d facts\n" out
+        (List.length (Recstep.Frontend.result_rows result out)))
+    [ "valueFlow"; "memoryAlias"; "valueAlias" ];
+  Printf.printf "  solved in %d iterations (%.4fs simulated)\n"
+    result.Recstep.Interpreter.iterations stats.Rs_parallel.Pool.vtime

@@ -1,0 +1,1 @@
+lib/bdd/bdd_rel.ml: Array Bdd List Rs_relation

@@ -1,0 +1,1 @@
+lib/bdd/bdd_rel.mli: Bdd Rs_relation

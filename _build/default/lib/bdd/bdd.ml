@@ -1,0 +1,276 @@
+module Memtrack = Rs_storage.Memtrack
+
+type node = int
+
+let bfalse = 0
+let btrue = 1
+
+type mgr = {
+  nvars : int;
+  mutable var_of : int array;  (* node -> test variable; terminals get max_int *)
+  mutable lo_of : int array;
+  mutable hi_of : int array;
+  mutable count : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  and_cache : (int * int, int) Hashtbl.t;
+  or_cache : (int * int, int) Hashtbl.t;
+  diff_cache : (int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  mutable accounted : int;
+  mutable deadline : float option;
+}
+
+let node_bytes = 8 * 6 (* three arena slots + unique-table entry estimate *)
+
+let create ~nvars =
+  let cap = 1024 in
+  let m =
+    {
+      nvars;
+      var_of = Array.make cap max_int;
+      lo_of = Array.make cap 0;
+      hi_of = Array.make cap 0;
+      count = 2;
+      unique = Hashtbl.create 4096;
+      and_cache = Hashtbl.create 4096;
+      or_cache = Hashtbl.create 4096;
+      diff_cache = Hashtbl.create 4096;
+      ite_cache = Hashtbl.create 1024;
+      accounted = 0;
+      deadline = None;
+    }
+  in
+  m.var_of.(0) <- max_int;
+  m.var_of.(1) <- max_int;
+  m
+
+exception Deadline_exceeded
+
+let set_deadline m d = m.deadline <- d
+
+let nvars m = m.nvars
+let node_count m = m.count
+
+let grow m =
+  let cap = 2 * Array.length m.var_of in
+  let copy a init =
+    let b = Array.make cap init in
+    Array.blit a 0 b 0 m.count;
+    b
+  in
+  m.var_of <- copy m.var_of max_int;
+  m.lo_of <- copy m.lo_of 0;
+  m.hi_of <- copy m.hi_of 0
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        if m.count = Array.length m.var_of then grow m;
+        let n = m.count in
+        m.count <- n + 1;
+        m.var_of.(n) <- v;
+        m.lo_of.(n) <- lo;
+        m.hi_of.(n) <- hi;
+        Hashtbl.add m.unique key n;
+        (* Account in 64 KiB steps to keep the tracker cheap; piggyback the
+           deadline check on the same stride. *)
+        let bytes = m.count * node_bytes in
+        if bytes - m.accounted > 65536 then begin
+          Memtrack.alloc (bytes - m.accounted);
+          m.accounted <- bytes;
+          match m.deadline with
+          | Some t when Rs_util.Clock.now () > t -> raise Deadline_exceeded
+          | _ -> ()
+        end;
+        n
+  end
+
+let var m v = mk m v bfalse btrue
+
+let rec mk_and m a b =
+  if a = bfalse || b = bfalse then bfalse
+  else if a = btrue then b
+  else if b = btrue then a
+  else if a = b then a
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.and_cache key with
+    | Some r -> r
+    | None ->
+        let va = m.var_of.(a) and vb = m.var_of.(b) in
+        let v = min va vb in
+        let alo, ahi = if va = v then (m.lo_of.(a), m.hi_of.(a)) else (a, a) in
+        let blo, bhi = if vb = v then (m.lo_of.(b), m.hi_of.(b)) else (b, b) in
+        let r = mk m v (mk_and m alo blo) (mk_and m ahi bhi) in
+        Hashtbl.add m.and_cache key r;
+        r
+  end
+
+let rec mk_or m a b =
+  if a = btrue || b = btrue then btrue
+  else if a = bfalse then b
+  else if b = bfalse then a
+  else if a = b then a
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.or_cache key with
+    | Some r -> r
+    | None ->
+        let va = m.var_of.(a) and vb = m.var_of.(b) in
+        let v = min va vb in
+        let alo, ahi = if va = v then (m.lo_of.(a), m.hi_of.(a)) else (a, a) in
+        let blo, bhi = if vb = v then (m.lo_of.(b), m.hi_of.(b)) else (b, b) in
+        let r = mk m v (mk_or m alo blo) (mk_or m ahi bhi) in
+        Hashtbl.add m.or_cache key r;
+        r
+  end
+
+let rec mk_diff m a b =
+  if a = bfalse || b = btrue then bfalse
+  else if b = bfalse then a
+  else if a = b then bfalse
+  else begin
+    let key = (a, b) in
+    match Hashtbl.find_opt m.diff_cache key with
+    | Some r -> r
+    | None ->
+        let va = m.var_of.(a) and vb = m.var_of.(b) in
+        let v = min va vb in
+        let alo, ahi = if va = v then (m.lo_of.(a), m.hi_of.(a)) else (a, a) in
+        let blo, bhi = if vb = v then (m.lo_of.(b), m.hi_of.(b)) else (b, b) in
+        let r = mk m v (mk_diff m alo blo) (mk_diff m ahi bhi) in
+        Hashtbl.add m.diff_cache key r;
+        r
+  end
+
+let rec ite m f g h =
+  if f = btrue then g
+  else if f = bfalse then h
+  else if g = h then g
+  else if g = btrue && h = bfalse then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let v =
+          min m.var_of.(f) (min m.var_of.(g) m.var_of.(h))
+        in
+        let split n =
+          if m.var_of.(n) = v then (m.lo_of.(n), m.hi_of.(n)) else (n, n)
+        in
+        let flo, fhi = split f and glo, ghi = split g and hlo, hhi = split h in
+        let r = mk m v (ite m flo glo hlo) (ite m fhi ghi hhi) in
+        Hashtbl.add m.ite_cache key r;
+        r
+  end
+
+let exists m qs f =
+  let cache = Hashtbl.create 1024 in
+  let rec go n =
+    if n < 2 then n
+    else
+      match Hashtbl.find_opt cache n with
+      | Some r -> r
+      | None ->
+          let v = m.var_of.(n) in
+          let lo = go m.lo_of.(n) and hi = go m.hi_of.(n) in
+          let r = if qs.(v) then mk_or m lo hi else mk m v lo hi in
+          Hashtbl.add cache n r;
+          r
+  in
+  go f
+
+let substitute m map f =
+  let cache = Hashtbl.create 1024 in
+  let rec go n =
+    if n < 2 then n
+    else
+      match Hashtbl.find_opt cache n with
+      | Some r -> r
+      | None ->
+          let v = map.(m.var_of.(n)) in
+          let lo = go m.lo_of.(n) and hi = go m.hi_of.(n) in
+          (* The new variable may break the ordering of the rebuilt
+             children, so compose with ITE instead of [mk]. *)
+          let r = ite m (var m v) hi lo in
+          Hashtbl.add cache n r;
+          r
+  in
+  go f
+
+let sat_count m ~over f =
+  let total_over = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 over in
+  let cache : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  (* counted over the suffix of [over]-variables strictly above [from_var] *)
+  let vars_above = Array.make (m.nvars + 1) 0 in
+  for v = m.nvars - 1 downto 0 do
+    vars_above.(v) <- vars_above.(v + 1) + if over.(v) then 1 else 0
+  done;
+  let rec go n =
+    if n = bfalse then 0.0
+    else if n = btrue then 1.0
+    else
+      match Hashtbl.find_opt cache n with
+      | Some r -> r
+      | None ->
+          let v = m.var_of.(n) in
+          let weight child =
+            let cv = if child < 2 then m.nvars else m.var_of.(child) in
+            (* don't-care [over]-variables between v (exclusive) and cv *)
+            let skipped = vars_above.(v + 1) - vars_above.(min cv m.nvars) in
+            go child *. (2.0 ** float_of_int skipped)
+          in
+          let r = weight m.lo_of.(n) +. weight m.hi_of.(n) in
+          Hashtbl.add cache n r;
+          r
+  in
+  if f = bfalse then 0.0
+  else if f = btrue then 2.0 ** float_of_int total_over
+  else begin
+    let v = m.var_of.(f) in
+    let skipped = total_over - vars_above.(v) in
+    go f *. (2.0 ** float_of_int skipped)
+  end
+
+let iter_sats m ~over f k =
+  let pos_of = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace pos_of v i) over;
+  let assignment = Array.make (Array.length over) false in
+  (* Walk the BDD; expand don't-cares among [over] variables. *)
+  let rec expand idx n =
+    if idx = Array.length over then (if n = btrue then k (Array.copy assignment))
+    else begin
+      let v = over.(idx) in
+      let nv = if n < 2 then max_int else m.var_of.(n) in
+      if nv = v then begin
+        if m.lo_of.(n) <> bfalse then begin
+          assignment.(idx) <- false;
+          expand (idx + 1) m.lo_of.(n)
+        end;
+        if m.hi_of.(n) <> bfalse then begin
+          assignment.(idx) <- true;
+          expand (idx + 1) m.hi_of.(n)
+        end
+      end
+      else if nv > v then begin
+        (* n does not test v: both values possible *)
+        if n <> bfalse then begin
+          assignment.(idx) <- false;
+          expand (idx + 1) n;
+          assignment.(idx) <- true;
+          expand (idx + 1) n
+        end
+      end
+      else begin
+        (* n tests a variable outside [over] (or before v): descend both *)
+        if m.lo_of.(n) <> bfalse then expand idx m.lo_of.(n);
+        if m.hi_of.(n) <> bfalse then expand idx m.hi_of.(n)
+      end
+    end
+  in
+  if f <> bfalse then expand 0 f

@@ -1,0 +1,64 @@
+(** Reduced ordered binary decision diagrams, hash-consed.
+
+    The substrate for the bddbddb-like baseline engine (paper §2, [26]):
+    relations are encoded as boolean functions over bit-blasted attribute
+    domains, so Datalog evaluation becomes BDD algebra (AND + EXISTS for
+    joins, OR for union, DIFF for the delta). Node arenas report their
+    footprint to {!Rs_storage.Memtrack}, so the baseline hits the same
+    simulated-OOM wall the paper reports for bddbddb on large domains. *)
+
+type mgr
+
+type node = int
+(** Node handle. [bfalse] and [btrue] are the terminals. *)
+
+val bfalse : node
+
+val btrue : node
+
+val create : nvars:int -> mgr
+(** Manager over variables [0 .. nvars-1] in natural order. *)
+
+exception Deadline_exceeded
+
+val set_deadline : mgr -> float option -> unit
+(** [set_deadline m (Some t)] makes node allocation raise
+    {!Deadline_exceeded} once the wall clock passes [t] (checked every few
+    thousand allocations). BDD operations on exploding domains cannot
+    otherwise be interrupted, and the bddbddb baseline needs to report
+    "timeout" exactly like the paper does. *)
+
+val nvars : mgr -> int
+
+val node_count : mgr -> int
+(** Allocated (live) nodes — the "BDD blow-up" observable. *)
+
+val var : mgr -> int -> node
+(** The function [v_i]. *)
+
+val mk : mgr -> int -> node -> node -> node
+(** [mk m v lo hi]: the reduced node testing [v]. *)
+
+val mk_and : mgr -> node -> node -> node
+
+val mk_or : mgr -> node -> node -> node
+
+val mk_diff : mgr -> node -> node -> node
+
+val ite : mgr -> node -> node -> node -> node
+
+val exists : mgr -> bool array -> node -> node
+(** [exists m qs f] quantifies away every variable [v] with [qs.(v)]. *)
+
+val substitute : mgr -> int array -> node -> node
+(** [substitute m map f] replaces variable [v] by variable [map.(v)]
+    everywhere (general, order-breaking renames allowed; [map] must be
+    injective on the support of [f]). *)
+
+val sat_count : mgr -> over:bool array -> node -> float
+(** Number of satisfying assignments counting only the variables marked in
+    [over] (the relation's domain bits). *)
+
+val iter_sats : mgr -> over:int array -> node -> (bool array -> unit) -> unit
+(** Enumerates assignments restricted to the listed variables, expanding
+    don't-cares; for materializing small results. *)

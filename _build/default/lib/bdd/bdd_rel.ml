@@ -1,0 +1,77 @@
+module Relation = Rs_relation.Relation
+
+type space = { mgr : Bdd.mgr; bits : int; ndomains : int }
+
+let make_space ~bits ~ndomains = { mgr = Bdd.create ~nvars:(bits * ndomains); bits; ndomains }
+
+let domain_vars sp d = List.init sp.bits (fun i -> (d * sp.bits) + i)
+
+(* bit [i] of a domain is the (bits-1-i)-th variable: MSB first *)
+let tuple_bdd sp domains tuple =
+  let m = sp.mgr in
+  let acc = ref Bdd.btrue in
+  Array.iteri
+    (fun col v ->
+      let d = domains.(col) in
+      for i = 0 to sp.bits - 1 do
+        let bit = (v lsr (sp.bits - 1 - i)) land 1 in
+        let bv = Bdd.var m ((d * sp.bits) + i) in
+        let lit = if bit = 1 then bv else Bdd.ite m bv Bdd.bfalse Bdd.btrue in
+        acc := Bdd.mk_and m !acc lit
+      done)
+    tuple;
+  !acc
+
+let of_relation sp rel =
+  let arity = Relation.arity rel in
+  let domains = Array.init arity (fun i -> i) in
+  let acc = ref Bdd.bfalse in
+  let tuple = Array.make arity 0 in
+  for row = 0 to Relation.nrows rel - 1 do
+    for c = 0 to arity - 1 do
+      tuple.(c) <- Relation.get rel ~row ~col:c
+    done;
+    acc := Bdd.mk_or sp.mgr !acc (tuple_bdd sp domains tuple)
+  done;
+  !acc
+
+let over_mask sp arity =
+  let mask = Array.make (Bdd.nvars sp.mgr) false in
+  for d = 0 to arity - 1 do
+    List.iter (fun v -> mask.(v) <- true) (domain_vars sp d)
+  done;
+  mask
+
+let count sp ~arity node =
+  int_of_float (Bdd.sat_count sp.mgr ~over:(over_mask sp arity) node +. 0.5)
+
+let to_relation sp ~arity ?(name = "_bdd") node =
+  let rel = Relation.create ~name arity in
+  let over = Array.of_list (List.concat_map (domain_vars sp) (List.init arity (fun d -> d))) in
+  Bdd.iter_sats sp.mgr ~over node (fun bits ->
+      let tuple = Array.make arity 0 in
+      Array.iteri
+        (fun i b -> if b then begin
+           let d = i / sp.bits and pos = i mod sp.bits in
+           tuple.(d) <- tuple.(d) lor (1 lsl (sp.bits - 1 - pos))
+         end)
+        bits;
+      Relation.push_row rel tuple);
+  Relation.account rel;
+  rel
+
+let rename sp ~from_domains ~to_domains node =
+  let map = Array.init (Bdd.nvars sp.mgr) (fun v -> v) in
+  Array.iteri
+    (fun i fd ->
+      let td = to_domains.(i) in
+      for b = 0 to sp.bits - 1 do
+        map.((fd * sp.bits) + b) <- (td * sp.bits) + b
+      done)
+    from_domains;
+  Bdd.substitute sp.mgr map node
+
+let exists_domains sp ds node =
+  let mask = Array.make (Bdd.nvars sp.mgr) false in
+  List.iter (fun d -> List.iter (fun v -> mask.(v) <- true) (domain_vars sp d)) ds;
+  Bdd.exists sp.mgr mask node

@@ -1,0 +1,32 @@
+(** Relations as BDDs (the bddbddb representation).
+
+    Attributes are bit-blasted into fixed-width *domains*: domain [d]
+    occupies BDD variables [d*bits .. (d+1)*bits - 1] (MSB first). A
+    relation of arity [k] is canonically stored over domains [0..k-1];
+    rule evaluation renames atom BDDs into per-rule variable domains,
+    conjoins, quantifies, and renames back. *)
+
+type space = { mgr : Bdd.mgr; bits : int; ndomains : int }
+
+val make_space : bits:int -> ndomains:int -> space
+
+val tuple_bdd : space -> int array -> int array -> Bdd.node
+(** [tuple_bdd sp domains tuple] is the cube for [tuple] with column [i] in
+    domain [domains.(i)]. *)
+
+val of_relation : space -> Rs_relation.Relation.t -> Bdd.node
+(** Canonical encoding over domains [0..arity-1]. *)
+
+val count : space -> arity:int -> Bdd.node -> int
+(** Tuples in a canonical relation BDD. *)
+
+val to_relation : space -> arity:int -> ?name:string -> Bdd.node -> Rs_relation.Relation.t
+(** Materializes a canonical relation BDD (small results only). *)
+
+val rename : space -> from_domains:int array -> to_domains:int array -> Bdd.node -> Bdd.node
+(** Moves each listed domain to its target; unlisted domains untouched. *)
+
+val exists_domains : space -> int list -> Bdd.node -> Bdd.node
+
+val domain_vars : space -> int -> int list
+(** The BDD variables of a domain, ascending. *)

@@ -1,0 +1,1 @@
+lib/benchkit/exp_ablation.ml: List Measure Printf Recstep Report Rs_util Workloads

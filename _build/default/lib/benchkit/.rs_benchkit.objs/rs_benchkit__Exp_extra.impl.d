@@ -1,0 +1,1 @@
+lib/benchkit/exp_extra.ml: List Measure Printf Recstep Report Rs_bitmatrix Rs_datagen Rs_util Workloads

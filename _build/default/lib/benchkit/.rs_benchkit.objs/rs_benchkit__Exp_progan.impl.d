@@ -1,0 +1,1 @@
+lib/benchkit/exp_progan.ml: List Measure Printf Report Rs_engines Workloads

@@ -1,0 +1,1 @@
+lib/benchkit/exp_scaling.ml: List Measure Printf Recstep Report Rs_util Workloads

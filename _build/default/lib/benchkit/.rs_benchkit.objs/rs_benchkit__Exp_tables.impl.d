@@ -1,0 +1,1 @@
+lib/benchkit/exp_tables.ml: List Measure Option Printf Report Rs_engines Rs_exec Rs_parallel Rs_relation Rs_util Workloads

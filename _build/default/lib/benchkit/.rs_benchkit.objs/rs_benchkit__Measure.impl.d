@@ -1,0 +1,1 @@
+lib/benchkit/measure.ml: Array List Option Printf Recstep Rs_engines Rs_parallel Rs_storage Rs_util

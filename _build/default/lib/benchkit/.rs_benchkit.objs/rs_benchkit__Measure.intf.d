@@ -1,0 +1,1 @@
+lib/benchkit/measure.mli: Rs_parallel

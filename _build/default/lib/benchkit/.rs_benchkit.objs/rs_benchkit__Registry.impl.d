@@ -1,0 +1,1 @@
+lib/benchkit/registry.ml: Exp_ablation Exp_cross Exp_extra Exp_pbme Exp_progan Exp_scaling Exp_tables List

@@ -1,0 +1,1 @@
+lib/benchkit/report.ml: Array List Measure Option Printf Rs_engines Rs_relation Rs_storage Rs_util Workloads

@@ -1,0 +1,1 @@
+lib/benchkit/report.mli: Measure Rs_engines Workloads

@@ -1,0 +1,1 @@
+lib/benchkit/workloads.ml: Array List Printf Recstep Rs_datagen Rs_relation

@@ -1,0 +1,1 @@
+lib/benchkit/workloads.mli: Recstep Rs_relation

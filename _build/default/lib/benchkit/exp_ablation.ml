@@ -1,0 +1,61 @@
+(** Figures 2 and 3: optimization ablation on CSPA/httpd.
+
+    Each RecStep optimization is turned off in isolation; runtimes are
+    reported as a percentage of the all-optimizations-off configuration,
+    exactly like Figure 2's bars, and Figure 3 reprints the memory
+    timelines of the same runs. *)
+
+module Interpreter = Recstep.Interpreter
+
+let configs =
+  [
+    ("RecStep", Interpreter.default_options);
+    ("UIE-off", { Interpreter.default_options with uie = false });
+    ("DSD-off", { Interpreter.default_options with dsd = Interpreter.Dsd_force_opsd });
+    ("OOF-FA", { Interpreter.default_options with oof = Interpreter.Oof_full });
+    ("EOST-off", { Interpreter.default_options with eost = false });
+    ("FAST-DEDUP-off", { Interpreter.default_options with fast_dedup = false });
+    ("OOF-NA", { Interpreter.default_options with oof = Interpreter.Oof_off });
+    ( "RecStep-NO-OP",
+      {
+        Interpreter.default_options with
+        uie = false;
+        dsd = Interpreter.Dsd_force_opsd;
+        oof = Interpreter.Oof_off;
+        eost = false;
+        fast_dedup = false;
+        pbme = false;
+      } );
+  ]
+
+let run_config (w : Workloads.t) (cname, options) =
+  Measure.run ~repeats:3 ~name:cname ~make_inputs:w.make_edb (fun edb pool ~deadline_vs ->
+      let options = { options with Interpreter.timeout_vs = deadline_vs } in
+      ignore (Interpreter.run ~options ~pool ~edb w.program))
+
+let fig2 ~scale =
+  Report.section ~id:"fig2" ~title:"Optimizations for RecStep (CSPA on httpd), % of NO-OP time";
+  let w = Workloads.cspa ~scale "httpd" in
+  let runs = List.map (fun c -> (fst c, run_config w c)) configs in
+  let noop_time =
+    match List.assoc "RecStep-NO-OP" runs with
+    | { Measure.outcome = Measure.Done t; _ } -> t
+    | _ -> nan
+  in
+  Rs_util.Table_printer.print ~header:[ "configuration"; "time (s)"; "% of NO-OP" ]
+    (List.map
+       (fun (name, r) ->
+         match r.Measure.outcome with
+         | Measure.Done t ->
+             [ name; Printf.sprintf "%.3f" t; Printf.sprintf "%.0f%%" (100.0 *. t /. noop_time) ]
+         | o -> [ name; Measure.outcome_cell o; "-" ])
+       runs);
+  runs
+
+let fig3 ~scale =
+  let runs = fig2 ~scale in
+  Report.section ~id:"fig3" ~title:"Memory effects of optimizations (CSPA on httpd)";
+  Report.timeline_table ~title:"config \\ mem%" ~unit:"%"
+    (List.map (fun (name, r) -> (name, r.Measure.mem_timeline)) runs)
+
+let run ~scale = fig3 ~scale

@@ -1,0 +1,119 @@
+(** Figures 10-14: cross-system comparison on graph analytics.
+
+    Fig 10: TC and SG across engines on the Gn-p family. Fig 11: memory
+    timelines of the TC/SG runs on the mid-size graph. Fig 12: REACH, CC and
+    SSSP on the RMAT size sweep. Fig 13: the same tasks on the
+    real-world-like graphs. Fig 14: memory timelines on livejournal.
+    OOM and timeout cells are reported exactly like the paper's bars. *)
+
+module Engines = Rs_engines.Engines
+
+let graph_engines =
+  [
+    Engines.recstep;
+    Engines.distributed_bigdatalog;
+    Engines.souffle_like;
+    Engines.bigdatalog_like;
+    Engines.bddbddb_like;
+  ]
+
+let budget_mib m = m * 1024 * 1024
+
+let fig10 ~scale =
+  Report.section ~id:"fig10" ~title:"TC and SG across systems on Gn-p graphs (budget 64 MiB)";
+  let graphs = Workloads.gn_series ~scale in
+  Report.note "-- Transitive Closure --";
+  ignore
+    (Report.cross_table ~mem_budget:(budget_mib 64) ~timeout_vs:30.0 ~engines:graph_engines
+       ~workloads:(List.map Workloads.tc graphs) ());
+  Report.note "-- Same Generation --";
+  ignore
+    (Report.cross_table ~mem_budget:(budget_mib 64) ~timeout_vs:30.0 ~engines:graph_engines
+       ~workloads:(List.map Workloads.sg graphs) ())
+
+let fig11 ~scale =
+  Report.section ~id:"fig11" ~title:"Memory usage of TC and SG (mid-size dense graph)";
+  let g = List.nth (Workloads.gn_series ~scale) 3 (* G200-0.2 *) in
+  List.iter
+    (fun (task, make_w) ->
+      Report.note (Printf.sprintf "-- %s --" task);
+      let series =
+        List.filter_map
+          (fun (module E : Rs_engines.Engine_intf.S) ->
+            let r =
+              Report.run_one ~mem_budget:(budget_mib 64) ~timeout_vs:30.0 (module E) (make_w g)
+            in
+            match r.Measure.outcome with
+            | Measure.Unsupported _ -> None
+            | _ -> Some (Printf.sprintf "%s (%s)" E.name (Measure.outcome_cell r.Measure.outcome),
+                         r.Measure.mem_timeline))
+          [ Engines.recstep; Engines.souffle_like; Engines.bigdatalog_like ]
+      in
+      Report.timeline_table ~title:"system \\ mem%" ~unit:"%" series)
+    [ ("TC", Workloads.tc); ("SG", Workloads.sg) ]
+
+let tasks ~with_sources =
+  ignore with_sources;
+  [
+    ("REACH", fun g -> Workloads.reach g);
+    ("CC", fun g -> Workloads.cc g);
+    ("SSSP", fun g -> Workloads.sssp g);
+  ]
+
+let fig12 ~scale =
+  Report.section ~id:"fig12" ~title:"REACH / CC / SSSP on the RMAT size sweep";
+  let graphs = Workloads.rmat_series ~scale ~points:5 in
+  List.iter
+    (fun (task, make_w) ->
+      Report.note (Printf.sprintf "-- %s --" task);
+      ignore
+        (Report.cross_table ~mem_budget:(budget_mib 128) ~timeout_vs:60.0
+           ~engines:
+             [ Engines.recstep; Engines.distributed_bigdatalog; Engines.souffle_like;
+               Engines.bigdatalog_like ]
+           ~workloads:(List.map make_w graphs) ()))
+    (tasks ~with_sources:true)
+
+let fig13 ~scale =
+  Report.section ~id:"fig13" ~title:"REACH / CC / SSSP on real-world-like graphs (budget 96 MiB)";
+  let graphs = Workloads.real_world ~scale in
+  List.iter
+    (fun (task, make_w) ->
+      Report.note (Printf.sprintf "-- %s --" task);
+      ignore
+        (Report.cross_table ~mem_budget:(budget_mib 96) ~timeout_vs:60.0
+           ~engines:
+             [ Engines.recstep; Engines.distributed_bigdatalog; Engines.souffle_like;
+               Engines.bigdatalog_like ]
+           ~workloads:(List.map make_w graphs) ()))
+    (tasks ~with_sources:true)
+
+let fig14 ~scale =
+  Report.section ~id:"fig14" ~title:"Memory consumption on livejournal";
+  let lj = ("livejournal", List.assoc "livejournal" (Workloads.real_world ~scale)) in
+  List.iter
+    (fun (task, make_w) ->
+      Report.note (Printf.sprintf "-- %s --" task);
+      let series =
+        List.filter_map
+          (fun (module E : Rs_engines.Engine_intf.S) ->
+            let r =
+              Report.run_one ~mem_budget:(budget_mib 96) ~timeout_vs:60.0 (module E) (make_w lj)
+            in
+            match r.Measure.outcome with
+            | Measure.Unsupported _ -> None
+            | _ ->
+                Some
+                  ( Printf.sprintf "%s (%s)" E.name (Measure.outcome_cell r.Measure.outcome),
+                    r.Measure.mem_timeline ))
+          [ Engines.recstep; Engines.souffle_like; Engines.bigdatalog_like ]
+      in
+      Report.timeline_table ~title:"system \\ mem%" ~unit:"%" series)
+    (tasks ~with_sources:true)
+
+let run ~scale =
+  fig10 ~scale;
+  fig11 ~scale;
+  fig12 ~scale;
+  fig13 ~scale;
+  fig14 ~scale

@@ -1,0 +1,80 @@
+(** Extension experiments beyond the paper's figures.
+
+    [coord_sweep] carries out the study the paper defers to future work
+    (§5.3): the trade-off in SG-PBME-COORD's rebalance threshold [t] —
+    "if t is too small, there will be too much communication overhead ...;
+    on the contrary, if t is too large, workload balancing cannot be well
+    achieved". We sweep [t] on a skewed graph and report completion time
+    and average CPU utilization, bracketing the sweet spot.
+
+    [uie_sharing] isolates the two mechanisms behind UIE that the paper
+    lists (§5.1): saved per-query overhead versus hash-table cache sharing
+    across subqueries, by toggling the executor's build cache
+    independently of query batching. *)
+
+module Graphs = Rs_datagen.Graphs
+module Interpreter = Recstep.Interpreter
+
+let coord_sweep ~scale =
+  Report.section ~id:"coord_sweep"
+    ~title:"EXTRA: SG-PBME rebalance-threshold trade-off (the paper's future work)";
+  let make_arc () = Graphs.rmat ~seed:99 ~n:(2048 * scale) ~m:(8 * 2048 * scale) in
+  let thresholds = [ 8; 32; 128; 512; 2048; 8192 ] in
+  let rows =
+    List.map
+      (fun t ->
+        let r =
+          Measure.run ~repeats:2 ~name:(Printf.sprintf "t=%d" t) ~make_inputs:make_arc
+            (fun arc pool ~deadline_vs ->
+              ignore deadline_vs;
+              let n = Graphs.vertex_count arc in
+              let m =
+                Rs_bitmatrix.Pbme.sg ~coordinated:true ~rebalance_threshold:t pool ~n ~arc
+              in
+              ignore (Rs_bitmatrix.Bitmatrix.cardinal m);
+              Rs_bitmatrix.Bitmatrix.release m)
+        in
+        let avg_util =
+          match r.Measure.util_timeline with
+          | [] -> 0.0
+          | tl -> List.fold_left (fun a (_, u) -> a +. u) 0.0 tl /. float_of_int (List.length tl)
+        in
+        [ string_of_int t; Measure.outcome_cell r.Measure.outcome; Printf.sprintf "%.1f%%" avg_util ])
+      thresholds
+  in
+  Rs_util.Table_printer.print ~header:[ "threshold t"; "time (s)"; "avg cpu util" ] rows;
+  Report.note
+    "(small t: work-order overhead dominates; large t: stragglers — the sweet spot is in between)"
+
+let uie_sharing ~scale =
+  Report.section ~id:"uie_sharing"
+    ~title:"EXTRA: decomposing UIE into query batching vs build-cache sharing";
+  let w = Workloads.cspa ~scale:(2 * scale) "httpd" in
+  let run name uie share =
+    let r =
+      Measure.run ~repeats:3 ~name ~make_inputs:w.Workloads.make_edb
+        (fun edb pool ~deadline_vs ->
+          let options =
+            { Interpreter.default_options with
+              uie; share_builds = share; timeout_vs = deadline_vs }
+          in
+          ignore (Interpreter.run ~options ~pool ~edb w.Workloads.program))
+    in
+    (name, r)
+  in
+  (* cache sharing only applies within one UNION ALL query, so the share
+     toggle is observable only with uie on; with uie off each subquery is
+     its own query and can never share builds *)
+  let rows =
+    [
+      run "UIE (batch + sharing)" true true;
+      run "UIE batching only (cache off)" true false;
+      run "no UIE (separate queries)" false false;
+    ]
+  in
+  Rs_util.Table_printer.print ~header:[ "configuration"; "time (s)" ]
+    (List.map (fun (n, r) -> [ n; Measure.outcome_cell r.Measure.outcome ]) rows)
+
+let run ~scale =
+  coord_sweep ~scale;
+  uie_sharing ~scale

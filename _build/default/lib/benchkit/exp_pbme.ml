@@ -1,0 +1,93 @@
+(** Figures 6 and 7: the PBME technique.
+
+    Figure 6 compares memory (and completion) of the bit-matrix evaluation
+    against the plain relational loop on growing dense graphs — the
+    non-PBME configuration runs out of memory first, as in the paper.
+    Figure 7 compares the coordinated and zero-coordination SG kernels on a
+    skewed graph: CPU utilization and completion time differ, memory
+    barely. *)
+
+module Interpreter = Recstep.Interpreter
+module Graphs = Rs_datagen.Graphs
+
+let mem_budget_bytes = 24 * 1024 * 1024
+
+let pbme_vs_relational ~title ~make_workload ~graphs =
+  Report.section ~id:"fig6" ~title;
+  let rows =
+    List.concat_map
+      (fun (gname, make_arc) ->
+        List.map
+          (fun (variant, pbme) ->
+            let w : Workloads.t = make_workload (gname, make_arc) in
+            let r =
+              Measure.run ~mem_budget:mem_budget_bytes
+                ~name:(variant ^ "-" ^ gname)
+                ~make_inputs:w.Workloads.make_edb
+                (fun edb pool ~deadline_vs ->
+                  let options =
+                    { Interpreter.default_options with pbme; timeout_vs = deadline_vs }
+                  in
+                  ignore (Interpreter.run ~options ~pool ~edb w.Workloads.program))
+            in
+            let status =
+              match r.Measure.outcome with
+              | Measure.Done t -> Printf.sprintf "done in %.3fs" t
+              | Measure.Oom -> "failed (OOM)"
+              | Measure.Timeout -> "failed (timeout)"
+              | Measure.Unsupported m -> m
+            in
+            ( Printf.sprintf "%s-%s" variant gname,
+              status,
+              r.Measure.peak_mem_pct,
+              r.Measure.mem_timeline ))
+          [ ("NON-PBME", false); ("PBME", true) ])
+      graphs
+  in
+  Rs_util.Table_printer.print ~header:[ "run"; "status"; "peak mem %" ]
+    (List.map (fun (n, s, p, _) -> [ n; s; Printf.sprintf "%.1f" p ]) rows);
+  Report.timeline_table ~title:"run \\ mem%" ~unit:"%"
+    (List.map (fun (n, _, _, tl) -> (n, tl)) rows)
+
+let fig6 ~scale =
+  let dense name n p = (name, fun () -> Graphs.gnp ~seed:(3 * n) ~n:(n * scale) ~p) in
+  pbme_vs_relational
+    ~title:"Memory saving of PBME on TC (budget 24 MiB; paper Fig 6a)"
+    ~make_workload:Workloads.tc
+    ~graphs:[ dense "G200" 200 0.04; dense "G400" 400 0.02; dense "G800" 800 0.01 ];
+  pbme_vs_relational
+    ~title:"Memory saving of PBME on SG (budget 24 MiB; paper Fig 6b)"
+    ~make_workload:Workloads.sg
+    ~graphs:[ dense "G50" 50 0.16; dense "G100" 100 0.08; dense "G200" 200 0.04 ]
+
+let fig7 ~scale =
+  Report.section ~id:"fig7"
+    ~title:"SG-PBME coordination vs zero-coordination (skewed RMAT graph)";
+  let make_arc () = Graphs.rmat ~seed:99 ~n:(2048 * scale) ~m:(8 * 2048 * scale) in
+  let runs =
+    List.map
+      (fun (name, coordinated) ->
+        let r =
+          Measure.run ~repeats:2 ~name ~make_inputs:make_arc (fun arc pool ~deadline_vs ->
+              ignore deadline_vs;
+              let n = Graphs.vertex_count arc in
+              let m =
+                Rs_bitmatrix.Pbme.sg ~coordinated ~rebalance_threshold:128 pool ~n ~arc
+              in
+              ignore (Rs_bitmatrix.Bitmatrix.cardinal m);
+              Rs_bitmatrix.Bitmatrix.release m)
+        in
+        (name, r))
+      [ ("PBME-NO-COORD", false); ("PBME-COORD", true) ]
+  in
+  Rs_util.Table_printer.print ~header:[ "variant"; "time (s)"; "peak mem %" ]
+    (List.map
+       (fun (n, r) ->
+         [ n; Measure.outcome_cell r.Measure.outcome; Printf.sprintf "%.2f" r.Measure.peak_mem_pct ])
+       runs);
+  Report.timeline_table ~title:"variant \\ cpu util" ~unit:"%"
+    (List.map (fun (n, r) -> (n, r.Measure.util_timeline)) runs)
+
+let run ~scale =
+  fig6 ~scale;
+  fig7 ~scale

@@ -1,0 +1,61 @@
+(** Figures 15 and 16: program-analysis comparison.
+
+    Fig 15a: Andersen's analysis on the seven synthetic datasets.
+    Fig 15b: context-sensitive dataflow (CSDA) on linux/postgresql/httpd.
+    Fig 15c: context-sensitive points-to (CSPA) — BigDatalog shows "-"
+    (mutual recursion), as in the paper.
+    Fig 16: CPU-utilization timelines on AA and CSPA. *)
+
+module Engines = Rs_engines.Engines
+
+let budget = 128 * 1024 * 1024
+
+let fig15 ~scale =
+  Report.section ~id:"fig15" ~title:"Program analyses across systems";
+  Report.note "-- Andersen's analysis (datasets 1-7) --";
+  ignore
+    (Report.cross_table ~mem_budget:budget ~timeout_vs:30.0
+       ~engines:
+         [ Engines.recstep; Engines.bigdatalog_like; Engines.souffle_like; Engines.bddbddb_like ]
+       ~workloads:(List.map (Workloads.andersen ~scale) [ 1; 2; 3; 4; 5; 6; 7 ])
+       ());
+  Report.note "-- CSDA on system programs --";
+  ignore
+    (Report.cross_table ~mem_budget:budget ~timeout_vs:60.0
+       ~engines:
+         [ Engines.recstep; Engines.souffle_like; Engines.bigdatalog_like; Engines.graspan_like ]
+       ~workloads:(List.map (Workloads.csda ~scale) [ "linux"; "postgresql"; "httpd" ])
+       ());
+  Report.note "-- CSPA on system programs --";
+  ignore
+    (Report.cross_table ~mem_budget:budget ~timeout_vs:60.0
+       ~engines:
+         [ Engines.recstep; Engines.souffle_like; Engines.bigdatalog_like; Engines.graspan_like;
+           Engines.bddbddb_like ]
+       ~workloads:(List.map (Workloads.cspa ~scale) [ "linux"; "postgresql"; "httpd" ])
+       ())
+
+let fig16 ~scale =
+  Report.section ~id:"fig16" ~title:"CPU utilization on program analyses";
+  List.iter
+    (fun (label, w) ->
+      Report.note (Printf.sprintf "-- %s --" label);
+      let series =
+        List.filter_map
+          (fun (module E : Rs_engines.Engine_intf.S) ->
+            let r = Report.run_one ~mem_budget:budget ~timeout_vs:60.0 (module E) w in
+            match r.Measure.outcome with
+            | Measure.Unsupported _ -> None
+            | _ -> Some (E.name, r.Measure.util_timeline))
+          [ Engines.recstep; Engines.souffle_like; Engines.bigdatalog_like ]
+      in
+      Report.timeline_table ~title:"system \\ util" ~unit:"%" series)
+    [
+      ("AA on dataset 5", Workloads.andersen ~scale 5);
+      ("CSPA on linux", Workloads.cspa ~scale "linux");
+      ("CSPA on httpd", Workloads.cspa ~scale "httpd");
+    ]
+
+let run ~scale =
+  fig15 ~scale;
+  fig16 ~scale

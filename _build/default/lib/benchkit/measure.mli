@@ -1,0 +1,46 @@
+(** Measured runs: one engine on one workload under a memory budget and a
+    simulated-time budget, with memory and CPU-utilization sampling.
+
+    The harness's failure vocabulary matches the paper's: a run ends
+    {!constructor-Done}, "Out of Memory", "timeout", or unsupported (a blank
+    bar / missing system in the figures). *)
+
+module Pool = Rs_parallel.Pool
+
+type outcome =
+  | Done of float  (** simulated seconds *)
+  | Oom
+  | Timeout
+  | Unsupported of string
+
+type run = {
+  run_name : string;
+  outcome : outcome;
+  peak_mem_pct : float;  (** peak tracked bytes / machine bytes *)
+  mem_timeline : (float * float) list;  (** (simulated s, mem %) *)
+  util_timeline : (float * float) list;  (** (simulated s, utilization %) *)
+  workers : int;
+  wall_s : float;  (** real seconds the measurement took *)
+}
+
+val run :
+  ?workers:int ->
+  ?mem_budget:int ->
+  ?timeout_vs:float ->
+  ?repeats:int ->
+  name:string ->
+  make_inputs:(unit -> 'i) ->
+  ('i -> Pool.t -> deadline_vs:float option -> unit) ->
+  run
+(** [run ~name ~make_inputs f] builds the inputs (untimed, outside the
+    budget), resets the memory tracker, and executes [f] on a fresh pool.
+    [mem_budget] defaults to the machine size; [timeout_vs] to no limit.
+    [repeats > 1] applies the paper's methodology: one discarded warm-up
+    run, then the average of [repeats] measured runs (timelines and peak
+    memory come from the last). *)
+
+val outcome_cell : outcome -> string
+(** Short table cell: "12.3", "OOM", ">10h" (timeout), "-" (unsupported). *)
+
+val util_series : Pool.t -> buckets:int -> (float * float) list
+(** Post-hoc CPU-utilization timeline from the pool's batch events. *)

@@ -1,0 +1,37 @@
+(** Output formatting shared by all experiment drivers. *)
+
+val section : id:string -> title:string -> unit
+(** Prints the experiment banner ("=== fig10: ... ==="). *)
+
+val note : string -> unit
+
+val run_one :
+  ?workers:int ->
+  ?mem_budget:int ->
+  ?timeout_vs:float ->
+  Rs_engines.Engine_intf.engine ->
+  Workloads.t ->
+  Measure.run
+(** One engine on one workload under the harness's budgets. The
+    Distributed-BigDatalog configuration automatically gets the paper's
+    cluster memory (~2.8x the single node). *)
+
+val cross_table :
+  ?workers:int ->
+  ?mem_budget:int ->
+  ?timeout_vs:float ->
+  engines:Rs_engines.Engine_intf.engine list ->
+  workloads:Workloads.t list ->
+  unit ->
+  (string * Measure.run list) list
+(** Runs every engine on every workload and prints the paper-style grid
+    (rows = engines, columns = workloads, cells = seconds / OOM / timeout /
+    "-"). Returns the raw runs per engine. *)
+
+val timeline_table :
+  title:string -> unit:string -> (string * (float * float) list) list -> unit
+(** Renders time-series (memory or CPU-utilization timelines) as a table
+    with ten time columns, resampling each series by
+    last-value-carried-forward. *)
+
+val resample : (float * float) list -> span:float -> points:int -> float list

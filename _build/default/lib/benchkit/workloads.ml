@@ -1,0 +1,134 @@
+module Relation = Rs_relation.Relation
+module Graphs = Rs_datagen.Graphs
+
+type t = {
+  label : string;
+  program : Recstep.Ast.program;
+  make_edb : unit -> (string * Relation.t) list;
+  output : string;
+}
+
+(* Gn-p stand-ins for [G5K .. G80K]: average degree ~8 except the two dense
+   variants, mirroring [G10K-0.01, G10K-0.1]. *)
+let gn_series ~scale =
+  let s = scale in
+  let gnp name n p = (name, fun () -> Graphs.gnp ~seed:(97 * n + int_of_float (p *. 1e4)) ~n ~p) in
+  [
+    gnp "G100" (100 * s) (8.0 /. float_of_int (100 * s));
+    gnp "G200" (200 * s) (8.0 /. float_of_int (200 * s));
+    gnp "G200-0.05" (200 * s) 0.05;
+    gnp "G200-0.2" (200 * s) 0.2;
+    gnp "G400" (400 * s) (8.0 /. float_of_int (400 * s));
+    gnp "G800" (800 * s) (8.0 /. float_of_int (800 * s));
+    gnp "G1600" (1600 * s) (8.0 /. float_of_int (1600 * s));
+  ]
+
+let rmat_series ~scale ~points =
+  List.init points (fun i ->
+      let n = 1024 * scale * (1 lsl i) in
+      ( Printf.sprintf "RMAT-%dk" (n / 1024),
+        fun () -> Graphs.rmat ~seed:(31 + i) ~n ~m:(10 * n) ))
+
+let real_world ~scale =
+  List.map
+    (fun (name, _) -> (name, fun () -> Graphs.real_world_like ~seed:2024 ~scale name))
+    Graphs.real_world_profiles
+
+let parse = Recstep.Parser.parse
+
+let tc (gname, make_arc) =
+  {
+    label = "TC/" ^ gname;
+    program = parse Recstep.Programs.tc;
+    make_edb = (fun () -> [ ("arc", make_arc ()) ]);
+    output = "tc";
+  }
+
+let sg (gname, make_arc) =
+  {
+    label = "SG/" ^ gname;
+    program = parse Recstep.Programs.sg;
+    make_edb = (fun () -> [ ("arc", make_arc ()) ]);
+    output = "sg";
+  }
+
+(* One random source per run, like the paper's randomly-picked vertices —
+   but taken as the best-connected of ten candidates so the source is not a
+   sink (the paper averages over ten sources; we run one representative). *)
+let with_source ?(source_seed = 7) make_arc () =
+  let arc = make_arc () in
+  let n = Graphs.vertex_count arc in
+  let degree = Array.make n 0 in
+  for row = 0 to Relation.nrows arc - 1 do
+    let x = Relation.get arc ~row ~col:0 in
+    degree.(x) <- degree.(x) + 1
+  done;
+  let candidates = Graphs.random_sources ~seed:source_seed ~n ~count:10 in
+  let best =
+    List.fold_left
+      (fun best id ->
+        let v = Relation.get id ~row:0 ~col:0 in
+        match best with
+        | Some (_, d) when d >= degree.(v) -> best
+        | _ -> Some (v, degree.(v)))
+      None candidates
+  in
+  let id = Relation.create ~name:"id" 1 in
+  (match best with Some (v, _) -> Relation.push1 id v | None -> Relation.push1 id 0);
+  (arc, id)
+
+let reach ?source_seed (gname, make_arc) =
+  {
+    label = "REACH/" ^ gname;
+    program = parse Recstep.Programs.reach;
+    make_edb =
+      (fun () ->
+        let arc, id = with_source ?source_seed make_arc () in
+        [ ("arc", arc); ("id", id) ]);
+    output = "reach";
+  }
+
+let cc (gname, make_arc) =
+  {
+    label = "CC/" ^ gname;
+    program = parse Recstep.Programs.cc;
+    make_edb = (fun () -> [ ("arc", make_arc ()) ]);
+    output = "cc";
+  }
+
+let sssp ?source_seed (gname, make_arc) =
+  {
+    label = "SSSP/" ^ gname;
+    program = parse Recstep.Programs.sssp;
+    make_edb =
+      (fun () ->
+        let arc, id = with_source ?source_seed make_arc () in
+        let weighted = Graphs.add_weights ~seed:5 ~max_weight:100 arc in
+        Relation.release arc;
+        [ ("arc", weighted); ("id", id) ]);
+    output = "sssp";
+  }
+
+let andersen ~scale n =
+  {
+    label = Printf.sprintf "AA/dataset-%d" n;
+    program = parse Recstep.Programs.andersen;
+    make_edb = (fun () -> Rs_datagen.Prog_analysis.andersen_dataset ~seed:11 ~scale n);
+    output = "pointsTo";
+  }
+
+let cspa ~scale name =
+  {
+    label = "CSPA/" ^ name;
+    program = parse Recstep.Programs.cspa;
+    make_edb = (fun () -> Rs_datagen.Prog_analysis.cspa_input ~seed:13 ~scale name);
+    output = "valueFlow";
+  }
+
+let csda ~scale name =
+  {
+    label = "CSDA/" ^ name;
+    program = parse Recstep.Programs.csda;
+    make_edb = (fun () -> Rs_datagen.Prog_analysis.csda_input ~seed:17 ~scale name);
+    output = "null";
+  }

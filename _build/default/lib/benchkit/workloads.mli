@@ -1,0 +1,40 @@
+(** Workload catalog: (program, inputs) pairs mirroring the paper's Table 3,
+    at container scale. Deterministic: the same workload name always builds
+    identical inputs, so every engine measures the same data. *)
+
+module Relation = Rs_relation.Relation
+
+type t = {
+  label : string;  (** e.g. "TC/G400" *)
+  program : Recstep.Ast.program;
+  make_edb : unit -> (string * Relation.t) list;
+  output : string;  (** relation whose size sanity-checks the run *)
+}
+
+val gn_series : scale:int -> (string * (unit -> Relation.t)) list
+(** The Gn-p family standing in for G5K..G80K: name and arc builder, in
+    increasing size order (two dense variants in the middle, as in the
+    paper). *)
+
+val rmat_series : scale:int -> points:int -> (string * (unit -> Relation.t)) list
+(** RMAT graphs of doubling vertex counts (the paper's 1M..128M sweep). *)
+
+val real_world : scale:int -> (string * (unit -> Relation.t)) list
+
+val tc : string * (unit -> Relation.t) -> t
+
+val sg : string * (unit -> Relation.t) -> t
+
+val reach : ?source_seed:int -> string * (unit -> Relation.t) -> t
+
+val cc : string * (unit -> Relation.t) -> t
+
+val sssp : ?source_seed:int -> string * (unit -> Relation.t) -> t
+
+val andersen : scale:int -> int -> t
+(** Dataset number 1..7. *)
+
+val cspa : scale:int -> string -> t
+(** linux / postgresql / httpd. *)
+
+val csda : scale:int -> string -> t

@@ -1,0 +1,1 @@
+lib/bitmatrix/adjacency.mli: Rs_relation

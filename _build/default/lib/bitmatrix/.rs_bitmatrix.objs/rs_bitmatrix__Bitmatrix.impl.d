@@ -1,0 +1,1 @@
+lib/bitmatrix/bitmatrix.ml: Array Rs_relation Rs_storage Rs_util

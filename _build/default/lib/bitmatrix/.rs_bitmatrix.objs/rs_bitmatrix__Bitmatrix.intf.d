@@ -1,0 +1,1 @@
+lib/bitmatrix/bitmatrix.mli: Rs_relation Rs_util

@@ -1,0 +1,1 @@
+lib/bitmatrix/pbme.ml: Adjacency Array Bitmatrix List Rs_parallel Rs_util

@@ -1,0 +1,1 @@
+lib/bitmatrix/pbme.mli: Bitmatrix Rs_parallel Rs_relation

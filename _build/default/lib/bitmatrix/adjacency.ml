@@ -1,0 +1,46 @@
+module Relation = Rs_relation.Relation
+module Int_vec = Rs_util.Int_vec
+module Memtrack = Rs_storage.Memtrack
+
+type t = { offsets : int array; targets : int array; n : int; mutable accounted : int }
+
+let build n rel =
+  let m = Relation.nrows rel in
+  let c0 = Relation.col rel 0 and c1 = Relation.col rel 1 in
+  let counts = Array.make (n + 1) 0 in
+  for row = 0 to m - 1 do
+    let x = Int_vec.get c0 row in
+    counts.(x + 1) <- counts.(x + 1) + 1
+  done;
+  for i = 1 to n do
+    counts.(i) <- counts.(i) + counts.(i - 1)
+  done;
+  let offsets = Array.copy counts in
+  let targets = Array.make m 0 in
+  let cursor = Array.copy offsets in
+  for row = 0 to m - 1 do
+    let x = Int_vec.get c0 row and y = Int_vec.get c1 row in
+    targets.(cursor.(x)) <- y;
+    cursor.(x) <- cursor.(x) + 1
+  done;
+  let accounted = 8 * (Array.length offsets + Array.length targets) in
+  Memtrack.alloc accounted;
+  { offsets; targets; n; accounted }
+
+let n t = t.n
+
+let degree t x = t.offsets.(x + 1) - t.offsets.(x)
+
+let iter_succ t x f =
+  for i = t.offsets.(x) to t.offsets.(x + 1) - 1 do
+    f t.targets.(i)
+  done
+
+let fold_succ t x f acc =
+  let acc = ref acc in
+  iter_succ t x (fun y -> acc := f !acc y);
+  !acc
+
+let release t =
+  Memtrack.free t.accounted;
+  t.accounted <- 0

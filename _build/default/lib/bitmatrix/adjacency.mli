@@ -1,0 +1,22 @@
+(** Forward adjacency index over a binary EDB relation.
+
+    The vector index [Varc] of Algorithm 3: [Varc(x) = { y | arc(x, y) }],
+    stored as CSR-style flat arrays. *)
+
+type t
+
+val build : int -> Rs_relation.Relation.t -> t
+(** [build n arc] indexes the binary relation [arc] over domain
+    [\[0, n)]. *)
+
+val n : t -> int
+
+val degree : t -> int -> int
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+(** [iter_succ t x f] calls [f y] for each edge [(x, y)] (duplicates
+    preserved as stored). *)
+
+val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val release : t -> unit

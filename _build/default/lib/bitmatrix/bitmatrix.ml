@@ -1,0 +1,50 @@
+module Bitset = Rs_util.Bitset
+module Memtrack = Rs_storage.Memtrack
+
+type t = { rows : Bitset.t array; n : int; mutable accounted : int }
+
+let required_bytes n = ((n + 62) / 63) * 8 * n
+
+let create n =
+  let bytes = required_bytes n in
+  Memtrack.alloc bytes;
+  { rows = Array.init n (fun _ -> Bitset.create n); n; accounted = bytes }
+
+let n t = t.n
+let get t i j = Bitset.mem t.rows.(i) j
+let set t i j = Bitset.add t.rows.(i) j
+let test_and_set t i j = Bitset.test_and_set t.rows.(i) j
+let row t i = t.rows.(i)
+
+let cardinal t = Array.fold_left (fun acc r -> acc + Bitset.cardinal r) 0 t.rows
+
+let to_relation ?(name = "_bitmatrix") t =
+  (* Pre-size the columns exactly: the doubling growth of push-based
+     appends would transiently need ~2x the result's memory, defeating the
+     bit matrix's whole purpose on the largest graphs. *)
+  let total = cardinal t in
+  let r = Rs_relation.Relation.create_sized ~name 2 total in
+  let c0 = Rs_relation.Relation.col r 0 and c1 = Rs_relation.Relation.col r 1 in
+  let pos = ref 0 in
+  for i = 0 to t.n - 1 do
+    Bitset.iter
+      (fun j ->
+        Rs_util.Int_vec.set c0 !pos i;
+        Rs_util.Int_vec.set c1 !pos j;
+        incr pos)
+      t.rows.(i)
+  done;
+  Rs_relation.Relation.account r;
+  r
+
+let of_relation n rel =
+  let t = create n in
+  let c0 = Rs_relation.Relation.col rel 0 and c1 = Rs_relation.Relation.col rel 1 in
+  for row = 0 to Rs_relation.Relation.nrows rel - 1 do
+    set t (Rs_util.Int_vec.get c0 row) (Rs_util.Int_vec.get c1 row)
+  done;
+  t
+
+let release t =
+  Memtrack.free t.accounted;
+  t.accounted <- 0

@@ -1,0 +1,43 @@
+(** The bit-matrix data structure of PBME (paper §5.3).
+
+    A binary IDB over active domain [{0..n-1}] is stored as an [n × n] bit
+    matrix instead of a tuple set: tuple [(a, b)] is bit [\[a, b\]]. Recursion
+    only ever turns bits on (Datalog is monotone), joins and deduplication
+    fuse into a single bit-test-and-set, and memory is [n²/8] bytes
+    regardless of how dense the result gets — the whole point of the
+    technique on dense graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the all-zero [n × n] matrix. Accounts [n²/8] bytes to
+    {!Rs_storage.Memtrack} (may raise [Simulated_oom], which the engine
+    reports as the paper reports QuickStep's OOM). *)
+
+val n : t -> int
+
+val get : t -> int -> int -> bool
+
+val set : t -> int -> int -> unit
+
+val test_and_set : t -> int -> int -> bool
+(** [true] iff the bit was previously clear — the fused join+dedup step. *)
+
+val row : t -> int -> Rs_util.Bitset.t
+(** The row bitset (shared, mutable). *)
+
+val cardinal : t -> int
+(** Number of set bits (result size). *)
+
+val required_bytes : int -> int
+(** Bytes {!create} would account for a given [n] — the interpreter's
+    "does the bit matrix fit in memory" check before choosing PBME. *)
+
+val to_relation : ?name:string -> t -> Rs_relation.Relation.t
+(** Materializes the set bits as a binary relation (row-major order). *)
+
+val of_relation : int -> Rs_relation.Relation.t -> t
+(** [of_relation n r] sets bit [(x, y)] for every tuple of the binary
+    relation [r]. *)
+
+val release : t -> unit

@@ -1,0 +1,112 @@
+module Pool = Rs_parallel.Pool
+module Int_vec = Rs_util.Int_vec
+module Int_key = Rs_util.Int_key
+
+let tc pool ~n ~arc =
+  let adj = Adjacency.build n arc in
+  let m = Bitmatrix.of_relation n arc in
+  (* Row [i]'s saturation touches only row [i]: workers need no
+     coordination. Each subrange of rows is one pool task. *)
+  Pool.parallel_for pool 0 n (fun lo hi ->
+      let work = Int_vec.create () in
+      for i = lo to hi - 1 do
+        Int_vec.clear work;
+        Rs_util.Bitset.iter (fun u -> Int_vec.push work u) (Bitmatrix.row m i);
+        let cursor = ref 0 in
+        while !cursor < Int_vec.length work do
+          let t = Int_vec.get work !cursor in
+          incr cursor;
+          Adjacency.iter_succ adj t (fun j ->
+              if Bitmatrix.test_and_set m i j then Int_vec.push work j)
+        done
+      done);
+  Adjacency.release adj;
+  m
+
+(* Initial Msg = π(arc ⋈ arc on sources), x ≠ y; returns the seeded matrix. *)
+let sg_init pool ~n ~adj =
+  let m = Bitmatrix.create n in
+  Pool.parallel_for pool 0 n (fun lo hi ->
+      for p = lo to hi - 1 do
+        Adjacency.iter_succ adj p (fun x ->
+            Adjacency.iter_succ adj p (fun y -> if x <> y then Bitmatrix.set m x y))
+      done);
+  m
+
+let sg_expand adj m a b push =
+  Adjacency.iter_succ adj a (fun q ->
+      Adjacency.iter_succ adj b (fun p ->
+          if Bitmatrix.test_and_set m q p then push q p))
+
+(* Zero-coordination: worker [w] owns rows [i ≡ w (mod k)] and chases every
+   delta its rows spawn, wherever those bits land (Algorithm 3) — no work
+   ever moves between workers, so skewed cascades skew worker loads (the
+   effect Figure 7 shows). Execution is time-sliced into rounds of at most
+   [quantum] expansions per worker so that the virtual-time pool observes
+   the concurrent interleaving rather than one worker's depth-first
+   saturation. *)
+let sg_uncoordinated pool ~n ~adj m =
+  let k = Pool.workers pool in
+  let quantum = 2048 in
+  let worklists = Array.init k (fun _ -> Int_vec.create ()) in
+  let cursors = Array.make k 0 in
+  for i = 0 to n - 1 do
+    let w = i mod k in
+    Rs_util.Bitset.iter
+      (fun u -> Int_vec.push worklists.(w) (Int_key.pack2 i u))
+      (Bitmatrix.row m i)
+  done;
+  let remaining w = Int_vec.length worklists.(w) - cursors.(w) in
+  let any_left () =
+    let rec go w = w < k && (remaining w > 0 || go (w + 1)) in
+    go 0
+  in
+  while any_left () do
+    let tasks =
+      List.init k (fun w ->
+          fun () ->
+            let work = worklists.(w) in
+            let budget = ref quantum in
+            let push a b = Int_vec.push work (Int_key.pack2 a b) in
+            while !budget > 0 && cursors.(w) < Int_vec.length work do
+              let key = Int_vec.get work cursors.(w) in
+              cursors.(w) <- cursors.(w) + 1;
+              decr budget;
+              let a, b = Int_key.unpack2 key in
+              sg_expand adj m a b push
+            done)
+    in
+    ignore (Pool.map_tasks pool tasks)
+  done
+
+(* Coordinated: deltas above the threshold are packed into work orders and
+   drained from a global pool each round, at a small messaging overhead per
+   order. *)
+let sg_coordinated pool ~threshold ~n ~adj m =
+  let order_overhead_s = 10e-6 in
+  let frontier = ref (Int_vec.create ()) in
+  for i = 0 to n - 1 do
+    Rs_util.Bitset.iter (fun u -> Int_vec.push !frontier (Int_key.pack2 i u)) (Bitmatrix.row m i)
+  done;
+  while Int_vec.length !frontier > 0 do
+    let current = !frontier in
+    let next = Int_vec.create () in
+    frontier := next;
+    let len = Int_vec.length current in
+    let orders = (len + threshold - 1) / threshold in
+    Pool.add_serial pool (float_of_int orders *. order_overhead_s);
+    (* idle workers grab work orders: parallelism = number of orders *)
+    Pool.parallel_for pool ~chunks:orders 0 len (fun lo hi ->
+        for idx = lo to hi - 1 do
+          let a, b = Int_key.unpack2 (Int_vec.get current idx) in
+          sg_expand adj m a b (fun q p -> Int_vec.push next (Int_key.pack2 q p))
+        done)
+  done
+
+let sg ?(coordinated = false) ?(rebalance_threshold = 512) pool ~n ~arc =
+  let adj = Adjacency.build n arc in
+  let m = sg_init pool ~n ~adj in
+  if coordinated then sg_coordinated pool ~threshold:rebalance_threshold ~n ~adj m
+  else sg_uncoordinated pool ~n ~adj m;
+  Adjacency.release adj;
+  m

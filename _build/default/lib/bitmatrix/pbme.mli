@@ -1,0 +1,31 @@
+(** Parallel Bit-Matrix Evaluation kernels (paper Algorithms 2 and 3).
+
+    Specialized evaluation for the two dense-graph programs the paper
+    accelerates: transitive closure and same generation. Joins and
+    deduplication fuse into bit operations on the IDB's bit matrix; worker
+    threads own row partitions with zero coordination (TC, SG), and SG also
+    has the experimental coordinated variant of Figure 7 that re-balances
+    oversized deltas through a global work pool. *)
+
+val tc :
+  Rs_parallel.Pool.t -> n:int -> arc:Rs_relation.Relation.t -> Bitmatrix.t
+(** Algorithm 2: [tc(x,y) :- arc(x,y). tc(x,y) :- tc(x,z), arc(z,y).]
+    Each worker saturates its own rows; a row's frontier only ever writes
+    into that row, hence zero coordination. *)
+
+val sg :
+  ?coordinated:bool ->
+  ?rebalance_threshold:int ->
+  Rs_parallel.Pool.t ->
+  n:int ->
+  arc:Rs_relation.Relation.t ->
+  Bitmatrix.t
+(** Algorithm 3: [sg(x,y) :- arc(p,x), arc(p,y), x != y.]
+    [sg(x,y) :- arc(a,x), sg(a,b), arc(b,y).]
+
+    [coordinated = false] (default) is the zero-coordination variant: each
+    worker keeps chasing the deltas produced from its initial row partition,
+    so skewed partitions leave workers idle. [coordinated = true] packs a
+    worker's delta into global work orders once it exceeds
+    [rebalance_threshold] (default 4096 pairs), letting idle workers steal —
+    at a small per-order messaging overhead. *)

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Ast Hashtbl List Printf

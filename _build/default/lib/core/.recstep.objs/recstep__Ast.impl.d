@@ -1,0 +1,1 @@
+lib/core/ast.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/core/frontend.ml: Array Interpreter List Option Parser Printf Rs_parallel Rs_relation String

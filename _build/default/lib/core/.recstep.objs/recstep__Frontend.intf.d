@@ -1,0 +1,1 @@
+lib/core/frontend.mli: Interpreter Rs_parallel Rs_relation

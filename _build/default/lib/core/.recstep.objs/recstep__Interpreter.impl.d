@@ -1,0 +1,1 @@
+lib/core/interpreter.ml: Analyzer Array Ast Hashtbl List Option Pattern Planner Printf Rs_bitmatrix Rs_exec Rs_parallel Rs_relation Rs_storage Rs_util

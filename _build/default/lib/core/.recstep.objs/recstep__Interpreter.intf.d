@@ -1,0 +1,1 @@
+lib/core/interpreter.mli: Ast Rs_exec Rs_parallel Rs_relation

@@ -1,0 +1,1 @@
+lib/core/parser.ml: Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Analyzer Array Ast List Option Printf Rs_exec

@@ -1,0 +1,101 @@
+(** Abstract syntax of the Datalog dialect (paper §3).
+
+    Pure Datalog extended with stratified negation, head aggregation
+    (MIN/MAX/SUM/COUNT/AVG, allowed inside recursion for the monotone ops),
+    arithmetic inside aggregate arguments (e.g. [MIN(d1 + d2)] in SSSP), and
+    comparison literals (e.g. [x != y] in Same Generation). *)
+
+type term =
+  | Var of string
+  | Const of int
+  | Wildcard  (** [_]: anonymous variable, fresh at each occurrence *)
+
+(** Arithmetic over terms, used in aggregate arguments and comparisons. *)
+type expr =
+  | T of term
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+
+type agg_op = Min | Max | Sum | Count | Avg
+
+(** A head argument: a plain term or an aggregate over a body expression. *)
+type head_term =
+  | H_term of term
+  | H_agg of agg_op * expr
+
+type atom = { pred : string; args : term list }
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type literal =
+  | L_pos of atom
+  | L_neg of atom  (** stratified negation: [!p(x, y)] *)
+  | L_cmp of cmp * expr * expr
+
+type rule = { head_pred : string; head_args : head_term list; body : literal list }
+
+type program = {
+  rules : rule list;
+  inputs : (string * int) list;  (** declared EDB relations with arity *)
+  outputs : string list;  (** relations to report at the end *)
+}
+
+let atom_vars a =
+  List.filter_map (function Var v -> Some v | Const _ | Wildcard -> None) a.args
+
+let rec expr_vars = function
+  | T (Var v) -> [ v ]
+  | T (Const _ | Wildcard) -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> expr_vars a @ expr_vars b
+
+let literal_vars = function
+  | L_pos a | L_neg a -> atom_vars a
+  | L_cmp (_, a, b) -> expr_vars a @ expr_vars b
+
+let head_term_vars = function
+  | H_term (Var v) -> [ v ]
+  | H_term (Const _ | Wildcard) -> []
+  | H_agg (_, e) -> expr_vars e
+
+let rule_body_preds r =
+  List.filter_map (function L_pos a | L_neg a -> Some a.pred | L_cmp _ -> None) r.body
+
+let is_aggregate_rule r = List.exists (function H_agg _ -> true | H_term _ -> false) r.head_args
+
+let term_to_string = function
+  | Var v -> v
+  | Const c -> string_of_int c
+  | Wildcard -> "_"
+
+let rec expr_to_string = function
+  | T t -> term_to_string t
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (expr_to_string a) (expr_to_string b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr_to_string a) (expr_to_string b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr_to_string a) (expr_to_string b)
+
+let agg_op_to_string = function
+  | Min -> "MIN" | Max -> "MAX" | Sum -> "SUM" | Count -> "COUNT" | Avg -> "AVG"
+
+let head_term_to_string = function
+  | H_term t -> term_to_string t
+  | H_agg (op, e) -> Printf.sprintf "%s(%s)" (agg_op_to_string op) (expr_to_string e)
+
+let cmp_to_string = function
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let atom_to_string a =
+  Printf.sprintf "%s(%s)" a.pred (String.concat ", " (List.map term_to_string a.args))
+
+let literal_to_string = function
+  | L_pos a -> atom_to_string a
+  | L_neg a -> "!" ^ atom_to_string a
+  | L_cmp (op, a, b) ->
+      Printf.sprintf "%s %s %s" (expr_to_string a) (cmp_to_string op) (expr_to_string b)
+
+let rule_to_string r =
+  Printf.sprintf "%s(%s) :- %s." r.head_pred
+    (String.concat ", " (List.map head_term_to_string r.head_args))
+    (String.concat ", " (List.map literal_to_string r.body))
+
+let program_to_string p = String.concat "\n" (List.map rule_to_string p.rules)

@@ -1,0 +1,54 @@
+module Relation = Rs_relation.Relation
+module Pool = Rs_parallel.Pool
+
+let load_tsv ?name ~arity path =
+  let r = Relation.create ?name arity in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then begin
+         let parts =
+           String.split_on_char '\t' line
+           |> List.concat_map (String.split_on_char ' ')
+           |> List.filter (fun s -> s <> "")
+         in
+         match List.map int_of_string parts with
+         | fields when List.length fields = arity -> Relation.push_row r (Array.of_list fields)
+         | _ -> failwith (Printf.sprintf "%s: bad line %S" path line)
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Relation.account r;
+  r
+
+let save_tsv r path =
+  let oc = open_out path in
+  let arity = Relation.arity r in
+  for row = 0 to Relation.nrows r - 1 do
+    for c = 0 to arity - 1 do
+      if c > 0 then output_char oc '\t';
+      output_string oc (string_of_int (Relation.get r ~row ~col:c))
+    done;
+    output_char oc '\n'
+  done;
+  close_out oc
+
+let relation_of_list ?name arity rows = Relation.of_rows ?name arity rows
+
+let edges ?name pairs =
+  let r = Relation.create ?name:(Some (Option.value name ~default:"arc")) 2 in
+  List.iter (fun (x, y) -> Relation.push2 r x y) pairs;
+  r
+
+let run_text ?options ?workers ~edb src =
+  let program = Parser.parse src in
+  let pool = Pool.create ?workers () in
+  Pool.begin_run pool;
+  let result = Interpreter.run ?options ~pool ~edb program in
+  (result, Pool.stats pool)
+
+let result_rows (result : Interpreter.result) name =
+  Relation.sorted_distinct_rows (result.relation_of name)

@@ -1,0 +1,28 @@
+(** Convenience entry points: parse, load facts, run, inspect results. *)
+
+module Relation = Rs_relation.Relation
+
+val load_tsv : ?name:string -> arity:int -> string -> Relation.t
+(** [load_tsv ~arity path] reads whitespace/tab-separated integer tuples,
+    one per line; blank lines and [#] comments are skipped. *)
+
+val save_tsv : Relation.t -> string -> unit
+
+val relation_of_list : ?name:string -> int -> int array list -> Relation.t
+(** Build an input relation from tuples (testing/examples helper). *)
+
+val edges : ?name:string -> (int * int) list -> Relation.t
+(** Binary relation from pairs. *)
+
+val run_text :
+  ?options:Interpreter.options ->
+  ?workers:int ->
+  edb:(string * Relation.t) list ->
+  string ->
+  Interpreter.result * Rs_parallel.Pool.stats
+(** Parse and evaluate program text on a fresh pool; returns the engine
+    result and the pool's timing statistics for the run. *)
+
+val result_rows : Interpreter.result -> string -> int array list
+(** Sorted distinct tuples of a result relation — canonical form for
+    comparisons. *)

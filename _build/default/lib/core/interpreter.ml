@@ -1,0 +1,595 @@
+module Pool = Rs_parallel.Pool
+module Relation = Rs_relation.Relation
+module Dedup = Rs_relation.Dedup
+module Catalog = Rs_exec.Catalog
+module Executor = Rs_exec.Executor
+module Plan = Rs_exec.Plan
+module Cost = Rs_exec.Cost
+module Txn = Rs_storage.Txn
+module Int_vec = Rs_util.Int_vec
+
+type oof_mode = Oof_off | Oof_normal | Oof_full
+
+type dsd_mode = Dsd_dynamic | Dsd_force_opsd | Dsd_force_tpsd
+
+type options = {
+  uie : bool;
+  oof : oof_mode;
+  dsd : dsd_mode;
+  eost : bool;
+  fast_dedup : bool;
+  pbme : bool;
+  query_overhead_s : float;
+  alpha : float;
+  timeout_vs : float option;
+  hoard_memory : bool;
+  share_builds : bool;
+}
+
+let default_options =
+  {
+    uie = true;
+    oof = Oof_normal;
+    dsd = Dsd_dynamic;
+    eost = true;
+    fast_dedup = true;
+    pbme = true;
+    query_overhead_s = 0.002;
+    alpha = Cost.default_alpha;
+    timeout_vs = None;
+    hoard_memory = false;
+    share_builds = true;
+  }
+
+type iteration_info = {
+  it_stratum : int;
+  it_iteration : int;
+  it_idb : string;
+  it_delta_rows : int;
+  it_vtime : float;
+}
+
+type result = {
+  outputs : (string * Relation.t) list;
+  relation_of : string -> Relation.t;
+  iterations : int;
+  queries : int;
+  pbme_strata : int;
+  io_bytes : int;
+  dsd_choices : (Cost.choice * int) list;
+}
+
+exception Timeout_simulated of float
+
+(* --- aggregate state: group key -> per-agg (acc, count) --- *)
+
+type agg_state = {
+  sig_ : Analyzer.agg_sig;
+  table : (int list, int array * int array) Hashtbl.t;
+  mutable dense : int array option;
+      (* Fast path for the recursive-aggregation shape of CC and SSSP:
+         [p(key, MIN/MAX(v))] with one integer group column. [dense.(key)]
+         holds the current optimum (the op's init value = absent), so state
+         rebuilds scan an array chunk-parallel instead of walking a hash
+         table serially. *)
+}
+
+let agg_init_value = function
+  | Ast.Min -> max_int
+  | Ast.Max -> min_int
+  | Ast.Sum | Ast.Count | Ast.Avg -> 0
+
+(* Fold one candidate tuple (full head layout) into the state; returns true
+   iff any accumulator changed (the tuple contributes to Δ). *)
+let agg_fold st tuple =
+  let key = List.map (fun p -> tuple.(p)) st.sig_.group_positions in
+  let ops = st.sig_.agg_positions in
+  let vals, counts =
+    match Hashtbl.find_opt st.table key with
+    | Some acc -> acc
+    | None ->
+        let acc =
+          ( Array.of_list (List.map (fun (_, op) -> agg_init_value op) ops),
+            Array.make (List.length ops) 0 )
+        in
+        Hashtbl.add st.table key acc;
+        acc
+  in
+  let changed = ref false in
+  List.iteri
+    (fun i (pos, op) ->
+      let v = tuple.(pos) in
+      counts.(i) <- counts.(i) + 1;
+      match op with
+      | Ast.Min -> if v < vals.(i) then begin vals.(i) <- v; changed := true end
+      | Ast.Max -> if v > vals.(i) then begin vals.(i) <- v; changed := true end
+      | Ast.Sum | Ast.Avg ->
+          vals.(i) <- vals.(i) + v;
+          changed := true
+      | Ast.Count ->
+          vals.(i) <- vals.(i) + 1;
+          changed := true)
+    ops;
+  !changed
+
+let dense_shape sig_ =
+  match (sig_.Analyzer.group_positions, sig_.Analyzer.agg_positions) with
+  | [ 0 ], [ (1, (Ast.Min | Ast.Max)) ] -> true
+  | _ -> false
+
+let dense_op st =
+  match st.sig_.agg_positions with [ (_, op) ] -> op | _ -> assert false
+
+let dense_ensure st key =
+  let a = Option.get st.dense in
+  if key < Array.length a then a
+  else begin
+    let cap = max (key + 1) (2 * Array.length a) in
+    let b = Array.make cap (agg_init_value (dense_op st)) in
+    Array.blit a 0 b 0 (Array.length a);
+    st.dense <- Some b;
+    b
+  end
+
+let dense_merge st key v =
+  let a = dense_ensure st key in
+  let better =
+    match dense_op st with
+    | Ast.Min -> v < a.(key)
+    | Ast.Max -> v > a.(key)
+    | _ -> assert false
+  in
+  if better then a.(key) <- v;
+  better
+
+let agg_merge_generic st key (pvals, pcounts) =
+  let ops = st.sig_.agg_positions in
+  match Hashtbl.find_opt st.table key with
+  | None ->
+      Hashtbl.add st.table key (Array.copy pvals, Array.copy pcounts);
+      true
+  | Some (vals, counts) ->
+      let changed = ref false in
+      List.iteri
+        (fun i (_, op) ->
+          counts.(i) <- counts.(i) + pcounts.(i);
+          match op with
+          | Ast.Min -> if pvals.(i) < vals.(i) then begin vals.(i) <- pvals.(i); changed := true end
+          | Ast.Max -> if pvals.(i) > vals.(i) then begin vals.(i) <- pvals.(i); changed := true end
+          | Ast.Sum | Ast.Avg | Ast.Count ->
+              if pvals.(i) <> 0 then begin
+                vals.(i) <- vals.(i) + pvals.(i);
+                changed := true
+              end)
+        ops;
+      !changed
+
+(* Merge a chunk-local accumulator into the state (two-phase parallel
+   aggregation); returns true iff the global accumulator changed. *)
+let agg_merge st key acc =
+  match st.dense with
+  | Some _ -> (
+      match key with [ k ] -> dense_merge st k (fst acc).(0) | _ -> assert false)
+  | None -> agg_merge_generic st key acc
+
+(* Rebuild the head-layout tuple for a state entry (finalizing AVG). *)
+let agg_tuple st key (vals, counts) arity =
+  let tuple = Array.make arity 0 in
+  List.iteri (fun i p -> tuple.(p) <- List.nth key i) st.sig_.group_positions;
+  List.iteri
+    (fun i (p, op) ->
+      tuple.(p) <-
+        (match op with
+        | Ast.Avg -> if counts.(i) = 0 then 0 else vals.(i) / counts.(i)
+        | _ -> vals.(i)))
+    st.sig_.agg_positions;
+  tuple
+
+let agg_rebuild_relation pool st name arity =
+  match st.dense with
+  | Some a ->
+      let absent = agg_init_value (dense_op st) in
+      let fragments = ref [] in
+      Rs_parallel.Pool.parallel_for pool 0 (Array.length a) (fun lo hi ->
+          let frag = Relation.create 2 in
+          for k = lo to hi - 1 do
+            if a.(k) <> absent then Relation.push2 frag k a.(k)
+          done;
+          fragments := frag :: !fragments);
+      let r = Relation.concat_parallel pool 2 (List.rev !fragments) in
+      ignore name;
+      r
+  | None ->
+      let r = Relation.create ~name arity in
+      Hashtbl.iter (fun key acc -> Relation.push_row r (agg_tuple st key acc arity)) st.table;
+      Relation.account r;
+      r
+
+(* --- interpreter --- *)
+
+type idb_state = {
+  name : string;
+  arity : int;
+  compiled : Planner.compiled list;  (* one per rule for this head *)
+  agg : agg_state option;
+  mutable mu_prev : float option;  (* DSD µ from the previous iteration *)
+}
+
+let run ?(options = default_options) ?on_iteration ~pool ~edb program =
+  let an = Analyzer.analyze program in
+  let catalog = Catalog.create () in
+  let exec =
+    Executor.create ~query_overhead_s:options.query_overhead_s
+      ~share_builds:options.share_builds pool catalog
+  in
+  (* Modeled disk: 0.5 ms seek + 300 MB/s bandwidth per physical flush
+     (the container's page cache hides the real cost QuickStep pays). *)
+  let on_flush bytes =
+    Pool.add_serial pool (0.0005 +. (float_of_int bytes /. 300e6))
+  in
+  let txn = Txn.create ~on_flush (if options.eost then Txn.Eost else Txn.Per_query) in
+  let queries = ref 0 in
+  let total_iterations = ref 0 in
+  let pbme_strata = ref 0 in
+  let dsd_hist = Hashtbl.create 4 in
+  let note_dsd c = Hashtbl.replace dsd_hist c (1 + Option.value ~default:0 (Hashtbl.find_opt dsd_hist c)) in
+  let check_timeout () =
+    match options.timeout_vs with
+    | Some budget ->
+        let v = Pool.vtime_now pool in
+        if v > budget then raise (Timeout_simulated v)
+    | None -> ()
+  in
+  (* Register EDBs. *)
+  List.iter
+    (fun name ->
+      match List.assoc_opt name edb with
+      | Some r ->
+          if Relation.arity r <> Analyzer.arity an name then
+            raise
+              (Analyzer.Analysis_error
+                 (Printf.sprintf "input %s has arity %d, program expects %d" name
+                    (Relation.arity r) (Analyzer.arity an name)));
+          Relation.account r;
+          Catalog.register catalog name r
+      | None ->
+          raise (Analyzer.Analysis_error (Printf.sprintf "missing input relation %s" name)))
+    an.Analyzer.edbs;
+  (* Register empty IDB and Δ tables. *)
+  List.iter
+    (fun name ->
+      Catalog.register catalog name (Relation.create ~name (Analyzer.arity an name));
+      let d = Planner.delta_name name in
+      Catalog.register catalog d (Relation.create ~name:d (Analyzer.arity an name)))
+    an.Analyzer.idbs;
+  let analyze_updated names =
+    match options.oof with
+    | Oof_off -> ()
+    | Oof_normal -> List.iter (fun n -> Catalog.analyze_rows catalog n) names
+    | Oof_full -> List.iter (fun n -> Catalog.analyze_full catalog pool n) names
+  in
+  (* Initial statistics are always collected once at load time. *)
+  List.iter (fun n -> Catalog.analyze_rows catalog n) (Catalog.names catalog);
+  let dedup_mode = if options.fast_dedup then Dedup.Fast else Dedup.Boxed in
+  (* Under per-query transactions every query's output pages are written
+     back immediately (and get rewritten by later transactions touching the
+     same tables); under EOST nothing is dirty until the end, when only the
+     final tables are written once. *)
+  let issue plan =
+    incr queries;
+    let r = Executor.run_query exec plan in
+    if not options.eost then begin
+      Txn.note_dirty txn (Relation.bytes r);
+      Txn.query_boundary txn
+    end;
+    r
+  in
+  (* The dedup table is pre-allocated from the optimizer's cardinality
+     estimate (paper §5.1: "the size of the hash table needs to be
+     estimated in order to pre-allocate memory") — with stale statistics
+     (OOF-NA) the estimate degrades and the table pays for rehashing. *)
+  let dedup_expected plans =
+    max 16 (Executor.estimate exec (Plan.UnionAll plans))
+  in
+  (* Evaluate the given plans for one IDB into a deduplicated relation. *)
+  let eval_plans plans =
+    match plans with
+    | [] -> None
+    | _ ->
+        let rt =
+          if options.uie then issue (Plan.UnionAll plans)
+          else begin
+            (* one query per subquery, materialized, then a merge query *)
+            let temps = List.map (fun p -> issue p) plans in
+            let merged = issue (Plan.UnionAll (List.map (fun r -> Plan.Rel r) temps)) in
+            if not options.hoard_memory then List.iter Relation.release temps;
+            merged
+          end
+        in
+        Some rt
+  in
+  let replace_table name rel =
+    Catalog.drop catalog name;
+    Catalog.register catalog name rel
+  in
+  (* Process the deduplicated candidates of one IDB; returns |Δ|. *)
+  let absorb_candidates (st : idb_state) rdelta =
+    match st.agg with
+    | Some ag ->
+        (* Two-phase parallel aggregation (like the backend's group-by):
+           chunk-local folds through the pool, then a serial merge into the
+           global state. Improved groups become Δ (full head layout). *)
+        let delta = Relation.create ~name:(Planner.delta_name st.name) st.arity in
+        let n = Relation.nrows rdelta in
+        let partials = ref [] in
+        Pool.parallel_for pool 0 n (fun lo hi ->
+            let local = { sig_ = ag.sig_; table = Hashtbl.create 256; dense = None } in
+            let tuple = Array.make st.arity 0 in
+            for row = lo to hi - 1 do
+              for c = 0 to st.arity - 1 do
+                tuple.(c) <- Relation.get rdelta ~row ~col:c
+              done;
+              ignore (agg_fold local tuple)
+            done;
+            partials := local :: !partials);
+        let changed_keys = Hashtbl.create 64 in
+        List.iter
+          (fun (local : agg_state) ->
+            Hashtbl.iter
+              (fun key acc -> if agg_merge ag key acc then Hashtbl.replace changed_keys key ())
+              local.table)
+          (List.rev !partials);
+        (match ag.dense with
+        | Some a ->
+            Hashtbl.iter
+              (fun key () ->
+                match key with
+                | [ k ] -> Relation.push2 delta k a.(k)
+                | _ -> assert false)
+              changed_keys
+        | None ->
+            Hashtbl.iter
+              (fun key () ->
+                match Hashtbl.find_opt ag.table key with
+                | Some acc -> Relation.push_row delta (agg_tuple ag key acc st.arity)
+                | None -> ())
+              changed_keys);
+        Relation.account delta;
+        replace_table (Planner.delta_name st.name) delta;
+        (* R is the finalized view of the state. *)
+        replace_table st.name (agg_rebuild_relation pool ag st.name st.arity);
+        Relation.nrows delta
+    | None ->
+        let r = Catalog.rel catalog st.name in
+        let choice =
+          match options.dsd with
+          | Dsd_force_opsd -> Cost.Opsd
+          | Dsd_force_tpsd -> Cost.Tpsd
+          | Dsd_dynamic ->
+              Cost.choose ~alpha:options.alpha ~r_rows:(Catalog.stat_rows catalog st.name)
+                ~rdelta_rows:(Relation.nrows rdelta) ~mu_prev:st.mu_prev
+        in
+        note_dsd choice;
+        let delta, intersection =
+          match choice with
+          | Cost.Opsd -> Executor.opsd exec ~rdelta ~r
+          | Cost.Tpsd -> Executor.tpsd exec ~rdelta ~r
+        in
+        st.mu_prev <-
+          Some (Cost.observed_mu ~rdelta_rows:(Relation.nrows rdelta) ~intersection_rows:intersection);
+        Relation.append_all r delta;
+        Relation.account r;
+        if not options.eost then begin
+          Txn.note_dirty txn (Relation.bytes delta);
+          Txn.query_boundary txn
+        end;
+        replace_table (Planner.delta_name st.name) delta;
+        Relation.nrows delta
+  in
+  (* --- per-stratum evaluation --- *)
+  let eval_stratum (stratum : Analyzer.stratum) =
+    let idb_states =
+      List.map
+        (fun name ->
+          let rules = List.filter (fun r -> r.Ast.head_pred = name) stratum.rules in
+          {
+            name;
+            arity = Analyzer.arity an name;
+            compiled = List.map (Planner.compile_rule an stratum) rules;
+            agg =
+              Option.map
+                (fun s ->
+                  {
+                    sig_ = s;
+                    table = Hashtbl.create 256;
+                    dense = (if dense_shape s && Analyzer.arity an name = 2 then Some [||] else None);
+                  })
+                (Analyzer.agg_sig an name);
+            mu_prev = None;
+          })
+        stratum.preds
+    in
+    (* Facts seed the candidate stream of iteration 0. *)
+    let facts_of st =
+      List.filter_map (function Planner.Fact t -> Some t | Planner.Query _ -> None) st.compiled
+    in
+    let base_plans st =
+      List.filter_map
+        (function
+          | Planner.Fact _ -> None
+          | Planner.Query { base; deltas } -> if deltas = [] then Some base else None)
+        st.compiled
+    in
+    (* In a recursive stratum, rules with recursive occurrences contribute
+       nothing at iteration 0 (their IDB inputs are empty), so [base_plans]
+       runs only the delta-free rules there; in a non-recursive stratum that
+       is every rule. *)
+    let delta_plans st =
+      List.concat_map
+        (function Planner.Fact _ -> [] | Planner.Query { deltas; _ } -> deltas)
+        st.compiled
+    in
+    let iteration0 st =
+      let candidates = Relation.create ~name:(st.name ^ "@cand") st.arity in
+      List.iter (fun t -> Relation.push_row candidates t) (facts_of st);
+      (match eval_plans (base_plans st) with
+      | Some rt ->
+          Relation.append_all candidates rt;
+          if not options.hoard_memory then Relation.release rt
+      | None -> ());
+      Relation.account candidates;
+      let expected =
+        match base_plans st with
+        | [] -> Relation.nrows candidates
+        | plans -> dedup_expected plans
+      in
+      let rdelta = Dedup.dedup_relation_parallel ~expected ~pool dedup_mode candidates in
+      if not options.hoard_memory then Relation.release candidates;
+      let d = absorb_candidates st rdelta in
+      if not options.hoard_memory then Relation.release rdelta;
+      analyze_updated [ st.name; Planner.delta_name st.name ];
+      d
+    in
+    incr total_iterations;
+    let deltas0 = List.map (fun st -> (st, iteration0 st)) idb_states in
+    List.iter
+      (fun (st, d) ->
+        match on_iteration with
+        | Some f ->
+            f
+              {
+                it_stratum = stratum.index;
+                it_iteration = 0;
+                it_idb = st.name;
+                it_delta_rows = d;
+                it_vtime = Pool.vtime_now pool;
+              }
+        | None -> ())
+      deltas0;
+    if stratum.recursive then begin
+      let iteration = ref 0 in
+      let continue_ = ref (List.exists (fun (_, d) -> d > 0) deltas0) in
+      while !continue_ do
+        incr iteration;
+        incr total_iterations;
+        check_timeout ();
+        let any = ref false in
+        (* Jacobi rounds: evaluate every IDB's queries against the previous
+           iteration's Δ-tables FIRST, then absorb. Absorbing one IDB before
+           evaluating the next would replace a Δ-table that mutually
+           recursive rules of later IDBs still need to consume. *)
+        let produced =
+          List.map
+            (fun st ->
+              let plans = delta_plans st in
+              (st, plans, eval_plans plans))
+            idb_states
+        in
+        List.iter
+          (fun (st, plans, rt_opt) ->
+            match rt_opt with
+            | None -> ()
+            | Some rt ->
+                let rdelta =
+                  Dedup.dedup_relation_parallel ~expected:(dedup_expected plans) ~pool
+                    dedup_mode rt
+                in
+                if not options.hoard_memory then Relation.release rt;
+                let d = absorb_candidates st rdelta in
+                if not options.hoard_memory then Relation.release rdelta;
+                analyze_updated [ st.name; Planner.delta_name st.name ];
+                if d > 0 then any := true;
+                match on_iteration with
+                | Some f ->
+                    f
+                      {
+                        it_stratum = stratum.index;
+                        it_iteration = !iteration;
+                        it_idb = st.name;
+                        it_delta_rows = d;
+                        it_vtime = Pool.vtime_now pool;
+                      }
+                | None -> ())
+          produced;
+        continue_ := !any
+      done
+    end;
+    (* Clear Δ tables so later strata see empty deltas. *)
+    List.iter
+      (fun st ->
+        let d = Planner.delta_name st.name in
+        replace_table d (Relation.create ~name:d st.arity))
+      idb_states
+  in
+  (* PBME dispatch: a TC/SG-shaped stratum over a fitting domain uses the
+     bit-matrix kernels instead of the relational loop. *)
+  let try_pbme (stratum : Analyzer.stratum) =
+    if not options.pbme then false
+    else
+      match Pattern.match_stratum an stratum with
+      | None -> false
+      | Some shape ->
+          let edb_name = match shape with Pattern.Tc { edb; _ } | Pattern.Sg { edb; _ } -> edb in
+          let idb_name = match shape with Pattern.Tc { idb; _ } | Pattern.Sg { idb; _ } -> idb in
+          let e = Catalog.rel catalog edb_name in
+          let n_rows = Relation.nrows e in
+          let domain = ref 0 in
+          let ok = ref (n_rows > 0) in
+          for row = 0 to n_rows - 1 do
+            let x = Relation.get e ~row ~col:0 and y = Relation.get e ~row ~col:1 in
+            if x < 0 || y < 0 then ok := false;
+            if x >= !domain then domain := x + 1;
+            if y >= !domain then domain := y + 1
+          done;
+          let n = !domain in
+          let budget =
+            match Rs_storage.Memtrack.budget () with
+            | Some b -> b
+            | None -> Rs_storage.Memtrack.machine_bytes ()
+          in
+          let fits =
+            !ok
+            && Rs_bitmatrix.Bitmatrix.required_bytes n + (16 * n_rows)
+               < budget - Rs_storage.Memtrack.live ()
+          in
+          if not fits then false
+          else begin
+            let m =
+              match shape with
+              | Pattern.Tc _ -> Rs_bitmatrix.Pbme.tc pool ~n ~arc:e
+              | Pattern.Sg _ -> Rs_bitmatrix.Pbme.sg pool ~n ~arc:e
+            in
+            let r = Rs_bitmatrix.Bitmatrix.to_relation ~name:idb_name m in
+            Rs_bitmatrix.Bitmatrix.release m;
+            replace_table idb_name r;
+            if not options.eost then begin
+              Txn.note_dirty txn (Relation.bytes r);
+              Txn.query_boundary txn
+            end;
+            analyze_updated [ idb_name ];
+            incr pbme_strata;
+            incr total_iterations;
+            true
+          end
+  in
+  List.iter
+    (fun stratum ->
+      check_timeout ();
+      if not (try_pbme stratum) then eval_stratum stratum)
+    an.Analyzer.strata;
+  if options.eost then
+    (* one final write-back of the result tables *)
+    List.iter
+      (fun name -> Txn.note_dirty txn (Relation.bytes (Catalog.rel catalog name)))
+      an.Analyzer.idbs;
+  Txn.finish txn;
+  let output_names = if program.Ast.outputs = [] then an.Analyzer.idbs else program.Ast.outputs in
+  {
+    outputs = List.map (fun n -> (n, Catalog.rel catalog n)) output_names;
+    relation_of = (fun n -> Catalog.rel catalog n);
+    iterations = !total_iterations;
+    queries = !queries;
+    pbme_strata = !pbme_strata;
+    io_bytes = Txn.bytes_written txn;
+    dsd_choices = Hashtbl.fold (fun k v acc -> (k, v) :: acc) dsd_hist [];
+  }

@@ -1,0 +1,79 @@
+(** The RecStep interpreter: semi-naive, stratified evaluation on the
+    relational backend (paper Algorithm 1), with every optimization as a
+    toggle so the ablation experiments (Figures 2 and 3) can turn each off:
+
+    - [uie] — unified IDB evaluation: all subqueries of one IDB issued as a
+      single UNION ALL query (off: one query per subquery, materialized
+      temporaries, plus a final merge query);
+    - [oof] — optimization on the fly: which statistics are refreshed per
+      iteration ([`Normal] row counts of updated tables, [`Full] everything,
+      [`Off] never);
+    - [dsd] — dynamic set difference: per-iteration OPSD/TPSD choice by the
+      Appendix-A cost model (or force one);
+    - [eost] — evaluation as one single transaction: pend dirty-page I/O
+      until the fixpoint (off: flush after every query);
+    - [fast_dedup] — CCK-GSCHT deduplication (off: boxed hash table);
+    - [pbme] — bit-matrix kernels for TC/SG-shaped strata that fit in
+      memory. *)
+
+module Pool = Rs_parallel.Pool
+module Relation = Rs_relation.Relation
+
+type oof_mode = Oof_off | Oof_normal | Oof_full
+
+type dsd_mode = Dsd_dynamic | Dsd_force_opsd | Dsd_force_tpsd
+
+type options = {
+  uie : bool;
+  oof : oof_mode;
+  dsd : dsd_mode;
+  eost : bool;
+  fast_dedup : bool;
+  pbme : bool;
+  query_overhead_s : float;
+  alpha : float;  (** DSD cost-model build/probe ratio (from calibration) *)
+  timeout_vs : float option;  (** simulated-seconds budget per run *)
+  hoard_memory : bool;
+      (** keep per-iteration temporaries alive (models RDD-lineage caching in
+          the BigDatalog-like baseline; always [false] for RecStep) *)
+  share_builds : bool;
+      (** share hash tables built on the same (table, keys) across the
+          subqueries of one UNION ALL query — the cache-sharing half of UIE *)
+}
+
+val default_options : options
+(** Everything on: the RecStep configuration. *)
+
+type iteration_info = {
+  it_stratum : int;
+  it_iteration : int;
+  it_idb : string;
+  it_delta_rows : int;
+  it_vtime : float;
+}
+
+type result = {
+  outputs : (string * Relation.t) list;  (** declared outputs, or all IDBs *)
+  relation_of : string -> Relation.t;  (** any relation by name, post-run *)
+  iterations : int;  (** total fixpoint iterations across strata *)
+  queries : int;  (** queries issued to the backend *)
+  pbme_strata : int;  (** strata evaluated with the bit-matrix kernels *)
+  io_bytes : int;  (** bytes physically flushed by the transaction manager *)
+  dsd_choices : (Rs_exec.Cost.choice * int) list;  (** histogram *)
+}
+
+exception Timeout_simulated of float
+
+val run :
+  ?options:options ->
+  ?on_iteration:(iteration_info -> unit) ->
+  pool:Pool.t ->
+  edb:(string * Relation.t) list ->
+  Ast.program ->
+  result
+(** Evaluates the program bottom-up to fixpoint. [edb] supplies every input
+    relation by name. Raises [Analyzer.Analysis_error] on bad programs,
+    {!Timeout_simulated} when the simulated clock passes [timeout_vs], and
+    [Rs_storage.Memtrack.Simulated_oom] when the memory budget is
+    exceeded — the two failure modes the paper reports for competing
+    systems. *)

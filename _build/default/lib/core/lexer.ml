@@ -1,0 +1,127 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | IMPLIES
+  | BANG
+  | UNDERSCORE
+  | PLUS
+  | MINUS
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | DIRECTIVE of string
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' || c = '#' || (c = '/' && peek 1 = Some '/') then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (IDENT (String.sub src start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ":-" -> emit IMPLIES; i := !i + 2
+      | "!=" -> emit NE; i := !i + 2
+      | "<=" -> emit LE; i := !i + 2
+      | ">=" -> emit GE; i := !i + 2
+      | "<>" -> emit NE; i := !i + 2
+      | _ -> (
+          match c with
+          | '(' -> emit LPAREN; incr i
+          | ')' -> emit RPAREN; incr i
+          | ',' -> emit COMMA; incr i
+          | '!' -> emit BANG; incr i
+          | '_' ->
+              (* lone [_] is a wildcard; [_foo] is an identifier *)
+              if !i + 1 < n && is_ident_char src.[!i + 1] then begin
+                let start = !i in
+                incr i;
+                while !i < n && is_ident_char src.[!i] do
+                  incr i
+                done;
+                emit (IDENT (String.sub src start (!i - start)))
+              end
+              else begin
+                emit UNDERSCORE;
+                incr i
+              end
+          | '+' -> emit PLUS; incr i
+          | '-' -> emit MINUS; incr i
+          | '*' -> emit STAR; incr i
+          | '=' -> emit EQ; incr i
+          | '<' -> emit LT; incr i
+          | '>' -> emit GT; incr i
+          | '.' ->
+              (* A dot glued to a letter starts a directive; otherwise it
+                 terminates a rule. *)
+              if !i + 1 < n && is_ident_start src.[!i + 1] then begin
+                let start = !i + 1 in
+                incr i;
+                while !i < n && is_ident_char src.[!i] do
+                  incr i
+                done;
+                emit (DIRECTIVE (String.sub src start (!i - start)))
+              end
+              else begin
+                emit DOT;
+                incr i
+              end
+          | _ ->
+              raise
+                (Error { line = !line; message = Printf.sprintf "unexpected character %C" c }))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT k -> string_of_int k
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | DOT -> "."
+  | IMPLIES -> ":-" | BANG -> "!" | UNDERSCORE -> "_"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+  | EQ -> "=" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | DIRECTIVE d -> "." ^ d
+  | EOF -> "<eof>"

@@ -1,0 +1,32 @@
+(** Hand-written lexer for [.datalog] sources. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT  (** rule terminator *)
+  | IMPLIES  (** [:-] *)
+  | BANG
+  | UNDERSCORE
+  | PLUS
+  | MINUS
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | DIRECTIVE of string  (** [.input], [.output], ... — dot glued to a word *)
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** [tokenize src] returns tokens with their line numbers. Comments ([//],
+    [%] and [#] to end of line) and whitespace are skipped. Raises {!Error}
+    on unexpected characters. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,199 @@
+open Ast
+
+exception Error of { line : int; message : string }
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let err line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let peek st = match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok what =
+  let t, line = next st in
+  if t <> tok then err line "expected %s, found %s" what (Lexer.token_to_string t)
+
+let agg_of_ident = function
+  | "MIN" | "min" -> Some Min
+  | "MAX" | "max" -> Some Max
+  | "SUM" | "sum" -> Some Sum
+  | "COUNT" | "count" -> Some Count
+  | "AVG" | "avg" -> Some Avg
+  | _ -> None
+
+let parse_term st =
+  match next st with
+  | Lexer.IDENT v, _ -> Var v
+  | Lexer.INT k, _ -> Const k
+  | Lexer.MINUS, _ -> (
+      match next st with
+      | Lexer.INT k, _ -> Const (-k)
+      | t, line -> err line "expected integer after '-', found %s" (Lexer.token_to_string t))
+  | Lexer.UNDERSCORE, _ -> Wildcard
+  | t, line -> err line "expected term, found %s" (Lexer.token_to_string t)
+
+let rec parse_expr st =
+  let lhs = parse_mul st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS, _ ->
+        advance st;
+        loop (Add (lhs, parse_mul st))
+    | Lexer.MINUS, _ ->
+        advance st;
+        loop (Sub (lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_prim st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR, _ ->
+        advance st;
+        loop (Mul (lhs, parse_prim st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_prim st =
+  match peek st with
+  | Lexer.LPAREN, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | _ -> T (parse_term st)
+
+let parse_atom_args st =
+  expect st Lexer.LPAREN "(";
+  let rec loop acc =
+    let t = parse_term st in
+    match next st with
+    | Lexer.COMMA, _ -> loop (t :: acc)
+    | Lexer.RPAREN, _ -> List.rev (t :: acc)
+    | tok, line -> err line "expected ',' or ')', found %s" (Lexer.token_to_string tok)
+  in
+  loop []
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Eq
+  | Lexer.NE -> Some Ne
+  | Lexer.LT -> Some Lt
+  | Lexer.LE -> Some Le
+  | Lexer.GT -> Some Gt
+  | Lexer.GE -> Some Ge
+  | _ -> None
+
+let parse_literal st =
+  match peek st with
+  | Lexer.BANG, _ ->
+      advance st;
+      let name, line = next st in
+      (match name with
+      | Lexer.IDENT pred -> L_neg { pred; args = parse_atom_args st }
+      | t -> err line "expected predicate after '!', found %s" (Lexer.token_to_string t))
+  | Lexer.IDENT pred, _ when (match st.toks with _ :: (Lexer.LPAREN, _) :: _ -> true | _ -> false)
+    ->
+      advance st;
+      L_pos { pred; args = parse_atom_args st }
+  | _, line -> (
+      let lhs = parse_expr st in
+      let tok, _ = next st in
+      match cmp_of_token tok with
+      | Some op -> L_cmp (op, lhs, parse_expr st)
+      | None -> err line "expected comparison operator, found %s" (Lexer.token_to_string tok))
+
+let parse_head_term st =
+  match peek st with
+  | Lexer.IDENT id, _
+    when agg_of_ident id <> None
+         && (match st.toks with _ :: (Lexer.LPAREN, _) :: _ -> true | _ -> false) -> (
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      match agg_of_ident id with Some op -> H_agg (op, e) | None -> assert false)
+  | _ -> H_term (parse_term st)
+
+let parse_head st =
+  match next st with
+  | Lexer.IDENT pred, _ ->
+      expect st Lexer.LPAREN "(";
+      let rec loop acc =
+        let t = parse_head_term st in
+        match next st with
+        | Lexer.COMMA, _ -> loop (t :: acc)
+        | Lexer.RPAREN, _ -> List.rev (t :: acc)
+        | tok, line -> err line "expected ',' or ')', found %s" (Lexer.token_to_string tok)
+      in
+      (pred, loop [])
+  | t, line -> err line "expected rule head, found %s" (Lexer.token_to_string t)
+
+let parse_rule_tail st head_pred head_args =
+  match next st with
+  | Lexer.DOT, _ -> { head_pred; head_args; body = [] }
+  | Lexer.IMPLIES, _ ->
+      let rec loop acc =
+        let l = parse_literal st in
+        match next st with
+        | Lexer.COMMA, _ -> loop (l :: acc)
+        | Lexer.DOT, _ -> List.rev (l :: acc)
+        | tok, line -> err line "expected ',' or '.', found %s" (Lexer.token_to_string tok)
+      in
+      { head_pred; head_args; body = loop [] }
+  | t, line -> err line "expected ':-' or '.', found %s" (Lexer.token_to_string t)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rules = ref [] and inputs = ref [] and outputs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF, _ -> ()
+    | Lexer.DIRECTIVE d, line ->
+        advance st;
+        (match d with
+        | "input" | "decl" -> (
+            match next st with
+            | Lexer.IDENT name, _ ->
+                let arity =
+                  match peek st with
+                  | Lexer.INT k, _ ->
+                      advance st;
+                      k
+                  | _ -> 0 (* inferred later from rule bodies *)
+                in
+                inputs := (name, arity) :: !inputs
+            | t, l -> err l "expected relation name after .%s, found %s" d (Lexer.token_to_string t))
+        | "output" | "printsize" -> (
+            match next st with
+            | Lexer.IDENT name, _ -> outputs := name :: !outputs
+            | t, l -> err l "expected relation name after .%s, found %s" d (Lexer.token_to_string t))
+        | other -> err line "unknown directive .%s" other);
+        loop ()
+    | _ ->
+        let head_pred, head_args = parse_head st in
+        rules := parse_rule_tail st head_pred head_args :: !rules;
+        loop ()
+  in
+  loop ();
+  { rules = List.rev !rules; inputs = List.rev !inputs; outputs = List.rev !outputs }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+let parse_rule src =
+  match (parse src).rules with
+  | [ r ] -> r
+  | rs -> invalid_arg (Printf.sprintf "parse_rule: expected 1 rule, got %d" (List.length rs))

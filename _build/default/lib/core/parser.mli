@@ -1,0 +1,26 @@
+(** Recursive-descent parser for [.datalog] programs.
+
+    Grammar (paper §3 syntax, plus directives):
+    {v
+    program   ::= (directive | rule | fact)*
+    directive ::= .input IDENT [INT]      -- declare an EDB (arity optional)
+                | .output IDENT           -- relation to report
+    rule      ::= head ":-" literal ("," literal)* "."
+    fact      ::= head "."
+    head      ::= IDENT "(" head_term ("," head_term)* ")"
+    head_term ::= AGG "(" expr ")" | term      AGG in MIN MAX SUM COUNT AVG
+    literal   ::= "!" atom | atom | expr cmp expr
+    cmp       ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+    expr      ::= arithmetic over terms with + - *
+    term      ::= variable | integer | "_"
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Parses a program from source text. Raises {!Error} or {!Lexer.Error}. *)
+
+val parse_file : string -> Ast.program
+
+val parse_rule : string -> Ast.rule
+(** Parses a single rule (testing helper). *)

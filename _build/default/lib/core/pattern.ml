@@ -1,0 +1,162 @@
+open Ast
+
+type shape = Tc of { idb : string; edb : string } | Sg of { idb : string; edb : string }
+
+(* Try to extend a variable bijection with v1 <-> v2. *)
+let bind bij v1 v2 =
+  match (List.assoc_opt v1 bij, List.exists (fun (_, w) -> w = v2) bij) with
+  | Some w, _ -> if w = v2 then Some bij else None
+  | None, true -> None
+  | None, false -> Some ((v1, v2) :: bij)
+
+let match_term bij t1 t2 =
+  match (t1, t2) with
+  | Var v1, Var v2 -> bind bij v1 v2
+  | Const c1, Const c2 -> if c1 = c2 then Some bij else None
+  | Wildcard, Wildcard -> Some bij
+  | _ -> None
+
+let rec match_terms bij ts1 ts2 =
+  match (ts1, ts2) with
+  | [], [] -> Some bij
+  | t1 :: r1, t2 :: r2 -> (
+      match match_term bij t1 t2 with None -> None | Some b -> match_terms b r1 r2)
+  | _ -> None
+
+let match_atom bij a1 a2 =
+  if a1.pred = a2.pred then match_terms bij a1.args a2.args else None
+
+let rec match_expr bij e1 e2 =
+  match (e1, e2) with
+  | T t1, T t2 -> match_term bij t1 t2
+  | Add (a1, b1), Add (a2, b2) | Sub (a1, b1), Sub (a2, b2) | Mul (a1, b1), Mul (a2, b2) -> (
+      match match_expr bij a1 a2 with None -> None | Some b -> match_expr b b1 b2)
+  | _ -> None
+
+let match_literal bij l1 l2 =
+  match (l1, l2) with
+  | L_pos a1, L_pos a2 | L_neg a1, L_neg a2 -> match_atom bij a1 a2
+  | L_cmp (op1, a1, b1), L_cmp (op2, a2, b2) when op1 = op2 -> (
+      let direct =
+        match match_expr bij a1 a2 with None -> None | Some b -> match_expr b b1 b2
+      in
+      match direct with
+      | Some _ -> direct
+      | None ->
+          (* != and = are symmetric: also try the swapped orientation. *)
+          if op1 = Ne || op1 = Eq then
+            match match_expr bij a1 b2 with None -> None | Some b -> match_expr b b1 a2
+          else None)
+  | _ -> None
+
+let match_head_term bij h1 h2 =
+  match (h1, h2) with
+  | H_term t1, H_term t2 -> match_term bij t1 t2
+  | H_agg (op1, e1), H_agg (op2, e2) when op1 = op2 -> match_expr bij e1 e2
+  | _ -> None
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let rule_matches ~template r =
+  if template.head_pred <> r.head_pred then false
+  else if List.length template.body <> List.length r.body then false
+  else begin
+    let head_bij =
+      List.fold_left2
+        (fun acc h1 h2 -> match acc with None -> None | Some b -> match_head_term b h1 h2)
+        (Some [])
+        template.head_args r.head_args
+    in
+    match head_bij with
+    | None -> false
+    | Some bij0 ->
+        List.exists
+          (fun body_perm ->
+            let rec go bij ts rs =
+              match (ts, rs) with
+              | [], [] -> true
+              | t :: ts', r' :: rs' -> (
+                  match match_literal bij t r' with
+                  | None -> false
+                  | Some b -> go b ts' rs')
+              | _ -> false
+            in
+            go bij0 template.body body_perm)
+          (permutations r.body)
+  end
+
+(* Templates are parsed from the paper's own rule text; predicate names are
+   rewritten to the stratum's actual names before matching. *)
+let rename_rule ~idb ~edb r =
+  let ren p = if p = "r" then idb else if p = "e" then edb else p in
+  let atom a = { a with pred = ren a.pred } in
+  {
+    head_pred = ren r.head_pred;
+    head_args = r.head_args;
+    body =
+      List.map
+        (function
+          | L_pos a -> L_pos (atom a)
+          | L_neg a -> L_neg (atom a)
+          | L_cmp _ as c -> c)
+        r.body;
+  }
+
+let tc_templates =
+  [
+    ("r(x, y) :- e(x, y).", "r(x, y) :- r(x, z), e(z, y)."); (* right-linear *)
+    ("r(x, y) :- e(x, y).", "r(x, y) :- e(x, z), r(z, y)."); (* left-linear *)
+  ]
+
+let sg_templates =
+  [ ("r(x, y) :- e(p, x), e(p, y), x != y.", "r(x, y) :- e(a, x), r(a, b), e(b, y).") ]
+
+let body_edbs an r =
+  List.filter_map
+    (function
+      | L_pos a when List.mem a.pred an.Analyzer.edbs -> Some a.pred
+      | L_pos _ | L_neg _ | L_cmp _ -> None)
+    r.body
+
+let match_stratum an stratum =
+  match stratum.Analyzer.preds with
+  | [ idb ] when stratum.recursive && Analyzer.arity an idb = 2 -> (
+      let rules = stratum.rules in
+      if List.length rules <> 2 then None
+      else begin
+        (* Candidate EDB: any binary EDB used by the stratum. *)
+        let edbs =
+          List.sort_uniq compare (List.concat_map (body_edbs an) rules)
+          |> List.filter (fun e -> Analyzer.arity an e = 2)
+        in
+        let try_templates mk templates =
+          List.find_map
+            (fun edb ->
+              List.find_map
+                (fun (base_t, rec_t) ->
+                  let base = rename_rule ~idb ~edb (Parser.parse_rule base_t) in
+                  let rec_ = rename_rule ~idb ~edb (Parser.parse_rule rec_t) in
+                  let matches r t = rule_matches ~template:t r in
+                  let ok =
+                    match rules with
+                    | [ r1; r2 ] ->
+                        (matches r1 base && matches r2 rec_)
+                        || (matches r2 base && matches r1 rec_)
+                    | _ -> false
+                  in
+                  if ok then Some (mk ~idb ~edb) else None)
+                templates)
+            edbs
+        in
+        match try_templates (fun ~idb ~edb -> Tc { idb; edb }) tc_templates with
+        | Some s -> Some s
+        | None -> try_templates (fun ~idb ~edb -> Sg { idb; edb }) sg_templates
+      end)
+  | _ -> None

@@ -1,0 +1,18 @@
+(** Structural detection of PBME-eligible strata (paper §5.3).
+
+    RecStep switches to the bit-matrix kernels when a stratum is exactly the
+    transitive-closure or same-generation shape over a binary EDB and the
+    matrix fits in memory. Matching is modulo variable renaming and body
+    atom order. *)
+
+type shape =
+  | Tc of { idb : string; edb : string }
+      (** [r(x,y) :- e(x,y). r(x,y) :- r(x,z), e(z,y).] (either join order) *)
+  | Sg of { idb : string; edb : string }
+      (** [r(x,y) :- e(p,x), e(p,y), x != y. r(x,y) :- e(a,x), r(a,b), e(b,y).] *)
+
+val match_stratum : Analyzer.t -> Analyzer.stratum -> shape option
+
+val rule_matches : template:Ast.rule -> Ast.rule -> bool
+(** [rule_matches ~template r] tests structural equality modulo a variable
+    bijection and body-literal permutation (exposed for tests). *)

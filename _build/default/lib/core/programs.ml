@@ -1,0 +1,121 @@
+let tc =
+  {|
+.input arc
+.output tc
+tc(x, y) :- arc(x, y).
+tc(x, y) :- tc(x, z), arc(z, y).
+|}
+
+let sg =
+  {|
+.input arc
+.output sg
+sg(x, y) :- arc(p, x), arc(p, y), x != y.
+sg(x, y) :- arc(a, x), sg(a, b), arc(b, y).
+|}
+
+let reach =
+  {|
+.input arc
+.input id
+.output reach
+reach(y) :- id(y).
+reach(y) :- reach(x), arc(x, y).
+|}
+
+let cc =
+  {|
+.input arc
+.output cc
+cc3(x, MIN(x)) :- arc(x, _).
+cc3(y, MIN(z)) :- cc3(x, z), arc(x, y).
+cc2(x, MIN(y)) :- cc3(x, y).
+cc(x) :- cc2(_, x).
+|}
+
+let sssp =
+  {|
+.input arc 3
+.input id
+.output sssp
+sssp2(y, MIN(0)) :- id(y).
+sssp2(y, MIN(d1 + d2)) :- sssp2(x, d1), arc(x, y, d2).
+sssp(x, MIN(d)) :- sssp2(x, d).
+|}
+
+let andersen =
+  {|
+.input addressOf
+.input assign
+.input load
+.input store
+.output pointsTo
+pointsTo(y, x) :- addressOf(y, x).
+pointsTo(y, x) :- assign(y, z), pointsTo(z, x).
+pointsTo(y, w) :- load(y, x), pointsTo(x, z), pointsTo(z, w).
+pointsTo(z, w) :- store(y, x), pointsTo(y, z), pointsTo(x, w).
+|}
+
+let cspa =
+  {|
+.input assign
+.input dereference
+.output valueFlow
+.output memoryAlias
+.output valueAlias
+valueFlow(y, x) :- assign(y, x).
+valueFlow(x, y) :- assign(x, z), memoryAlias(z, y).
+valueFlow(x, y) :- valueFlow(x, z), valueFlow(z, y).
+memoryAlias(x, w) :- dereference(y, x), valueAlias(y, z), dereference(z, w).
+valueAlias(x, y) :- valueFlow(z, x), valueFlow(z, y).
+valueAlias(x, y) :- valueFlow(z, x), memoryAlias(z, w), valueFlow(w, y).
+valueFlow(x, x) :- assign(x, y).
+valueFlow(x, x) :- assign(y, x).
+memoryAlias(x, x) :- assign(y, x).
+memoryAlias(x, x) :- assign(x, y).
+|}
+
+let csda =
+  {|
+.input nullEdge
+.input arc
+.output null
+null(x, y) :- nullEdge(x, y).
+null(x, y) :- null(x, w), arc(w, y).
+|}
+
+let ntc =
+  {|
+.input arc
+.output ntc
+tc(x, y) :- arc(x, y).
+tc(x, y) :- tc(x, z), arc(z, y).
+node(x) :- arc(x, y).
+node(y) :- arc(x, y).
+ntc(x, y) :- node(x), node(y), !tc(x, y).
+|}
+
+let gtc =
+  {|
+.input arc
+.output gtc
+tc(x, y) :- arc(x, y).
+tc(x, y) :- tc(x, z), arc(z, y).
+gtc(x, COUNT(y)) :- tc(x, y).
+|}
+
+let all =
+  [
+    ("tc", tc);
+    ("sg", sg);
+    ("reach", reach);
+    ("cc", cc);
+    ("sssp", sssp);
+    ("andersen", andersen);
+    ("cspa", cspa);
+    ("csda", csda);
+    ("ntc", ntc);
+    ("gtc", gtc);
+  ]
+
+let parsed src = Parser.parse src

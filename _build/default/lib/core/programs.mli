@@ -1,0 +1,44 @@
+(** The paper's benchmark Datalog programs (§6.2), verbatim.
+
+    Each value is the [.datalog] source text; [parsed] gives the AST. Graph
+    programs expect the binary EDB [arc] (ternary [arc(x, y, d)] for SSSP)
+    and, for REACH/SSSP, the unary source relation [id]. The program-analysis
+    EDBs follow the paper: [addressOf/assign/load/store] for Andersen,
+    [assign/dereference] for CSPA, [nullEdge/arc] for CSDA. *)
+
+val tc : string
+(** Transitive closure (Example 1). *)
+
+val sg : string
+(** Same generation (§5.3). *)
+
+val reach : string
+(** Reachability from the vertices in [id]. *)
+
+val cc : string
+(** Connected components via recursive MIN aggregation. *)
+
+val sssp : string
+(** Single-source shortest path via recursive MIN aggregation. *)
+
+val andersen : string
+(** Andersen's points-to analysis (4 rules, non-linear recursion). *)
+
+val cspa : string
+(** Context-sensitive points-to analysis (mutual recursion across
+    valueFlow / memoryAlias / valueAlias). *)
+
+val csda : string
+(** Context-sensitive dataflow analysis (null-flow propagation). *)
+
+val ntc : string
+(** Complement of transitive closure (Example 2 — stratified negation). *)
+
+val gtc : string
+(** TC plus the COUNT-per-source rule of §3.3 (non-recursive aggregation). *)
+
+val all : (string * string) list
+(** [(name, source)] for every program above. *)
+
+val parsed : string -> Ast.program
+(** Parse one of the sources (or any other program text). *)

@@ -1,0 +1,1 @@
+lib/datagen/graphs.ml: List Printf Rs_relation Rs_util

@@ -1,0 +1,1 @@
+lib/datagen/graphs.mli: Rs_relation

@@ -1,0 +1,1 @@
+lib/datagen/prog_analysis.ml: Hashtbl List Printf Rs_relation Rs_util

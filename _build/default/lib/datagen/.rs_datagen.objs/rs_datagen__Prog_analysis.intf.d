@@ -1,0 +1,1 @@
+lib/datagen/prog_analysis.mli: Rs_relation

@@ -1,0 +1,126 @@
+module Relation = Rs_relation.Relation
+module Rng = Rs_util.Rng
+
+let gnp ~seed ~n ~p =
+  let rng = Rng.create seed in
+  let r = Relation.create ~name:"arc" 2 in
+  (* Geometric skipping: expected work O(n^2 p), not O(n^2). *)
+  if p >= 1.0 then begin
+    for x = 0 to n - 1 do
+      for y = 0 to n - 1 do
+        if x <> y then Relation.push2 r x y
+      done
+    done
+  end
+  else if p > 0.0 then begin
+    let log1mp = log (1.0 -. p) in
+    let total = n * n in
+    let pos = ref (-1) in
+    let continue_ = ref true in
+    while !continue_ do
+      let u = Rng.float rng 1.0 in
+      let u = if u <= 0.0 then 1e-12 else u in
+      let skip = 1 + int_of_float (log u /. log1mp) in
+      pos := !pos + skip;
+      if !pos >= total then continue_ := false
+      else begin
+        let x = !pos / n and y = !pos mod n in
+        if x <> y then Relation.push2 r x y
+      end
+    done
+  end;
+  Relation.account r;
+  r
+
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let rmat ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let n = pow2_at_least n in
+  let bits =
+    let rec lg k acc = if k <= 1 then acc else lg (k / 2) (acc + 1) in
+    lg n 0
+  in
+  let r = Relation.create ~name:"arc" 2 in
+  (* Standard RMAT quadrant probabilities a=0.45 b=0.22 c=0.22 d=0.11. *)
+  for _ = 1 to m do
+    let x = ref 0 and y = ref 0 in
+    for _ = 1 to bits do
+      let v = Rng.float rng 1.0 in
+      let bx, by = if v < 0.45 then (0, 0) else if v < 0.67 then (0, 1) else if v < 0.89 then (1, 0) else (1, 1) in
+      x := (!x lsl 1) lor bx;
+      y := (!y lsl 1) lor by
+    done;
+    if !x <> !y then Relation.push2 r !x !y
+  done;
+  Relation.account r;
+  r
+
+let rmat_skewed ~seed ~n ~m ~a =
+  let rng = Rng.create seed in
+  let n = pow2_at_least n in
+  let bits =
+    let rec lg k acc = if k <= 1 then acc else lg (k / 2) (acc + 1) in
+    lg n 0
+  in
+  let rest = (1.0 -. a) /. 3.0 in
+  let b = a +. rest and c = a +. (2.0 *. rest) in
+  let r = Relation.create ~name:"arc" 2 in
+  for _ = 1 to m do
+    let x = ref 0 and y = ref 0 in
+    for _ = 1 to bits do
+      let v = Rng.float rng 1.0 in
+      let bx, by = if v < a then (0, 0) else if v < b then (0, 1) else if v < c then (1, 0) else (1, 1) in
+      x := (!x lsl 1) lor bx;
+      y := (!y lsl 1) lor by
+    done;
+    if !x <> !y then Relation.push2 r !x !y
+  done;
+  Relation.account r;
+  r
+
+(* Scaled-down stand-ins for the paper's real-world graphs: (n, m, skew) at
+   scale 1. livejournal/orkut are denser and moderately skewed; arabic (web
+   crawl) and twitter are larger and highly skewed. *)
+let real_world_profiles =
+  [
+    ("livejournal", (1 lsl 13, 8 * (1 lsl 13), 0.45));
+    ("orkut", (1 lsl 13, 12 * (1 lsl 13), 0.45));
+    ("arabic", (1 lsl 14, 12 * (1 lsl 14), 0.57));
+    ("twitter", (1 lsl 15, 12 * (1 lsl 15), 0.6));
+  ]
+
+let real_world_like ~seed ~scale name =
+  match List.assoc_opt name real_world_profiles with
+  | None -> invalid_arg (Printf.sprintf "unknown real-world preset %s" name)
+  | Some (n, m, a) -> rmat_skewed ~seed ~n:(n * scale) ~m:(m * scale) ~a
+
+let add_weights ~seed ~max_weight rel =
+  let rng = Rng.create seed in
+  let out = Relation.create ~name:(Relation.name rel) 3 in
+  for row = 0 to Relation.nrows rel - 1 do
+    Relation.push3 out
+      (Relation.get rel ~row ~col:0)
+      (Relation.get rel ~row ~col:1)
+      (1 + Rng.int rng max_weight)
+  done;
+  Relation.account out;
+  out
+
+let random_sources ~seed ~n ~count =
+  let rng = Rng.create seed in
+  List.init count (fun _ ->
+      let r = Relation.create ~name:"id" 1 in
+      Relation.push1 r (Rng.int rng n);
+      r)
+
+let vertex_count rel =
+  let hi = ref 0 in
+  for row = 0 to Relation.nrows rel - 1 do
+    let x = Relation.get rel ~row ~col:0 and y = Relation.get rel ~row ~col:1 in
+    if x >= !hi then hi := x + 1;
+    if y >= !hi then hi := y + 1
+  done;
+  !hi

@@ -1,0 +1,40 @@
+(** Graph dataset generators (paper §6.2).
+
+    - {!gnp}: the Gn-p family ("GTgraph"): every ordered pair connected with
+      probability [p] (the paper's default [p = 0.001]); dense relative to
+      the small vertex count, the regime where PBME matters.
+    - {!rmat}: RMAT-n graphs with [10 n] directed edges and the standard
+      (0.45, 0.22, 0.22, 0.11) partition probabilities, giving the skewed
+      degree distributions of the paper's scalability sweeps.
+    - {!real_world_like}: named presets standing in for livejournal, orkut,
+      arabic and twitter — RMAT profiles with each graph's density and skew,
+      scaled down by the harness's scale factor.
+
+    All generators are deterministic in [seed]. *)
+
+module Relation = Rs_relation.Relation
+
+val gnp : seed:int -> n:int -> p:float -> Relation.t
+(** Binary [arc] relation; self-loops excluded. *)
+
+val rmat : seed:int -> n:int -> m:int -> Relation.t
+(** [n] is rounded up to a power of two internally; vertex ids are in
+    [\[0, n)]; duplicate edges are kept (the raw generator output). *)
+
+val real_world_profiles : (string * (int * int * float)) list
+(** [(name, (n, m, skew))] at scale 1: vertices, edges, RMAT skew (the [a]
+    parameter; higher = more skewed). *)
+
+val real_world_like : seed:int -> scale:int -> string -> Relation.t
+(** Instantiate a preset at a scale factor. Unknown names raise
+    [Invalid_argument]. *)
+
+val add_weights : seed:int -> max_weight:int -> Relation.t -> Relation.t
+(** Ternary weighted copy [(x, y, d)], [1 <= d <= max_weight] (for SSSP). *)
+
+val random_sources : seed:int -> n:int -> count:int -> Relation.t list
+(** [count] singleton unary [id] relations over [\[0, n)] — the ten random
+    source vertices REACH and SSSP average over. *)
+
+val vertex_count : Relation.t -> int
+(** 1 + max endpoint (active-domain bound used for PBME and baselines). *)

@@ -1,0 +1,100 @@
+module Relation = Rs_relation.Relation
+module Rng = Rs_util.Rng
+
+(* Pick a "nearby" variable. Variables are grouped into function-like
+   blocks; references stay inside the block except for rare call edges.
+   Without this modularity the assign graph becomes one long chain and the
+   points-to closure goes quadratic in the program size — real inputs grow
+   roughly linearly (paper Figure 9b). *)
+let block_size = 96
+
+let nearby rng nvars v =
+  let base = v / block_size * block_size in
+  let w = base + Rng.int rng block_size in
+  if w >= nvars then v else w
+
+let andersen ~seed ~nvars =
+  let rng = Rng.create seed in
+  let address_of = Relation.create ~name:"addressOf" 2 in
+  let assign = Relation.create ~name:"assign" 2 in
+  let load = Relation.create ~name:"load" 2 in
+  let store = Relation.create ~name:"store" 2 in
+  (* Statement mix loosely following whole-program C points-to inputs:
+     ~15% address-of, ~65% copies, ~12% loads, ~8% stores. Address-of
+     targets come from nearby variables (allocation sites have locality in
+     SSA form); uniform targets would make every alias set O(n) and the
+     closure quadratic, which real programs do not exhibit. *)
+  let nstmts = 3 * nvars in
+  for _ = 1 to nstmts do
+    let v = Rng.int rng nvars in
+    let roll = Rng.float rng 1.0 in
+    if roll < 0.15 then Relation.push2 address_of v (nearby rng nvars v)
+    else if roll < 0.80 then Relation.push2 assign v (nearby rng nvars v)
+    else if roll < 0.92 then Relation.push2 load v (nearby rng nvars v)
+    else Relation.push2 store v (nearby rng nvars v)
+  done;
+  List.iter Relation.account [ address_of; assign; load; store ];
+  [ ("addressOf", address_of); ("assign", assign); ("load", load); ("store", store) ]
+
+let andersen_dataset ~seed ~scale n =
+  if n < 1 || n > 7 then invalid_arg "andersen_dataset: n must be in 1..7";
+  (* Linear growth in the number of variables, dataset 1 smallest. *)
+  let nvars = scale * 768 * n in
+  andersen ~seed:(seed + n) ~nvars
+
+(* (variables at scale 1, extra random-assign density). linux is by far the
+   largest in the paper; httpd the smallest. *)
+let system_program_profiles =
+  [ ("linux", (6000, 0.35)); ("postgresql", (3500, 0.30)); ("httpd", (1500, 0.25)) ]
+
+let profile name =
+  match List.assoc_opt name system_program_profiles with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "unknown system program %s" name)
+
+let cspa_input ~seed ~scale name =
+  let nvars0, density = profile name in
+  let nvars = nvars0 * scale in
+  let rng = Rng.create (seed lxor Hashtbl.hash name) in
+  let assign = Relation.create ~name:"assign" 2 in
+  let deref = Relation.create ~name:"dereference" 2 in
+  (* Chains of copies (def-use chains) plus cross assignments. *)
+  for v = 0 to nvars - 2 do
+    if Rng.bool rng 0.5 then Relation.push2 assign (v + 1) v
+  done;
+  let extra = int_of_float (float_of_int nvars *. density) in
+  for _ = 1 to extra do
+    let a = Rng.int rng nvars in
+    Relation.push2 assign a (nearby rng nvars a)
+  done;
+  (* Pointer variables dereference abstract locations; aliasing arises when
+     two pointers dereference to the same location. *)
+  let nlocs = max 8 (nvars / 8) in
+  for _ = 1 to nvars / 3 do
+    let p = Rng.int rng nvars in
+    Relation.push2 deref p (nvars + Rng.int rng nlocs)
+  done;
+  List.iter Relation.account [ assign; deref ];
+  [ ("assign", assign); ("dereference", deref) ]
+
+let csda_input ~seed ~scale name =
+  let nvars0, density = profile name in
+  let n = nvars0 * scale * 2 in
+  let rng = Rng.create (seed lxor Hashtbl.hash name lxor 0x5ca1ab1e) in
+  let arc = Relation.create ~name:"arc" 2 in
+  let null_edge = Relation.create ~name:"nullEdge" 2 in
+  (* CFG shape: long straight-line chains with occasional forward branches
+     and join points — depth O(n) drives the ~1000-iteration behaviour. *)
+  for v = 0 to n - 2 do
+    if Rng.bool rng 0.97 then Relation.push2 arc v (v + 1);
+    if Rng.bool rng density then begin
+      let target = min (n - 1) (v + 2 + Rng.int rng 16) in
+      Relation.push2 arc v target
+    end
+  done;
+  for _ = 1 to max 1 (n / 200) do
+    let s = Rng.int rng (max 1 (n / 2)) in
+    Relation.push2 null_edge s (s + 1)
+  done;
+  List.iter Relation.account [ arc; null_edge ];
+  [ ("nullEdge", null_edge); ("arc", arc) ]

@@ -1,0 +1,42 @@
+(** Program-analysis input generators (paper §6.2).
+
+    The paper's Andersen inputs are seven synthetic datasets "generated based
+    on the characteristics of a tiny real dataset" with a growing number of
+    variables; the CSPA/CSDA inputs are the Graspan graphs extracted from
+    linux, postgresql and httpd. We reproduce the statistical shape:
+
+    - {!andersen}: C-like statement mix over [nvars] variables —
+      address-of ([p = &x]), copy ([p = q]), load ([p = *q]) and store
+      ([*p = q]) — with assignment locality (most copies are between nearby
+      variables, as in real SSA form).
+    - {!cspa_input}: [assign] edges with chain+random structure and
+      [dereference] edges mapping pointer variables to abstract heap
+      locations, per system-program profile.
+    - {!csda_input}: a control-flow-graph-like [arc] (long chains with
+      branches — the reason CSDA needs ~1000 iterations in the paper) and a
+      sparse [nullEdge] seed set.
+
+    Deterministic in [seed]. *)
+
+module Relation = Rs_relation.Relation
+
+val andersen :
+  seed:int ->
+  nvars:int ->
+  (string * Relation.t) list
+(** EDBs [addressOf], [assign], [load], [store]. *)
+
+val andersen_dataset : seed:int -> scale:int -> int -> (string * Relation.t) list
+(** [andersen_dataset n] for [n] in 1..7: the paper's seven sizes (number of
+    variables grows geometrically with the dataset number). *)
+
+val system_program_profiles : (string * (int * float)) list
+(** [(name, (nvars_at_scale_1, density))] for linux, postgresql, httpd. *)
+
+val cspa_input : seed:int -> scale:int -> string -> (string * Relation.t) list
+(** EDBs [assign], [dereference] for a named system-program profile. *)
+
+val csda_input : seed:int -> scale:int -> string -> (string * Relation.t) list
+(** EDBs [nullEdge], [arc] for a named system-program profile. The [arc]
+    CFG has depth proportional to the program size, forcing many semi-naive
+    iterations. *)

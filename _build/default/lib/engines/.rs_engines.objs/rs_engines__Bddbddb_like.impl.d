@@ -1,0 +1,1 @@
+lib/engines/bddbddb_like.ml: Array Engine_intf Hashtbl List Printf Recstep Rs_bdd Rs_parallel Rs_relation Rs_util

@@ -1,0 +1,1 @@
+lib/engines/bddbddb_like.mli: Engine_intf

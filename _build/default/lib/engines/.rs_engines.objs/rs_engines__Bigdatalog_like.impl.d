@@ -1,0 +1,1 @@
+lib/engines/bigdatalog_like.ml: Engine_intf Fun List Recstep Rs_parallel String

@@ -1,0 +1,1 @@
+lib/engines/bigdatalog_like.mli: Engine_intf

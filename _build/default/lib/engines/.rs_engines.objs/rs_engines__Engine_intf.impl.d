@@ -1,0 +1,1 @@
+lib/engines/engine_intf.ml: Printf Recstep Rs_parallel Rs_relation

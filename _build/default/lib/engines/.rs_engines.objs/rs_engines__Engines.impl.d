@@ -1,0 +1,1 @@
+lib/engines/engines.ml: Bddbddb_like Bigdatalog_like Engine_intf Graspan_like List Recstep_engine Souffle_like

@@ -1,0 +1,1 @@
+lib/engines/graspan_like.ml: Array Engine_intf Hashtbl List Printf Recstep Rs_parallel Rs_relation Rs_storage Rs_util

@@ -1,0 +1,1 @@
+lib/engines/graspan_like.mli: Engine_intf

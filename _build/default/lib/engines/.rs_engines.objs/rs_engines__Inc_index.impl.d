@@ -1,0 +1,1 @@
+lib/engines/inc_index.ml: Array Rs_relation Rs_storage Rs_util

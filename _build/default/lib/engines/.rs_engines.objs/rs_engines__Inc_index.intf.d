@@ -1,0 +1,1 @@
+lib/engines/inc_index.mli: Rs_relation

@@ -1,0 +1,1 @@
+lib/engines/recstep_engine.ml: Engine_intf Recstep

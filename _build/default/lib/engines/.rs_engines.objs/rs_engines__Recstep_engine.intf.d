@@ -1,0 +1,1 @@
+lib/engines/recstep_engine.mli: Engine_intf

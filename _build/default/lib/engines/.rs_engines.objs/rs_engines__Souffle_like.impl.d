@@ -1,0 +1,1 @@
+lib/engines/souffle_like.ml: Array Engine_intf Hashtbl Inc_index List Option Printf Recstep Rs_parallel Rs_relation

@@ -1,0 +1,1 @@
+lib/engines/souffle_like.mli: Engine_intf

@@ -1,0 +1,14 @@
+(** bddbddb-like baseline: Datalog evaluation on binary decision diagrams.
+
+    Reimplements the representation strategy of bddbddb (paper §6.1 [26]):
+    relations are BDDs over bit-blasted domains; joins are AND + EXISTS,
+    union is OR, the semi-naive delta is DIFF. Single-threaded, like the
+    original. Competitive only when domains are small and the encoded
+    relations compress well; on larger active domains the node count — and
+    with it time and tracked memory — explodes, reproducing the paper's
+    "orders of magnitude slower / timeout" observations (Figures 10, 15).
+
+    Fragment: arity <= 2, no negation, no aggregation, only [=]/[!=]
+    comparisons; outside it {!Engine_intf.Unsupported} is raised. *)
+
+include Engine_intf.S

@@ -1,0 +1,77 @@
+module An = Recstep.Analyzer
+module Interpreter = Recstep.Interpreter
+module Pool = Rs_parallel.Pool
+
+let name = "BigDatalog-like"
+
+let capabilities =
+  {
+    Engine_intf.scale_up = true;
+    scale_out = true;
+    memory_consumption = "high";
+    cpu_utilization = "high";
+    cpu_efficiency = "medium";
+    tuning_required = "yes (moderate)";
+    mutual_recursion = false;
+    nonrecursive_aggregation = true;
+    recursive_aggregation = true;
+  }
+
+(* Spark-style configuration of the shared evaluation machinery:
+   - one job per rule (no unified evaluation), fixed plans (no re-optimize),
+   - a scheduling overhead per issued stage,
+   - set-difference as a plain subtract stage (OPSD),
+   - cached per-iteration shuffle outputs (hoarded memory). *)
+let stage_overhead_s = 0.008
+
+let gate program =
+  let an = An.analyze program in
+  List.iter
+    (fun s ->
+      if s.An.recursive && List.length s.An.preds > 1 then
+        Engine_intf.unsupported "%s: mutual recursion across %s" name
+          (String.concat ", " s.An.preds))
+    an.An.strata;
+  an
+
+let options_for deadline_vs =
+  {
+    Interpreter.default_options with
+    uie = false;
+    oof = Interpreter.Oof_off;
+    dsd = Interpreter.Dsd_force_opsd;
+    fast_dedup = true;
+    pbme = false;
+    query_overhead_s = stage_overhead_s;
+    hoard_memory = true;
+    timeout_vs = deadline_vs;
+  }
+
+let run ~pool ?deadline_vs ~edb program =
+  ignore (gate program);
+  let result = Interpreter.run ~options:(options_for deadline_vs) ~pool ~edb program in
+  result.Interpreter.relation_of
+
+module Distributed = struct
+  let name = "Distributed-BigDatalog"
+
+  let capabilities = { capabilities with scale_out = true }
+
+  (* The paper's reference cluster: 15 workers, 120 cores, 450 GB — ~6x the
+     cores of the single node. Per-stage scheduling overhead is higher on a
+     real cluster. *)
+  let run ~pool ?deadline_vs ~edb program =
+    ignore (gate program);
+    let w0 = Pool.workers pool in
+    Pool.set_workers pool (6 * w0);
+    Fun.protect
+      ~finally:(fun () -> Pool.set_workers pool w0)
+      (fun () ->
+        let options =
+          { (options_for deadline_vs) with query_overhead_s = 2.0 *. stage_overhead_s }
+        in
+        let result = Interpreter.run ~options ~pool ~edb program in
+        result.Interpreter.relation_of)
+end
+
+let distributed : Engine_intf.engine = (module Distributed)

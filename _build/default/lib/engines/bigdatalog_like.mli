@@ -1,0 +1,19 @@
+(** BigDatalog-like baseline: bulk-synchronous, Spark-style evaluation.
+
+    Reimplements the behavioural profile of BigDatalog (paper §6.1): each
+    semi-naive iteration is a scheduled distributed stage with a fixed
+    scheduling overhead, per-iteration shuffle outputs stay cached (RDD
+    lineage), and the language fragment excludes mutual recursion (CSPA
+    raises {!Engine_intf.Unsupported}, Figure 15c) while supporting
+    recursive aggregation (CC, SSSP). Strong on few-iteration bulk
+    workloads; the per-stage overhead dominates many-iteration programs and
+    the cached shuffles inflate memory — exactly the trade-offs the paper
+    measures (Figures 10-15, Table 1 "memory consumption: high").
+
+    {!distributed} is the same engine configured like the paper's
+    Distributed-BigDatalog reference cluster: 6x the workers, lower
+    scheduling overhead per unit of work. *)
+
+include Engine_intf.S
+
+val distributed : Engine_intf.engine

@@ -1,0 +1,43 @@
+(** Common interface of the Datalog engines under comparison.
+
+    Each baseline from the paper's evaluation (§6.1) is reimplemented on the
+    same substrates (relations, worker pool, memory tracker) so that the
+    cross-system experiments compare *techniques*, not incidental runtime
+    differences. [capabilities] carries the qualitative rows of the paper's
+    Table 1; [run] raises {!Unsupported} exactly where the paper reports a
+    system cannot express a workload. *)
+
+exception Unsupported of string
+
+type capabilities = {
+  scale_up : bool;
+  scale_out : bool;
+  memory_consumption : string;  (** "low" / "medium" / "high" *)
+  cpu_utilization : string;  (** "poor" / "medium" / "high" *)
+  cpu_efficiency : string;  (** "-" / "low" / "medium" / "high" *)
+  tuning_required : string;  (** hyperparameter-tuning burden *)
+  mutual_recursion : bool;
+  nonrecursive_aggregation : bool;
+  recursive_aggregation : bool;
+}
+
+module type S = sig
+  val name : string
+
+  val capabilities : capabilities
+
+  val run :
+    pool:Rs_parallel.Pool.t ->
+    ?deadline_vs:float ->
+    edb:(string * Rs_relation.Relation.t) list ->
+    Recstep.Ast.program ->
+    string -> Rs_relation.Relation.t
+  (** Evaluates the program to fixpoint and returns a lookup for result
+      relations. Raises {!Unsupported} for programs outside the engine's
+      fragment, [Recstep.Interpreter.Timeout_simulated] past [deadline_vs],
+      and [Rs_storage.Memtrack.Simulated_oom] over the memory budget. *)
+end
+
+type engine = (module S)
+
+let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt

@@ -1,0 +1,17 @@
+(** Graspan-like baseline: worklist-driven edge-pair computation.
+
+    Reimplements the evaluation model of Graspan (paper §6.1): the program
+    is viewed as a context-free grammar over *binary* relations (edge
+    labels); a worklist of edges is expanded in batches against per-label
+    adjacency lists, with the new edges of every round sorted and merged
+    into the adjacency structure — Graspan's sort-heavy, coordination-heavy
+    design is why the paper finds it slower than the Datalog engines
+    (Figures 15b/15c).
+
+    Fragment: binary predicates only; rule bodies must form a chain of at
+    most three binary atoms connecting the head variables (atoms may be
+    traversed reversed); no negation, comparison or aggregation. CSPA and
+    CSDA fit (with an auxiliary label for the three-atom rule); everything
+    else raises {!Engine_intf.Unsupported}, matching Table 1. *)
+
+include Engine_intf.S

@@ -1,0 +1,97 @@
+module Relation = Rs_relation.Relation
+module Int_vec = Rs_util.Int_vec
+module Int_key = Rs_util.Int_key
+module Memtrack = Rs_storage.Memtrack
+
+type t = {
+  key_cols : int array;
+  mutable heads : int array;
+  nexts : Int_vec.t;
+  rows : Int_vec.t;
+  mutable mask : int;
+  mutable accounted : int;
+}
+
+let create key_cols =
+  let cap = 64 in
+  {
+    key_cols;
+    heads = Array.make cap (-1);
+    nexts = Int_vec.create ();
+    rows = Int_vec.create ();
+    mask = cap - 1;
+    accounted = 0;
+  }
+
+let key_cols t = t.key_cols
+
+let hash_of t rel row =
+  match Array.length t.key_cols with
+  | 1 -> Int_key.hash (Relation.get rel ~row ~col:t.key_cols.(0))
+  | 2 ->
+      Int_key.hash
+        (Int_key.pack2
+           (Relation.get rel ~row ~col:t.key_cols.(0))
+           (Relation.get rel ~row ~col:t.key_cols.(1)))
+  | _ ->
+      Array.fold_left
+        (fun acc c -> Int_key.hash_combine acc (Relation.get rel ~row ~col:c))
+        0x9E3779B9 t.key_cols
+
+let hash_key t key =
+  match Array.length t.key_cols with
+  | 1 -> Int_key.hash key.(0)
+  | 2 -> Int_key.hash (Int_key.pack2 key.(0) key.(1))
+  | _ -> Array.fold_left Int_key.hash_combine 0x9E3779B9 key
+
+let rehash t rel =
+  let cap = 2 * Array.length t.heads in
+  let heads = Array.make cap (-1) in
+  let mask = cap - 1 in
+  let n = Int_vec.length t.rows in
+  for slot = 0 to n - 1 do
+    let h = hash_of t rel (Int_vec.get t.rows slot) land mask in
+    Int_vec.set t.nexts slot heads.(h);
+    heads.(h) <- slot
+  done;
+  t.heads <- heads;
+  t.mask <- mask
+
+let add t rel row =
+  let h = hash_of t rel row land t.mask in
+  let slot = Int_vec.length t.rows in
+  Int_vec.push t.rows row;
+  Int_vec.push t.nexts t.heads.(h);
+  t.heads.(h) <- slot;
+  if slot + 1 > Array.length t.heads then rehash t rel
+
+let iter_matches t rel key f =
+  let h = hash_key t key land t.mask in
+  let eq row =
+    let rec go i =
+      i = Array.length t.key_cols
+      || (Relation.get rel ~row ~col:t.key_cols.(i) = key.(i) && go (i + 1))
+    in
+    go 0
+  in
+  let rec walk slot =
+    if slot >= 0 then begin
+      let row = Int_vec.get t.rows slot in
+      if eq row then f row;
+      walk (Int_vec.get t.nexts slot)
+    end
+  in
+  walk t.heads.(h)
+
+let bytes t =
+  (8 * Array.length t.heads) + Int_vec.capacity_bytes t.nexts + Int_vec.capacity_bytes t.rows
+
+let account t =
+  let b = bytes t in
+  let delta = b - t.accounted in
+  if delta > 0 then Memtrack.alloc delta else Memtrack.free (-delta);
+  t.accounted <- b
+
+let release t =
+  Memtrack.free t.accounted;
+  t.accounted <- 0

@@ -1,0 +1,26 @@
+(** Incrementally maintained multi-map index for the compiled engines.
+
+    The Souffle-like engine keeps one index per (relation, bound-positions)
+    access pattern, updated as tuples are inserted — the analogue of
+    Souffle's automatically selected B-tree indices. *)
+
+type t
+
+val create : int array -> t
+(** [create key_cols] — empty index keyed on those columns. *)
+
+val key_cols : t -> int array
+
+val add : t -> Rs_relation.Relation.t -> int -> unit
+(** [add t rel row] indexes row [row] of [rel] (always the same relation for
+    a given index). *)
+
+val iter_matches : t -> Rs_relation.Relation.t -> int array -> (int -> unit) -> unit
+(** [iter_matches t rel key f] calls [f row] for rows whose key columns
+    equal [key]. *)
+
+val bytes : t -> int
+
+val account : t -> unit
+
+val release : t -> unit

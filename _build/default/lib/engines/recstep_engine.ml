@@ -1,0 +1,24 @@
+(** RecStep itself, behind the common engine interface. *)
+
+module Ast = Recstep.Ast
+module Interpreter = Recstep.Interpreter
+
+let name = "RecStep"
+
+let capabilities =
+  {
+    Engine_intf.scale_up = true;
+    scale_out = false;
+    memory_consumption = "low";
+    cpu_utilization = "high";
+    cpu_efficiency = "high";
+    tuning_required = "no";
+    mutual_recursion = true;
+    nonrecursive_aggregation = true;
+    recursive_aggregation = true;
+  }
+
+let run ~pool ?deadline_vs ~edb program =
+  let options = { Interpreter.default_options with timeout_vs = deadline_vs } in
+  let result = Interpreter.run ~options ~pool ~edb program in
+  result.Interpreter.relation_of

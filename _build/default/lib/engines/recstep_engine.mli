@@ -1,0 +1,4 @@
+(** RecStep behind the common engine interface (full capability row of
+    Table 1: mutual recursion, non-recursive and recursive aggregation). *)
+
+include Engine_intf.S

@@ -1,0 +1,565 @@
+module Relation = Rs_relation.Relation
+module Dedup = Rs_relation.Dedup
+module Pool = Rs_parallel.Pool
+module An = Recstep.Analyzer
+module Ast = Recstep.Ast
+
+let name = "Souffle-like"
+
+let capabilities =
+  {
+    Engine_intf.scale_up = true;
+    scale_out = false;
+    memory_consumption = "medium";
+    cpu_utilization = "medium";
+    cpu_efficiency = "high";
+    tuning_required = "no";
+    mutual_recursion = true;
+    nonrecursive_aggregation = true;
+    recursive_aggregation = false;
+  }
+
+(* --- storage: one store per predicate, with incremental indices --- *)
+
+type pred_store = {
+  arity : int;
+  store : Relation.t;
+  dedup : Dedup.t;
+  mutable indexes : (int list * Inc_index.t) list;
+  mutable delta_lo : int;
+  mutable delta_hi : int;  (* rows [delta_lo, delta_hi) are the current Δ *)
+}
+
+let make_store name arity =
+  {
+    arity;
+    store = Relation.create ~name arity;
+    dedup = Dedup.create Dedup.Fast arity;
+    indexes = [];
+    delta_lo = 0;
+    delta_hi = 0;
+  }
+
+let insert ps row =
+  if Dedup.add_row ps.dedup row then begin
+    let r = Relation.nrows ps.store in
+    Relation.push_row ps.store row;
+    List.iter (fun (_, idx) -> Inc_index.add idx ps.store r) ps.indexes;
+    true
+  end
+  else false
+
+let ensure_index ps positions =
+  let key = List.sort compare positions in
+  match List.assoc_opt key ps.indexes with
+  | Some idx -> idx
+  | None ->
+      let idx = Inc_index.create (Array.of_list key) in
+      for row = 0 to Relation.nrows ps.store - 1 do
+        Inc_index.add idx ps.store row
+      done;
+      ps.indexes <- (key, idx) :: ps.indexes;
+      idx
+
+let account ps =
+  Relation.account ps.store;
+  Dedup.account ps.dedup;
+  List.iter (fun (_, idx) -> Inc_index.account idx) ps.indexes
+
+(* --- rule compilation: probe programs over registers --- *)
+
+type src = Reg of int | Lit of int
+
+type access = {
+  a_pred : string;
+  a_index : Inc_index.t option;  (* None = full scan *)
+  a_key_sources : src array;  (* parallel to the index's key columns *)
+  a_binds : (int * int) array;  (* (column, register) to bind *)
+  a_checks : (int * src) array;  (* residual per-row equality checks *)
+}
+
+type step =
+  | Probe of access
+  | NegCheck of { n_pred : string; n_row : src array }
+  | Test of (int array -> bool)
+
+type variant = {
+  v_driver_pred : string;
+  v_driver_delta : bool;
+  v_driver_binds : (int * int) array;
+  v_driver_checks : (int * src) array;
+  v_steps : step list;
+  v_emit : (int array -> int) array;  (* head value closures over registers *)
+  v_head : string;
+}
+
+let compile_expr regs_of e =
+  let rec go = function
+    | Ast.T (Ast.Var v) ->
+        let r = regs_of v in
+        fun regs -> regs.(r)
+    | Ast.T (Ast.Const c) -> fun _ -> c
+    | Ast.T Ast.Wildcard -> assert false
+    | Ast.Add (a, b) ->
+        let fa = go a and fb = go b in
+        fun regs -> fa regs + fb regs
+    | Ast.Sub (a, b) ->
+        let fa = go a and fb = go b in
+        fun regs -> fa regs - fb regs
+    | Ast.Mul (a, b) ->
+        let fa = go a and fb = go b in
+        fun regs -> fa regs * fb regs
+  in
+  go e
+
+let compile_cmp regs_of (op, a, b) =
+  let fa = compile_expr regs_of a and fb = compile_expr regs_of b in
+  let test =
+    match op with
+    | Ast.Eq -> ( = )
+    | Ast.Ne -> ( <> )
+    | Ast.Lt -> ( < )
+    | Ast.Le -> ( <= )
+    | Ast.Gt -> ( > )
+    | Ast.Ge -> ( >= )
+  in
+  fun regs -> test (fa regs) (fb regs)
+
+(* Compile one semi-naive variant of a rule. [driver] is the index of the
+   positive atom iterated wholesale (over Δ when [driver_delta]). *)
+let compile_variant stores regs_of nregs rule ~driver ~driver_delta =
+  ignore nregs;
+  let positives =
+    List.filter_map (function Ast.L_pos a -> Some a | _ -> None) rule.Ast.body
+  in
+  let cmps = List.filter_map (function Ast.L_cmp (o, a, b) -> Some (o, a, b) | _ -> None) rule.Ast.body in
+  let negs = List.filter_map (function Ast.L_neg a -> Some a | _ -> None) rule.Ast.body in
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let atom_access a ~as_driver =
+    (* classify each argument against the currently bound variables *)
+    let key_positions = ref [] and key_sources = ref [] in
+    let binds = ref [] and checks = ref [] in
+    let seen_here : (string, int) Hashtbl.t = Hashtbl.create 4 in
+    List.iteri
+      (fun pos t ->
+        match t with
+        | Ast.Const c ->
+            if as_driver then checks := (pos, Lit c) :: !checks
+            else begin
+              key_positions := pos :: !key_positions;
+              key_sources := (pos, Lit c) :: !key_sources
+            end
+        | Ast.Var v -> (
+            match Hashtbl.find_opt seen_here v with
+            | Some r -> checks := (pos, Reg r) :: !checks
+            | None ->
+                if Hashtbl.mem bound v then begin
+                  let r = regs_of v in
+                  if as_driver then checks := (pos, Reg r) :: !checks
+                  else begin
+                    key_positions := pos :: !key_positions;
+                    key_sources := (pos, Reg r) :: !key_sources
+                  end;
+                  Hashtbl.replace seen_here v r
+                end
+                else begin
+                  let r = regs_of v in
+                  binds := (pos, r) :: !binds;
+                  Hashtbl.replace seen_here v r
+                end)
+        | Ast.Wildcard -> assert false)
+      a.Ast.args;
+    (* commit bindings *)
+    Hashtbl.iter (fun v _ -> Hashtbl.replace bound v ()) seen_here;
+    let key = List.sort compare !key_positions in
+    let sources =
+      Array.of_list (List.map (fun p -> List.assoc p !key_sources) key)
+    in
+    ( key,
+      sources,
+      Array.of_list (List.rev !binds),
+      Array.of_list (List.rev !checks) )
+  in
+  (* driver atom first *)
+  let driver_atom = List.nth positives driver in
+  let _, _, dbinds, dchecks = atom_access driver_atom ~as_driver:true in
+  (* schedule remaining atoms greedily: most bound arguments first *)
+  let remaining = ref (List.filteri (fun i _ -> i <> driver) positives) in
+  let steps = ref [] in
+  let pending_cmps = ref (List.map (fun c -> (c, Ast.expr_vars (let (_, a, b) = c in Ast.Add (a, b)))) cmps) in
+  let flush_cmps () =
+    let ready, waiting =
+      List.partition (fun (_, vars) -> List.for_all (Hashtbl.mem bound) vars) !pending_cmps
+    in
+    pending_cmps := waiting;
+    List.iter (fun (c, _) -> steps := Test (compile_cmp regs_of c) :: !steps) ready
+  in
+  flush_cmps ();
+  while !remaining <> [] do
+    let score a =
+      List.fold_left
+        (fun acc t ->
+          match t with
+          | Ast.Const _ -> acc + 1
+          | Ast.Var v -> if Hashtbl.mem bound v then acc + 1 else acc
+          | Ast.Wildcard -> acc)
+        0 a.Ast.args
+    in
+    let best =
+      List.fold_left
+        (fun acc a -> match acc with None -> Some a | Some b -> if score a > score b then Some a else acc)
+        None !remaining
+    in
+    let a = Option.get best in
+    remaining := List.filter (fun x -> x != a) !remaining;
+    let key, sources, binds, checks = atom_access a ~as_driver:false in
+    let idx =
+      if key = [] then None
+      else Some (ensure_index (Hashtbl.find stores a.Ast.pred) key)
+    in
+    steps :=
+      Probe { a_pred = a.Ast.pred; a_index = idx; a_key_sources = sources; a_binds = binds; a_checks = checks }
+      :: !steps;
+    flush_cmps ()
+  done;
+  (* negations last (safety guarantees their variables are bound) *)
+  List.iter
+    (fun a ->
+      let row =
+        Array.of_list
+          (List.map
+             (function
+               | Ast.Const c -> Lit c
+               | Ast.Var v -> Reg (regs_of v)
+               | Ast.Wildcard -> assert false)
+             a.Ast.args)
+      in
+      steps := NegCheck { n_pred = a.Ast.pred; n_row = row } :: !steps)
+    negs;
+  let emit =
+    Array.of_list
+      (List.map
+         (function
+           | Ast.H_term (Ast.Var v) ->
+               let r = regs_of v in
+               fun (regs : int array) -> regs.(r)
+           | Ast.H_term (Ast.Const c) -> fun _ -> c
+           | Ast.H_term Ast.Wildcard -> assert false
+           | Ast.H_agg (_, e) -> compile_expr regs_of e)
+         rule.Ast.head_args)
+  in
+  {
+    v_driver_pred = driver_atom.Ast.pred;
+    v_driver_delta = driver_delta;
+    v_driver_binds = dbinds;
+    v_driver_checks = dchecks;
+    v_steps = List.rev !steps;
+    v_emit = emit;
+    v_head = rule.Ast.head_pred;
+  }
+
+let compile_rule stores stratum rule =
+  let vars =
+    List.sort_uniq compare
+      (List.concat_map Ast.literal_vars rule.Ast.body
+      @ List.concat_map Ast.head_term_vars rule.Ast.head_args)
+  in
+  let reg_of_var = List.mapi (fun i v -> (v, i)) vars in
+  let regs_of v = List.assoc v reg_of_var in
+  let nregs = List.length vars in
+  let positives = List.filter_map (function Ast.L_pos a -> Some a | _ -> None) rule.Ast.body in
+  let recursive_positions =
+    List.filteri (fun _ _ -> true) positives
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter_map (fun (i, a) ->
+           if List.mem a.Ast.pred stratum.An.preds then Some i else None)
+  in
+  let base = compile_variant stores regs_of nregs rule ~driver:0 ~driver_delta:false in
+  let deltas =
+    List.map
+      (fun i -> compile_variant stores regs_of nregs rule ~driver:i ~driver_delta:true)
+      recursive_positions
+  in
+  (nregs, base, deltas)
+
+(* --- execution --- *)
+
+let run_variant pool stores nregs variant ~out =
+  let ps = Hashtbl.find stores variant.v_driver_pred in
+  let lo, hi =
+    if variant.v_driver_delta then (ps.delta_lo, ps.delta_hi) else (0, Relation.nrows ps.store)
+  in
+  if hi > lo then begin
+    let fragments = ref [] in
+    Pool.parallel_for pool lo hi (fun clo chi ->
+        let frag = Relation.create (Array.length variant.v_emit) in
+        let regs = Array.make (max nregs 1) 0 in
+        let value = function Reg r -> regs.(r) | Lit c -> c in
+        let rec exec steps =
+          match steps with
+          | [] ->
+              let row = Array.map (fun f -> f regs) variant.v_emit in
+              Relation.push_row frag row
+          | Test f :: rest -> if f regs then exec rest
+          | NegCheck { n_pred; n_row } :: rest ->
+              let nps = Hashtbl.find stores n_pred in
+              if not (Dedup.mem_row nps.dedup (Array.map value n_row)) then exec rest
+          | Probe a :: rest -> (
+              let aps = Hashtbl.find stores a.a_pred in
+              let try_row row =
+                let ok = ref true in
+                Array.iter
+                  (fun (pos, src) ->
+                    if Relation.get aps.store ~row ~col:pos <> value src then ok := false)
+                  a.a_checks;
+                if !ok then begin
+                  Array.iter (fun (pos, r) -> regs.(r) <- Relation.get aps.store ~row ~col:pos) a.a_binds;
+                  exec rest
+                end
+              in
+              match a.a_index with
+              | Some idx ->
+                  let key = Array.map value a.a_key_sources in
+                  Inc_index.iter_matches idx aps.store key try_row
+              | None ->
+                  for row = 0 to Relation.nrows aps.store - 1 do
+                    try_row row
+                  done)
+        in
+        for drow = clo to chi - 1 do
+          let ok = ref true in
+          Array.iter
+            (fun (pos, src) ->
+              if Relation.get ps.store ~row:drow ~col:pos <> value src then ok := false)
+            variant.v_driver_checks;
+          if !ok then begin
+            Array.iter
+              (fun (pos, r) -> regs.(r) <- Relation.get ps.store ~row:drow ~col:pos)
+              variant.v_driver_binds;
+            exec variant.v_steps
+          end
+        done;
+        fragments := frag :: !fragments);
+    List.iter (fun frag -> Relation.append_all out frag) (List.rev !fragments)
+  end
+
+(* --- aggregation (non-recursive strata only) --- *)
+
+let fold_aggregate an pred candidates =
+  let sig_ = Option.get (An.agg_sig an pred) in
+  let arity = An.arity an pred in
+  let table : (int list, int array * int array) Hashtbl.t = Hashtbl.create 256 in
+  let ops = sig_.An.agg_positions in
+  let seen = Dedup.create Dedup.Fast arity in
+  let tuple = Array.make arity 0 in
+  for row = 0 to Relation.nrows candidates - 1 do
+    for c = 0 to arity - 1 do
+      tuple.(c) <- Relation.get candidates ~row ~col:c
+    done;
+    if Dedup.add_row seen tuple then begin
+      let key = List.map (fun p -> tuple.(p)) sig_.An.group_positions in
+      let vals, counts =
+        match Hashtbl.find_opt table key with
+        | Some acc -> acc
+        | None ->
+            let acc =
+              ( Array.of_list
+                  (List.map
+                     (fun (_, op) ->
+                       match op with
+                       | Ast.Min -> max_int
+                       | Ast.Max -> min_int
+                       | Ast.Sum | Ast.Count | Ast.Avg -> 0)
+                     ops),
+                Array.make (List.length ops) 0 )
+            in
+            Hashtbl.add table key acc;
+            acc
+      in
+      List.iteri
+        (fun i (pos, op) ->
+          let v = tuple.(pos) in
+          counts.(i) <- counts.(i) + 1;
+          match op with
+          | Ast.Min -> if v < vals.(i) then vals.(i) <- v
+          | Ast.Max -> if v > vals.(i) then vals.(i) <- v
+          | Ast.Sum | Ast.Avg -> vals.(i) <- vals.(i) + v
+          | Ast.Count -> vals.(i) <- vals.(i) + 1)
+        ops
+    end
+  done;
+  let out = Relation.create ~name:pred arity in
+  Hashtbl.iter
+    (fun key (vals, counts) ->
+      let t = Array.make arity 0 in
+      List.iteri (fun i p -> t.(p) <- List.nth key i) sig_.An.group_positions;
+      List.iteri
+        (fun i (p, op) ->
+          t.(p) <-
+            (match op with
+            | Ast.Avg -> if counts.(i) = 0 then 0 else vals.(i) / counts.(i)
+            | _ -> vals.(i)))
+        ops;
+      Relation.push_row out t)
+    table;
+  out
+
+let run ~pool ?deadline_vs ~edb program =
+  let an = An.analyze program in
+  let check_deadline () =
+    match deadline_vs with
+    | Some budget ->
+        let v = Pool.vtime_now pool in
+        if v > budget then raise (Recstep.Interpreter.Timeout_simulated v)
+    | None -> ()
+  in
+  (* Souffle has no recursive aggregation. *)
+  List.iter
+    (fun s ->
+      if s.An.recursive then
+        List.iter
+          (fun p ->
+            if An.agg_sig an p <> None then
+              Engine_intf.unsupported "%s: recursive aggregation (%s)" name p)
+          s.An.preds)
+    an.An.strata;
+  let stores : (string, pred_store) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (p, arity) -> Hashtbl.replace stores p (make_store p arity))
+    an.An.arities;
+  (* load EDBs (deduplicated, as souffle does on input) *)
+  List.iter
+    (fun p ->
+      match List.assoc_opt p edb with
+      | Some r ->
+          let ps = Hashtbl.find stores p in
+          let arity = Relation.arity r in
+          if arity <> ps.arity then Engine_intf.unsupported "%s: arity mismatch on %s" name p;
+          let tuple = Array.make arity 0 in
+          for row = 0 to Relation.nrows r - 1 do
+            for c = 0 to arity - 1 do
+              tuple.(c) <- Relation.get r ~row ~col:c
+            done;
+            ignore (insert ps tuple)
+          done;
+          account ps
+      | None -> Engine_intf.unsupported "%s: missing input %s" name p)
+    an.An.edbs;
+  (* stratum loop *)
+  List.iter
+    (fun stratum ->
+      check_deadline ();
+      let agg_preds = List.filter (fun p -> An.agg_sig an p <> None) stratum.An.preds in
+      let candidates : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun p -> Hashtbl.replace candidates p (Relation.create ~name:(p ^ "@cand") (An.arity an p)))
+        agg_preds;
+      let compiled =
+        List.filter_map
+          (fun r -> if r.Ast.body = [] then None else Some (r, compile_rule stores stratum r))
+          stratum.An.rules
+      in
+      (* facts *)
+      List.iter
+        (fun r ->
+          if r.Ast.body = [] then begin
+            let tuple =
+              Array.of_list
+                (List.map
+                   (function Ast.H_term (Ast.Const c) -> c | _ -> Engine_intf.unsupported "%s: non-ground fact" name)
+                   r.Ast.head_args)
+            in
+            match Hashtbl.find_opt candidates r.Ast.head_pred with
+            | Some cand -> Relation.push_row cand tuple
+            | None -> ignore (insert (Hashtbl.find stores r.Ast.head_pred) tuple)
+          end)
+        stratum.An.rules;
+      let sink head out_rel =
+        (* route derived tuples: aggregate heads collect candidates,
+           plain heads insert (dedup + index maintenance) *)
+        match Hashtbl.find_opt candidates head with
+        | Some cand -> Relation.append_all cand out_rel
+        | None ->
+            let ps = Hashtbl.find stores head in
+            let tuple = Array.make ps.arity 0 in
+            for row = 0 to Relation.nrows out_rel - 1 do
+              for c = 0 to ps.arity - 1 do
+                tuple.(c) <- Relation.get out_rel ~row ~col:c
+              done;
+              ignore (insert ps tuple)
+            done
+      in
+      (* iteration 0: base variants of every rule *)
+      List.iter
+        (fun (r, (nregs, base, _)) ->
+          if r.Ast.body <> [] then begin
+            let out = Relation.create (List.length r.Ast.head_args) in
+            run_variant pool stores nregs base ~out;
+            sink r.Ast.head_pred out
+          end)
+        compiled;
+      List.iter (fun p -> account (Hashtbl.find stores p)) stratum.An.preds;
+      (* advance deltas: everything inserted so far is Δ0 *)
+      List.iter
+        (fun p ->
+          let ps = Hashtbl.find stores p in
+          ps.delta_lo <- 0;
+          ps.delta_hi <- Relation.nrows ps.store)
+        stratum.An.preds;
+      if stratum.An.recursive then begin
+        let continue_ = ref true in
+        while !continue_ do
+          check_deadline ();
+          let before =
+            List.map (fun p -> (p, Relation.nrows (Hashtbl.find stores p).store)) stratum.An.preds
+          in
+          List.iter
+            (fun (r, (nregs, _, deltas)) ->
+              List.iter
+                (fun v ->
+                  let out = Relation.create (List.length r.Ast.head_args) in
+                  run_variant pool stores nregs v ~out;
+                  sink r.Ast.head_pred out)
+                deltas)
+            compiled;
+          let any = ref false in
+          List.iter
+            (fun (p, old_n) ->
+              let ps = Hashtbl.find stores p in
+              let n = Relation.nrows ps.store in
+              ps.delta_lo <- old_n;
+              ps.delta_hi <- n;
+              if n > old_n then any := true;
+              account ps)
+            before;
+          continue_ := !any
+        done
+      end;
+      (* fold aggregates of this stratum *)
+      List.iter
+        (fun p ->
+          let cand = Hashtbl.find candidates p in
+          let folded = fold_aggregate an p cand in
+          Relation.release cand;
+          let ps = Hashtbl.find stores p in
+          let tuple = Array.make ps.arity 0 in
+          for row = 0 to Relation.nrows folded - 1 do
+            for c = 0 to ps.arity - 1 do
+              tuple.(c) <- Relation.get folded ~row ~col:c
+            done;
+            ignore (insert ps tuple)
+          done;
+          account ps)
+        agg_preds;
+      (* reset deltas for later strata *)
+      List.iter
+        (fun p ->
+          let ps = Hashtbl.find stores p in
+          ps.delta_lo <- 0;
+          ps.delta_hi <- 0)
+        stratum.An.preds)
+    an.An.strata;
+  fun pred ->
+    match Hashtbl.find_opt stores pred with
+    | Some ps -> ps.store
+    | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name pred)

@@ -1,0 +1,15 @@
+(** Souffle-like baseline: compiled, tuple-at-a-time semi-naive evaluation.
+
+    Reimplements the evaluation strategy of Souffle (paper §6.1): each rule
+    is "compiled" ahead of time into a probe program over incrementally
+    maintained indices (our stand-in for Souffle's auto-selected B-trees),
+    the outer loop over the driving delta is parallelized over the worker
+    pool, and there is no per-query overhead — the profile that makes the
+    real Souffle win CSDA and lose ground when deltas are small (its
+    parallelism is workload-dependent, Figures 12a/15a/16).
+
+    Capability envelope per Table 1: mutual recursion and non-recursive
+    aggregation supported; recursive aggregation NOT supported (CC and SSSP
+    raise {!Engine_intf.Unsupported}); stratified negation supported. *)
+
+include Engine_intf.S

@@ -1,0 +1,1 @@
+lib/exec/catalog.ml: Array Hashtbl Printf Rs_parallel Rs_relation Rs_util

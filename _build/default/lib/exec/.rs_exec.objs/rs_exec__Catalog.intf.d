@@ -1,0 +1,1 @@
+lib/exec/catalog.mli: Rs_parallel Rs_relation

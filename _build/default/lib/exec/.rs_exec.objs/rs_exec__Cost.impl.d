@@ -1,0 +1,1 @@
+lib/exec/cost.ml: Array List Rs_relation Rs_util

@@ -1,0 +1,1 @@
+lib/exec/cost.mli: Rs_parallel

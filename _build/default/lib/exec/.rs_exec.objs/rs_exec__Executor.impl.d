@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Catalog Expr Hashtbl List Plan Rs_parallel Rs_relation Rs_util

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Catalog Plan Rs_parallel Rs_relation

@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Array Buffer Expr List Printf Rs_relation String

@@ -1,0 +1,1 @@
+lib/exec/plan.mli: Expr Rs_relation

@@ -1,0 +1,312 @@
+module Relation = Rs_relation.Relation
+module Hash_index = Rs_relation.Hash_index
+module Pool = Rs_parallel.Pool
+module Int_vec = Rs_util.Int_vec
+
+type t = {
+  pool : Pool.t;
+  catalog : Catalog.t;
+  query_overhead_s : float;
+  share_builds : bool;
+}
+
+let create ?(query_overhead_s = 0.0005) ?(share_builds = true) pool catalog =
+  { pool; catalog; query_overhead_s; share_builds }
+
+let estimate t p = Plan.estimate (fun name -> Catalog.stat_rows t.catalog name) p
+
+let arity_of t p = Plan.arity (fun name -> Relation.arity (Catalog.rel t.catalog name)) p
+
+(* Per-query cache of hash tables built on named tables, keyed by
+   (table, key columns). Shared across the subplans of a UNION ALL when
+   [share_builds] — the cache-sharing effect of UIE. *)
+type cache = (string * int list, Hash_index.t) Hashtbl.t
+
+let build_index ?(cache : cache option) ?scan_name ~build_fn rel keys =
+  match (cache, scan_name) with
+  | Some c, Some name ->
+      let k = (name, Array.to_list keys) in
+      (match Hashtbl.find_opt c k with
+      | Some idx -> idx
+      | None ->
+          let idx = build_fn rel keys in
+          Hash_index.account idx;
+          Hashtbl.add c k idx;
+          idx)
+  | _ ->
+      let idx = build_fn rel keys in
+      Hash_index.account idx;
+      idx
+
+let release_cache (c : cache) = Hashtbl.iter (fun _ idx -> Hash_index.release idx) c
+
+(* Merge per-chunk output fragments in chunk order (the virtual pool runs
+   chunks sequentially, so a list ref is race-free; chunk order keeps results
+   deterministic). *)
+let chunked_output t ~arity ~n f =
+  let fragments = ref [] in
+  Pool.parallel_for t.pool 0 n (fun lo hi ->
+      let frag = Relation.create arity in
+      f frag lo hi;
+      fragments := frag :: !fragments);
+  Relation.concat_parallel t.pool arity (List.rev !fragments)
+
+let rec eval t (cache : cache option) plan : Relation.t =
+  match plan with
+  | Plan.Scan name -> Catalog.rel t.catalog name
+  | Plan.Rel r -> r
+  | Plan.Filter (preds, src) ->
+      let input = eval t cache src in
+      let arity = Relation.arity input in
+      let n = Relation.nrows input in
+      chunked_output t ~arity ~n (fun frag lo hi ->
+          for row = lo to hi - 1 do
+            let get c = Relation.get input ~row ~col:c in
+            if List.for_all (Expr.test get) preds then
+              for c = 0 to arity - 1 do
+                Int_vec.push (Relation.col frag c) (get c)
+              done
+          done)
+  | Plan.Project (exprs, src) ->
+      let input = eval t cache src in
+      let arity = Array.length exprs in
+      let n = Relation.nrows input in
+      chunked_output t ~arity ~n (fun frag lo hi ->
+          for row = lo to hi - 1 do
+            let get c = Relation.get input ~row ~col:c in
+            Array.iteri (fun i e -> Int_vec.push (Relation.col frag i) (Expr.eval get e)) exprs
+          done)
+  | Plan.Join j -> eval_join t cache j
+  | Plan.AntiJoin a -> eval_anti t cache a
+  | Plan.UnionAll ps ->
+      let arity = arity_of t plan in
+      (* Subplans of one query run back to back; with [share_builds] they
+         reuse each other's hash tables via [cache]. The final merge is a
+         parallel block copy. *)
+      let parts = List.map (fun p -> eval t cache p) ps in
+      Relation.concat_parallel t.pool arity parts
+  | Plan.Aggregate a -> eval_agg t cache a
+
+and eval_join t cache { Plan.l; r; lkeys; rkeys; extra; out } =
+  let scan_name = function Plan.Scan n -> Some n | _ -> None in
+  let lrel = eval t cache l and rrel = eval t cache r in
+  let la = Relation.arity lrel in
+  let out_arity =
+    match out with Some es -> Array.length es | None -> la + Relation.arity rrel
+  in
+  (* Build-side choice from optimizer estimates (not true sizes): this is
+     the decision OOF keeps honest by refreshing row counts. *)
+  let est_l = estimate t l and est_r = estimate t r in
+  let build_left = est_l <= est_r in
+  let brel, bkeys, bname, prel, pkeys =
+    if build_left then (lrel, lkeys, scan_name l, rrel, rkeys)
+    else (rrel, rkeys, scan_name r, lrel, lkeys)
+  in
+  let idx = build_index ?cache ?scan_name:bname ~build_fn:(Hash_index.build_pool t.pool) brel bkeys in
+  let own_index = match (cache, bname) with Some _, Some _ -> false | _ -> true in
+  let n = Relation.nrows prel in
+  let key = Array.make (Array.length pkeys) 0 in
+  let result =
+    chunked_output t ~arity:out_arity ~n (fun frag lo hi ->
+        for prow = lo to hi - 1 do
+          Array.iteri (fun i c -> key.(i) <- Relation.get prel ~row:prow ~col:c) pkeys;
+          Hash_index.iter_matches idx key (fun brow ->
+              let lrow, rrow = if build_left then (brow, prow) else (prow, brow) in
+              let get c =
+                if c < la then Relation.get lrel ~row:lrow ~col:c
+                else Relation.get rrel ~row:rrow ~col:(c - la)
+              in
+              if List.for_all (Expr.test get) extra then
+                match out with
+                | Some exprs ->
+                    Array.iteri
+                      (fun i e -> Int_vec.push (Relation.col frag i) (Expr.eval get e))
+                      exprs
+                | None ->
+                    for c = 0 to out_arity - 1 do
+                      Int_vec.push (Relation.col frag c) (get c)
+                    done)
+        done)
+  in
+  if own_index then Hash_index.release idx;
+  result
+
+and eval_anti t cache { Plan.al; ar; alkeys; arkeys } =
+  let lrel = eval t cache al and rrel = eval t cache ar in
+  let arity = Relation.arity lrel in
+  let idx = Hash_index.build_pool t.pool rrel arkeys in
+  Hash_index.account idx;
+  let n = Relation.nrows lrel in
+  let key = Array.make (Array.length alkeys) 0 in
+  let result =
+    chunked_output t ~arity ~n (fun frag lo hi ->
+        for row = lo to hi - 1 do
+          Array.iteri (fun i c -> key.(i) <- Relation.get lrel ~row ~col:c) alkeys;
+          if not (Hash_index.mem idx key) then
+            for c = 0 to arity - 1 do
+              Int_vec.push (Relation.col frag c) (Relation.get lrel ~row ~col:c)
+            done
+        done)
+  in
+  ignore cache;
+  Hash_index.release idx;
+  result
+
+and eval_agg t cache { Plan.group; aggs; src } =
+  let input = eval t cache src in
+  let n = Relation.nrows input in
+  let ngroup = Array.length group and naggs = Array.length aggs in
+  (* Chunked partial aggregation, then a serial merge of the partials —
+     QuickStep's two-phase parallel aggregation. Accumulators per agg:
+     value plus a count (for AVG). *)
+  let partials = ref [] in
+  Pool.parallel_for t.pool 0 n (fun lo hi ->
+      let table : (int list, int array * int array) Hashtbl.t = Hashtbl.create 256 in
+      for row = lo to hi - 1 do
+        let get c = Relation.get input ~row ~col:c in
+        let k = Array.to_list (Array.map (Expr.eval get) group) in
+        let vals, counts =
+          match Hashtbl.find_opt table k with
+          | Some acc -> acc
+          | None ->
+              let init =
+                Array.map
+                  (fun (op, _) ->
+                    match op with
+                    | Plan.Min -> max_int
+                    | Plan.Max -> min_int
+                    | Plan.Sum | Plan.Count | Plan.Avg -> 0)
+                  aggs
+              in
+              let acc = (init, Array.make naggs 0) in
+              Hashtbl.add table k acc;
+              acc
+        in
+        Array.iteri
+          (fun i (op, e) ->
+            let v = Expr.eval get e in
+            counts.(i) <- counts.(i) + 1;
+            match op with
+            | Plan.Min -> if v < vals.(i) then vals.(i) <- v
+            | Plan.Max -> if v > vals.(i) then vals.(i) <- v
+            | Plan.Sum | Plan.Avg -> vals.(i) <- vals.(i) + v
+            | Plan.Count -> vals.(i) <- vals.(i) + 1)
+          aggs
+      done;
+      partials := table :: !partials);
+  let merged : (int list, int array * int array) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun table ->
+      Hashtbl.iter
+        (fun k (vals, counts) ->
+          match Hashtbl.find_opt merged k with
+          | None -> Hashtbl.add merged k (Array.copy vals, Array.copy counts)
+          | Some (mv, mc) ->
+              Array.iteri
+                (fun i (op, _) ->
+                  mc.(i) <- mc.(i) + counts.(i);
+                  match op with
+                  | Plan.Min -> if vals.(i) < mv.(i) then mv.(i) <- vals.(i)
+                  | Plan.Max -> if vals.(i) > mv.(i) then mv.(i) <- vals.(i)
+                  | Plan.Sum | Plan.Count | Plan.Avg -> mv.(i) <- mv.(i) + vals.(i))
+                aggs)
+        table)
+    (List.rev !partials);
+  let out = Relation.create (ngroup + naggs) in
+  Hashtbl.iter
+    (fun k (vals, counts) ->
+      List.iteri (fun i v -> Int_vec.push (Relation.col out i) v) k;
+      Array.iteri
+        (fun i (op, _) ->
+          let v =
+            match op with
+            | Plan.Avg -> if counts.(i) = 0 then 0 else vals.(i) / counts.(i)
+            | _ -> vals.(i)
+          in
+          Int_vec.push (Relation.col out (ngroup + i)) v)
+        aggs)
+    merged;
+  Relation.account out;
+  out
+
+let run_query t plan =
+  Pool.add_serial t.pool t.query_overhead_s;
+  let cache : cache option = if t.share_builds then Some (Hashtbl.create 8) else None in
+  let result = eval t cache plan in
+  (match cache with Some c -> release_cache c | None -> ());
+  result
+
+(* --- set difference (Algorithms 4 and 5) --- *)
+
+let all_cols rel = Array.init (Relation.arity rel) (fun i -> i)
+
+let opsd t ~rdelta ~r =
+  let keys = all_cols rdelta in
+  let idx = Hash_index.build_pool t.pool r keys in
+  Hash_index.account idx;
+  let n = Relation.nrows rdelta in
+  let arity = Relation.arity rdelta in
+  let key = Array.make arity 0 in
+  let matched = ref 0 in
+  let out =
+    chunked_output t ~arity ~n (fun frag lo hi ->
+        for row = lo to hi - 1 do
+          for c = 0 to arity - 1 do
+            key.(c) <- Relation.get rdelta ~row ~col:c
+          done;
+          if Hash_index.mem idx key then incr matched
+          else
+            for c = 0 to arity - 1 do
+              Int_vec.push (Relation.col frag c) key.(c)
+            done
+        done)
+  in
+  Hash_index.release idx;
+  (out, !matched)
+
+let tpsd t ~rdelta ~r =
+  let arity = Relation.arity rdelta in
+  let keys = all_cols rdelta in
+  (* Phase 1: intersection, building on the smaller input. *)
+  let build, probe =
+    if Relation.nrows r <= Relation.nrows rdelta then (r, rdelta) else (rdelta, r)
+  in
+  let hb = Hash_index.build_pool t.pool build keys in
+  Hash_index.account hb;
+  let inter = Relation.create arity in
+  let key = Array.make arity 0 in
+  let n = Relation.nrows probe in
+  Pool.parallel_for t.pool 0 n (fun lo hi ->
+      for row = lo to hi - 1 do
+        for c = 0 to arity - 1 do
+          key.(c) <- Relation.get probe ~row ~col:c
+        done;
+        if Hash_index.mem hb key then
+          for c = 0 to arity - 1 do
+            Int_vec.push (Relation.col inter c) key.(c)
+          done
+      done);
+  Relation.account inter;
+  Hash_index.release hb;
+  (* The probe side may contain tuples of [r] several times only if [r] had
+     duplicates; IDB tables are deduplicated, so [inter] is a set. *)
+  (* Phase 2: Rδ − r. *)
+  let hr = Hash_index.build_pool t.pool inter keys in
+  Hash_index.account hr;
+  let nd = Relation.nrows rdelta in
+  let out =
+    chunked_output t ~arity ~n:nd (fun frag lo hi ->
+        for row = lo to hi - 1 do
+          for c = 0 to arity - 1 do
+            key.(c) <- Relation.get rdelta ~row ~col:c
+          done;
+          if not (Hash_index.mem hr key) then
+            for c = 0 to arity - 1 do
+              Int_vec.push (Relation.col frag c) key.(c)
+            done
+        done)
+  in
+  Hash_index.release hr;
+  let inter_n = Relation.nrows inter in
+  Relation.release inter;
+  (out, inter_n)

@@ -1,0 +1,41 @@
+module Relation = Rs_relation.Relation
+module Hash_index = Rs_relation.Hash_index
+(** Physical execution of logical plans — the parallel RDBMS backend.
+
+    Plays QuickStep's role: each {!run_query} call is one "SQL query" issued
+    by the Datalog interpreter. It pays a per-query dispatch overhead,
+    optimizes joins with the catalog's (possibly stale) statistics, runs the
+    operators chunk-parallel on the worker pool, and materializes a bag
+    result ([UNION ALL] semantics — deduplication is the engine's separate
+    [dedup] call, as in Algorithm 1). *)
+
+type t = {
+  pool : Rs_parallel.Pool.t;
+  catalog : Catalog.t;
+  query_overhead_s : float;
+      (** modeled per-query dispatch cost (parse/plan/catalog bookkeeping) *)
+  share_builds : bool;
+      (** share hash tables built on the same (table, key) within one query —
+          the cache-sharing benefit UIE unlocks (paper §5.1) *)
+}
+
+val create :
+  ?query_overhead_s:float -> ?share_builds:bool -> Rs_parallel.Pool.t -> Catalog.t -> t
+
+val run_query : t -> Plan.t -> Relation.t
+(** Executes one query. The result is a fresh materialized relation (not
+    registered in the catalog). *)
+
+val opsd : t -> rdelta:Relation.t -> r:Relation.t -> Relation.t * int
+(** One-phase set difference [Rδ − R] (Algorithm 4): build a hash table on
+    [R], anti-probe with [Rδ]. Returns [(ΔR, |Rδ ∩ R|)] — the intersection
+    cardinality feeds the next iteration's µ. *)
+
+val tpsd : t -> rdelta:Relation.t -> r:Relation.t -> Relation.t * int
+(** Two-phase set difference (Algorithm 5): build on the smaller of the two,
+    compute the intersection [r], then [Rδ − r]. Same result and return
+    convention as {!opsd}. *)
+
+val estimate : t -> Plan.t -> int
+(** The optimizer's cardinality estimate for a plan under current catalog
+    statistics. *)

@@ -1,0 +1,146 @@
+type event = { ev_vstart : float; ev_vlen : float; ev_busy : float }
+
+type stats = {
+  workers : int;
+  vtime : float;
+  busy : float;
+  wall : float;
+  utilization : float;
+}
+
+type t = {
+  mutable workers : int;
+  mutable run_start : float;  (* wall clock at begin_run *)
+  mutable real_in_batches : float;
+  mutable sim_in_batches : float;
+  mutable busy : float;
+  mutable events : event list;  (* newest first *)
+  mutable progress : (float -> unit) list;
+  mutable depth : int;  (* nested batches run inline, charged to the enclosing chunk *)
+}
+
+let default_workers () =
+  match Sys.getenv_opt "RECSTEP_WORKERS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 16)
+  | None -> 16
+
+let create ?workers () =
+  let workers = match workers with Some w -> max 1 w | None -> default_workers () in
+  {
+    workers;
+    run_start = Rs_util.Clock.now ();
+    real_in_batches = 0.0;
+    sim_in_batches = 0.0;
+    busy = 0.0;
+    events = [];
+    progress = [];
+    depth = 0;
+  }
+
+let workers t = t.workers
+
+let set_workers t w = t.workers <- max 1 w
+
+let begin_run t =
+  t.run_start <- Rs_util.Clock.now ();
+  t.real_in_batches <- 0.0;
+  t.sim_in_batches <- 0.0;
+  t.busy <- 0.0;
+  t.events <- []
+
+let vtime_now t =
+  Rs_util.Clock.now () -. t.run_start -. t.real_in_batches +. t.sim_in_batches
+
+let on_progress t f = t.progress <- f :: t.progress
+
+let clear_progress t = t.progress <- []
+
+(* Greedy assignment of task durations to the least-loaded virtual worker;
+   the batch makespan is the maximum worker load. *)
+let record_batch t durations =
+  let k = t.workers in
+  let loads = Array.make k 0.0 in
+  let total = ref 0.0 in
+  List.iter
+    (fun d ->
+      let best = ref 0 in
+      for i = 1 to k - 1 do
+        if loads.(i) < loads.(!best) then best := i
+      done;
+      loads.(!best) <- loads.(!best) +. d;
+      total := !total +. d)
+    durations;
+  let makespan = Array.fold_left max 0.0 loads in
+  let real = !total in
+  (* The batch's real duration is already on the wall clock but not yet in
+     [real_in_batches]; subtract it so the event starts where the batch
+     started on the simulated clock. *)
+  let vstart = vtime_now t -. real in
+  t.real_in_batches <- t.real_in_batches +. real;
+  t.sim_in_batches <- t.sim_in_batches +. makespan;
+  t.busy <- t.busy +. real;
+  t.events <- { ev_vstart = vstart; ev_vlen = makespan; ev_busy = real } :: t.events;
+  let v = vtime_now t in
+  List.iter (fun f -> f v) t.progress
+
+let add_serial t s =
+  if s > 0.0 then begin
+    let vstart = vtime_now t in
+    t.sim_in_batches <- t.sim_in_batches +. s;
+    t.busy <- t.busy +. s;
+    t.events <- { ev_vstart = vstart; ev_vlen = s; ev_busy = s } :: t.events
+  end
+
+let parallel_for t ?chunks lo hi f =
+  if hi > lo then
+    if t.depth > 0 then f lo hi
+    else begin
+      let n = hi - lo in
+      let chunks = match chunks with Some c -> max 1 c | None -> 4 * t.workers in
+      let chunks = min chunks n in
+      let size = (n + chunks - 1) / chunks in
+      let durations = ref [] in
+      t.depth <- t.depth + 1;
+      Fun.protect
+        ~finally:(fun () -> t.depth <- t.depth - 1)
+        (fun () ->
+          let sub = ref lo in
+          while !sub < hi do
+            let sub_hi = min hi (!sub + size) in
+            let t0 = Rs_util.Clock.now () in
+            f !sub sub_hi;
+            durations := (Rs_util.Clock.now () -. t0) :: !durations;
+            sub := sub_hi
+          done);
+      record_batch t !durations
+    end
+
+let map_tasks t fs =
+  if t.depth > 0 then List.map (fun f -> f ()) fs
+  else begin
+    t.depth <- t.depth + 1;
+    let timed =
+      Fun.protect
+        ~finally:(fun () -> t.depth <- t.depth - 1)
+        (fun () ->
+          List.map
+            (fun f ->
+              let t0 = Rs_util.Clock.now () in
+              let r = f () in
+              (r, Rs_util.Clock.now () -. t0))
+            fs)
+    in
+    record_batch t (List.map snd timed);
+    List.map fst timed
+  end
+
+let stats t =
+  let wall = Rs_util.Clock.now () -. t.run_start in
+  let vtime = wall -. t.real_in_batches +. t.sim_in_batches in
+  (* Serial time occupies one virtual worker. *)
+  let serial = wall -. t.real_in_batches in
+  let busy = t.busy +. serial in
+  let utilization = if vtime > 0.0 then busy /. (float_of_int t.workers *. vtime) else 0.0 in
+  { workers = t.workers; vtime; busy; wall; utilization }
+
+let events t = List.rev t.events

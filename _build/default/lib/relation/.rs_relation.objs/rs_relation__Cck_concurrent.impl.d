@@ -1,0 +1,1 @@
+lib/relation/cck_concurrent.ml: Array Atomic List Rs_util

@@ -1,0 +1,1 @@
+lib/relation/cck_concurrent.mli:

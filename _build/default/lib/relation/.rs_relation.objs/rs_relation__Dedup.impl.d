@@ -1,0 +1,1 @@
+lib/relation/dedup.ml: Array Hashtbl List Option Relation Rs_parallel Rs_storage Rs_util

@@ -1,0 +1,1 @@
+lib/relation/dedup.mli: Relation Rs_parallel

@@ -1,0 +1,1 @@
+lib/relation/hash_index.ml: Array Relation Rs_parallel Rs_storage Rs_util

@@ -1,0 +1,1 @@
+lib/relation/hash_index.mli: Relation Rs_parallel

@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array List Option Rs_parallel Rs_storage Rs_util

@@ -1,0 +1,71 @@
+module Int_key = Rs_util.Int_key
+
+type t = {
+  buckets : int Atomic.t array;  (* head slot index, -1 = empty *)
+  keys : int array;
+  nexts : int array;
+  count : int Atomic.t;
+  mask : int;
+}
+
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create ~capacity ~buckets =
+  let nb = pow2_at_least buckets in
+  {
+    buckets = Array.init nb (fun _ -> Atomic.make (-1));
+    keys = Array.make (max 1 capacity) 0;
+    nexts = Array.make (max 1 capacity) (-1);
+    count = Atomic.make 0;
+    mask = nb - 1;
+  }
+
+let chain_has t key ~from ~until =
+  let rec walk slot =
+    if slot = until then false
+    else if t.keys.(slot) = key then true
+    else walk (t.nexts.(slot))
+  in
+  walk from
+
+let add t key =
+  let b = t.buckets.(Int_key.hash key land t.mask) in
+  let head = Atomic.get b in
+  if chain_has t key ~from:head ~until:(-1) then false
+  else begin
+    let slot = Atomic.fetch_and_add t.count 1 in
+    if slot >= Array.length t.keys then failwith "Cck_concurrent: capacity exhausted";
+    t.keys.(slot) <- key;
+    (* Publish: CAS the bucket head; on failure, re-check only the nodes that
+       other threads prepended since [seen] (Figure 5, case 3). *)
+    let rec publish seen =
+      t.nexts.(slot) <- seen;
+      if Atomic.compare_and_set b seen slot then true
+      else begin
+        let head' = Atomic.get b in
+        if chain_has t key ~from:head' ~until:seen then false else publish head'
+      end
+    in
+    publish head
+  end
+
+let mem t key =
+  let head = Atomic.get t.buckets.(Int_key.hash key land t.mask) in
+  chain_has t key ~from:head ~until:(-1)
+
+(* [count] may exceed the number of published keys by abandoned slots (a
+   concurrent duplicate discovered during publish); enumerate via buckets. *)
+let fold f acc t =
+  let acc = ref acc in
+  Array.iter
+    (fun b ->
+      let rec walk slot = if slot >= 0 then begin acc := f !acc t.keys.(slot); walk t.nexts.(slot) end in
+      walk (Atomic.get b))
+    t.buckets;
+  !acc
+
+let cardinal t = fold (fun n _ -> n + 1) 0 t
+
+let to_sorted_list t = List.sort compare (fold (fun l k -> k :: l) [] t)

@@ -1,0 +1,60 @@
+(** Tuple-set structures for deduplication (the paper's FAST-DEDUP).
+
+    The paper's CCK-GSCHT is a global separate-chaining hash table whose
+    entries are Compact Concatenated Keys: the whole tuple packed into one
+    machine word that serves as key, value and hash at once. We provide:
+
+    - {!Fast}: the CCK-GSCHT. Tuples of arity <= 2 (with attributes below
+      2^31) are packed with {!Rs_util.Int_key.pack2}; wider tuples fall back
+      to a flattened arena with combined hashing, still pointer-free.
+    - {!Boxed}: the "un-specialized" baseline used for the FAST-DEDUP-off
+      ablation — a stdlib [Hashtbl] keyed by boxed [int array] tuples, which
+      costs extra allocation, hashing and per-entry overhead.
+
+    Memory is accounted to {!Rs_storage.Memtrack} (real array sizes for
+    {!Fast}; a per-entry estimate of the GC-heap footprint for {!Boxed}). *)
+
+type mode = Fast | Boxed
+
+type t
+
+val create : ?expected:int -> mode -> int -> t
+(** [create mode arity] makes an empty set. [expected] pre-sizes the bucket
+    array, mirroring the paper's pre-allocation from the optimizer's
+    estimate. *)
+
+val mode : t -> mode
+
+val arity : t -> int
+
+val add2 : t -> int -> int -> bool
+(** [add2 t x y] inserts the pair; [true] iff it was new. Arity must be 2. *)
+
+val add_row : t -> int array -> bool
+
+val add1 : t -> int -> bool
+
+val mem_row : t -> int array -> bool
+
+val mem2 : t -> int -> int -> bool
+
+val cardinal : t -> int
+
+val bytes : t -> int
+
+val account : t -> unit
+(** Reconcile with the memory tracker (may raise [Simulated_oom]). *)
+
+val release : t -> unit
+
+val dedup_relation : ?expected:int -> mode -> Relation.t -> Relation.t
+(** [dedup_relation mode r] returns a fresh relation with [r]'s distinct
+    tuples in first-occurrence order — the engine's [dedup(R)] call
+    (Algorithm 1, line 10). *)
+
+val dedup_relation_parallel :
+  ?expected:int -> pool:Rs_parallel.Pool.t -> mode -> Relation.t -> Relation.t
+(** Like {!dedup_relation}, but tuples are inserted chunk-parallel through
+    the worker pool — the CCK-GSCHT is a *global latch-free* table built for
+    exactly this access pattern (paper Figure 5), so the engine's dedup step
+    scales with cores. Output order is per-chunk first-occurrence. *)

@@ -1,0 +1,122 @@
+module Int_vec = Rs_util.Int_vec
+module Int_key = Rs_util.Int_key
+module Memtrack = Rs_storage.Memtrack
+
+type t = {
+  rel : Relation.t;
+  key_cols : int array;
+  heads : int array;
+  nexts : int array;
+  mask : int;
+  mutable accounted : int;
+}
+
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let row_key_hash rel key_cols row =
+  match Array.length key_cols with
+  | 1 -> Int_key.hash (Relation.get rel ~row ~col:key_cols.(0))
+  | 2 ->
+      Int_key.hash
+        (Int_key.pack2 (Relation.get rel ~row ~col:key_cols.(0)) (Relation.get rel ~row ~col:key_cols.(1)))
+  | _ ->
+      Array.fold_left
+        (fun acc c -> Int_key.hash_combine acc (Relation.get rel ~row ~col:c))
+        0x9E3779B9 key_cols
+
+let build rel key_cols =
+  let n = Relation.nrows rel in
+  let cap = pow2_at_least (2 * max 8 n) in
+  let heads = Array.make cap (-1) in
+  let nexts = Array.make (max 1 n) (-1) in
+  let mask = cap - 1 in
+  for row = 0 to n - 1 do
+    let h = row_key_hash rel key_cols row land mask in
+    nexts.(row) <- heads.(h);
+    heads.(h) <- row
+  done;
+  { rel; key_cols; heads; nexts; mask; accounted = 0 }
+
+let build_pool pool rel key_cols =
+  let n = Relation.nrows rel in
+  let cap = pow2_at_least (2 * max 8 n) in
+  let heads = Array.make cap (-1) in
+  let nexts = Array.make (max 1 n) (-1) in
+  let mask = cap - 1 in
+  (* Chain prepends commute; under real threads this is one CAS per row on
+     the bucket head (cf. Cck_concurrent), so the pass is parallel work. *)
+  Rs_parallel.Pool.parallel_for pool 0 n (fun lo hi ->
+      for row = lo to hi - 1 do
+        let h = row_key_hash rel key_cols row land mask in
+        nexts.(row) <- heads.(h);
+        heads.(h) <- row
+      done);
+  { rel; key_cols; heads; nexts; mask; accounted = 0 }
+
+let relation t = t.rel
+let key_cols t = t.key_cols
+let nrows t = Relation.nrows t.rel
+
+let key_eq t row key =
+  let rec go i =
+    i = Array.length t.key_cols
+    || (Relation.get t.rel ~row ~col:t.key_cols.(i) = key.(i) && go (i + 1))
+  in
+  go 0
+
+let iter_matches t key f =
+  let h =
+    match Array.length t.key_cols with
+    | 1 -> Int_key.hash key.(0)
+    | 2 -> Int_key.hash (Int_key.pack2 key.(0) key.(1))
+    | _ -> Array.fold_left Int_key.hash_combine 0x9E3779B9 key
+  in
+  let rec walk row =
+    if row >= 0 then begin
+      if key_eq t row key then f row;
+      walk t.nexts.(row)
+    end
+  in
+  walk t.heads.(h land t.mask)
+
+let iter_matches1 t k f =
+  let c = t.key_cols.(0) in
+  let rec walk row =
+    if row >= 0 then begin
+      if Relation.get t.rel ~row ~col:c = k then f row;
+      walk t.nexts.(row)
+    end
+  in
+  walk t.heads.(Int_key.hash k land t.mask)
+
+let iter_matches2 t k1 k2 f =
+  let c1 = t.key_cols.(0) and c2 = t.key_cols.(1) in
+  let rec walk row =
+    if row >= 0 then begin
+      if Relation.get t.rel ~row ~col:c1 = k1 && Relation.get t.rel ~row ~col:c2 = k2 then f row;
+      walk t.nexts.(row)
+    end
+  in
+  walk t.heads.(Int_key.hash (Int_key.pack2 k1 k2) land t.mask)
+
+exception Found
+
+let mem t key =
+  try
+    iter_matches t key (fun _ -> raise Found);
+    false
+  with Found -> true
+
+let bytes t = 8 * (Array.length t.heads + Array.length t.nexts)
+
+let account t =
+  let b = bytes t in
+  let delta = b - t.accounted in
+  if delta > 0 then Memtrack.alloc delta else Memtrack.free (-delta);
+  t.accounted <- b
+
+let release t =
+  Memtrack.free t.accounted;
+  t.accounted <- 0

@@ -1,0 +1,43 @@
+(** Multi-map hash index from key columns to row ids.
+
+    The build side of every hash join, anti-join and group-by in the
+    executor. Chains are stored in flat arrays (no boxing), matching the
+    storage discipline of the rest of the backend. *)
+
+type t
+
+val build : Relation.t -> int array -> t
+(** [build r key_cols] indexes every row of [r] by the values of
+    [key_cols]. The index holds a reference to [r]; [r] must not be mutated
+    while the index is in use. *)
+
+val build_pool : Rs_parallel.Pool.t -> Relation.t -> int array -> t
+(** Like {!build} but with the insertion pass chunked through the worker
+    pool. Chain insertion is order-independent and latch-free with a CAS on
+    the bucket head (the same argument as the CCK-GSCHT, Figure 5), so the
+    build step is charged as parallel work. *)
+
+val relation : t -> Relation.t
+
+val key_cols : t -> int array
+
+val iter_matches : t -> int array -> (int -> unit) -> unit
+(** [iter_matches idx key f] calls [f row_id] for every indexed row whose key
+    columns equal [key]. *)
+
+val iter_matches2 : t -> int -> int -> (int -> unit) -> unit
+(** Specialization for two-column keys. *)
+
+val iter_matches1 : t -> int -> (int -> unit) -> unit
+(** Specialization for one-column keys. *)
+
+val mem : t -> int array -> bool
+
+val nrows : t -> int
+
+val bytes : t -> int
+(** Footprint of the index arrays (excluding the indexed relation). *)
+
+val account : t -> unit
+
+val release : t -> unit

@@ -1,0 +1,112 @@
+module Int_vec = Rs_util.Int_vec
+module Memtrack = Rs_storage.Memtrack
+
+type t = {
+  name : string;
+  arity : int;
+  cols : Int_vec.t array;
+  mutable accounted : int;
+}
+
+let create ?(name = "_anon") arity =
+  if arity < 1 then invalid_arg "Relation.create: arity must be >= 1";
+  { name; arity; cols = Array.init arity (fun _ -> Int_vec.create ()); accounted = 0 }
+
+let create_sized ?(name = "_anon") arity n =
+  if arity < 1 then invalid_arg "Relation.create_sized";
+  { name; arity; cols = Array.init arity (fun _ -> Int_vec.create_sized n); accounted = 0 }
+
+let name t = t.name
+let arity t = t.arity
+let nrows t = Int_vec.length t.cols.(0)
+
+let push_row t row =
+  if Array.length row <> t.arity then invalid_arg "Relation.push_row: arity mismatch";
+  Array.iteri (fun i x -> Int_vec.push t.cols.(i) x) row
+
+let push1 t x =
+  assert (t.arity = 1);
+  Int_vec.push t.cols.(0) x
+
+let push2 t x y =
+  assert (t.arity = 2);
+  Int_vec.push t.cols.(0) x;
+  Int_vec.push t.cols.(1) y
+
+let push3 t x y z =
+  assert (t.arity = 3);
+  Int_vec.push t.cols.(0) x;
+  Int_vec.push t.cols.(1) y;
+  Int_vec.push t.cols.(2) z
+
+let get t ~row ~col = Int_vec.get t.cols.(col) row
+
+let col t i = t.cols.(i)
+
+let of_rows ?name arity rows =
+  let t = create ?name arity in
+  List.iter (push_row t) rows;
+  t
+
+let to_rows t =
+  let n = nrows t in
+  List.init n (fun r -> Array.init t.arity (fun c -> get t ~row:r ~col:c))
+
+let copy ?name t =
+  let r = create ?name:(Some (Option.value name ~default:t.name)) t.arity in
+  Array.iteri (fun i c -> Int_vec.append r.cols.(i) c) t.cols;
+  r
+
+let append_all dst src =
+  if dst.arity <> src.arity then invalid_arg "Relation.append_all: arity mismatch";
+  Array.iteri (fun i c -> Int_vec.append dst.cols.(i) c) src.cols
+
+let clear t = Array.iter Int_vec.clear t.cols
+
+let concat_parallel pool arity fragments =
+  let frags = Array.of_list fragments in
+  let nf = Array.length frags in
+  let offsets = Array.make (nf + 1) 0 in
+  for i = 0 to nf - 1 do
+    offsets.(i + 1) <- offsets.(i) + nrows frags.(i)
+  done;
+  let total = offsets.(nf) in
+  let out =
+    { name = "_concat"; arity; cols = Array.init arity (fun _ -> Int_vec.create_sized total);
+      accounted = 0 }
+  in
+  (* disjoint destination slices: safe under real parallelism too *)
+  Rs_parallel.Pool.parallel_for pool ~chunks:(max nf 1) 0 nf (fun lo hi ->
+      for i = lo to hi - 1 do
+        let f = frags.(i) in
+        let n = nrows f in
+        for c = 0 to arity - 1 do
+          Int_vec.blit f.cols.(c) 0 out.cols.(c) offsets.(i) n
+        done
+      done);
+  let b = Array.fold_left (fun acc c -> acc + Int_vec.capacity_bytes c) 0 out.cols in
+  Rs_storage.Memtrack.alloc b;
+  out.accounted <- b;
+  out
+
+let bytes t = Array.fold_left (fun acc c -> acc + Int_vec.capacity_bytes c) 0 t.cols
+
+let account t =
+  let b = bytes t in
+  let delta = b - t.accounted in
+  if delta > 0 then Memtrack.alloc delta else Memtrack.free (-delta);
+  t.accounted <- b
+
+let release t =
+  Memtrack.free t.accounted;
+  t.accounted <- 0
+
+let sorted_distinct_rows t =
+  let rows = to_rows t in
+  let sorted = List.sort compare rows in
+  let rec dedup = function
+    | a :: b :: rest when a = b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted

@@ -1,0 +1,1 @@
+lib/storage/memtrack.ml: Atomic

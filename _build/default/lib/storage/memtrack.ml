@@ -1,0 +1,46 @@
+exception Simulated_oom of { requested : int; live : int; budget : int }
+
+let live_bytes = Atomic.make 0
+let peak_bytes = Atomic.make 0
+let budget_ref = Atomic.make (-1) (* -1 = none *)
+let machine = Atomic.make (2 * 1024 * 1024 * 1024)
+
+let live () = Atomic.get live_bytes
+let peak () = Atomic.get peak_bytes
+
+let rec bump_peak v =
+  let p = Atomic.get peak_bytes in
+  if v > p && not (Atomic.compare_and_set peak_bytes p v) then bump_peak v
+
+let alloc bytes =
+  if bytes <> 0 then begin
+    let v = Atomic.fetch_and_add live_bytes bytes + bytes in
+    let b = Atomic.get budget_ref in
+    if b >= 0 && v > b then begin
+      (* Roll back so the caller can recover and report OOM like the paper. *)
+      ignore (Atomic.fetch_and_add live_bytes (-bytes));
+      raise (Simulated_oom { requested = bytes; live = v - bytes; budget = b })
+    end;
+    bump_peak v
+  end
+
+let free bytes = if bytes <> 0 then ignore (Atomic.fetch_and_add live_bytes (-bytes))
+
+let reset_peak () = Atomic.set peak_bytes (Atomic.get live_bytes)
+
+let hard_reset () =
+  Atomic.set live_bytes 0;
+  Atomic.set peak_bytes 0
+
+let set_budget = function
+  | Some b -> Atomic.set budget_ref b
+  | None -> Atomic.set budget_ref (-1)
+
+let budget () =
+  let b = Atomic.get budget_ref in
+  if b < 0 then None else Some b
+
+let machine_bytes () = Atomic.get machine
+let set_machine_bytes b = Atomic.set machine (max 1 b)
+
+let percent bytes = 100.0 *. float_of_int bytes /. float_of_int (machine_bytes ())

@@ -1,0 +1,45 @@
+(** Global memory accounting for the storage layer.
+
+    Every relation block, hash table, bit matrix and BDD node arena reports
+    its reserved bytes here. The benchmark harness samples {!live} to draw
+    the paper's memory-usage timelines (Figures 3, 6, 11, 14) and enforces a
+    configurable budget to reproduce the paper's out-of-memory failures
+    ("Out of Memory" bars in Figures 10, 12, 13). *)
+
+exception Simulated_oom of { requested : int; live : int; budget : int }
+(** Raised by {!alloc} when a budget is set and would be exceeded. *)
+
+val alloc : int -> unit
+(** Account [bytes] of new reservation. Raises {!Simulated_oom} if over
+    budget. *)
+
+val free : int -> unit
+(** Release previously accounted bytes. *)
+
+val live : unit -> int
+(** Currently accounted bytes. *)
+
+val peak : unit -> int
+(** High-water mark since the last {!reset}. *)
+
+val reset_peak : unit -> unit
+
+val hard_reset : unit -> unit
+(** Zero the live counter and peak. The benchmark harness calls this between
+    measured runs so that garbage from a previous run (whose owners never
+    called [free]) does not count against the next run's budget. *)
+
+val set_budget : int option -> unit
+(** [set_budget (Some b)] makes allocations beyond [b] live bytes raise;
+    [None] disables the check. *)
+
+val budget : unit -> int option
+
+val machine_bytes : unit -> int
+(** The simulated machine's memory, used to express usage as a percentage
+    (the paper's y-axes). Default 2 GiB; override with {!set_machine_bytes}. *)
+
+val set_machine_bytes : int -> unit
+
+val percent : int -> float
+(** [percent bytes] is [bytes] as a percentage of {!machine_bytes}. *)

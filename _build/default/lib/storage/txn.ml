@@ -1,0 +1,65 @@
+type mode = Eost | Per_query
+
+type t = {
+  mode : mode;
+  mutable chan : out_channel option;
+  path : string;
+  mutable dirty : int;
+  mutable written : int;
+  mutable flushes : int;
+  on_flush : int -> unit;
+}
+
+let buffer = Bytes.make 65536 '\000'
+
+let create ?scratch ?(on_flush = fun _ -> ()) mode =
+  let path =
+    match scratch with
+    | Some p -> p
+    | None -> Filename.concat (Filename.get_temp_dir_name ()) "_recstep_scratch.bin"
+  in
+  { mode; chan = None; path; dirty = 0; written = 0; flushes = 0; on_flush }
+
+let mode t = t.mode
+
+let note_dirty t bytes = if bytes > 0 then t.dirty <- t.dirty + bytes
+
+let channel t =
+  match t.chan with
+  | Some c -> c
+  | None ->
+      let c = open_out_bin t.path in
+      t.chan <- Some c;
+      c
+
+let flush_dirty t =
+  if t.dirty > 0 then begin
+    let c = channel t in
+    seek_out c 0;
+    let remaining = ref t.dirty in
+    while !remaining > 0 do
+      let n = min !remaining (Bytes.length buffer) in
+      output_bytes c (Bytes.sub buffer 0 n);
+      remaining := !remaining - n
+    done;
+    flush c;
+    t.written <- t.written + t.dirty;
+    t.flushes <- t.flushes + 1;
+    t.on_flush t.dirty;
+    t.dirty <- 0
+  end
+
+let query_boundary t = match t.mode with Per_query -> flush_dirty t | Eost -> ()
+
+let finish t =
+  flush_dirty t;
+  (match t.chan with
+  | Some c ->
+      close_out c;
+      t.chan <- None
+  | None -> ());
+  if Sys.file_exists t.path then try Sys.remove t.path with Sys_error _ -> ()
+
+let bytes_written t = t.written
+
+let flush_count t = t.flushes

@@ -1,0 +1,39 @@
+(** Transaction semantics of the storage backend (the paper's EOST).
+
+    QuickStep treats each state-changing query as a transaction and writes
+    dirty pages back after it. RecStep's EOST optimization pends all I/O
+    until the fixpoint is reached and commits once. This module reproduces
+    both behaviours against a real scratch file so the I/O cost is real:
+
+    - {!Per_query}: {!query_boundary} flushes all dirty bytes to disk;
+    - {!Eost}: dirty bytes accumulate and {!finish} writes them once. *)
+
+type mode = Eost | Per_query
+
+type t
+
+val create : ?scratch:string -> ?on_flush:(int -> unit) -> mode -> t
+(** [create mode] opens the scratch file (default
+    [_recstep_scratch.bin] in the temp directory, truncated per flush).
+    [on_flush bytes] is invoked after each physical flush — the engine uses
+    it to charge modeled disk time (seek latency + bytes/bandwidth) to the
+    simulated clock, since the container's page cache hides most of the real
+    cost the paper's system pays. *)
+
+val mode : t -> mode
+
+val note_dirty : t -> int -> unit
+(** Record that a query dirtied [bytes] of table pages. *)
+
+val query_boundary : t -> unit
+(** Commit point after each query: flushes in {!Per_query} mode, no-op under
+    {!Eost}. *)
+
+val finish : t -> unit
+(** Final commit (always flushes remaining dirty bytes) and closes the
+    scratch file. *)
+
+val bytes_written : t -> int
+(** Total bytes physically written so far. *)
+
+val flush_count : t -> int

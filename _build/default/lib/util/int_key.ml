@@ -1,0 +1,17 @@
+let max_attr = (1 lsl 31) - 1
+
+let pack2 x y = (x lsl 31) lor y
+
+let unpack2 k = (k lsr 31, k land max_attr)
+
+let fits2 x y = x >= 0 && y >= 0 && x <= max_attr && y <= max_attr
+
+(* 2^62 / phi, odd. Multiplicative (Fibonacci) hashing: good bucket spread
+   for keys that differ in few low or high bits. *)
+let phi = 0x2545F4914F6CDD1D
+
+let hash k =
+  let h = k * phi in
+  (h lxor (h lsr 29)) land max_int
+
+let hash_combine acc x = hash ((acc * 31) + x)

@@ -1,0 +1,27 @@
+(** Compact concatenated keys (CK) for small integer tuples.
+
+    The paper's FAST-DEDUP builds a "compact concatenated key" by packing all
+    attributes of a tuple into one machine word, so the key doubles as the
+    hash value and no separate [(key, value)] pair is stored. OCaml's native
+    [int] is 63-bit, which fits two 31-bit attributes — exactly the paper's
+    8-byte CK for two 4-byte integers. *)
+
+val max_attr : int
+(** Largest attribute value representable in a packed pair (2^31 - 1). *)
+
+val pack2 : int -> int -> int
+(** [pack2 x y] packs two attributes in [\[0, max_attr\]] into one key. *)
+
+val unpack2 : int -> int * int
+(** Inverse of {!pack2}. *)
+
+val fits2 : int -> int -> bool
+(** Whether both attributes fit in a packed pair. *)
+
+val hash : int -> int
+(** Fibonacci finalizer used to spread packed keys over power-of-two bucket
+    arrays. *)
+
+val hash_combine : int -> int -> int
+(** [hash_combine acc x] mixes [x] into the running hash [acc], for tuples of
+    arity at which packing no longer applies. *)

@@ -1,0 +1,16 @@
+(** Aligned ASCII tables for the benchmark harness output.
+
+    Every paper table and figure is regenerated as text; this module renders
+    the rows with a fixed, diff-friendly layout. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] renders a table with column-aligned cells. *)
+
+val print : header:string list -> string list list -> unit
+(** [print] is {!render} followed by [print_string]. *)
+
+val series : title:string -> x_label:string -> (string * string list) list
+  -> x_ticks:string list -> string
+(** [series ~title ~x_label ~x_ticks lines] renders a figure-like data block:
+    one row per named line (system/config), one column per x tick. Used for
+    the time-series and sweep figures. *)

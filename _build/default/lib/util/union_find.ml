@@ -1,0 +1,33 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+
+let same t a b = find t a = find t b
+
+let component_min t =
+  let n = Array.length t.parent in
+  let min_of = Array.make n max_int in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    if i < min_of.(r) then min_of.(r) <- i
+  done;
+  Array.init n (fun i -> min_of.(find t i))

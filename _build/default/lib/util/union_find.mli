@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Reference implementation used to validate connected-components results
+    produced by the Datalog engines. *)
+
+type t
+
+val create : int -> t
+(** [create n] has singletons [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val component_min : t -> int array
+(** [component_min t] maps every element to the minimum element of its
+    component — the value computed by the paper's CC Datalog program. *)

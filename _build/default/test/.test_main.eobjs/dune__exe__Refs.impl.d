@@ -1,0 +1,1 @@
+test/refs.ml: Array Hashtbl Int List Option QCheck2 Recstep Rs_relation Set

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Hashtbl List QCheck2 QCheck_alcotest Recstep Refs Rs_bdd Rs_relation Rs_util

@@ -1,0 +1,1 @@
+test/test_benchkit.ml: Alcotest List Recstep Rs_benchkit Rs_engines Rs_parallel Rs_relation Rs_storage

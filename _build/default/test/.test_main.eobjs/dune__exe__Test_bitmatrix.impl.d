@@ -1,0 +1,1 @@
+test/test_bitmatrix.ml: Alcotest List QCheck2 QCheck_alcotest Recstep Refs Rs_bitmatrix Rs_parallel Rs_relation Rs_storage

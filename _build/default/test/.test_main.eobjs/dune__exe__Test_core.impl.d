@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun List QCheck2 QCheck_alcotest Recstep Refs Rs_datagen Rs_relation Rs_storage

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array List Rs_datagen Rs_relation

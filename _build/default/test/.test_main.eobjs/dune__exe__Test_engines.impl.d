@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest List Printf QCheck2 QCheck_alcotest Recstep Refs Rs_engines Rs_parallel Rs_relation

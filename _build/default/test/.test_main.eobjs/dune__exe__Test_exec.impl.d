@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array List QCheck2 QCheck_alcotest Rs_exec Rs_parallel Rs_relation String

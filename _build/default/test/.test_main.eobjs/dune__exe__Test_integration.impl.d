@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename List Recstep Rs_datagen Rs_engines Rs_parallel Rs_relation Sys

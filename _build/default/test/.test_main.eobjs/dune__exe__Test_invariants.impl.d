@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Fun List QCheck2 QCheck_alcotest Recstep Refs Rs_engines Rs_parallel Rs_relation Rs_storage

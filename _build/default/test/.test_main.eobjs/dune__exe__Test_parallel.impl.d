@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array List Rs_parallel Rs_util

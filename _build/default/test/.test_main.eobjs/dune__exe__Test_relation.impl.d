@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Domain List QCheck2 QCheck_alcotest Refs Rs_parallel Rs_relation Rs_storage Rs_util

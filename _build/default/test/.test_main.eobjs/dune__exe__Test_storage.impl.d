@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Filename Rs_storage Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List QCheck2 QCheck_alcotest Refs Rs_util String

@@ -1,0 +1,143 @@
+(* Reference implementations used to validate the engines: straightforward,
+   obviously-correct algorithms on edge lists. *)
+
+module IntPairSet = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module IntSet = Set.Make (Int)
+
+let pairs_of_relation r =
+  let n = Rs_relation.Relation.nrows r in
+  let rec go i acc =
+    if i = n then acc
+    else
+      go (i + 1)
+        (IntPairSet.add
+           ( Rs_relation.Relation.get r ~row:i ~col:0,
+             Rs_relation.Relation.get r ~row:i ~col:1 )
+           acc)
+  in
+  go 0 IntPairSet.empty
+
+(* transitive closure by iterated composition *)
+let transitive_closure edges =
+  let edges = IntPairSet.of_list edges in
+  let rec fix tc =
+    let next =
+      IntPairSet.fold
+        (fun (x, z) acc ->
+          IntPairSet.fold
+            (fun (z', y) acc -> if z = z' then IntPairSet.add (x, y) acc else acc)
+            edges acc)
+        tc tc
+    in
+    if IntPairSet.equal next tc then tc else fix next
+  in
+  fix edges
+
+(* same generation: sg = { (x,y) | x<>y, same parent } closed under
+   sg(x,y) <- arc(a,x), sg(a,b), arc(b,y) *)
+let same_generation edges =
+  let children a = List.filter_map (fun (p, c) -> if p = a then Some c else None) edges in
+  let base =
+    List.concat_map
+      (fun (p, x) -> List.filter_map (fun (p', y) -> if p = p' && x <> y then Some (x, y) else None) edges)
+      edges
+  in
+  let rec fix sg =
+    let next =
+      IntPairSet.fold
+        (fun (a, b) acc ->
+          List.fold_left
+            (fun acc x ->
+              List.fold_left (fun acc y -> IntPairSet.add (x, y) acc) acc (children b))
+            acc (children a))
+        sg sg
+    in
+    if IntPairSet.equal next sg then sg else fix next
+  in
+  fix (IntPairSet.of_list base)
+
+let reachable edges sources =
+  let rec bfs visited frontier =
+    if IntSet.is_empty frontier then visited
+    else begin
+      let next =
+        IntSet.fold
+          (fun x acc ->
+            List.fold_left
+              (fun acc (u, v) -> if u = x && not (IntSet.mem v visited) then IntSet.add v acc else acc)
+              acc edges)
+          frontier IntSet.empty
+      in
+      bfs (IntSet.union visited next) next
+    end
+  in
+  let init = IntSet.of_list sources in
+  bfs init init
+
+(* single-source shortest paths, weighted edges (x, y, d) *)
+let dijkstra edges source =
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist source 0;
+  let rec relax () =
+    let changed = ref false in
+    List.iter
+      (fun (x, y, d) ->
+        match Hashtbl.find_opt dist x with
+        | Some dx ->
+            let cand = dx + d in
+            (match Hashtbl.find_opt dist y with
+            | Some dy when dy <= cand -> ()
+            | _ ->
+                Hashtbl.replace dist y cand;
+                changed := true)
+        | None -> ())
+      edges;
+    if !changed then relax ()
+  in
+  relax ();
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) dist [] |> List.sort compare
+
+(* connected components (directed edges propagate labels both... the paper's
+   CC program propagates min labels along directed edges only) *)
+let cc_min_label edges =
+  let nodes = List.concat_map (fun (x, y) -> [ x; y ]) edges |> List.sort_uniq compare in
+  (* the Datalog program: cc3(x, MIN(x)) :- arc(x, _). then propagation
+     cc3(y, MIN(z)) :- cc3(x, z), arc(x, y). (directed!) *)
+  let label = Hashtbl.create 64 in
+  List.iter (fun (x, _) -> Hashtbl.replace label x (min x (Option.value (Hashtbl.find_opt label x) ~default:max_int))) edges;
+  let rec fix () =
+    let changed = ref false in
+    List.iter
+      (fun (x, y) ->
+        match Hashtbl.find_opt label x with
+        | Some lx -> (
+            match Hashtbl.find_opt label y with
+            | Some ly when ly <= lx -> ()
+            | _ ->
+                Hashtbl.replace label y lx;
+                changed := true)
+        | None -> ())
+      edges;
+    if !changed then fix ()
+  in
+  fix ();
+  ignore nodes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) label [] |> List.sort compare
+
+(* random small graph generator for qcheck *)
+let arbitrary_edges ?(max_nodes = 12) ?(max_edges = 30) () =
+  QCheck2.Gen.(
+    let* n = int_range 1 max_nodes in
+    let* m = int_range 0 max_edges in
+    let* pairs = list_repeat m (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    return (List.sort_uniq compare pairs))
+
+let relation_of_edges ?(name = "arc") edges =
+  Recstep.Frontend.edges ~name edges
+
+let sorted_pairs rows = List.sort compare (List.map (fun r -> (r.(0), r.(1))) rows)

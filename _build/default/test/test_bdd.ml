@@ -1,0 +1,191 @@
+module Bdd = Rs_bdd.Bdd
+module Bdd_rel = Rs_bdd.Bdd_rel
+
+let check = Alcotest.(check bool)
+
+(* random boolean formula over [nvars] variables, built with manager ops,
+   paired with a reference evaluator *)
+type formula =
+  | F_var of int
+  | F_and of formula * formula
+  | F_or of formula * formula
+  | F_diff of formula * formula
+  | F_true
+  | F_false
+
+let rec gen_formula nvars depth =
+  let open QCheck2.Gen in
+  if depth = 0 then
+    oneof [ map (fun v -> F_var v) (int_range 0 (nvars - 1)); return F_true; return F_false ]
+  else
+    oneof
+      [
+        map (fun v -> F_var v) (int_range 0 (nvars - 1));
+        map2 (fun a b -> F_and (a, b)) (gen_formula nvars (depth - 1)) (gen_formula nvars (depth - 1));
+        map2 (fun a b -> F_or (a, b)) (gen_formula nvars (depth - 1)) (gen_formula nvars (depth - 1));
+        map2 (fun a b -> F_diff (a, b)) (gen_formula nvars (depth - 1)) (gen_formula nvars (depth - 1));
+      ]
+
+let rec build m = function
+  | F_var v -> Bdd.var m v
+  | F_and (a, b) -> Bdd.mk_and m (build m a) (build m b)
+  | F_or (a, b) -> Bdd.mk_or m (build m a) (build m b)
+  | F_diff (a, b) -> Bdd.mk_diff m (build m a) (build m b)
+  | F_true -> Bdd.btrue
+  | F_false -> Bdd.bfalse
+
+let rec truth assignment = function
+  | F_var v -> assignment.(v)
+  | F_and (a, b) -> truth assignment a && truth assignment b
+  | F_or (a, b) -> truth assignment a || truth assignment b
+  | F_diff (a, b) -> truth assignment a && not (truth assignment b)
+  | F_true -> true
+  | F_false -> false
+
+let nvars = 5
+
+let all_assignments =
+  List.init (1 lsl nvars) (fun bits -> Array.init nvars (fun v -> (bits lsr v) land 1 = 1))
+
+(* evaluate a BDD through sat enumeration over the full space *)
+let bdd_truth_table m node =
+  let over = Array.init nvars (fun v -> v) in
+  let sat = Hashtbl.create 32 in
+  Bdd.iter_sats m ~over node (fun a -> Hashtbl.replace sat (Array.to_list a) ());
+  List.map (fun a -> Hashtbl.mem sat (Array.to_list a)) all_assignments
+
+let prop_ops_match_semantics =
+  QCheck2.Test.make ~name:"BDD ops = boolean semantics" ~count:200 (gen_formula nvars 4)
+    (fun f ->
+      let m = Bdd.create ~nvars in
+      let node = build m f in
+      bdd_truth_table m node = List.map (fun a -> truth a f) all_assignments)
+
+let prop_sat_count =
+  QCheck2.Test.make ~name:"sat_count = enumeration" ~count:200 (gen_formula nvars 4) (fun f ->
+      let m = Bdd.create ~nvars in
+      let node = build m f in
+      let over = Array.make nvars true in
+      let count = int_of_float (Bdd.sat_count m ~over node +. 0.5) in
+      let truth_count = List.length (List.filter (fun a -> truth a f) all_assignments) in
+      count = truth_count)
+
+let prop_exists =
+  QCheck2.Test.make ~name:"exists = or of restrictions" ~count:150
+    QCheck2.Gen.(pair (gen_formula nvars 3) (int_range 0 (nvars - 1)))
+    (fun (f, v) ->
+      let m = Bdd.create ~nvars in
+      let node = build m f in
+      let qs = Array.make nvars false in
+      qs.(v) <- true;
+      let ex = Bdd.exists m qs node in
+      let expected a =
+        let a0 = Array.copy a and a1 = Array.copy a in
+        a0.(v) <- false;
+        a1.(v) <- true;
+        truth a0 f || truth a1 f
+      in
+      bdd_truth_table m ex = List.map expected all_assignments)
+
+let prop_substitute_swap =
+  QCheck2.Test.make ~name:"substitute var swap" ~count:150 (gen_formula nvars 3) (fun f ->
+      let m = Bdd.create ~nvars in
+      let node = build m f in
+      (* swap variables 0 and 1 (an order-breaking rename) *)
+      let map = Array.init nvars (fun v -> if v = 0 then 1 else if v = 1 then 0 else v) in
+      let swapped = Bdd.substitute m map node in
+      let expected a =
+        let b = Array.copy a in
+        b.(0) <- a.(1);
+        b.(1) <- a.(0);
+        truth b f
+      in
+      bdd_truth_table m swapped = List.map expected all_assignments)
+
+let test_ite () =
+  let m = Bdd.create ~nvars:3 in
+  let x0 = Bdd.var m 0 and x1 = Bdd.var m 1 and x2 = Bdd.var m 2 in
+  let f = Bdd.ite m x0 x1 x2 in
+  (* x0 ? x1 : x2 *)
+  let over = [| 0; 1; 2 |] in
+  let sats = ref [] in
+  Bdd.iter_sats m ~over f (fun a -> sats := Array.to_list a :: !sats);
+  Alcotest.(check int) "sat count of mux" 4 (List.length !sats)
+
+let test_deadline () =
+  let m = Bdd.create ~nvars:40 in
+  Bdd.set_deadline m (Some (Rs_util.Clock.now () -. 1.0));
+  (* force enough fresh node allocations to cross the check stride *)
+  let result =
+    try
+      let acc = ref Bdd.btrue in
+      for v = 0 to 39 do
+        acc := Bdd.mk_and m !acc (Bdd.var m v)
+      done;
+      let big = ref Bdd.bfalse in
+      let rng = Rs_util.Rng.create 3 in
+      for _ = 0 to 5000 do
+        let cube = ref Bdd.btrue in
+        for v = 0 to 39 do
+          let lit = if Rs_util.Rng.bool rng 0.5 then Bdd.var m v
+            else Bdd.ite m (Bdd.var m v) Bdd.bfalse Bdd.btrue in
+          cube := Bdd.mk_and m !cube lit
+        done;
+        big := Bdd.mk_or m !big !cube
+      done;
+      false
+    with Bdd.Deadline_exceeded -> true
+  in
+  check "deadline fires" true result
+
+(* --- relation encoding --- *)
+
+let gen_rel = QCheck2.Gen.(list_size (int_range 0 20) (pair (int_range 0 14) (int_range 0 14)))
+
+let prop_relation_roundtrip =
+  QCheck2.Test.make ~name:"relation -> BDD -> relation" ~count:150 gen_rel (fun pairs ->
+      let pairs = List.sort_uniq compare pairs in
+      let sp = Bdd_rel.make_space ~bits:4 ~ndomains:4 in
+      let rel = Recstep.Frontend.edges pairs in
+      let node = Bdd_rel.of_relation sp rel in
+      let count_ok = Bdd_rel.count sp ~arity:2 node = List.length pairs in
+      let back = Bdd_rel.to_relation sp ~arity:2 node in
+      count_ok && Refs.sorted_pairs (Rs_relation.Relation.to_rows back) = pairs)
+
+let prop_rename_roundtrip =
+  QCheck2.Test.make ~name:"rename there and back" ~count:100 gen_rel (fun pairs ->
+      let pairs = List.sort_uniq compare pairs in
+      let sp = Bdd_rel.make_space ~bits:4 ~ndomains:4 in
+      let node = Bdd_rel.of_relation sp (Recstep.Frontend.edges pairs) in
+      let moved = Bdd_rel.rename sp ~from_domains:[| 0; 1 |] ~to_domains:[| 2; 3 |] node in
+      let back = Bdd_rel.rename sp ~from_domains:[| 2; 3 |] ~to_domains:[| 0; 1 |] moved in
+      back = node)
+
+let test_exists_domains () =
+  let sp = Bdd_rel.make_space ~bits:3 ~ndomains:2 in
+  let node = Bdd_rel.of_relation sp (Recstep.Frontend.edges [ (1, 2); (1, 3); (4, 2) ]) in
+  let proj = Bdd_rel.exists_domains sp [ 1 ] node in
+  Alcotest.(check int) "projected count counts col-0 values"
+    2
+    (let over = Array.make (Bdd.nvars sp.Bdd_rel.mgr) false in
+     List.iter (fun v -> over.(v) <- true) (Bdd_rel.domain_vars sp 0);
+     int_of_float (Bdd.sat_count sp.Bdd_rel.mgr ~over proj +. 0.5))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_ops_match_semantics;
+      prop_sat_count;
+      prop_exists;
+      prop_substitute_swap;
+      prop_relation_roundtrip;
+      prop_rename_roundtrip;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "ite mux" `Quick test_ite;
+    Alcotest.test_case "deadline" `Quick test_deadline;
+    Alcotest.test_case "exists_domains projection" `Quick test_exists_domains;
+  ]
+  @ qsuite

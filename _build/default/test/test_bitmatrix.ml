@@ -1,0 +1,86 @@
+module Bitmatrix = Rs_bitmatrix.Bitmatrix
+module Adjacency = Rs_bitmatrix.Adjacency
+module Pbme = Rs_bitmatrix.Pbme
+module Pool = Rs_parallel.Pool
+
+let check = Alcotest.(check bool)
+
+let pool () =
+  let p = Pool.create ~workers:4 () in
+  Pool.begin_run p;
+  p
+
+let test_bitmatrix_basic () =
+  let m = Bitmatrix.create 10 in
+  check "empty" false (Bitmatrix.get m 3 4);
+  Bitmatrix.set m 3 4;
+  check "set" true (Bitmatrix.get m 3 4);
+  check "tas old" false (Bitmatrix.test_and_set m 3 4);
+  check "tas new" true (Bitmatrix.test_and_set m 4 3);
+  Alcotest.(check int) "cardinal" 2 (Bitmatrix.cardinal m);
+  Bitmatrix.release m
+
+let test_bitmatrix_relation_roundtrip () =
+  let edges = [ (0, 1); (2, 3); (3, 0); (4, 4) ] in
+  let rel = Recstep.Frontend.edges edges in
+  let m = Bitmatrix.of_relation 5 rel in
+  let back = Bitmatrix.to_relation m in
+  Alcotest.(check (list (pair int int)))
+    "roundtrip" (List.sort compare edges)
+    (Refs.sorted_pairs (Rs_relation.Relation.to_rows back));
+  Bitmatrix.release m
+
+let test_bitmatrix_accounting () =
+  Rs_storage.Memtrack.hard_reset ();
+  let m = Bitmatrix.create 100 in
+  Alcotest.(check int) "accounted = required" (Bitmatrix.required_bytes 100)
+    (Rs_storage.Memtrack.live ());
+  Bitmatrix.release m;
+  Alcotest.(check int) "released" 0 (Rs_storage.Memtrack.live ())
+
+let test_adjacency () =
+  let rel = Recstep.Frontend.edges [ (0, 1); (0, 2); (2, 1); (3, 3) ] in
+  let adj = Adjacency.build 4 rel in
+  Alcotest.(check int) "degree 0" 2 (Adjacency.degree adj 0);
+  Alcotest.(check int) "degree 1" 0 (Adjacency.degree adj 1);
+  let succ = Adjacency.fold_succ adj 0 (fun acc v -> v :: acc) [] in
+  Alcotest.(check (list int)) "succ 0" [ 1; 2 ] (List.sort compare succ);
+  Adjacency.release adj
+
+let gen_graph = Refs.arbitrary_edges ~max_nodes:10 ~max_edges:25 ()
+
+let vertex_bound edges = 1 + List.fold_left (fun m (x, y) -> max m (max x y)) 0 edges
+
+let prop_pbme_tc =
+  QCheck2.Test.make ~name:"PBME TC = reference closure" ~count:60 gen_graph (fun edges ->
+      QCheck2.assume (edges <> []);
+      let n = vertex_bound edges in
+      let m = Pbme.tc (pool ()) ~n ~arc:(Refs.relation_of_edges edges) in
+      let got = Refs.sorted_pairs (Rs_relation.Relation.to_rows (Bitmatrix.to_relation m)) in
+      Bitmatrix.release m;
+      got = (Refs.IntPairSet.elements (Refs.transitive_closure edges) |> List.sort compare))
+
+let prop_pbme_sg_both_variants =
+  QCheck2.Test.make ~name:"PBME SG coord = no-coord = reference" ~count:40 gen_graph
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let n = vertex_bound edges in
+      let expected = Refs.IntPairSet.elements (Refs.same_generation edges) |> List.sort compare in
+      let run coordinated =
+        let m = Pbme.sg ~coordinated (pool ()) ~n ~arc:(Refs.relation_of_edges edges) in
+        let got = Refs.sorted_pairs (Rs_relation.Relation.to_rows (Bitmatrix.to_relation m)) in
+        Bitmatrix.release m;
+        got
+      in
+      run false = expected && run true = expected)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_pbme_tc; prop_pbme_sg_both_variants ]
+
+let suite =
+  [
+    Alcotest.test_case "bitmatrix basics" `Quick test_bitmatrix_basic;
+    Alcotest.test_case "bitmatrix relation roundtrip" `Quick test_bitmatrix_relation_roundtrip;
+    Alcotest.test_case "bitmatrix accounting" `Quick test_bitmatrix_accounting;
+    Alcotest.test_case "adjacency" `Quick test_adjacency;
+  ]
+  @ qsuite

@@ -1,0 +1,132 @@
+module Graphs = Rs_datagen.Graphs
+module Prog = Rs_datagen.Prog_analysis
+module Relation = Rs_relation.Relation
+
+let check = Alcotest.(check bool)
+
+let test_gnp_deterministic () =
+  let a = Graphs.gnp ~seed:7 ~n:100 ~p:0.05 in
+  let b = Graphs.gnp ~seed:7 ~n:100 ~p:0.05 in
+  check "same rows" true (Relation.to_rows a = Relation.to_rows b);
+  let c = Graphs.gnp ~seed:8 ~n:100 ~p:0.05 in
+  check "different seed differs" true (Relation.to_rows a <> Relation.to_rows c)
+
+let test_gnp_density () =
+  let n = 200 and p = 0.05 in
+  let g = Graphs.gnp ~seed:1 ~n ~p in
+  let m = Relation.nrows g in
+  let expected = p *. float_of_int (n * n) in
+  check "edge count near expectation" true
+    (float_of_int m > 0.7 *. expected && float_of_int m < 1.3 *. expected);
+  let ok = ref true in
+  for row = 0 to m - 1 do
+    let x = Relation.get g ~row ~col:0 and y = Relation.get g ~row ~col:1 in
+    if x = y || x < 0 || x >= n || y < 0 || y >= n then ok := false
+  done;
+  check "no self loops, in range" true !ok
+
+let test_gnp_extremes () =
+  let empty = Graphs.gnp ~seed:1 ~n:10 ~p:0.0 in
+  Alcotest.(check int) "p=0 empty" 0 (Relation.nrows empty);
+  let full = Graphs.gnp ~seed:1 ~n:10 ~p:1.0 in
+  Alcotest.(check int) "p=1 complete" 90 (Relation.nrows full)
+
+let test_rmat () =
+  let g = Graphs.rmat ~seed:3 ~n:1000 ~m:5000 in
+  check "roughly m edges (self loops removed)" true
+    (Relation.nrows g > 4000 && Relation.nrows g <= 5000);
+  check "vertex bound power of two" true (Graphs.vertex_count g <= 1024);
+  let deg = Array.make 1024 0 in
+  for row = 0 to Relation.nrows g - 1 do
+    let x = Relation.get g ~row ~col:0 in
+    deg.(x) <- deg.(x) + 1
+  done;
+  let dmax = Array.fold_left max 0 deg in
+  let avg = float_of_int (Relation.nrows g) /. 1024.0 in
+  check "skewed degrees" true (float_of_int dmax > 4.0 *. avg)
+
+let test_real_world_presets () =
+  List.iter
+    (fun (name, _) ->
+      let g = Graphs.real_world_like ~seed:1 ~scale:1 name in
+      check (name ^ " nonempty") true (Relation.nrows g > 1000))
+    Graphs.real_world_profiles;
+  Alcotest.check_raises "unknown preset" (Invalid_argument "unknown real-world preset zzz")
+    (fun () -> ignore (Graphs.real_world_like ~seed:1 ~scale:1 "zzz"))
+
+let test_weights () =
+  let g = Graphs.gnp ~seed:2 ~n:50 ~p:0.1 in
+  let w = Graphs.add_weights ~seed:3 ~max_weight:10 g in
+  Alcotest.(check int) "arity 3" 3 (Relation.arity w);
+  Alcotest.(check int) "same rows" (Relation.nrows g) (Relation.nrows w);
+  let ok = ref true in
+  for row = 0 to Relation.nrows w - 1 do
+    let d = Relation.get w ~row ~col:2 in
+    if d < 1 || d > 10 then ok := false
+  done;
+  check "weights in range" true !ok
+
+let test_random_sources () =
+  let ids = Graphs.random_sources ~seed:4 ~n:100 ~count:10 in
+  Alcotest.(check int) "ten sources" 10 (List.length ids);
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "singleton" 1 (Relation.nrows id);
+      let v = Relation.get id ~row:0 ~col:0 in
+      check "in range" true (v >= 0 && v < 100))
+    ids
+
+let test_andersen_shapes () =
+  let edb = Prog.andersen ~seed:5 ~nvars:500 in
+  Alcotest.(check (list string)) "relations"
+    [ "addressOf"; "assign"; "load"; "store" ]
+    (List.map fst edb);
+  List.iter (fun (_, r) -> Alcotest.(check int) "binary" 2 (Relation.arity r)) edb;
+  let total = List.fold_left (fun acc (_, r) -> acc + Relation.nrows r) 0 edb in
+  check "statement mix ~3n" true (total > 1200 && total < 1800);
+  (* determinism *)
+  let edb2 = Prog.andersen ~seed:5 ~nvars:500 in
+  check "deterministic" true
+    (List.for_all2 (fun (_, a) (_, b) -> Relation.to_rows a = Relation.to_rows b) edb edb2)
+
+let test_andersen_dataset_growth () =
+  let size n =
+    List.fold_left (fun acc (_, r) -> acc + Relation.nrows r) 0 (Prog.andersen_dataset ~seed:1 ~scale:1 n)
+  in
+  check "growing datasets" true (size 1 < size 3 && size 3 < size 7);
+  Alcotest.check_raises "bad index" (Invalid_argument "andersen_dataset: n must be in 1..7")
+    (fun () -> ignore (Prog.andersen_dataset ~seed:1 ~scale:1 8))
+
+let test_cspa_input () =
+  List.iter
+    (fun (name, _) ->
+      let edb = Prog.cspa_input ~seed:1 ~scale:1 name in
+      Alcotest.(check (list string)) "relations" [ "assign"; "dereference" ] (List.map fst edb);
+      check (name ^ " nonempty") true (Relation.nrows (List.assoc "assign" edb) > 100))
+    Prog.system_program_profiles
+
+let test_csda_input_chain_depth () =
+  let edb = Prog.csda_input ~seed:1 ~scale:1 "httpd" in
+  let arc = List.assoc "arc" edb in
+  (* forward-only CFG edges: many semi-naive iterations *)
+  let ok = ref true in
+  for row = 0 to Relation.nrows arc - 1 do
+    if Relation.get arc ~row ~col:0 >= Relation.get arc ~row ~col:1 then ok := false
+  done;
+  check "edges strictly forward" true !ok;
+  check "nullEdge present" true (Relation.nrows (List.assoc "nullEdge" edb) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "gnp deterministic" `Quick test_gnp_deterministic;
+    Alcotest.test_case "gnp density" `Quick test_gnp_density;
+    Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+    Alcotest.test_case "rmat skew" `Quick test_rmat;
+    Alcotest.test_case "real-world presets" `Quick test_real_world_presets;
+    Alcotest.test_case "weights" `Quick test_weights;
+    Alcotest.test_case "random sources" `Quick test_random_sources;
+    Alcotest.test_case "andersen shapes" `Quick test_andersen_shapes;
+    Alcotest.test_case "andersen growth" `Quick test_andersen_dataset_growth;
+    Alcotest.test_case "cspa inputs" `Quick test_cspa_input;
+    Alcotest.test_case "csda chains" `Quick test_csda_input_chain_depth;
+  ]

@@ -1,0 +1,227 @@
+module Relation = Rs_relation.Relation
+module Expr = Rs_exec.Expr
+module Plan = Rs_exec.Plan
+module Catalog = Rs_exec.Catalog
+module Executor = Rs_exec.Executor
+module Cost = Rs_exec.Cost
+module Pool = Rs_parallel.Pool
+
+let check = Alcotest.(check bool)
+
+let make_exec () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let catalog = Catalog.create () in
+  (Executor.create ~query_overhead_s:0.0 pool catalog, catalog)
+
+let test_expr_eval () =
+  let get = function 0 -> 10 | 1 -> 3 | _ -> 0 in
+  Alcotest.(check int) "col" 10 (Expr.eval get (Expr.Col 0));
+  Alcotest.(check int) "arith" 37
+    (Expr.eval get Expr.(Add (Mul (Col 0, Col 1), Sub (Col 0, Const 3))));
+  check "test lt" true (Expr.test get Expr.(Cmp (Lt, Col 1, Col 0)));
+  check "test ne" true (Expr.test get Expr.(Cmp (Ne, Col 0, Col 1)));
+  Alcotest.(check (list int)) "cols" [ 0; 1; 0 ]
+    (Expr.cols Expr.(Add (Mul (Col 0, Col 1), Col 0)));
+  Alcotest.(check int) "shift" 7
+    (match Expr.shift 5 (Expr.Col 2) with Expr.Col c -> c | _ -> -1)
+
+let test_plan_arity_estimate () =
+  let lookup = function "r" -> 2 | "s" -> 3 | _ -> 0 in
+  let rows = function "r" -> 100 | "s" -> 10 | _ -> 0 in
+  let j = Plan.join2 (Plan.Scan "r") [| 1 |] (Plan.Scan "s") [| 0 |] in
+  Alcotest.(check int) "join arity" 5 (Plan.arity lookup j);
+  Alcotest.(check int) "join estimate" 100 (Plan.estimate rows j);
+  let p = Plan.Project ([| Expr.Col 0 |], j) in
+  Alcotest.(check int) "project arity" 1 (Plan.arity lookup p);
+  let u = Plan.UnionAll [ Plan.Scan "r"; Plan.Scan "r" ] in
+  Alcotest.(check int) "union estimate" 200 (Plan.estimate rows u);
+  check "to_string nonempty" true (String.length (Plan.to_string j) > 0)
+
+let gen_rel arity vals =
+  QCheck2.Gen.(list_size (int_range 0 25) (list_repeat arity (int_range 0 vals)))
+
+let run_join pairs_l pairs_r lk rk =
+  let exec, catalog = make_exec () in
+  let l = Relation.of_rows 2 (List.map Array.of_list pairs_l) in
+  let r = Relation.of_rows 2 (List.map Array.of_list pairs_r) in
+  Catalog.register catalog "l" l;
+  Catalog.register catalog "r" r;
+  let plan = Plan.join2 (Plan.Scan "l") [| lk |] (Plan.Scan "r") [| rk |] in
+  let out = Executor.run_query exec plan in
+  List.sort compare (Relation.to_rows out |> List.map Array.to_list)
+
+let nested_loop_join pairs_l pairs_r lk rk =
+  List.concat_map
+    (fun lrow ->
+      List.filter_map
+        (fun rrow ->
+          if List.nth lrow lk = List.nth rrow rk then Some (lrow @ rrow) else None)
+        pairs_r)
+    pairs_l
+  |> List.sort compare
+
+let prop_hash_join_eq_nested_loop =
+  QCheck2.Test.make ~name:"hash join = nested loop" ~count:150
+    QCheck2.Gen.(tup4 (gen_rel 2 8) (gen_rel 2 8) (int_range 0 1) (int_range 0 1))
+    (fun (l, r, lk, rk) -> run_join l r lk rk = nested_loop_join l r lk rk)
+
+let prop_join_extra_preds =
+  QCheck2.Test.make ~name:"join residual predicate" ~count:100
+    QCheck2.Gen.(pair (gen_rel 2 6) (gen_rel 2 6))
+    (fun (l, r) ->
+      let exec, catalog = make_exec () in
+      Catalog.register catalog "l" (Relation.of_rows 2 (List.map Array.of_list l));
+      Catalog.register catalog "r" (Relation.of_rows 2 (List.map Array.of_list r));
+      let plan =
+        Plan.Join
+          {
+            l = Plan.Scan "l";
+            r = Plan.Scan "r";
+            lkeys = [| 0 |];
+            rkeys = [| 0 |];
+            extra = [ Expr.Cmp (Expr.Ne, Expr.Col 1, Expr.Col 3) ];
+            out = Some [| Expr.Col 1; Expr.Col 3 |];
+          }
+      in
+      let out = Executor.run_query exec plan in
+      let expected =
+        List.concat_map
+          (fun lr ->
+            List.filter_map
+              (fun rr ->
+                if List.nth lr 0 = List.nth rr 0 && List.nth lr 1 <> List.nth rr 1 then
+                  Some [ List.nth lr 1; List.nth rr 1 ]
+                else None)
+              r)
+          l
+        |> List.sort compare
+      in
+      List.sort compare (Relation.to_rows out |> List.map Array.to_list) = expected)
+
+let prop_opsd_eq_tpsd =
+  QCheck2.Test.make ~name:"OPSD = TPSD = reference set difference" ~count:150
+    QCheck2.Gen.(pair (gen_rel 2 6) (gen_rel 2 6))
+    (fun (delta_rows, r_rows) ->
+      let exec, _ = make_exec () in
+      let distinct rows = List.sort_uniq compare rows in
+      let rdelta = Relation.of_rows 2 (List.map Array.of_list (distinct delta_rows)) in
+      let r = Relation.of_rows 2 (List.map Array.of_list (distinct r_rows)) in
+      let o, oi = Executor.opsd exec ~rdelta ~r in
+      let t, ti = Executor.tpsd exec ~rdelta ~r in
+      let norm rel = List.sort compare (Relation.to_rows rel |> List.map Array.to_list) in
+      let expected =
+        List.filter (fun row -> not (List.mem row (distinct r_rows))) (distinct delta_rows)
+        |> List.sort compare
+      in
+      norm o = expected && norm t = expected && oi = ti)
+
+let test_filter_project_union () =
+  let exec, catalog = make_exec () in
+  Catalog.register catalog "t"
+    (Relation.of_rows 2 [ [| 1; 5 |]; [| 2; 6 |]; [| 3; 7 |] ]);
+  let plan =
+    Plan.UnionAll
+      [
+        Plan.Project
+          ([| Expr.Col 1 |], Plan.Filter ([ Expr.Cmp (Expr.Gt, Expr.Col 0, Expr.Const 1) ], Plan.Scan "t"));
+        Plan.Project ([| Expr.Col 0 |], Plan.Scan "t");
+      ]
+  in
+  let out = Executor.run_query exec plan in
+  Alcotest.(check (list int))
+    "filter+project+union" [ 1; 2; 3; 6; 7 ]
+    (List.sort compare (Relation.to_rows out |> List.map (fun a -> a.(0))))
+
+let test_anti_join () =
+  let exec, catalog = make_exec () in
+  Catalog.register catalog "l" (Relation.of_rows 2 [ [| 1; 1 |]; [| 2; 2 |]; [| 3; 3 |] ]);
+  Catalog.register catalog "r" (Relation.of_rows 1 [ [| 2 |] ]);
+  let plan =
+    Plan.AntiJoin { al = Plan.Scan "l"; ar = Plan.Scan "r"; alkeys = [| 0 |]; arkeys = [| 0 |] }
+  in
+  let out = Executor.run_query exec plan in
+  Alcotest.(check (list int)) "anti join" [ 1; 3 ]
+    (List.sort compare (Relation.to_rows out |> List.map (fun a -> a.(0))))
+
+let test_aggregate_ops () =
+  let exec, catalog = make_exec () in
+  Catalog.register catalog "t"
+    (Relation.of_rows 2 [ [| 1; 5 |]; [| 1; 7 |]; [| 2; 6 |]; [| 1; 6 |] ]);
+  let agg ops =
+    let plan =
+      Plan.Aggregate
+        { group = [| Expr.Col 0 |]; aggs = Array.of_list (List.map (fun op -> (op, Expr.Col 1)) ops);
+          src = Plan.Scan "t" }
+    in
+    let out = Executor.run_query exec plan in
+    List.sort compare (Relation.to_rows out |> List.map Array.to_list)
+  in
+  Alcotest.(check (list (list int))) "min/max/sum/count/avg"
+    [ [ 1; 5; 7; 18; 3; 6 ]; [ 2; 6; 6; 6; 1; 6 ] ]
+    (agg [ Plan.Min; Plan.Max; Plan.Sum; Plan.Count; Plan.Avg ])
+
+let test_catalog_stats () =
+  let pool = Pool.create ~workers:2 () in
+  Pool.begin_run pool;
+  let catalog = Catalog.create () in
+  let r = Relation.of_rows 2 [ [| 1; 10 |]; [| 5; 2 |] ] in
+  Catalog.register catalog "t" r;
+  Alcotest.(check int) "initial stat" 2 (Catalog.stat_rows catalog "t");
+  Relation.push2 r 9 9;
+  Alcotest.(check int) "stale until analyze" 2 (Catalog.stat_rows catalog "t");
+  Catalog.analyze_rows catalog "t";
+  Alcotest.(check int) "fresh" 3 (Catalog.stat_rows catalog "t");
+  Catalog.analyze_full catalog pool "t";
+  (match (Catalog.find catalog "t").Catalog.full with
+  | Some fs ->
+      Alcotest.(check int) "min col0" 1 fs.Catalog.col_min.(0);
+      Alcotest.(check int) "max col1" 10 fs.Catalog.col_max.(1)
+  | None -> Alcotest.fail "full stats missing");
+  Catalog.drop catalog "t";
+  check "dropped" false (Catalog.mem catalog "t")
+
+let test_cost_choose_regions () =
+  (* β <= 1 → OPSD regardless *)
+  check "beta<=1" true (Cost.choose ~alpha:2.0 ~r_rows:5 ~rdelta_rows:10 ~mu_prev:None = Cost.Opsd);
+  (* β above threshold 2α/(α-1) = 4 → TPSD *)
+  check "beta large" true (Cost.choose ~alpha:2.0 ~r_rows:100 ~rdelta_rows:10 ~mu_prev:None = Cost.Tpsd);
+  (* uncertain band without µ → OPSD *)
+  check "band no mu" true (Cost.choose ~alpha:2.0 ~r_rows:30 ~rdelta_rows:10 ~mu_prev:None = Cost.Opsd);
+  (* uncertain band, µ large: sign of β(α-1) - (α + α/µ) decides *)
+  check "band large mu" true
+    (Cost.choose ~alpha:2.0 ~r_rows:35 ~rdelta_rows:10 ~mu_prev:(Some 100.0) = Cost.Tpsd);
+  check "empty delta" true (Cost.choose ~alpha:2.0 ~r_rows:35 ~rdelta_rows:0 ~mu_prev:None = Cost.Opsd)
+
+let test_observed_mu () =
+  check "mu" true (abs_float (Cost.observed_mu ~rdelta_rows:10 ~intersection_rows:5 -. 2.0) < 1e-9);
+  check "mu no intersection" true (Cost.observed_mu ~rdelta_rows:10 ~intersection_rows:0 = 10.0)
+
+let test_share_builds_cache () =
+  (* the same scan+keys twice in one query must reuse the build *)
+  let pool = Pool.create ~workers:2 () in
+  Pool.begin_run pool;
+  let catalog = Catalog.create () in
+  Catalog.register catalog "e" (Relation.of_rows 2 [ [| 1; 2 |]; [| 2; 3 |] ]);
+  let exec = Executor.create ~query_overhead_s:0.0 ~share_builds:true pool catalog in
+  let sub = Plan.join2 (Plan.Scan "e") [| 1 |] (Plan.Scan "e") [| 0 |] in
+  let out = Executor.run_query exec (Plan.UnionAll [ sub; sub ]) in
+  Alcotest.(check int) "both subplans produced" 2 (Relation.nrows out)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_hash_join_eq_nested_loop; prop_join_extra_preds; prop_opsd_eq_tpsd ]
+
+let suite =
+  [
+    Alcotest.test_case "expr eval" `Quick test_expr_eval;
+    Alcotest.test_case "plan arity/estimate" `Quick test_plan_arity_estimate;
+    Alcotest.test_case "filter/project/union" `Quick test_filter_project_union;
+    Alcotest.test_case "anti join" `Quick test_anti_join;
+    Alcotest.test_case "aggregate ops" `Quick test_aggregate_ops;
+    Alcotest.test_case "catalog stats" `Quick test_catalog_stats;
+    Alcotest.test_case "cost model regions" `Quick test_cost_choose_regions;
+    Alcotest.test_case "observed mu" `Quick test_observed_mu;
+    Alcotest.test_case "build cache sharing" `Quick test_share_builds_cache;
+  ]
+  @ qsuite

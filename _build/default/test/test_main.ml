@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "recstep"
+    [
+      ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
+      ("storage", Test_storage.suite);
+      ("relation", Test_relation.suite);
+      ("exec", Test_exec.suite);
+      ("core", Test_core.suite);
+      ("bitmatrix", Test_bitmatrix.suite);
+      ("bdd", Test_bdd.suite);
+      ("engines", Test_engines.suite);
+      ("datagen", Test_datagen.suite);
+      ("integration", Test_integration.suite);
+      ("invariants", Test_invariants.suite);
+      ("benchkit", Test_benchkit.suite);
+    ]

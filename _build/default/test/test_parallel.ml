@@ -1,0 +1,118 @@
+module Pool = Rs_parallel.Pool
+
+let check = Alcotest.(check bool)
+
+let test_parallel_for_covers () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let seen = Array.make 1000 false in
+  Pool.parallel_for pool 0 1000 (fun lo hi ->
+      for i = lo to hi - 1 do
+        check "not visited twice" false seen.(i);
+        seen.(i) <- true
+      done);
+  check "all visited" true (Array.for_all (fun b -> b) seen)
+
+let test_parallel_for_empty () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  Pool.parallel_for pool 5 5 (fun _ _ -> Alcotest.fail "must not run");
+  Pool.parallel_for pool 7 3 (fun _ _ -> Alcotest.fail "must not run")
+
+let test_map_tasks_order () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let results = Pool.map_tasks pool (List.init 10 (fun i -> fun () -> i * i)) in
+  Alcotest.(check (list int)) "ordered results" (List.init 10 (fun i -> i * i)) results
+
+let test_add_serial_advances_vtime () =
+  let pool = Pool.create ~workers:8 () in
+  Pool.begin_run pool;
+  let v0 = Pool.vtime_now pool in
+  Pool.add_serial pool 1.5;
+  let v1 = Pool.vtime_now pool in
+  check "vtime advanced by ~1.5" true (v1 -. v0 >= 1.5 && v1 -. v0 < 1.6)
+
+let test_makespan_below_total () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let spin () =
+    let t0 = Rs_util.Clock.now () in
+    while Rs_util.Clock.now () -. t0 < 0.002 do
+      ()
+    done
+  in
+  ignore (Pool.map_tasks pool (List.init 8 (fun _ -> spin)));
+  let stats = Pool.stats pool in
+  (* 8 equal tasks on 4 workers: makespan should be ~busy/4, not ~busy *)
+  check "parallel speedup observed" true (stats.Pool.vtime < 0.8 *. stats.Pool.busy)
+
+let test_nested_batches_inline () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let inner_ran = ref 0 in
+  Pool.parallel_for pool 0 4 (fun lo hi ->
+      for _ = lo to hi - 1 do
+        (* nested call must execute inline without corrupting accounting *)
+        Pool.parallel_for pool 0 10 (fun l h -> inner_ran := !inner_ran + (h - l))
+      done);
+  Alcotest.(check int) "nested iterations" 40 !inner_ran;
+  let stats = Pool.stats pool in
+  check "vtime sane" true (stats.Pool.vtime >= 0.0 && stats.Pool.vtime < 10.0)
+
+let test_events_recorded () =
+  let pool = Pool.create ~workers:2 () in
+  Pool.begin_run pool;
+  Pool.parallel_for pool 0 100 (fun _ _ -> ());
+  Pool.add_serial pool 0.25;
+  let events = Pool.events pool in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  let serial = List.nth events 1 in
+  check "serial event busy=vlen" true
+    (abs_float (serial.Pool.ev_busy -. serial.Pool.ev_vlen) < 1e-9);
+  check "event starts within run" true (serial.Pool.ev_vstart >= 0.0)
+
+let test_progress_hook () =
+  let pool = Pool.create ~workers:2 () in
+  Pool.begin_run pool;
+  let calls = ref 0 in
+  Pool.on_progress pool (fun _ -> incr calls);
+  Pool.parallel_for pool 0 10 (fun _ _ -> ());
+  Pool.parallel_for pool 0 10 (fun _ _ -> ());
+  Alcotest.(check int) "progress called per batch" 2 !calls;
+  Pool.clear_progress pool;
+  Pool.parallel_for pool 0 10 (fun _ _ -> ());
+  Alcotest.(check int) "cleared" 2 !calls
+
+let test_set_workers () =
+  let pool = Pool.create ~workers:3 () in
+  Pool.set_workers pool 7;
+  Alcotest.(check int) "workers" 7 (Pool.workers pool);
+  Pool.set_workers pool 0;
+  Alcotest.(check int) "clamped to 1" 1 (Pool.workers pool)
+
+let test_utilization_bounds () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  Pool.parallel_for pool 0 10000 (fun lo hi ->
+      let acc = ref 0 in
+      for i = lo to hi - 1 do
+        acc := !acc + i
+      done;
+      ignore !acc);
+  let stats = Pool.stats pool in
+  check "utilization in (0, 1]" true (stats.Pool.utilization > 0.0 && stats.Pool.utilization <= 1.000001)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_for covers range once" `Quick test_parallel_for_covers;
+    Alcotest.test_case "parallel_for empty ranges" `Quick test_parallel_for_empty;
+    Alcotest.test_case "map_tasks preserves order" `Quick test_map_tasks_order;
+    Alcotest.test_case "add_serial advances vtime" `Quick test_add_serial_advances_vtime;
+    Alcotest.test_case "makespan below serial total" `Quick test_makespan_below_total;
+    Alcotest.test_case "nested batches run inline" `Quick test_nested_batches_inline;
+    Alcotest.test_case "events recorded" `Quick test_events_recorded;
+    Alcotest.test_case "progress hooks" `Quick test_progress_hook;
+    Alcotest.test_case "set_workers clamps" `Quick test_set_workers;
+    Alcotest.test_case "utilization bounded" `Quick test_utilization_bounds;
+  ]

@@ -1,0 +1,196 @@
+module Relation = Rs_relation.Relation
+module Dedup = Rs_relation.Dedup
+module Hash_index = Rs_relation.Hash_index
+module Cck = Rs_relation.Cck_concurrent
+module Pool = Rs_parallel.Pool
+
+let check = Alcotest.(check bool)
+
+let test_relation_basic () =
+  let r = Relation.create ~name:"t" 3 in
+  Relation.push3 r 1 2 3;
+  Relation.push_row r [| 4; 5; 6 |];
+  Alcotest.(check int) "nrows" 2 (Relation.nrows r);
+  Alcotest.(check int) "get" 5 (Relation.get r ~row:1 ~col:1);
+  Alcotest.(check string) "name" "t" (Relation.name r);
+  Alcotest.check_raises "arity" (Invalid_argument "Relation.push_row: arity mismatch")
+    (fun () -> Relation.push_row r [| 1 |])
+
+let test_relation_roundtrip () =
+  let rows = [ [| 3; 1 |]; [| 1; 2 |]; [| 3; 1 |] ] in
+  let r = Relation.of_rows 2 rows in
+  Alcotest.(check int) "kept duplicates (bag)" 3 (Relation.nrows r);
+  Alcotest.(check int) "distinct" 2 (List.length (Relation.sorted_distinct_rows r))
+
+let test_relation_copy_append () =
+  let a = Relation.of_rows 2 [ [| 1; 2 |] ] in
+  let b = Relation.copy a in
+  Relation.push2 b 3 4;
+  Alcotest.(check int) "copy isolated" 1 (Relation.nrows a);
+  Relation.append_all a b;
+  Alcotest.(check int) "appended" 3 (Relation.nrows a)
+
+let test_concat_parallel () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let frags =
+    List.init 5 (fun i -> Relation.of_rows 2 (List.init (i + 1) (fun j -> [| i; j |])))
+  in
+  let merged = Relation.concat_parallel pool 2 frags in
+  let expected = List.concat_map Relation.to_rows frags in
+  Alcotest.(check int) "rows" (List.length expected) (Relation.nrows merged);
+  check "order preserved" true (Relation.to_rows merged = expected)
+
+let test_accounting () =
+  Rs_storage.Memtrack.hard_reset ();
+  let r = Relation.of_rows 2 (List.init 100 (fun i -> [| i; i |])) in
+  Relation.account r;
+  check "accounted" true (Rs_storage.Memtrack.live () > 0);
+  Relation.release r;
+  Alcotest.(check int) "released" 0 (Rs_storage.Memtrack.live ())
+
+(* --- dedup --- *)
+
+let gen_pairs =
+  QCheck2.Gen.(list (pair (int_range 0 50) (int_range 0 50)))
+
+let prop_dedup_matches_set mode name =
+  QCheck2.Test.make ~name ~count:200 gen_pairs (fun pairs ->
+      let r = Relation.create 2 in
+      List.iter (fun (x, y) -> Relation.push2 r x y) pairs;
+      let d = Dedup.dedup_relation mode r in
+      Refs.sorted_pairs (Relation.to_rows d |> List.map (fun a -> a))
+      = List.sort_uniq compare pairs)
+
+let prop_dedup_parallel_matches =
+  QCheck2.Test.make ~name:"parallel dedup = set" ~count:100 gen_pairs (fun pairs ->
+      let pool = Pool.create ~workers:4 () in
+      Pool.begin_run pool;
+      let r = Relation.create 2 in
+      List.iter (fun (x, y) -> Relation.push2 r x y) pairs;
+      let d = Dedup.dedup_relation_parallel ~pool Dedup.Fast r in
+      Refs.sorted_pairs (Relation.to_rows d) = List.sort_uniq compare pairs)
+
+let prop_dedup_fast_eq_boxed =
+  QCheck2.Test.make ~name:"fast dedup = boxed dedup" ~count:100
+    QCheck2.Gen.(list (array_size (return 3) (int_range 0 30)))
+    (fun rows ->
+      let mk mode =
+        let t = Dedup.create mode 3 in
+        List.map (fun row -> Dedup.add_row t row) rows
+      in
+      mk Dedup.Fast = mk Dedup.Boxed)
+
+let test_dedup_wide_membership () =
+  let t = Dedup.create Dedup.Fast 4 in
+  check "add" true (Dedup.add_row t [| 1; 2; 3; 4 |]);
+  check "dup" false (Dedup.add_row t [| 1; 2; 3; 4 |]);
+  check "mem" true (Dedup.mem_row t [| 1; 2; 3; 4 |]);
+  check "not mem" false (Dedup.mem_row t [| 1; 2; 3; 5 |]);
+  Alcotest.(check int) "cardinal" 1 (Dedup.cardinal t)
+
+let test_dedup_rehash_growth () =
+  let t = Dedup.create ~expected:4 Dedup.Fast 2 in
+  for i = 0 to 9999 do
+    check "new" true (Dedup.add2 t i (i * 31))
+  done;
+  for i = 0 to 9999 do
+    check "dup" false (Dedup.add2 t i (i * 31))
+  done;
+  Alcotest.(check int) "cardinal" 10000 (Dedup.cardinal t)
+
+(* --- CCK concurrent, including a real multi-domain stress test --- *)
+
+let test_cck_sequential () =
+  let t = Cck.create ~capacity:1000 ~buckets:64 in
+  check "add" true (Cck.add t 42);
+  check "dup" false (Cck.add t 42);
+  check "mem" true (Cck.mem t 42);
+  check "not mem" false (Cck.mem t 43);
+  Alcotest.(check int) "cardinal" 1 (Cck.cardinal t)
+
+let test_cck_concurrent_domains () =
+  (* Four real OCaml 5 domains hammer one table with overlapping ranges;
+     the final set must be exactly [0, 4000). *)
+  let t = Cck.create ~capacity:20000 ~buckets:1024 in
+  let worker seed () =
+    let rng = Rs_util.Rng.create seed in
+    for _ = 1 to 8000 do
+      ignore (Cck.add t (Rs_util.Rng.int rng 4000))
+    done;
+    for v = 0 to 3999 do
+      ignore (Cck.add t v)
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "exactly the range" 4000 (Cck.cardinal t);
+  Alcotest.(check (list int)) "sorted contents" (List.init 4000 (fun i -> i)) (Cck.to_sorted_list t)
+
+(* --- hash index --- *)
+
+let prop_index_matches_scan =
+  QCheck2.Test.make ~name:"hash index = naive scan" ~count:200
+    QCheck2.Gen.(pair gen_pairs (int_range 0 50))
+    (fun (pairs, probe) ->
+      let r = Relation.create 2 in
+      List.iter (fun (x, y) -> Relation.push2 r x y) pairs;
+      let idx = Hash_index.build r [| 0 |] in
+      let via_index = ref [] in
+      Hash_index.iter_matches1 idx probe (fun row -> via_index := row :: !via_index);
+      let naive = List.filteri (fun _ _ -> true) pairs in
+      let expected =
+        List.mapi (fun i (x, _) -> (i, x)) naive
+        |> List.filter_map (fun (i, x) -> if x = probe then Some i else None)
+      in
+      List.sort compare !via_index = List.sort compare expected)
+
+let prop_build_pool_equals_build =
+  QCheck2.Test.make ~name:"build_pool = build" ~count:100 gen_pairs (fun pairs ->
+      let pool = Pool.create ~workers:4 () in
+      Pool.begin_run pool;
+      let r = Relation.create 2 in
+      List.iter (fun (x, y) -> Relation.push2 r x y) pairs;
+      let a = Hash_index.build r [| 0; 1 |] and b = Hash_index.build_pool pool r [| 0; 1 |] in
+      List.for_all
+        (fun (x, y) ->
+          let ra = ref [] and rb = ref [] in
+          Hash_index.iter_matches a [| x; y |] (fun i -> ra := i :: !ra);
+          Hash_index.iter_matches b [| x; y |] (fun i -> rb := i :: !rb);
+          List.sort compare !ra = List.sort compare !rb)
+        pairs)
+
+let test_index_two_col_and_mem () =
+  let r = Relation.of_rows 2 [ [| 1; 2 |]; [| 1; 3 |]; [| 2; 2 |] ] in
+  let idx = Hash_index.build r [| 0; 1 |] in
+  check "mem" true (Hash_index.mem idx [| 1; 3 |]);
+  check "not mem" false (Hash_index.mem idx [| 3; 1 |]);
+  let hits = ref 0 in
+  Hash_index.iter_matches2 idx 1 2 (fun _ -> incr hits);
+  Alcotest.(check int) "exact match" 1 !hits
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dedup_matches_set Dedup.Fast "fast dedup = set semantics";
+      prop_dedup_matches_set Dedup.Boxed "boxed dedup = set semantics";
+      prop_dedup_parallel_matches;
+      prop_dedup_fast_eq_boxed;
+      prop_index_matches_scan;
+      prop_build_pool_equals_build;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "relation basics" `Quick test_relation_basic;
+    Alcotest.test_case "relation bag vs distinct" `Quick test_relation_roundtrip;
+    Alcotest.test_case "relation copy/append" `Quick test_relation_copy_append;
+    Alcotest.test_case "concat_parallel order" `Quick test_concat_parallel;
+    Alcotest.test_case "memory accounting" `Quick test_accounting;
+    Alcotest.test_case "dedup wide rows" `Quick test_dedup_wide_membership;
+    Alcotest.test_case "dedup rehash growth" `Quick test_dedup_rehash_growth;
+    Alcotest.test_case "cck sequential" `Quick test_cck_sequential;
+    Alcotest.test_case "cck 4-domain stress" `Quick test_cck_concurrent_domains;
+    Alcotest.test_case "index two-column" `Quick test_index_two_col_and_mem;
+  ]
+  @ qsuite

@@ -1,0 +1,82 @@
+module Memtrack = Rs_storage.Memtrack
+module Txn = Rs_storage.Txn
+
+let check = Alcotest.(check bool)
+
+let test_memtrack_basic () =
+  Memtrack.hard_reset ();
+  Memtrack.alloc 100;
+  Alcotest.(check int) "live" 100 (Memtrack.live ());
+  Memtrack.alloc 50;
+  Memtrack.free 30;
+  Alcotest.(check int) "live after free" 120 (Memtrack.live ());
+  check "peak >= 150" true (Memtrack.peak () >= 150);
+  Memtrack.reset_peak ();
+  Alcotest.(check int) "peak reset to live" 120 (Memtrack.peak ())
+
+let test_memtrack_budget () =
+  Memtrack.hard_reset ();
+  Memtrack.set_budget (Some 1000);
+  Memtrack.alloc 900;
+  (try
+     Memtrack.alloc 200;
+     Alcotest.fail "expected Simulated_oom"
+   with Memtrack.Simulated_oom { requested; live; budget } ->
+     Alcotest.(check int) "requested" 200 requested;
+     Alcotest.(check int) "live" 900 live;
+     Alcotest.(check int) "budget" 1000 budget);
+  (* the failed allocation was rolled back *)
+  Alcotest.(check int) "rolled back" 900 (Memtrack.live ());
+  Memtrack.set_budget None;
+  Memtrack.alloc 200;
+  Alcotest.(check int) "unbudgeted alloc ok" 1100 (Memtrack.live ());
+  Memtrack.hard_reset ()
+
+let test_memtrack_percent () =
+  Memtrack.set_machine_bytes 1000;
+  check "percent" true (abs_float (Memtrack.percent 250 -. 25.0) < 1e-9);
+  Memtrack.set_machine_bytes (2 * 1024 * 1024 * 1024)
+
+let scratch = Filename.concat (Filename.get_temp_dir_name ()) "_recstep_test_scratch.bin"
+
+let test_txn_per_query_flushes () =
+  let flushed = ref [] in
+  let t = Txn.create ~scratch ~on_flush:(fun b -> flushed := b :: !flushed) Txn.Per_query in
+  Txn.note_dirty t 1000;
+  Txn.query_boundary t;
+  Txn.note_dirty t 500;
+  Txn.query_boundary t;
+  Txn.query_boundary t (* nothing dirty: no flush *);
+  Txn.finish t;
+  Alcotest.(check (list int)) "flushes" [ 500; 1000 ] !flushed;
+  Alcotest.(check int) "bytes written" 1500 (Txn.bytes_written t);
+  Alcotest.(check int) "flush count" 2 (Txn.flush_count t)
+
+let test_txn_eost_single_flush () =
+  let flushed = ref [] in
+  let t = Txn.create ~scratch ~on_flush:(fun b -> flushed := b :: !flushed) Txn.Eost in
+  Txn.note_dirty t 1000;
+  Txn.query_boundary t;
+  Txn.note_dirty t 500;
+  Txn.query_boundary t;
+  Alcotest.(check (list int)) "no flush before finish" [] !flushed;
+  Txn.finish t;
+  Alcotest.(check (list int)) "one final flush" [ 1500 ] !flushed;
+  Alcotest.(check int) "flush count" 1 (Txn.flush_count t)
+
+let test_txn_scratch_removed () =
+  let t = Txn.create ~scratch Txn.Per_query in
+  Txn.note_dirty t 10;
+  Txn.query_boundary t;
+  Txn.finish t;
+  check "scratch cleaned" false (Sys.file_exists scratch)
+
+let suite =
+  [
+    Alcotest.test_case "memtrack alloc/free/peak" `Quick test_memtrack_basic;
+    Alcotest.test_case "memtrack budget OOM" `Quick test_memtrack_budget;
+    Alcotest.test_case "memtrack percent" `Quick test_memtrack_percent;
+    Alcotest.test_case "txn per-query flushes" `Quick test_txn_per_query_flushes;
+    Alcotest.test_case "txn EOST single flush" `Quick test_txn_eost_single_flush;
+    Alcotest.test_case "txn scratch removed" `Quick test_txn_scratch_removed;
+  ]

@@ -1,0 +1,159 @@
+module Rng = Rs_util.Rng
+module Int_key = Rs_util.Int_key
+module Int_vec = Rs_util.Int_vec
+module Bitset = Rs_util.Bitset
+module Union_find = Rs_util.Union_find
+
+let check = Alcotest.(check bool)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "in range" true (v >= 0 && v < 17);
+    let f = Rng.float r 3.0 in
+    check "float range" true (f >= 0.0 && f < 3.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.next a) in
+  let ys = List.init 20 (fun _ -> Rng.next b) in
+  check "split streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  Alcotest.(check (list int))
+    "same multiset" (List.sort compare (Array.to_list a))
+    (List.sort compare (Array.to_list b))
+
+let test_int_vec_basic () =
+  let v = Int_vec.create () in
+  for i = 0 to 99 do
+    Int_vec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 100 (Int_vec.length v);
+  Alcotest.(check int) "get" 27 (Int_vec.get v 9);
+  Int_vec.set v 9 (-1);
+  Alcotest.(check int) "set" (-1) (Int_vec.get v 9);
+  Alcotest.check_raises "oob" (Invalid_argument "Int_vec.get") (fun () ->
+      ignore (Int_vec.get v 100))
+
+let test_int_vec_append_blit () =
+  let a = Int_vec.of_array [| 1; 2; 3 |] and b = Int_vec.of_array [| 4; 5 |] in
+  Int_vec.append a b;
+  Alcotest.(check (array int)) "append" [| 1; 2; 3; 4; 5 |] (Int_vec.to_array a);
+  let dst = Int_vec.create_sized 5 in
+  Int_vec.blit a 1 dst 0 4;
+  Alcotest.(check (array int)) "blit" [| 2; 3; 4; 5; 0 |] (Int_vec.to_array dst)
+
+let test_bitset_basic () =
+  let b = Bitset.create 200 in
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 199;
+  check "mem 63" true (Bitset.mem b 63);
+  check "not mem 1" false (Bitset.mem b 1);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  check "removed" false (Bitset.mem b 63);
+  check "test_and_set new" true (Bitset.test_and_set b 5);
+  check "test_and_set old" false (Bitset.test_and_set b 5)
+
+let test_bitset_iter_sorted () =
+  let b = Bitset.create 300 in
+  let added = [ 5; 62; 63; 64; 126; 127; 128; 250 ] in
+  List.iter (Bitset.add b) added;
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  Alcotest.(check (list int)) "iter order" added (List.rev !seen)
+
+let test_bitset_union () =
+  let a = Bitset.create 100 and b = Bitset.create 100 in
+  Bitset.add a 1;
+  Bitset.add b 2;
+  check "changed" true (Bitset.union_into a b);
+  check "no change" false (Bitset.union_into a b);
+  Alcotest.(check int) "card" 2 (Bitset.cardinal a)
+
+let prop_bitset_matches_set =
+  QCheck2.Test.make ~name:"bitset matches reference set" ~count:200
+    QCheck2.Gen.(list (pair (int_range 0 99) bool))
+    (fun ops ->
+      let b = Bitset.create 100 in
+      let s =
+        List.fold_left
+          (fun s (i, add) ->
+            if add then begin
+              Bitset.add b i;
+              Refs.IntSet.add i s
+            end
+            else begin
+              Bitset.remove b i;
+              Refs.IntSet.remove i s
+            end)
+          Refs.IntSet.empty ops
+      in
+      Refs.IntSet.cardinal s = Bitset.cardinal b
+      && Refs.IntSet.for_all (fun i -> Bitset.mem b i) s)
+
+let prop_int_key_roundtrip =
+  QCheck2.Test.make ~name:"pack2 roundtrips" ~count:500
+    QCheck2.Gen.(pair (int_range 0 Int_key.max_attr) (int_range 0 Int_key.max_attr))
+    (fun (x, y) -> Int_key.unpack2 (Int_key.pack2 x y) = (x, y))
+
+let prop_int_key_injective =
+  QCheck2.Test.make ~name:"pack2 injective" ~count:500
+    QCheck2.Gen.(
+      pair
+        (pair (int_range 0 10000) (int_range 0 10000))
+        (pair (int_range 0 10000) (int_range 0 10000)))
+    (fun ((a, b), (c, d)) ->
+      (a, b) = (c, d) || Int_key.pack2 a b <> Int_key.pack2 c d)
+
+let test_union_find () =
+  let u = Union_find.create 10 in
+  Union_find.union u 0 1;
+  Union_find.union u 1 2;
+  Union_find.union u 5 6;
+  check "same 0 2" true (Union_find.same u 0 2);
+  check "diff 0 5" false (Union_find.same u 0 5);
+  let mins = Union_find.component_min u in
+  Alcotest.(check int) "min of 2's comp" 0 mins.(2);
+  Alcotest.(check int) "min of 6's comp" 5 mins.(6);
+  Alcotest.(check int) "singleton" 9 mins.(9)
+
+let test_table_printer () =
+  let s = Rs_util.Table_printer.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  check "contains header" true (String.length s > 0);
+  check "has separator" true (String.contains s '-')
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_bitset_matches_set; prop_int_key_roundtrip; prop_int_key_injective ]
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "int_vec basic" `Quick test_int_vec_basic;
+    Alcotest.test_case "int_vec append/blit" `Quick test_int_vec_append_blit;
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset iter" `Quick test_bitset_iter_sorted;
+    Alcotest.test_case "bitset union" `Quick test_bitset_union;
+    Alcotest.test_case "union find" `Quick test_union_find;
+    Alcotest.test_case "table printer" `Quick test_table_printer;
+  ]
+  @ qsuite
