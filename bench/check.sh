@@ -1,0 +1,59 @@
+#!/bin/sh
+# CI check: full build, test suite, and a CLI profiling smoke test.
+# Run from the repository root:  sh bench/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== quickstart example =="
+dune exec examples/quickstart.exe >/dev/null
+
+echo "== CLI profiling smoke =="
+tmp="${TMPDIR:-/tmp}/recstep-check.$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+dune exec bin/recstep_cli.exe -- gen gnp -n 200 -p 0.03 --seed 7 -o "$tmp/arc.tsv"
+
+# TC plus a non-recursive stratum on top, so the profile covers the
+# relational executor as well as the PBME-collapsed recursive stratum.
+cat >"$tmp/tc.dl" <<'EOF'
+.input arc
+tc(x, y) :- arc(x, y).
+tc(x, y) :- tc(x, z), arc(z, y).
+twohop(x, y) :- tc(x, z), tc(z, y).
+.output tc
+.output twohop
+EOF
+
+dune exec bin/recstep_cli.exe -- run "$tmp/tc.dl" --fact "arc=$tmp/arc.tsv" \
+  --profile "$tmp/p.json" >/dev/null
+
+# the profile must be valid JSON and cover the instrumented subsystems
+cat >"$tmp/validate.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    p = json.load(f)
+kinds = {s["kind"] for s in p["spans"]}
+need = {"storage", "dedup", "executor", "interpreter"}
+missing = need - kinds
+assert not missing, "missing span kinds: %s" % missing
+assert p["iterations"], "no per-iteration records"
+print("profile OK: %d spans over %s, %d iteration records, %d counters"
+      % (len(p["spans"]), sorted(kinds), len(p["iterations"]), len(p["counters"])))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate.py" "$tmp/p.json"
+else
+  # no python in the image: at least require a non-empty profile
+  test -s "$tmp/p.json"
+  echo "profile written (python3 unavailable, JSON not validated)"
+fi
+
+echo "== check passed =="

@@ -44,7 +44,14 @@ let explain program =
         s.Recstep.Analyzer.rules)
     an.Recstep.Analyzer.strata
 
-let run_cmd program_path facts out_dir engine workers verbose explain_only =
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("recstep: " ^ msg);
+      exit 1)
+    fmt
+
+let run_cmd program_path facts out_dir engine workers verbose explain_only profile =
   let program = Recstep.Parser.parse_file program_path in
   if explain_only then explain program
   else begin
@@ -52,10 +59,17 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only =
   let edb = load_facts an facts in
   let pool = Rs_parallel.Pool.create ~workers () in
   Rs_parallel.Pool.begin_run pool;
+  let trace =
+    match profile with
+    | Some _ ->
+        Some (Rs_obs.Trace.create ~now:(fun () -> Rs_parallel.Pool.vtime_now pool) ())
+    | None -> None
+  in
   let lookup =
     match engine with
     | None ->
-        let result = Recstep.Interpreter.run ~pool ~edb program in
+        let options = Recstep.Interpreter.options ?trace () in
+        let result = Recstep.Interpreter.run ~options ~pool ~edb program in
         if verbose then
           Printf.printf "iterations=%d queries=%d pbme_strata=%d io_bytes=%d\n"
             result.Recstep.Interpreter.iterations result.Recstep.Interpreter.queries
@@ -63,13 +77,33 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only =
         result.Recstep.Interpreter.relation_of
     | Some name -> (
         match Rs_engines.Engines.by_name name with
-        | Some (module E : Rs_engines.Engine_intf.S) -> E.run ~pool ~edb program
+        | Some engine -> (
+            match Rs_engines.Engine_intf.run_guarded engine ~pool ?trace ~edb program with
+            | Rs_engines.Engine_intf.Done result ->
+                if verbose then
+                  Printf.printf "iterations=%d queries=%d\n"
+                    result.Rs_engines.Engine_intf.iterations
+                    result.Rs_engines.Engine_intf.queries;
+                result.Rs_engines.Engine_intf.relation_of
+            | Oom -> die "%s: out of (simulated) memory" name
+            | Timeout -> die "%s: simulated deadline exceeded" name
+            | Unsupported m -> die "unsupported program: %s" m)
         | None ->
-            failwith
-              (Printf.sprintf "unknown engine %S (known: %s)" name
-                 (String.concat ", " (List.map Rs_engines.Engines.name Rs_engines.Engines.all))))
+            die "unknown engine %S (known: %s)" name
+              (String.concat ", " (List.map Rs_engines.Engines.name Rs_engines.Engines.all)))
   in
   let stats = Rs_parallel.Pool.stats pool in
+  (match (profile, trace) with
+  | Some path, Some tr ->
+      List.iter
+        (fun e ->
+          Rs_obs.Trace.add_batch tr ~start:e.Rs_parallel.Pool.ev_vstart
+            ~len:e.Rs_parallel.Pool.ev_vlen ~busy:e.Rs_parallel.Pool.ev_busy)
+        (Rs_parallel.Pool.events pool);
+      (try Rs_obs.Trace.dump tr ~path
+       with Sys_error msg -> die "cannot write profile: %s" msg);
+      if verbose then print_string (Rs_obs.Trace.summary tr)
+  | _ -> ());
   let outputs = if program.Recstep.Ast.outputs = [] then an.Recstep.Analyzer.idbs else program.Recstep.Ast.outputs in
   List.iter
     (fun name ->
@@ -118,8 +152,11 @@ let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print engine
 let explain_arg =
   Arg.(value & flag & info [ "explain" ] ~doc:"print the stratification and generated query plans instead of evaluating")
 
+let profile_arg =
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"record an execution trace (spans, counters, per-iteration deltas) and write it to FILE as JSON; with --verbose also print a summary")
+
 let run_term =
-  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg)
+  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg)
 
 let kind_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"gnp | rmat | livejournal | orkut | arabic | twitter")
 

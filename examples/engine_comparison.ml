@@ -14,25 +14,29 @@ let () =
   Printf.printf "%-24s %10s %10s\n" "engine" "time (s)" "|tc|";
   print_endline (String.make 46 '-');
   List.iter
-    (fun (module E : Engine_intf.S) ->
+    (fun ((module E : Engine_intf.S) as engine) ->
       let pool = Rs_parallel.Pool.create ~workers:16 () in
       Rs_parallel.Pool.begin_run pool;
-      match E.run ~pool ~edb:[ ("arc", make_arc ()) ] program with
-      | lookup ->
+      match Engine_intf.run_guarded engine ~pool ~edb:[ ("arc", make_arc ()) ] program with
+      | Engine_intf.Done result ->
           let stats = Rs_parallel.Pool.stats pool in
           Printf.printf "%-24s %10.4f %10d\n" E.name stats.Rs_parallel.Pool.vtime
-            (List.length (Rs_relation.Relation.sorted_distinct_rows (lookup "tc")))
-      | exception Engine_intf.Unsupported msg -> Printf.printf "%-24s %s\n" E.name msg)
+            (List.length
+               (Rs_relation.Relation.sorted_distinct_rows
+                  (result.Engine_intf.relation_of "tc")))
+      | Engine_intf.Unsupported msg -> Printf.printf "%-24s %s\n" E.name msg
+      | Engine_intf.Oom -> Printf.printf "%-24s OOM\n" E.name
+      | Engine_intf.Timeout -> Printf.printf "%-24s timeout\n" E.name)
     Rs_engines.Engines.all;
 
   (* capability envelope: who refuses what *)
   print_endline "\nprograms outside each engine's fragment:";
-  let try_run (module E : Engine_intf.S) name src edb =
+  let try_run ((module E : Engine_intf.S) as engine) name src edb =
     let pool = Rs_parallel.Pool.create ~workers:4 () in
     Rs_parallel.Pool.begin_run pool;
-    match E.run ~pool ~edb (Recstep.Parser.parse src) with
-    | (_ : string -> Rs_relation.Relation.t) -> ()
-    | exception Engine_intf.Unsupported _ -> Printf.printf "  %-24s rejects %s\n" E.name name
+    match Engine_intf.run_guarded engine ~pool ~edb (Recstep.Parser.parse src) with
+    | Engine_intf.Unsupported _ -> Printf.printf "  %-24s rejects %s\n" E.name name
+    | _ -> ()
   in
   let arc = Recstep.Frontend.edges [ (1, 2) ] in
   let deref = Recstep.Frontend.edges ~name:"dereference" [ (1, 2) ] in

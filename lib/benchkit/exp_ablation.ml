@@ -7,30 +7,39 @@
 
 module Interpreter = Recstep.Interpreter
 
+(* Each configuration is the {!Interpreter.options} smart constructor with
+   one knob flipped — no record updates, so a new option field can never be
+   silently inherited from a stale default. *)
 let configs =
   [
-    ("RecStep", Interpreter.default_options);
-    ("UIE-off", { Interpreter.default_options with uie = false });
-    ("DSD-off", { Interpreter.default_options with dsd = Interpreter.Dsd_force_opsd });
-    ("OOF-FA", { Interpreter.default_options with oof = Interpreter.Oof_full });
-    ("EOST-off", { Interpreter.default_options with eost = false });
-    ("FAST-DEDUP-off", { Interpreter.default_options with fast_dedup = false });
-    ("OOF-NA", { Interpreter.default_options with oof = Interpreter.Oof_off });
+    ("RecStep", fun ?timeout_vs ?trace () -> Interpreter.options ?timeout_vs ?trace ());
+    ( "UIE-off",
+      fun ?timeout_vs ?trace () -> Interpreter.options ~uie:false ?timeout_vs ?trace () );
+    ( "DSD-off",
+      fun ?timeout_vs ?trace () ->
+        Interpreter.options ~dsd:Interpreter.Dsd_force_opsd ?timeout_vs ?trace () );
+    ( "OOF-FA",
+      fun ?timeout_vs ?trace () ->
+        Interpreter.options ~oof:Interpreter.Oof_full ?timeout_vs ?trace () );
+    ( "EOST-off",
+      fun ?timeout_vs ?trace () -> Interpreter.options ~eost:false ?timeout_vs ?trace () );
+    ( "FAST-DEDUP-off",
+      fun ?timeout_vs ?trace () ->
+        Interpreter.options ~fast_dedup:false ?timeout_vs ?trace () );
+    ( "OOF-NA",
+      fun ?timeout_vs ?trace () ->
+        Interpreter.options ~oof:Interpreter.Oof_off ?timeout_vs ?trace () );
     ( "RecStep-NO-OP",
-      {
-        Interpreter.default_options with
-        uie = false;
-        dsd = Interpreter.Dsd_force_opsd;
-        oof = Interpreter.Oof_off;
-        eost = false;
-        fast_dedup = false;
-        pbme = false;
-      } );
+      fun ?timeout_vs ?trace () ->
+        Interpreter.options ~uie:false ~dsd:Interpreter.Dsd_force_opsd
+          ~oof:Interpreter.Oof_off ~eost:false ~fast_dedup:false ~pbme:false ?timeout_vs
+          ?trace () );
   ]
 
-let run_config (w : Workloads.t) (cname, options) =
-  Measure.run ~repeats:3 ~name:cname ~make_inputs:w.make_edb (fun edb pool ~deadline_vs ->
-      let options = { options with Interpreter.timeout_vs = deadline_vs } in
+let run_config (w : Workloads.t) (cname, mk_options) =
+  Measure.run ~repeats:3 ~name:cname ~make_inputs:w.make_edb
+    (fun edb pool ~deadline_vs ~trace ->
+      let options = mk_options ?timeout_vs:deadline_vs ?trace () in
       ignore (Interpreter.run ~options ~pool ~edb w.program))
 
 let fig2 ~scale =

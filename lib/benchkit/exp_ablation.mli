@@ -1,0 +1,15 @@
+(** Figures 2 and 3: optimization ablation on CSPA/httpd.
+
+    Each RecStep optimization is turned off in isolation; runtimes are
+    reported as a percentage of the all-optimizations-off configuration,
+    exactly like Figure 2's bars, and Figure 3 reprints the memory
+    timelines of the same runs. *)
+
+val fig2 : scale:int -> (string * Measure.run) list
+(** Prints the ablation table and returns the per-configuration runs. *)
+
+val fig3 : scale:int -> unit
+(** Re-runs {!fig2} and prints the memory timelines of its runs. *)
+
+val run : scale:int -> unit
+(** Both figures. *)

@@ -1,0 +1,16 @@
+(** Figures 10-14: cross-system comparison on graph analytics.
+
+    Fig 10: TC and SG across engines on the Gn-p family. Fig 11: memory
+    timelines of the TC/SG runs on the mid-size graph. Fig 12: REACH, CC and
+    SSSP on the RMAT size sweep. Fig 13: the same tasks on the
+    real-world-like graphs. Fig 14: memory timelines on livejournal.
+    OOM and timeout cells are reported exactly like the paper's bars. *)
+
+val fig10 : scale:int -> unit
+val fig11 : scale:int -> unit
+val fig12 : scale:int -> unit
+val fig13 : scale:int -> unit
+val fig14 : scale:int -> unit
+
+val run : scale:int -> unit
+(** All five figures. *)

@@ -25,7 +25,7 @@ let coord_sweep ~scale =
       (fun t ->
         let r =
           Measure.run ~repeats:2 ~name:(Printf.sprintf "t=%d" t) ~make_inputs:make_arc
-            (fun arc pool ~deadline_vs ->
+            (fun arc pool ~deadline_vs ~trace:_ ->
               ignore deadline_vs;
               let n = Graphs.vertex_count arc in
               let m =
@@ -53,10 +53,9 @@ let uie_sharing ~scale =
   let run name uie share =
     let r =
       Measure.run ~repeats:3 ~name ~make_inputs:w.Workloads.make_edb
-        (fun edb pool ~deadline_vs ->
+        (fun edb pool ~deadline_vs ~trace ->
           let options =
-            { Interpreter.default_options with
-              uie; share_builds = share; timeout_vs = deadline_vs }
+            Interpreter.options ~uie ~share_builds:share ?timeout_vs:deadline_vs ?trace ()
           in
           ignore (Interpreter.run ~options ~pool ~edb w.Workloads.program))
     in

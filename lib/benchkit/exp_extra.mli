@@ -1,0 +1,13 @@
+(** Extension experiments beyond the paper's figures.
+
+    [coord_sweep] carries out the study the paper defers to future work
+    (§5.3): the trade-off in SG-PBME-COORD's rebalance threshold [t].
+    [uie_sharing] isolates the two mechanisms behind UIE that the paper
+    lists (§5.1): saved per-query overhead versus hash-table cache sharing
+    across subqueries. *)
+
+val coord_sweep : scale:int -> unit
+val uie_sharing : scale:int -> unit
+
+val run : scale:int -> unit
+(** Both studies. *)

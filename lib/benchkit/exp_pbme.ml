@@ -24,9 +24,9 @@ let pbme_vs_relational ~title ~make_workload ~graphs =
               Measure.run ~mem_budget:mem_budget_bytes
                 ~name:(variant ^ "-" ^ gname)
                 ~make_inputs:w.Workloads.make_edb
-                (fun edb pool ~deadline_vs ->
+                (fun edb pool ~deadline_vs ~trace ->
                   let options =
-                    { Interpreter.default_options with pbme; timeout_vs = deadline_vs }
+                    Interpreter.options ~pbme ?timeout_vs:deadline_vs ?trace ()
                   in
                   ignore (Interpreter.run ~options ~pool ~edb w.Workloads.program))
             in
@@ -68,7 +68,8 @@ let fig7 ~scale =
     List.map
       (fun (name, coordinated) ->
         let r =
-          Measure.run ~repeats:2 ~name ~make_inputs:make_arc (fun arc pool ~deadline_vs ->
+          Measure.run ~repeats:2 ~name ~make_inputs:make_arc
+            (fun arc pool ~deadline_vs ~trace:_ ->
               ignore deadline_vs;
               let n = Graphs.vertex_count arc in
               let m =

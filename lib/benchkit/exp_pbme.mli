@@ -1,0 +1,14 @@
+(** Figures 6 and 7: the PBME technique.
+
+    Figure 6 compares memory (and completion) of the bit-matrix evaluation
+    against the plain relational loop on growing dense graphs — the
+    non-PBME configuration runs out of memory first, as in the paper.
+    Figure 7 compares the coordinated and zero-coordination SG kernels on a
+    skewed graph: CPU utilization and completion time differ, memory
+    barely. *)
+
+val fig6 : scale:int -> unit
+val fig7 : scale:int -> unit
+
+val run : scale:int -> unit
+(** Both figures. *)

@@ -1,0 +1,13 @@
+(** Figures 15 and 16: program-analysis comparison.
+
+    Fig 15a: Andersen's analysis on the seven synthetic datasets.
+    Fig 15b: context-sensitive dataflow (CSDA) on linux/postgresql/httpd.
+    Fig 15c: context-sensitive points-to (CSPA) — BigDatalog shows "-"
+    (mutual recursion), as in the paper.
+    Fig 16: CPU-utilization timelines on AA and CSPA. *)
+
+val fig15 : scale:int -> unit
+val fig16 : scale:int -> unit
+
+val run : scale:int -> unit
+(** Both figures. *)

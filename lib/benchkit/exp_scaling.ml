@@ -19,8 +19,8 @@ let speedup_series (w : Workloads.t) =
       let r =
         Measure.run ~workers ~name:(Printf.sprintf "%s @%d" w.Workloads.label workers)
           ~make_inputs:w.Workloads.make_edb
-          (fun edb pool ~deadline_vs ->
-            let options = { Interpreter.default_options with timeout_vs = deadline_vs } in
+          (fun edb pool ~deadline_vs ~trace ->
+            let options = Interpreter.options ?timeout_vs:deadline_vs ?trace () in
             ignore (Interpreter.run ~options ~pool ~edb w.Workloads.program))
       in
       (workers, time_of r))
@@ -57,8 +57,8 @@ let fig9 ~scale =
         let w = Workloads.cc g in
         let r =
           Measure.run ~name:w.Workloads.label ~make_inputs:w.Workloads.make_edb
-            (fun edb pool ~deadline_vs ->
-              let options = { Interpreter.default_options with timeout_vs = deadline_vs } in
+            (fun edb pool ~deadline_vs ~trace ->
+              let options = Interpreter.options ?timeout_vs:deadline_vs ?trace () in
               ignore (Interpreter.run ~options ~pool ~edb w.Workloads.program))
         in
         (fst g, time_of r))
@@ -72,8 +72,8 @@ let fig9 ~scale =
         let w = Workloads.andersen ~scale n in
         let r =
           Measure.run ~name:w.Workloads.label ~make_inputs:w.Workloads.make_edb
-            (fun edb pool ~deadline_vs ->
-              let options = { Interpreter.default_options with timeout_vs = deadline_vs } in
+            (fun edb pool ~deadline_vs ~trace ->
+              let options = Interpreter.options ?timeout_vs:deadline_vs ?trace () in
               ignore (Interpreter.run ~options ~pool ~edb w.Workloads.program))
         in
         (n, time_of r))

@@ -1,0 +1,9 @@
+(** Table 1 (qualitative system matrix), Table 4 (CPU efficiency) and the
+    Appendix-A DSD cost-model validation. *)
+
+val table1 : unit -> unit
+val table4 : scale:int -> unit
+val costmodel : unit -> unit
+
+val run : scale:int -> unit
+(** Both tables and the cost-model check. *)

@@ -1,7 +1,14 @@
 module Pool = Rs_parallel.Pool
 module Memtrack = Rs_storage.Memtrack
+module Engine_intf = Rs_engines.Engine_intf
 
-type outcome = Done of float | Oom | Timeout | Unsupported of string
+type 'a engine_outcome = 'a Engine_intf.outcome =
+  | Done of 'a
+  | Oom
+  | Timeout
+  | Unsupported of string
+
+type outcome = float engine_outcome
 
 type run = {
   run_name : string;
@@ -11,6 +18,7 @@ type run = {
   util_timeline : (float * float) list;
   workers : int;
   wall_s : float;
+  trace : Rs_obs.Trace.t option;
 }
 
 let util_series pool ~buckets =
@@ -49,13 +57,17 @@ let util_series pool ~buckets =
       let total_busy = busy.(b) +. serial in
       (float_of_int b *. width, 100.0 *. total_busy /. (k *. width)))
 
-let run_once ?workers ?mem_budget ?timeout_vs ~name ~make_inputs f =
+let run_once ?workers ?mem_budget ?timeout_vs ?(with_trace = true) ~name ~make_inputs f =
   Memtrack.hard_reset ();
   Memtrack.set_budget None;
   let inputs = make_inputs () in
   Memtrack.set_budget
     (Some (Option.value mem_budget ~default:(Memtrack.machine_bytes ())));
   let pool = Pool.create ?workers () in
+  let trace =
+    if with_trace then Some (Rs_obs.Trace.create ~now:(fun () -> Pool.vtime_now pool) ())
+    else None
+  in
   let mem_samples = ref [] in
   let last_sample = ref (-1.0) in
   Pool.on_progress pool (fun vt ->
@@ -66,18 +78,24 @@ let run_once ?workers ?mem_budget ?timeout_vs ~name ~make_inputs f =
   Memtrack.reset_peak ();
   let wall0 = Rs_util.Clock.now () in
   Pool.begin_run pool;
+  (* the simulated failures fold into [outcome] at this one boundary *)
   let outcome =
-    try
-      f inputs pool ~deadline_vs:timeout_vs;
-      Done (Pool.stats pool).Pool.vtime
-    with
-    | Memtrack.Simulated_oom _ -> Oom
-    | Recstep.Interpreter.Timeout_simulated _ -> Timeout
-    | Rs_engines.Engine_intf.Unsupported m -> Unsupported m
+    Engine_intf.outcome_map
+      (fun () -> (Pool.stats pool).Pool.vtime)
+      (Engine_intf.guard (fun () -> f inputs pool ~deadline_vs:timeout_vs ~trace))
   in
   Memtrack.set_budget None;
   let stats = Pool.stats pool in
   mem_samples := (stats.Pool.vtime, Memtrack.percent (Memtrack.live ())) :: !mem_samples;
+  (* mirror the pool's batch events so the profile is self-contained *)
+  (match trace with
+  | Some tr ->
+      List.iter
+        (fun e ->
+          Rs_obs.Trace.add_batch tr ~start:e.Pool.ev_vstart ~len:e.Pool.ev_vlen
+            ~busy:e.Pool.ev_busy)
+        (Pool.events pool)
+  | None -> ());
   {
     run_name = name;
     outcome;
@@ -86,15 +104,18 @@ let run_once ?workers ?mem_budget ?timeout_vs ~name ~make_inputs f =
     util_timeline = util_series pool ~buckets:20;
     workers = stats.Pool.workers;
     wall_s = Rs_util.Clock.now () -. wall0;
+    trace;
   }
 
-let run ?workers ?mem_budget ?timeout_vs ?(repeats = 1) ~name ~make_inputs f =
-  if repeats <= 1 then run_once ?workers ?mem_budget ?timeout_vs ~name ~make_inputs f
+let run ?workers ?mem_budget ?timeout_vs ?(repeats = 1) ?with_trace ~name ~make_inputs f =
+  if repeats <= 1 then run_once ?workers ?mem_budget ?timeout_vs ?with_trace ~name ~make_inputs f
   else begin
     (* paper methodology: discard the first run, average the rest *)
-    ignore (run_once ?workers ?mem_budget ?timeout_vs ~name ~make_inputs f);
+    ignore
+      (run_once ?workers ?mem_budget ?timeout_vs ~with_trace:false ~name ~make_inputs f);
     let runs =
-      List.init repeats (fun _ -> run_once ?workers ?mem_budget ?timeout_vs ~name ~make_inputs f)
+      List.init repeats (fun _ ->
+          run_once ?workers ?mem_budget ?timeout_vs ?with_trace ~name ~make_inputs f)
     in
     let last = List.nth runs (repeats - 1) in
     let times =

@@ -3,15 +3,18 @@
 
     The harness's failure vocabulary matches the paper's: a run ends
     {!constructor-Done}, "Out of Memory", "timeout", or unsupported (a blank
-    bar / missing system in the figures). *)
+    bar / missing system in the figures). It is the same vocabulary as
+    {!Rs_engines.Engine_intf.outcome}, instantiated at [float]. *)
 
 module Pool = Rs_parallel.Pool
 
-type outcome =
-  | Done of float  (** simulated seconds *)
+type 'a engine_outcome = 'a Rs_engines.Engine_intf.outcome =
+  | Done of 'a  (** for a measured run: simulated seconds *)
   | Oom
   | Timeout
   | Unsupported of string
+
+type outcome = float engine_outcome
 
 type run = {
   run_name : string;
@@ -21,6 +24,7 @@ type run = {
   util_timeline : (float * float) list;  (** (simulated s, utilization %) *)
   workers : int;
   wall_s : float;  (** real seconds the measurement took *)
+  trace : Rs_obs.Trace.t option;  (** per-run profile, unless [with_trace:false] *)
 }
 
 val run :
@@ -28,16 +32,25 @@ val run :
   ?mem_budget:int ->
   ?timeout_vs:float ->
   ?repeats:int ->
+  ?with_trace:bool ->
   name:string ->
   make_inputs:(unit -> 'i) ->
-  ('i -> Pool.t -> deadline_vs:float option -> unit) ->
+  ('i -> Pool.t -> deadline_vs:float option -> trace:Rs_obs.Trace.t option -> unit) ->
   run
 (** [run ~name ~make_inputs f] builds the inputs (untimed, outside the
     budget), resets the memory tracker, and executes [f] on a fresh pool.
     [mem_budget] defaults to the machine size; [timeout_vs] to no limit.
     [repeats > 1] applies the paper's methodology: one discarded warm-up
-    run, then the average of [repeats] measured runs (timelines and peak
-    memory come from the last). *)
+    run, then the average of [repeats] measured runs (timelines, peak
+    memory and trace come from the last).
+
+    A trace on the pool's simulated clock is handed to [f] unless
+    [with_trace:false]; after the run the pool's batch events are mirrored
+    into it, so [run.trace] is a self-contained profile. The warm-up run is
+    never traced.
+
+    The three simulated failures are folded into the {!outcome} via
+    {!Rs_engines.Engine_intf.guard} — [f] should let them propagate. *)
 
 val outcome_cell : outcome -> string
 (** Short table cell: "12.3", "OOM", ">10h" (timeout), "-" (unsupported). *)

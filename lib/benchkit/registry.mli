@@ -1,0 +1,13 @@
+(** Experiment registry: one entry per paper table / figure. *)
+
+type experiment = {
+  id : string;  (** the paper's figure/table id, e.g. "fig10" *)
+  title : string;
+  run : scale:int -> unit;
+}
+
+val all : experiment list
+(** In paper order; includes the EXTRA studies at the end. *)
+
+val find : string -> experiment option
+(** Look up an experiment by [id]. *)

@@ -18,10 +18,12 @@ let run_one ?workers ?mem_budget ?timeout_vs (module E : Engine_intf.S) (w : Wor
   Measure.run ?workers ~mem_budget ?timeout_vs
     ~name:(Printf.sprintf "%s on %s" E.name w.Workloads.label)
     ~make_inputs:w.Workloads.make_edb
-    (fun edb pool ~deadline_vs ->
-      let lookup = E.run ~pool ?deadline_vs ~edb w.Workloads.program in
+    (fun edb pool ~deadline_vs ~trace ->
+      let result = E.run ~pool ?deadline_vs ?trace ~edb w.Workloads.program in
       (* touch the output so lazy engines cannot cheat *)
-      ignore (Rs_relation.Relation.nrows (lookup w.Workloads.output)))
+      ignore
+        (Rs_relation.Relation.nrows
+           (result.Engine_intf.relation_of w.Workloads.output)))
 
 let cross_table ?workers ?mem_budget ?timeout_vs ~engines ~workloads () =
   let rows =

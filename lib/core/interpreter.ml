@@ -24,22 +24,29 @@ type options = {
   timeout_vs : float option;
   hoard_memory : bool;
   share_builds : bool;
+  trace : Rs_obs.Trace.t option;
 }
 
-let default_options =
+let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true)
+    ?(fast_dedup = true) ?(pbme = true) ?(query_overhead_s = 0.002)
+    ?(alpha = Cost.default_alpha) ?timeout_vs ?(hoard_memory = false) ?(share_builds = true)
+    ?trace () =
   {
-    uie = true;
-    oof = Oof_normal;
-    dsd = Dsd_dynamic;
-    eost = true;
-    fast_dedup = true;
-    pbme = true;
-    query_overhead_s = 0.002;
-    alpha = Cost.default_alpha;
-    timeout_vs = None;
-    hoard_memory = false;
-    share_builds = true;
+    uie;
+    oof;
+    dsd;
+    eost;
+    fast_dedup;
+    pbme;
+    query_overhead_s;
+    alpha;
+    timeout_vs;
+    hoard_memory;
+    share_builds;
+    trace;
   }
+
+let default_options = options ()
 
 type iteration_info = {
   it_stratum : int;
@@ -218,21 +225,47 @@ type idb_state = {
 let run ?(options = default_options) ?on_iteration ~pool ~edb program =
   let an = Analyzer.analyze program in
   let catalog = Catalog.create () in
+  let trace = options.trace in
   let exec =
     Executor.create ~query_overhead_s:options.query_overhead_s
-      ~share_builds:options.share_builds pool catalog
+      ~share_builds:options.share_builds ?trace pool catalog
   in
   (* Modeled disk: 0.5 ms seek + 300 MB/s bandwidth per physical flush
      (the container's page cache hides the real cost QuickStep pays). *)
   let on_flush bytes =
     Pool.add_serial pool (0.0005 +. (float_of_int bytes /. 300e6))
   in
-  let txn = Txn.create ~on_flush (if options.eost then Txn.Eost else Txn.Per_query) in
+  let txn = Txn.create ~on_flush ?trace (if options.eost then Txn.Eost else Txn.Per_query) in
   let queries = ref 0 in
   let total_iterations = ref 0 in
   let pbme_strata = ref 0 in
   let dsd_hist = Hashtbl.create 4 in
   let note_dsd c = Hashtbl.replace dsd_hist c (1 + Option.value ~default:0 (Hashtbl.find_opt dsd_hist c)) in
+  let with_span name f =
+    match trace with
+    | Some tr -> Rs_obs.Trace.span tr ~kind:"interpreter" name f
+    | None -> f ()
+  in
+  (* Every fixpoint iteration reports per-IDB delta cardinality both to the
+     caller's [on_iteration] and to the trace timeline. *)
+  let note_iteration info =
+    (match trace with
+    | Some tr ->
+        Rs_obs.Trace.iteration tr
+          {
+            Rs_obs.Trace.it_stratum = info.it_stratum;
+            it_iteration = info.it_iteration;
+            it_idb = info.it_idb;
+            it_delta_rows = info.it_delta_rows;
+            it_vtime = info.it_vtime;
+          }
+    | None -> ());
+    match on_iteration with Some f -> f info | None -> ()
+  in
+  let count_iteration () =
+    incr total_iterations;
+    match trace with Some tr -> Rs_obs.Trace.count tr "interpreter.iterations" 1 | None -> ()
+  in
   let check_timeout () =
     match options.timeout_vs with
     | Some budget ->
@@ -361,15 +394,25 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
         Relation.nrows delta
     | None ->
         let r = Catalog.rel catalog st.name in
+        let r_rows = Catalog.stat_rows catalog st.name in
+        let rdelta_rows = Relation.nrows rdelta in
         let choice =
           match options.dsd with
           | Dsd_force_opsd -> Cost.Opsd
           | Dsd_force_tpsd -> Cost.Tpsd
-          | Dsd_dynamic ->
-              Cost.choose ~alpha:options.alpha ~r_rows:(Catalog.stat_rows catalog st.name)
-                ~rdelta_rows:(Relation.nrows rdelta) ~mu_prev:st.mu_prev
+          | Dsd_dynamic -> Cost.choose ~alpha:options.alpha ~r_rows ~rdelta_rows ~mu_prev:st.mu_prev
         in
         note_dsd choice;
+        (match trace with
+        | Some tr ->
+            (* OPSD/TPSD decision with the cost-model inputs that drove it *)
+            Rs_obs.Trace.event tr ~kind:"dsd"
+              (match choice with Cost.Opsd -> "opsd" | Cost.Tpsd -> "tpsd")
+              (("r_rows", float_of_int r_rows)
+              :: ("rdelta_rows", float_of_int rdelta_rows)
+              :: ("alpha", options.alpha)
+              :: (match st.mu_prev with Some m -> [ ("mu_prev", m) ] | None -> []))
+        | None -> ());
         let delta, intersection =
           match choice with
           | Cost.Opsd -> Executor.opsd exec ~rdelta ~r
@@ -443,74 +486,71 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
         | [] -> Relation.nrows candidates
         | plans -> dedup_expected plans
       in
-      let rdelta = Dedup.dedup_relation_parallel ~expected ~pool dedup_mode candidates in
+      let rdelta = Dedup.dedup_relation_parallel ~expected ?trace ~pool dedup_mode candidates in
       if not options.hoard_memory then Relation.release candidates;
       let d = absorb_candidates st rdelta in
       if not options.hoard_memory then Relation.release rdelta;
       analyze_updated [ st.name; Planner.delta_name st.name ];
       d
     in
-    incr total_iterations;
-    let deltas0 = List.map (fun st -> (st, iteration0 st)) idb_states in
+    count_iteration ();
+    let deltas0 = with_span "iter-0" (fun () -> List.map (fun st -> (st, iteration0 st)) idb_states) in
     List.iter
       (fun (st, d) ->
-        match on_iteration with
-        | Some f ->
-            f
-              {
-                it_stratum = stratum.index;
-                it_iteration = 0;
-                it_idb = st.name;
-                it_delta_rows = d;
-                it_vtime = Pool.vtime_now pool;
-              }
-        | None -> ())
+        note_iteration
+          {
+            it_stratum = stratum.index;
+            it_iteration = 0;
+            it_idb = st.name;
+            it_delta_rows = d;
+            it_vtime = Pool.vtime_now pool;
+          })
       deltas0;
     if stratum.recursive then begin
       let iteration = ref 0 in
       let continue_ = ref (List.exists (fun (_, d) -> d > 0) deltas0) in
       while !continue_ do
         incr iteration;
-        incr total_iterations;
+        count_iteration ();
         check_timeout ();
         let any = ref false in
-        (* Jacobi rounds: evaluate every IDB's queries against the previous
-           iteration's Δ-tables FIRST, then absorb. Absorbing one IDB before
-           evaluating the next would replace a Δ-table that mutually
-           recursive rules of later IDBs still need to consume. *)
-        let produced =
-          List.map
-            (fun st ->
-              let plans = delta_plans st in
-              (st, plans, eval_plans plans))
-            idb_states
-        in
-        List.iter
-          (fun (st, plans, rt_opt) ->
-            match rt_opt with
-            | None -> ()
-            | Some rt ->
-                let rdelta =
-                  Dedup.dedup_relation_parallel ~expected:(dedup_expected plans) ~pool
-                    dedup_mode rt
-                in
-                if not options.hoard_memory then Relation.release rt;
-                let d = absorb_candidates st rdelta in
-                if not options.hoard_memory then Relation.release rdelta;
-                analyze_updated [ st.name; Planner.delta_name st.name ];
-                if d > 0 then any := true;
-                match on_iteration with
-                | Some f ->
-                    f
+        with_span
+          (Printf.sprintf "iter-%d" !iteration)
+          (fun () ->
+            (* Jacobi rounds: evaluate every IDB's queries against the previous
+               iteration's Δ-tables FIRST, then absorb. Absorbing one IDB before
+               evaluating the next would replace a Δ-table that mutually
+               recursive rules of later IDBs still need to consume. *)
+            let produced =
+              List.map
+                (fun st ->
+                  let plans = delta_plans st in
+                  (st, plans, eval_plans plans))
+                idb_states
+            in
+            List.iter
+              (fun (st, plans, rt_opt) ->
+                match rt_opt with
+                | None -> ()
+                | Some rt ->
+                    let rdelta =
+                      Dedup.dedup_relation_parallel ~expected:(dedup_expected plans) ?trace ~pool
+                        dedup_mode rt
+                    in
+                    if not options.hoard_memory then Relation.release rt;
+                    let d = absorb_candidates st rdelta in
+                    if not options.hoard_memory then Relation.release rdelta;
+                    analyze_updated [ st.name; Planner.delta_name st.name ];
+                    if d > 0 then any := true;
+                    note_iteration
                       {
                         it_stratum = stratum.index;
                         it_iteration = !iteration;
                         it_idb = st.name;
                         it_delta_rows = d;
                         it_vtime = Pool.vtime_now pool;
-                      }
-                | None -> ())
-          produced;
+                      })
+              produced);
         continue_ := !any
       done
     end;
@@ -568,14 +608,29 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
             end;
             analyze_updated [ idb_name ];
             incr pbme_strata;
-            incr total_iterations;
+            count_iteration ();
+            (match trace with
+            | Some tr -> Rs_obs.Trace.count tr "interpreter.pbme_strata" 1
+            | None -> ());
+            (* the whole stratum collapses into one bit-matrix solve; report
+               it as a single iteration so the timeline stays complete *)
+            note_iteration
+              {
+                it_stratum = stratum.index;
+                it_iteration = 0;
+                it_idb = idb_name;
+                it_delta_rows = Relation.nrows r;
+                it_vtime = Pool.vtime_now pool;
+              };
             true
           end
   in
   List.iter
     (fun stratum ->
       check_timeout ();
-      if not (try_pbme stratum) then eval_stratum stratum)
+      with_span
+        (Printf.sprintf "stratum-%d" stratum.Analyzer.index)
+        (fun () -> if not (try_pbme stratum) then eval_stratum stratum))
     an.Analyzer.strata;
   if options.eost then
     (* one final write-back of the result tables *)

@@ -39,10 +39,34 @@ type options = {
   share_builds : bool;
       (** share hash tables built on the same (table, keys) across the
           subqueries of one UNION ALL query — the cache-sharing half of UIE *)
+  trace : Rs_obs.Trace.t option;
+      (** observability sink: when set, the run records stratum/iteration
+          spans, per-iteration delta cardinalities, DSD decision events with
+          their cost-model inputs, and the storage/dedup/executor counters *)
 }
 
+val options :
+  ?uie:bool ->
+  ?oof:oof_mode ->
+  ?dsd:dsd_mode ->
+  ?eost:bool ->
+  ?fast_dedup:bool ->
+  ?pbme:bool ->
+  ?query_overhead_s:float ->
+  ?alpha:float ->
+  ?timeout_vs:float ->
+  ?hoard_memory:bool ->
+  ?share_builds:bool ->
+  ?trace:Rs_obs.Trace.t ->
+  unit ->
+  options
+(** Misuse-proof constructor: every omitted knob takes the RecStep default,
+    so adding a knob never breaks call sites. Prefer this over building or
+    updating the record field-by-field — literal construction is the form
+    that breaks when options grow. *)
+
 val default_options : options
-(** Everything on: the RecStep configuration. *)
+(** [options ()] — everything on: the RecStep configuration. *)
 
 type iteration_info = {
   it_stratum : int;

@@ -42,9 +42,11 @@ let rule_var_domains rule =
   List.iter (fun ht -> List.iter note (Ast.head_term_vars ht)) rule.Ast.head_args;
   !doms
 
-let run ~pool ?deadline_vs ~edb program =
+let run ~pool ?deadline_vs ?trace ~edb program =
   let an = An.analyze program in
   if an.An.agg_sigs <> [] then unsupported "%s: aggregation" name;
+  let iterations = ref 0 in
+  let rule_evals = ref 0 in
   List.iter
     (fun (p, arity) -> if arity > 2 then unsupported "%s: relation %s has arity %d" name p arity)
     an.An.arities;
@@ -238,6 +240,7 @@ let run ~pool ?deadline_vs ~edb program =
   in
   let eval_stratum stratum =
       check_deadline ();
+      incr iterations;
       let m = sp.Bdd_rel.mgr in
       let rules = List.filter (fun r -> r.Ast.body <> []) stratum.An.rules in
       let rec_occurrences rule =
@@ -258,6 +261,7 @@ let run ~pool ?deadline_vs ~edb program =
         (fun rule ->
           if rec_occurrences rule = 0 then begin
             let f = Hashtbl.find full rule.Ast.head_pred in
+            incr rule_evals;
             f := Bdd.mk_or m !f (eval_rule stratum rule ~delta_at:(-1))
           end)
         rules;
@@ -266,6 +270,7 @@ let run ~pool ?deadline_vs ~edb program =
         let continue_ = ref true in
         while !continue_ do
           check_deadline ();
+          incr iterations;
           let news =
             List.map
               (fun p ->
@@ -274,6 +279,7 @@ let run ~pool ?deadline_vs ~edb program =
                   (fun rule ->
                     if rule.Ast.head_pred = p then
                       for i = 0 to rec_occurrences rule - 1 do
+                        incr rule_evals;
                         acc := Bdd.mk_or m !acc (eval_rule stratum rule ~delta_at:i)
                       done)
                   rules;
@@ -296,11 +302,20 @@ let run ~pool ?deadline_vs ~edb program =
       end;
       List.iter (fun p -> Hashtbl.find delta p := Bdd.bfalse) stratum.An.preds
   in
+  let eval_stratum stratum =
+    match trace with
+    | Some tr ->
+        Rs_obs.Trace.span tr ~kind:"engine"
+          (Printf.sprintf "stratum-%d" stratum.An.index)
+          (fun () -> eval_stratum stratum)
+    | None -> eval_stratum stratum
+  in
   (try List.iter eval_stratum an.An.strata
    with Bdd.Deadline_exceeded ->
      raise (Recstep.Interpreter.Timeout_simulated (Pool.vtime_now pool)));
-  ignore pool;
-  fun p ->
+  let relation_of p =
     match Hashtbl.find_opt full p with
     | Some f -> Bdd_rel.to_relation sp ~arity:(An.arity an p) ~name:p !f
     | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name p)
+  in
+  Engine_intf.mk_result ~pool ?trace ~iterations:!iterations ~queries:!rule_evals relation_of

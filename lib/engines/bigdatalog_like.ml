@@ -34,23 +34,19 @@ let gate program =
     an.An.strata;
   an
 
-let options_for deadline_vs =
-  {
-    Interpreter.default_options with
-    uie = false;
-    oof = Interpreter.Oof_off;
-    dsd = Interpreter.Dsd_force_opsd;
-    fast_dedup = true;
-    pbme = false;
-    query_overhead_s = stage_overhead_s;
-    hoard_memory = true;
-    timeout_vs = deadline_vs;
-  }
+let options_for ?(query_overhead_s = stage_overhead_s) ?timeout_vs ?trace () =
+  Interpreter.options ~uie:false ~oof:Interpreter.Oof_off ~dsd:Interpreter.Dsd_force_opsd
+    ~fast_dedup:true ~pbme:false ~query_overhead_s ~hoard_memory:true ?timeout_vs ?trace ()
 
-let run ~pool ?deadline_vs ~edb program =
+let interpret ~options ~pool ?trace ~edb program =
+  let result = Interpreter.run ~options ~pool ~edb program in
+  Engine_intf.mk_result ~pool ?trace ~iterations:result.Interpreter.iterations
+    ~queries:result.Interpreter.queries result.Interpreter.relation_of
+
+let run ~pool ?deadline_vs ?trace ~edb program =
   ignore (gate program);
-  let result = Interpreter.run ~options:(options_for deadline_vs) ~pool ~edb program in
-  result.Interpreter.relation_of
+  let options = options_for ?timeout_vs:deadline_vs ?trace () in
+  interpret ~options ~pool ?trace ~edb program
 
 module Distributed = struct
   let name = "Distributed-BigDatalog"
@@ -60,7 +56,7 @@ module Distributed = struct
   (* The paper's reference cluster: 15 workers, 120 cores, 450 GB — ~6x the
      cores of the single node. Per-stage scheduling overhead is higher on a
      real cluster. *)
-  let run ~pool ?deadline_vs ~edb program =
+  let run ~pool ?deadline_vs ?trace ~edb program =
     ignore (gate program);
     let w0 = Pool.workers pool in
     Pool.set_workers pool (6 * w0);
@@ -68,10 +64,9 @@ module Distributed = struct
       ~finally:(fun () -> Pool.set_workers pool w0)
       (fun () ->
         let options =
-          { (options_for deadline_vs) with query_overhead_s = 2.0 *. stage_overhead_s }
+          options_for ~query_overhead_s:(2.0 *. stage_overhead_s) ?timeout_vs:deadline_vs ?trace ()
         in
-        let result = Interpreter.run ~options ~pool ~edb program in
-        result.Interpreter.relation_of)
+        interpret ~options ~pool ?trace ~edb program)
 end
 
 let distributed : Engine_intf.engine = (module Distributed)

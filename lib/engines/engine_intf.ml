@@ -5,9 +5,23 @@
     cross-system experiments compare *techniques*, not incidental runtime
     differences. [capabilities] carries the qualitative rows of the paper's
     Table 1; [run] raises {!Unsupported} exactly where the paper reports a
-    system cannot express a workload. *)
+    system cannot express a workload.
+
+    [run] returns a structured {!run_result} (not a bare lookup function):
+    besides the result relations, every engine reports how many fixpoint
+    iterations it took, how many backend queries it issued, the pool's timing
+    statistics, and the trace it was asked to record into.
+
+    The three simulated failure modes still travel as exceptions inside an
+    engine ([Unsupported], [Recstep.Interpreter.Timeout_simulated],
+    [Rs_storage.Memtrack.Simulated_oom]) — but callers should never catch
+    them directly. {!run_guarded} (or the lower-level {!guard}, which
+    [Measure.run] shares) folds all three into the documented {!outcome}
+    variant at the single boundary where a run's fate is decided. *)
 
 exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt
 
 type capabilities = {
   scale_up : bool;
@@ -21,6 +35,14 @@ type capabilities = {
   recursive_aggregation : bool;
 }
 
+type run_result = {
+  relation_of : string -> Rs_relation.Relation.t;  (** any result relation by name *)
+  iterations : int;  (** fixpoint iterations (engine's own notion of a round) *)
+  queries : int;  (** backend queries / rule evaluations issued *)
+  pool_stats : Rs_parallel.Pool.stats;  (** simulated-time statistics of the run *)
+  trace : Rs_obs.Trace.t option;  (** the trace passed in, for convenience *)
+}
+
 module type S = sig
   val name : string
 
@@ -29,15 +51,44 @@ module type S = sig
   val run :
     pool:Rs_parallel.Pool.t ->
     ?deadline_vs:float ->
+    ?trace:Rs_obs.Trace.t ->
     edb:(string * Rs_relation.Relation.t) list ->
     Recstep.Ast.program ->
-    string -> Rs_relation.Relation.t
-  (** Evaluates the program to fixpoint and returns a lookup for result
-      relations. Raises {!Unsupported} for programs outside the engine's
-      fragment, [Recstep.Interpreter.Timeout_simulated] past [deadline_vs],
-      and [Rs_storage.Memtrack.Simulated_oom] over the memory budget. *)
+    run_result
+  (** Evaluates the program to fixpoint. Raises {!Unsupported} for programs
+      outside the engine's fragment, [Recstep.Interpreter.Timeout_simulated]
+      past [deadline_vs], and [Rs_storage.Memtrack.Simulated_oom] over the
+      memory budget — prefer {!run_guarded}, which folds all three into
+      {!outcome}. *)
 end
 
 type engine = (module S)
 
-let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt
+(** How a guarded run ended — the paper's cross-system result vocabulary
+    (Tables 5–7: a time, "OOM", a dash for timeout, "not supported"). *)
+type 'a outcome =
+  | Done of 'a
+  | Oom  (** exceeded the simulated memory budget *)
+  | Timeout  (** passed the simulated-seconds deadline *)
+  | Unsupported of string  (** program outside the engine's fragment *)
+
+let outcome_map f = function
+  | Done v -> Done (f v)
+  | Oom -> Oom
+  | Timeout -> Timeout
+  | Unsupported m -> Unsupported m
+
+(* The one place the three simulated-failure exceptions are caught. *)
+let guard (f : unit -> 'a) : 'a outcome =
+  match f () with
+  | v -> Done v
+  | exception Unsupported m -> Unsupported m
+  | exception Recstep.Interpreter.Timeout_simulated _ -> Timeout
+  | exception Rs_storage.Memtrack.Simulated_oom _ -> Oom
+
+let run_guarded (module E : S) ~pool ?deadline_vs ?trace ~edb program =
+  guard (fun () -> E.run ~pool ?deadline_vs ?trace ~edb program)
+
+(* Shared helper for engines assembling their run_result. *)
+let mk_result ~pool ?trace ~iterations ~queries relation_of =
+  { relation_of; iterations; queries; pool_stats = Rs_parallel.Pool.stats pool; trace }

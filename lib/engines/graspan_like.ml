@@ -152,11 +152,12 @@ let store_bytes ls =
   let adj t = Hashtbl.fold (fun _ v acc -> acc + Int_vec.capacity_bytes v + 32) t 0 in
   Dedup.bytes ls.dedup + adj ls.succ + adj ls.pred
 
-let run ~pool ?deadline_vs ~edb program =
+let run ~pool ?deadline_vs ?trace ~edb program =
   let an = An.analyze program in
   List.iter
     (fun (p, arity) -> if arity <> 2 then unsupported "%s: relation %s has arity %d" name p arity)
     an.An.arities;
+  let rounds = ref 0 in
   let productions = List.concat_map normalize_rule an.An.program.Ast.rules in
   (* label table *)
   let stores : (string, label_store) Hashtbl.t = Hashtbl.create 32 in
@@ -212,6 +213,12 @@ let run ~pool ?deadline_vs ~edb program =
   let batch = ref (Array.of_list !worklist) in
   while Array.length !batch > 0 do
     check_deadline ();
+    incr rounds;
+    (match trace with
+    | Some tr ->
+        Rs_obs.Trace.begin_span tr ~kind:"engine" (Printf.sprintf "round-%d" !rounds);
+        Rs_obs.Trace.count tr "graspan.batch_edges" (Array.length !batch)
+    | None -> ());
     (* Graspan is disk-based: every round loads and stores edge partitions.
        Model that I/O (1 ms seek + 150 MB/s on 16-byte edges) — it is the
        dominant cost the paper measures for Graspan, which our in-memory
@@ -263,9 +270,22 @@ let run ~pool ?deadline_vs ~edb program =
           labels)
       (List.rev !fragments);
     reaccount ();
-    batch := Array.of_list !next
+    batch := Array.of_list !next;
+    (match trace with
+    | Some tr ->
+        (* one worklist round = one fixpoint iteration over all labels *)
+        Rs_obs.Trace.iteration tr
+          {
+            Rs_obs.Trace.it_stratum = 0;
+            it_iteration = !rounds;
+            it_idb = "worklist";
+            it_delta_rows = Array.length !batch;
+            it_vtime = Pool.vtime_now pool;
+          };
+        Rs_obs.Trace.end_span tr
+    | None -> ())
   done;
-  fun p ->
+  let relation_of p =
     match Hashtbl.find_opt stores p with
     | Some ls ->
         let r = Relation.create ~name:p 2 in
@@ -274,3 +294,5 @@ let run ~pool ?deadline_vs ~edb program =
         Relation.account r;
         r
     | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name p)
+  in
+  Engine_intf.mk_result ~pool ?trace ~iterations:!rounds ~queries:!rounds relation_of

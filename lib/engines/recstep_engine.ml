@@ -18,7 +18,8 @@ let capabilities =
     recursive_aggregation = true;
   }
 
-let run ~pool ?deadline_vs ~edb program =
-  let options = { Interpreter.default_options with timeout_vs = deadline_vs } in
+let run ~pool ?deadline_vs ?trace ~edb program =
+  let options = Interpreter.options ?timeout_vs:deadline_vs ?trace () in
   let result = Interpreter.run ~options ~pool ~edb program in
-  result.Interpreter.relation_of
+  Engine_intf.mk_result ~pool ?trace ~iterations:result.Interpreter.iterations
+    ~queries:result.Interpreter.queries result.Interpreter.relation_of

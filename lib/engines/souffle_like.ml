@@ -404,8 +404,26 @@ let fold_aggregate an pred candidates =
     table;
   out
 
-let run ~pool ?deadline_vs ~edb program =
+let run ~pool ?deadline_vs ?trace ~edb program =
   let an = An.analyze program in
+  let iterations = ref 0 in
+  let rule_evals = ref 0 in
+  let with_span sname f =
+    match trace with Some tr -> Rs_obs.Trace.span tr ~kind:"engine" sname f | None -> f ()
+  in
+  let note_iteration ~stratum ~iteration ~idb ~delta_rows =
+    match trace with
+    | Some tr ->
+        Rs_obs.Trace.iteration tr
+          {
+            Rs_obs.Trace.it_stratum = stratum;
+            it_iteration = iteration;
+            it_idb = idb;
+            it_delta_rows = delta_rows;
+            it_vtime = Pool.vtime_now pool;
+          }
+    | None -> ()
+  in
   let check_deadline () =
     match deadline_vs with
     | Some budget ->
@@ -449,6 +467,7 @@ let run ~pool ?deadline_vs ~edb program =
   List.iter
     (fun stratum ->
       check_deadline ();
+      with_span (Printf.sprintf "stratum-%d" stratum.An.index) @@ fun () ->
       let agg_preds = List.filter (fun p -> An.agg_sig an p <> None) stratum.An.preds in
       let candidates : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
       List.iter
@@ -490,10 +509,12 @@ let run ~pool ?deadline_vs ~edb program =
             done
       in
       (* iteration 0: base variants of every rule *)
+      incr iterations;
       List.iter
         (fun (r, (nregs, base, _)) ->
           if r.Ast.body <> [] then begin
             let out = Relation.create (List.length r.Ast.head_args) in
+            incr rule_evals;
             run_variant pool stores nregs base ~out;
             sink r.Ast.head_pred out
           end)
@@ -504,12 +525,16 @@ let run ~pool ?deadline_vs ~edb program =
         (fun p ->
           let ps = Hashtbl.find stores p in
           ps.delta_lo <- 0;
-          ps.delta_hi <- Relation.nrows ps.store)
+          ps.delta_hi <- Relation.nrows ps.store;
+          note_iteration ~stratum:stratum.An.index ~iteration:0 ~idb:p ~delta_rows:ps.delta_hi)
         stratum.An.preds;
       if stratum.An.recursive then begin
+        let round = ref 0 in
         let continue_ = ref true in
         while !continue_ do
           check_deadline ();
+          incr round;
+          incr iterations;
           let before =
             List.map (fun p -> (p, Relation.nrows (Hashtbl.find stores p).store)) stratum.An.preds
           in
@@ -518,6 +543,7 @@ let run ~pool ?deadline_vs ~edb program =
               List.iter
                 (fun v ->
                   let out = Relation.create (List.length r.Ast.head_args) in
+                  incr rule_evals;
                   run_variant pool stores nregs v ~out;
                   sink r.Ast.head_pred out)
                 deltas)
@@ -529,6 +555,8 @@ let run ~pool ?deadline_vs ~edb program =
               let n = Relation.nrows ps.store in
               ps.delta_lo <- old_n;
               ps.delta_hi <- n;
+              note_iteration ~stratum:stratum.An.index ~iteration:!round ~idb:p
+                ~delta_rows:(n - old_n);
               if n > old_n then any := true;
               account ps)
             before;
@@ -559,7 +587,9 @@ let run ~pool ?deadline_vs ~edb program =
           ps.delta_hi <- 0)
         stratum.An.preds)
     an.An.strata;
-  fun pred ->
+  let relation_of pred =
     match Hashtbl.find_opt stores pred with
     | Some ps -> ps.store
     | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name pred)
+  in
+  Engine_intf.mk_result ~pool ?trace ~iterations:!iterations ~queries:!rule_evals relation_of

@@ -8,34 +8,59 @@ type t = {
   catalog : Catalog.t;
   query_overhead_s : float;
   share_builds : bool;
+  trace : Rs_obs.Trace.t option;
 }
 
-let create ?(query_overhead_s = 0.0005) ?(share_builds = true) pool catalog =
-  { pool; catalog; query_overhead_s; share_builds }
+let create ?(query_overhead_s = 0.0005) ?(share_builds = true) ?trace pool catalog =
+  { pool; catalog; query_overhead_s; share_builds; trace }
 
 let estimate t p = Plan.estimate (fun name -> Catalog.stat_rows t.catalog name) p
 
 let arity_of t p = Plan.arity (fun name -> Relation.arity (Catalog.rel t.catalog name)) p
+
+(* short operator label for trace spans/events *)
+let plan_label = function
+  | Plan.Scan n -> "scan:" ^ n
+  | Plan.Rel _ -> "rel"
+  | Plan.Filter _ -> "filter"
+  | Plan.Project _ -> "project"
+  | Plan.Join _ -> "join"
+  | Plan.AntiJoin _ -> "anti_join"
+  | Plan.UnionAll ps -> Printf.sprintf "union_all(%d)" (List.length ps)
+  | Plan.Aggregate _ -> "aggregate"
+
+let note_index_build t idx =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Rs_obs.Trace.count tr "executor.index_builds" 1;
+      Rs_obs.Trace.count tr "executor.index_bytes" (Hash_index.bytes idx)
 
 (* Per-query cache of hash tables built on named tables, keyed by
    (table, key columns). Shared across the subplans of a UNION ALL when
    [share_builds] — the cache-sharing effect of UIE. *)
 type cache = (string * int list, Hash_index.t) Hashtbl.t
 
-let build_index ?(cache : cache option) ?scan_name ~build_fn rel keys =
+let build_index t ?(cache : cache option) ?scan_name ~build_fn rel keys =
   match (cache, scan_name) with
   | Some c, Some name ->
       let k = (name, Array.to_list keys) in
       (match Hashtbl.find_opt c k with
-      | Some idx -> idx
+      | Some idx ->
+          (match t.trace with
+          | Some tr -> Rs_obs.Trace.count tr "executor.index_cache_hits" 1
+          | None -> ());
+          idx
       | None ->
           let idx = build_fn rel keys in
           Hash_index.account idx;
+          note_index_build t idx;
           Hashtbl.add c k idx;
           idx)
   | _ ->
       let idx = build_fn rel keys in
       Hash_index.account idx;
+      note_index_build t idx;
       idx
 
 let release_cache (c : cache) = Hashtbl.iter (fun _ idx -> Hash_index.release idx) c
@@ -102,7 +127,7 @@ and eval_join t cache { Plan.l; r; lkeys; rkeys; extra; out } =
     if build_left then (lrel, lkeys, scan_name l, rrel, rkeys)
     else (rrel, rkeys, scan_name r, lrel, lkeys)
   in
-  let idx = build_index ?cache ?scan_name:bname ~build_fn:(Hash_index.build_pool t.pool) brel bkeys in
+  let idx = build_index t ?cache ?scan_name:bname ~build_fn:(Hash_index.build_pool t.pool) brel bkeys in
   let own_index = match (cache, bname) with Some _, Some _ -> false | _ -> true in
   let n = Relation.nrows prel in
   let key = Array.make (Array.length pkeys) 0 in
@@ -136,6 +161,7 @@ and eval_anti t cache { Plan.al; ar; alkeys; arkeys } =
   let arity = Relation.arity lrel in
   let idx = Hash_index.build_pool t.pool rrel arkeys in
   Hash_index.account idx;
+  note_index_build t idx;
   let n = Relation.nrows lrel in
   let key = Array.make (Array.length alkeys) 0 in
   let result =
@@ -231,19 +257,36 @@ and eval_agg t cache { Plan.group; aggs; src } =
 
 let run_query t plan =
   Pool.add_serial t.pool t.query_overhead_s;
-  let cache : cache option = if t.share_builds then Some (Hashtbl.create 8) else None in
-  let result = eval t cache plan in
-  (match cache with Some c -> release_cache c | None -> ());
-  result
+  let go () =
+    let cache : cache option = if t.share_builds then Some (Hashtbl.create 8) else None in
+    let result = eval t cache plan in
+    (match cache with Some c -> release_cache c | None -> ());
+    result
+  in
+  match t.trace with
+  | None -> go ()
+  | Some tr ->
+      let label = plan_label plan in
+      Rs_obs.Trace.span tr ~kind:"executor" label (fun () ->
+          let est = estimate t plan in
+          let result = go () in
+          let actual = Relation.nrows result in
+          Rs_obs.Trace.count tr "executor.queries" 1;
+          Rs_obs.Trace.count tr "executor.est_rows" est;
+          Rs_obs.Trace.count tr "executor.actual_rows" actual;
+          Rs_obs.Trace.event tr ~kind:"executor" label
+            [ ("est_rows", float_of_int est); ("actual_rows", float_of_int actual) ];
+          result)
 
 (* --- set difference (Algorithms 4 and 5) --- *)
 
 let all_cols rel = Array.init (Relation.arity rel) (fun i -> i)
 
-let opsd t ~rdelta ~r =
+let opsd_impl t ~rdelta ~r =
   let keys = all_cols rdelta in
   let idx = Hash_index.build_pool t.pool r keys in
   Hash_index.account idx;
+  note_index_build t idx;
   let n = Relation.nrows rdelta in
   let arity = Relation.arity rdelta in
   let key = Array.make arity 0 in
@@ -264,7 +307,7 @@ let opsd t ~rdelta ~r =
   Hash_index.release idx;
   (out, !matched)
 
-let tpsd t ~rdelta ~r =
+let tpsd_impl t ~rdelta ~r =
   let arity = Relation.arity rdelta in
   let keys = all_cols rdelta in
   (* Phase 1: intersection, building on the smaller input. *)
@@ -273,6 +316,7 @@ let tpsd t ~rdelta ~r =
   in
   let hb = Hash_index.build_pool t.pool build keys in
   Hash_index.account hb;
+  note_index_build t hb;
   let inter = Relation.create arity in
   let key = Array.make arity 0 in
   let n = Relation.nrows probe in
@@ -293,6 +337,7 @@ let tpsd t ~rdelta ~r =
   (* Phase 2: Rδ − r. *)
   let hr = Hash_index.build_pool t.pool inter keys in
   Hash_index.account hr;
+  note_index_build t hr;
   let nd = Relation.nrows rdelta in
   let out =
     chunked_output t ~arity ~n:nd (fun frag lo hi ->
@@ -310,3 +355,9 @@ let tpsd t ~rdelta ~r =
   let inter_n = Relation.nrows inter in
   Relation.release inter;
   (out, inter_n)
+
+let with_span t name f =
+  match t.trace with Some tr -> Rs_obs.Trace.span tr ~kind:"executor" name f | None -> f ()
+
+let opsd t ~rdelta ~r = with_span t "opsd" (fun () -> opsd_impl t ~rdelta ~r)
+let tpsd t ~rdelta ~r = with_span t "tpsd" (fun () -> tpsd_impl t ~rdelta ~r)

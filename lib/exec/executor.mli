@@ -17,10 +17,15 @@ type t = {
   share_builds : bool;
       (** share hash tables built on the same (table, key) within one query —
           the cache-sharing benefit UIE unlocks (paper §5.1) *)
+  trace : Rs_obs.Trace.t option;
+      (** when set, each query records an ["executor"] span labelled with the
+          top plan operator, counters (queries, est/actual rows, index
+          builds) and an estimated-vs-actual cardinality event *)
 }
 
 val create :
-  ?query_overhead_s:float -> ?share_builds:bool -> Rs_parallel.Pool.t -> Catalog.t -> t
+  ?query_overhead_s:float -> ?share_builds:bool -> ?trace:Rs_obs.Trace.t ->
+  Rs_parallel.Pool.t -> Catalog.t -> t
 
 val run_query : t -> Plan.t -> Relation.t
 (** Executes one query. The result is a fresh materialized relation (not

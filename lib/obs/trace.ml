@@ -1,0 +1,223 @@
+type span = {
+  sp_kind : string;
+  sp_name : string;
+  sp_depth : int;
+  sp_start : float;
+  sp_stop : float option;
+}
+
+type iteration = {
+  it_stratum : int;
+  it_iteration : int;
+  it_idb : string;
+  it_delta_rows : int;
+  it_vtime : float;
+}
+
+type event = {
+  ev_kind : string;
+  ev_name : string;
+  ev_vtime : float;
+  ev_fields : (string * float) list;
+}
+
+type batch = { bt_start : float; bt_len : float; bt_busy : float }
+
+(* open spans live in [stack] as mutable cells; on close they move to [done_]
+   (newest first). Slot numbers keep the global open order so [spans] can
+   interleave closed and still-open spans correctly. *)
+type open_span = { os_kind : string; os_name : string; os_depth : int; os_start : float; os_slot : int }
+
+type t = {
+  now : unit -> float;
+  mutable stack : open_span list;
+  mutable done_ : (int * span) list;  (* slot * span, newest first *)
+  mutable next_slot : int;
+  counters : (string, int ref) Hashtbl.t;
+  mutable iters : iteration list;  (* newest first *)
+  mutable events : event list;  (* newest first *)
+  mutable batches : batch list;  (* newest first *)
+}
+
+let create ~now () =
+  {
+    now;
+    stack = [];
+    done_ = [];
+    next_slot = 0;
+    counters = Hashtbl.create 16;
+    iters = [];
+    events = [];
+    batches = [];
+  }
+
+let now t = t.now ()
+
+(* ---------- spans ---------- *)
+
+let begin_span t ~kind name =
+  let os =
+    {
+      os_kind = kind;
+      os_name = name;
+      os_depth = List.length t.stack;
+      os_start = t.now ();
+      os_slot = t.next_slot;
+    }
+  in
+  t.next_slot <- t.next_slot + 1;
+  t.stack <- os :: t.stack
+
+let close os stop =
+  {
+    sp_kind = os.os_kind;
+    sp_name = os.os_name;
+    sp_depth = os.os_depth;
+    sp_start = os.os_start;
+    sp_stop = stop;
+  }
+
+let end_span t =
+  match t.stack with
+  | [] -> ()
+  | os :: rest ->
+      t.stack <- rest;
+      t.done_ <- (os.os_slot, close os (Some (t.now ()))) :: t.done_
+
+let span t ~kind name f =
+  begin_span t ~kind name;
+  Fun.protect ~finally:(fun () -> end_span t) f
+
+let open_spans t = List.length t.stack
+
+let spans t =
+  let all = List.rev_append (List.rev_map (fun os -> (os.os_slot, close os None)) t.stack) t.done_ in
+  List.sort (fun (a, _) (b, _) -> compare a b) all |> List.map snd
+
+(* ---------- counters ---------- *)
+
+let count t name n =
+  if n < 0 then invalid_arg "Trace.count: counters are monotone";
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counters name (ref n)
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---------- iterations / events / batches ---------- *)
+
+let iteration t it = t.iters <- it :: t.iters
+let iterations t = List.rev t.iters
+
+let event t ~kind name fields =
+  t.events <- { ev_kind = kind; ev_name = name; ev_vtime = t.now (); ev_fields = fields } :: t.events
+
+let events t = List.rev t.events
+let add_batch t ~start ~len ~busy = t.batches <- { bt_start = start; bt_len = len; bt_busy = busy } :: t.batches
+let batches t = List.rev t.batches
+
+(* ---------- output ---------- *)
+
+let to_json t =
+  let span_json s =
+    Json.Obj
+      [
+        ("kind", Json.String s.sp_kind);
+        ("name", Json.String s.sp_name);
+        ("depth", Json.Int s.sp_depth);
+        ("start", Json.Float s.sp_start);
+        ("end", match s.sp_stop with Some e -> Json.Float e | None -> Json.Null);
+      ]
+  in
+  let iter_json it =
+    Json.Obj
+      [
+        ("stratum", Json.Int it.it_stratum);
+        ("iteration", Json.Int it.it_iteration);
+        ("idb", Json.String it.it_idb);
+        ("delta_rows", Json.Int it.it_delta_rows);
+        ("vtime", Json.Float it.it_vtime);
+      ]
+  in
+  let event_json e =
+    Json.Obj
+      [
+        ("kind", Json.String e.ev_kind);
+        ("name", Json.String e.ev_name);
+        ("vtime", Json.Float e.ev_vtime);
+        ("fields", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) e.ev_fields));
+      ]
+  in
+  let batch_json b =
+    Json.Obj
+      [ ("start", Json.Float b.bt_start); ("len", Json.Float b.bt_len); ("busy", Json.Float b.bt_busy) ]
+  in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("spans", Json.List (List.map span_json (spans t)));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("iterations", Json.List (List.map iter_json (iterations t)));
+      ("events", Json.List (List.map event_json (events t)));
+      ("batches", Json.List (List.map batch_json (batches t)));
+    ]
+
+let dump t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let summary t =
+  let buf = Buffer.create 512 in
+  let dur s = match s.sp_stop with Some e -> e -. s.sp_start | None -> now t -. s.sp_start in
+  let all = spans t in
+  (* totals by kind *)
+  let by_kind = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let c, tot = try Hashtbl.find by_kind s.sp_kind with Not_found -> (0, 0.0) in
+      Hashtbl.replace by_kind s.sp_kind (c + 1, tot +. dur s))
+    all;
+  let kind_rows =
+    Hashtbl.fold (fun k (c, tot) acc -> (k, c, tot) :: acc) by_kind []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    |> List.map (fun (k, c, tot) -> [ k; string_of_int c; Printf.sprintf "%.6f" tot ])
+  in
+  Buffer.add_string buf "-- span totals by kind --\n";
+  Buffer.add_string buf (Rs_util.Table_printer.render ~header:[ "kind"; "spans"; "total_s" ] kind_rows);
+  (* flame-style: hottest (kind, name) pairs, indented by their minimum depth *)
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let key = (s.sp_kind, s.sp_name) in
+      let c, tot, d = try Hashtbl.find by_name key with Not_found -> (0, 0.0, max_int) in
+      Hashtbl.replace by_name key (c + 1, tot +. dur s, min d s.sp_depth))
+    all;
+  let name_rows =
+    Hashtbl.fold (fun (k, n) (c, tot, d) acc -> (k, n, c, tot, d) :: acc) by_name []
+    |> List.sort (fun (_, _, _, a, _) (_, _, _, b, _) -> compare b a)
+    |> (fun l -> List.filteri (fun i _ -> i < 20) l)
+    |> List.map (fun (k, n, c, tot, d) ->
+           [ String.make (2 * d) ' ' ^ k ^ "/" ^ n; string_of_int c; Printf.sprintf "%.6f" tot ])
+  in
+  if name_rows <> [] then begin
+    Buffer.add_string buf "-- hottest spans (indent = nesting depth) --\n";
+    Buffer.add_string buf
+      (Rs_util.Table_printer.render ~header:[ "span"; "count"; "total_s" ] name_rows)
+  end;
+  let counter_rows = List.map (fun (k, v) -> [ k; string_of_int v ]) (counters t) in
+  if counter_rows <> [] then begin
+    Buffer.add_string buf "-- counters --\n";
+    Buffer.add_string buf (Rs_util.Table_printer.render ~header:[ "counter"; "value" ] counter_rows)
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "iterations recorded: %d, events: %d, pool batches: %d\n"
+       (List.length t.iters) (List.length t.events) (List.length t.batches));
+  Buffer.contents buf

@@ -1,0 +1,113 @@
+(** Low-overhead tracing and metrics on the simulated clock.
+
+    A [Trace.t] is carried explicitly (never through a global) from
+    [Measure.run] / the CLI down through the interpreter, executor, relation
+    and storage layers. It records four kinds of facts:
+
+    - {b spans}: named intervals with a subsystem [kind] ("interpreter",
+      "executor", "dedup", "storage", "engine", ...), nested via a stack so
+      every [end_span] closes the most recent open span;
+    - {b counters}: named monotone totals (dedup probes/hits, index builds,
+      flush bytes, ...);
+    - {b iterations}: one record per fixpoint iteration per IDB — the
+      stratum/iteration/delta-cardinality timeline of the run;
+    - {b events}: timestamped points with float-valued fields, used for
+      per-query cardinality estimates and OPSD/TPSD decisions with their
+      cost-model inputs.
+
+    Pool batches (the existing [Rs_parallel.Pool.event]s) are mirrored in via
+    {!add_batch} after a run, so the profile is self-contained.
+
+    Timestamps come from the [now] closure supplied at creation — normally
+    the owning pool's virtual clock — so the trace layer depends only on
+    [rs_util] and can be used from any layer without dependency cycles. *)
+
+type span = {
+  sp_kind : string;
+  sp_name : string;
+  sp_depth : int;  (** nesting depth at the time the span opened; 0 = top level *)
+  sp_start : float;
+  sp_stop : float option;  (** [None] while the span is still open *)
+}
+
+type iteration = {
+  it_stratum : int;
+  it_iteration : int;
+  it_idb : string;
+  it_delta_rows : int;
+  it_vtime : float;
+}
+
+type event = {
+  ev_kind : string;
+  ev_name : string;
+  ev_vtime : float;
+  ev_fields : (string * float) list;
+}
+
+type batch = { bt_start : float; bt_len : float; bt_busy : float }
+
+type t
+
+val create : now:(unit -> float) -> unit -> t
+(** [create ~now ()] makes an empty trace reading timestamps from [now]
+    (normally [fun () -> Pool.vtime_now pool]). *)
+
+val now : t -> float
+
+(** {2 Spans} *)
+
+val begin_span : t -> kind:string -> string -> unit
+
+val end_span : t -> unit
+(** Closes the most recently opened span. No-op if none is open. *)
+
+val span : t -> kind:string -> string -> (unit -> 'a) -> 'a
+(** [span t ~kind name f] runs [f] inside a span, closing it even if [f]
+    raises. *)
+
+val open_spans : t -> int
+(** Number of currently open (unbalanced) spans. *)
+
+val spans : t -> span list
+(** All spans in open order, including any still open. *)
+
+(** {2 Counters} *)
+
+val count : t -> string -> int -> unit
+(** [count t name n] adds [n] to the named counter. Counters are monotone;
+    raises [Invalid_argument] if [n < 0]. *)
+
+val counter : t -> string -> int
+(** Current value; 0 if never incremented. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {2 Iterations and events} *)
+
+val iteration : t -> iteration -> unit
+val iterations : t -> iteration list
+(** In recording order. *)
+
+val event : t -> kind:string -> string -> (string * float) list -> unit
+val events : t -> event list
+
+val add_batch : t -> start:float -> len:float -> busy:float -> unit
+(** Mirror one pool batch event into the trace. *)
+
+val batches : t -> batch list
+
+(** {2 Output} *)
+
+val to_json : t -> Json.t
+(** Self-contained profile: [{"version"; "spans"; "counters"; "iterations";
+    "events"; "batches"}]. Open spans serialize with ["end"] null. *)
+
+val dump : t -> path:string -> unit
+(** Write [to_json] to [path] (single line, trailing newline). *)
+
+val summary : t -> string
+(** ASCII flame-style summary rendered with [Rs_util.Table_printer]: span
+    totals grouped by kind then by the hottest (kind, name) pairs, followed
+    by the counter table. *)

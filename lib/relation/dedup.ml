@@ -240,29 +240,50 @@ let dedup_chunk t r out lo hi =
         if add_row t row then Relation.push_row out row
       done
 
-let dedup_relation_parallel ?expected ~pool mode r =
-  let arity = Relation.arity r in
-  let n = Relation.nrows r in
-  let t = create ~expected:(Option.value expected ~default:(max 16 n)) mode arity in
-  let out = Relation.create ~name:(Relation.name r ^ "_dedup") arity in
-  let fragments = ref [] in
-  Rs_parallel.Pool.parallel_for pool 0 n (fun lo hi ->
-      let frag = Relation.create arity in
-      dedup_chunk t r frag lo hi;
-      fragments := frag :: !fragments);
-  ignore out;
-  let merged = Relation.concat_parallel pool arity (List.rev !fragments) in
-  account t;
-  release t;
-  merged
+(* probes = input tuples, hits = duplicates absorbed by the table *)
+let record_trace trace r distinct =
+  match trace with
+  | None -> ()
+  | Some tr ->
+      let probes = Relation.nrows r in
+      Rs_obs.Trace.count tr "dedup.probes" probes;
+      Rs_obs.Trace.count tr "dedup.hits" (max 0 (probes - distinct))
 
-let dedup_relation ?expected mode r =
-  let arity = Relation.arity r in
-  let n = Relation.nrows r in
-  let t = create ~expected:(Option.value expected ~default:(max 16 n)) mode arity in
-  let out = Relation.create ~name:(Relation.name r ^ "_dedup") arity in
-  dedup_chunk t r out 0 n;
-  account t;
-  Relation.account out;
-  release t;
-  out
+let dedup_relation_parallel ?expected ?trace ~pool mode r =
+  let go () =
+    let arity = Relation.arity r in
+    let n = Relation.nrows r in
+    let t = create ~expected:(Option.value expected ~default:(max 16 n)) mode arity in
+    let out = Relation.create ~name:(Relation.name r ^ "_dedup") arity in
+    let fragments = ref [] in
+    Rs_parallel.Pool.parallel_for pool 0 n (fun lo hi ->
+        let frag = Relation.create arity in
+        dedup_chunk t r frag lo hi;
+        fragments := frag :: !fragments);
+    ignore out;
+    let merged = Relation.concat_parallel pool arity (List.rev !fragments) in
+    account t;
+    release t;
+    record_trace trace r (Relation.nrows merged);
+    merged
+  in
+  match trace with
+  | Some tr -> Rs_obs.Trace.span tr ~kind:"dedup" (Relation.name r) go
+  | None -> go ()
+
+let dedup_relation ?expected ?trace mode r =
+  let go () =
+    let arity = Relation.arity r in
+    let n = Relation.nrows r in
+    let t = create ~expected:(Option.value expected ~default:(max 16 n)) mode arity in
+    let out = Relation.create ~name:(Relation.name r ^ "_dedup") arity in
+    dedup_chunk t r out 0 n;
+    account t;
+    Relation.account out;
+    release t;
+    record_trace trace r (Relation.nrows out);
+    out
+  in
+  match trace with
+  | Some tr -> Rs_obs.Trace.span tr ~kind:"dedup" (Relation.name r) go
+  | None -> go ()

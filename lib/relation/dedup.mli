@@ -47,13 +47,16 @@ val account : t -> unit
 
 val release : t -> unit
 
-val dedup_relation : ?expected:int -> mode -> Relation.t -> Relation.t
+val dedup_relation : ?expected:int -> ?trace:Rs_obs.Trace.t -> mode -> Relation.t -> Relation.t
 (** [dedup_relation mode r] returns a fresh relation with [r]'s distinct
     tuples in first-occurrence order — the engine's [dedup(R)] call
-    (Algorithm 1, line 10). *)
+    (Algorithm 1, line 10). When [trace] is given the call records a
+    ["dedup"] span named after [r] plus [dedup.probes] (input tuples) and
+    [dedup.hits] (duplicates absorbed) counters. *)
 
 val dedup_relation_parallel :
-  ?expected:int -> pool:Rs_parallel.Pool.t -> mode -> Relation.t -> Relation.t
+  ?expected:int -> ?trace:Rs_obs.Trace.t -> pool:Rs_parallel.Pool.t -> mode -> Relation.t
+  -> Relation.t
 (** Like {!dedup_relation}, but tuples are inserted chunk-parallel through
     the worker pool — the CCK-GSCHT is a *global latch-free* table built for
     exactly this access pattern (paper Figure 5), so the engine's dedup step

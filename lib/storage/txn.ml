@@ -8,21 +8,30 @@ type t = {
   mutable written : int;
   mutable flushes : int;
   on_flush : int -> unit;
+  trace : Rs_obs.Trace.t option;
 }
 
 let buffer = Bytes.make 65536 '\000'
 
-let create ?scratch ?(on_flush = fun _ -> ()) mode =
+let create ?scratch ?(on_flush = fun _ -> ()) ?trace mode =
   let path =
     match scratch with
     | Some p -> p
     | None -> Filename.concat (Filename.get_temp_dir_name ()) "_recstep_scratch.bin"
   in
-  { mode; chan = None; path; dirty = 0; written = 0; flushes = 0; on_flush }
+  { mode; chan = None; path; dirty = 0; written = 0; flushes = 0; on_flush; trace }
 
 let mode t = t.mode
 
-let note_dirty t bytes = if bytes > 0 then t.dirty <- t.dirty + bytes
+let note_dirty t bytes =
+  if bytes > 0 then begin
+    t.dirty <- t.dirty + bytes;
+    match t.trace with
+    | Some tr ->
+        Rs_obs.Trace.count tr "storage.dirty_bytes" bytes;
+        if t.mode = Eost then Rs_obs.Trace.count tr "storage.eost_pend_bytes" bytes
+    | None -> ()
+  end
 
 let channel t =
   match t.chan with
@@ -34,19 +43,29 @@ let channel t =
 
 let flush_dirty t =
   if t.dirty > 0 then begin
-    let c = channel t in
-    seek_out c 0;
-    let remaining = ref t.dirty in
-    while !remaining > 0 do
-      let n = min !remaining (Bytes.length buffer) in
-      output_bytes c (Bytes.sub buffer 0 n);
-      remaining := !remaining - n
-    done;
-    flush c;
-    t.written <- t.written + t.dirty;
-    t.flushes <- t.flushes + 1;
-    t.on_flush t.dirty;
-    t.dirty <- 0
+    let go () =
+      let c = channel t in
+      seek_out c 0;
+      let remaining = ref t.dirty in
+      while !remaining > 0 do
+        let n = min !remaining (Bytes.length buffer) in
+        output_bytes c (Bytes.sub buffer 0 n);
+        remaining := !remaining - n
+      done;
+      flush c;
+      t.written <- t.written + t.dirty;
+      t.flushes <- t.flushes + 1;
+      t.on_flush t.dirty;
+      (match t.trace with
+      | Some tr ->
+          Rs_obs.Trace.count tr "storage.flushes" 1;
+          Rs_obs.Trace.count tr "storage.flush_bytes" t.dirty
+      | None -> ());
+      t.dirty <- 0
+    in
+    match t.trace with
+    | Some tr -> Rs_obs.Trace.span tr ~kind:"storage" "flush" go
+    | None -> go ()
   end
 
 let query_boundary t = match t.mode with Per_query -> flush_dirty t | Eost -> ()

@@ -12,13 +12,16 @@ type mode = Eost | Per_query
 
 type t
 
-val create : ?scratch:string -> ?on_flush:(int -> unit) -> mode -> t
+val create : ?scratch:string -> ?on_flush:(int -> unit) -> ?trace:Rs_obs.Trace.t -> mode -> t
 (** [create mode] opens the scratch file (default
     [_recstep_scratch.bin] in the temp directory, truncated per flush).
     [on_flush bytes] is invoked after each physical flush — the engine uses
     it to charge modeled disk time (seek latency + bytes/bandwidth) to the
     simulated clock, since the container's page cache hides most of the real
-    cost the paper's system pays. *)
+    cost the paper's system pays. When [trace] is given, each physical flush
+    records a ["storage"/"flush"] span plus [storage.flushes] and
+    [storage.flush_bytes] counters, and {!note_dirty} feeds
+    [storage.dirty_bytes] (and [storage.eost_pend_bytes] under {!Eost}). *)
 
 val mode : t -> mode
 

@@ -7,7 +7,7 @@ let check = Alcotest.(check bool)
 
 let test_measure_done () =
   let r =
-    Measure.run ~name:"ok" ~make_inputs:(fun () -> ()) (fun () pool ~deadline_vs ->
+    Measure.run ~name:"ok" ~make_inputs:(fun () -> ()) (fun () pool ~deadline_vs ~trace:_ ->
         ignore deadline_vs;
         Rs_parallel.Pool.add_serial pool 0.5)
   in
@@ -20,7 +20,7 @@ let test_measure_done () =
 let test_measure_oom () =
   let r =
     Measure.run ~mem_budget:100 ~name:"oom" ~make_inputs:(fun () -> ())
-      (fun () _pool ~deadline_vs ->
+      (fun () _pool ~deadline_vs ~trace:_ ->
         ignore deadline_vs;
         Rs_storage.Memtrack.alloc 1000)
   in
@@ -30,14 +30,15 @@ let test_measure_oom () =
 let test_measure_timeout_and_unsupported () =
   let r =
     Measure.run ~timeout_vs:0.1 ~name:"to" ~make_inputs:(fun () -> ())
-      (fun () _pool ~deadline_vs ->
+      (fun () _pool ~deadline_vs ~trace:_ ->
         match deadline_vs with
         | Some d -> raise (Recstep.Interpreter.Timeout_simulated d)
         | None -> Alcotest.fail "deadline not passed through")
   in
   check "timeout" true (r.Measure.outcome = Measure.Timeout);
   let r2 =
-    Measure.run ~name:"unsup" ~make_inputs:(fun () -> ()) (fun () _ ~deadline_vs ->
+    Measure.run ~name:"unsup" ~make_inputs:(fun () -> ())
+      (fun () _ ~deadline_vs ~trace:_ ->
         ignore deadline_vs;
         raise (Rs_engines.Engine_intf.Unsupported "x"))
   in
@@ -47,7 +48,7 @@ let test_measure_repeats_average () =
   let calls = ref 0 in
   let r =
     Measure.run ~repeats:3 ~name:"rep" ~make_inputs:(fun () -> incr calls)
-      (fun () pool ~deadline_vs ->
+      (fun () pool ~deadline_vs ~trace:_ ->
         ignore deadline_vs;
         Rs_parallel.Pool.add_serial pool 0.2)
   in

@@ -12,19 +12,26 @@ let pool () =
   Pool.begin_run p;
   p
 
-let run_engine (module E : Engine_intf.S) src edb outs =
+let run_engine engine src edb outs =
   let program = Recstep.Parser.parse src in
   let edb = List.map (fun (n, r) -> (n, Relation.copy r)) edb in
-  let lookup = E.run ~pool:(pool ()) ~edb program in
-  List.map (fun o -> (o, Relation.sorted_distinct_rows (lookup o))) outs
+  Engine_intf.outcome_map
+    (fun result ->
+      List.map
+        (fun o ->
+          (o, Relation.sorted_distinct_rows (result.Engine_intf.relation_of o)))
+        outs)
+    (Engine_intf.run_guarded engine ~pool:(pool ()) ~edb program)
 
 let agree ?(engines = Engines.all) src edb outs =
   let results =
     List.filter_map
-      (fun (module E : Engine_intf.S) ->
-        match run_engine (module E) src edb outs with
-        | r -> Some (E.name, r)
-        | exception Engine_intf.Unsupported _ -> None)
+      (fun ((module E : Engine_intf.S) as engine) ->
+        match run_engine engine src edb outs with
+        | Engine_intf.Done r -> Some (E.name, r)
+        | Engine_intf.Unsupported _ -> None
+        | Engine_intf.Oom -> Alcotest.fail (E.name ^ " hit the simulated memory budget")
+        | Engine_intf.Timeout -> Alcotest.fail (E.name ^ " hit the simulated deadline"))
       engines
   in
   match results with
@@ -120,9 +127,9 @@ let prop_engines_agree_even_odd =
 
 (* --- capability gating (Table 1) --- *)
 
-let expect_unsupported (module E : Engine_intf.S) src edb =
-  match run_engine (module E) src edb [] with
-  | exception Engine_intf.Unsupported _ -> ()
+let expect_unsupported ((module E : Engine_intf.S) as engine) src edb =
+  match run_engine engine src edb [] with
+  | Engine_intf.Unsupported _ -> ()
   | _ -> Alcotest.fail (E.name ^ " should have rejected the program")
 
 let some_edges = Refs.relation_of_edges [ (0, 1); (1, 2) ]

@@ -182,7 +182,8 @@ let test_souffle_long_chain () =
   let arc = Frontend.edges (List.init (n - 1) (fun i -> (i, i + 1))) in
   let pool = Rs_parallel.Pool.create ~workers:4 () in
   Rs_parallel.Pool.begin_run pool;
-  let lookup = E.run ~pool ~edb:[ ("arc", arc) ] (Recstep.Parser.parse Recstep.Programs.tc) in
+  let result = E.run ~pool ~edb:[ ("arc", arc) ] (Recstep.Parser.parse Recstep.Programs.tc) in
+  let lookup = result.Rs_engines.Engine_intf.relation_of in
   Alcotest.(check int) "chain closure" (n * (n - 1) / 2)
     (List.length (Relation.sorted_distinct_rows (lookup "tc")))
 
@@ -193,10 +194,11 @@ let test_graspan_three_atom_chain () =
   let deref = Frontend.edges ~name:"dereference" [ (1, 10); (2, 10) ] in
   let pool = Rs_parallel.Pool.create ~workers:4 () in
   Rs_parallel.Pool.begin_run pool;
-  let lookup =
+  let result =
     E.run ~pool ~edb:[ ("assign", assign); ("dereference", deref) ]
       (Recstep.Parser.parse Recstep.Programs.cspa)
   in
+  let lookup = result.Rs_engines.Engine_intf.relation_of in
   check "memoryAlias computed through aux label" true
     (List.length (Relation.sorted_distinct_rows (lookup "memoryAlias")) > 0)
 
@@ -207,7 +209,8 @@ let test_bigdatalog_recursive_aggregation () =
   let arc = Frontend.edges [ (3, 1); (1, 3); (5, 6) ] in
   let pool = Rs_parallel.Pool.create ~workers:4 () in
   Rs_parallel.Pool.begin_run pool;
-  let lookup = E.run ~pool ~edb:[ ("arc", arc) ] (Recstep.Parser.parse Recstep.Programs.cc) in
+  let result = E.run ~pool ~edb:[ ("arc", arc) ] (Recstep.Parser.parse Recstep.Programs.cc) in
+  let lookup = result.Rs_engines.Engine_intf.relation_of in
   Alcotest.(check (list int)) "component labels" [ 1; 5 ]
     (List.sort compare (List.map (fun t -> t.(0)) (Relation.sorted_distinct_rows (lookup "cc"))))
 

@@ -120,10 +120,11 @@ sib(x, y) :- e(p, x), e(p, y).
 |} in
   let pool = Rs_parallel.Pool.create ~workers:2 () in
   Rs_parallel.Pool.begin_run pool;
-  let lookup =
+  let result =
     E.run ~pool ~edb:[ ("e", Frontend.edges ~name:"e" [ (1, 2); (1, 3) ]) ]
       (Recstep.Parser.parse src)
   in
+  let lookup = result.Rs_engines.Engine_intf.relation_of in
   Alcotest.(check (list (pair int int)))
     "siblings via reversed first atom"
     [ (2, 2); (2, 3); (3, 2); (3, 3) ]

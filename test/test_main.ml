@@ -2,6 +2,7 @@ let () =
   Alcotest.run "recstep"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("storage", Test_storage.suite);
       ("relation", Test_relation.suite);

@@ -1,0 +1,191 @@
+module Json = Rs_obs.Json
+module Trace = Rs_obs.Trace
+module Pool = Rs_parallel.Pool
+module Engine_intf = Rs_engines.Engine_intf
+module Engines = Rs_engines.Engines
+module Interpreter = Recstep.Interpreter
+module Frontend = Recstep.Frontend
+
+let check = Alcotest.(check bool)
+
+(* a hand-cranked clock so span timestamps are deterministic *)
+let fake_clock () =
+  let t = ref 0.0 in
+  let trace = Trace.create ~now:(fun () -> !t) () in
+  (trace, fun dt -> t := !t +. dt)
+
+let test_span_nesting () =
+  let tr, tick = fake_clock () in
+  Trace.begin_span tr ~kind:"a" "outer";
+  tick 1.0;
+  Trace.begin_span tr ~kind:"b" "inner";
+  tick 0.5;
+  Alcotest.(check int) "two open" 2 (Trace.open_spans tr);
+  Trace.end_span tr;
+  Trace.end_span tr;
+  Trace.end_span tr;
+  (* extra end_span is a no-op *)
+  Alcotest.(check int) "balanced" 0 (Trace.open_spans tr);
+  match Trace.spans tr with
+  | [ outer; inner ] ->
+      check "outer first" true (outer.Trace.sp_name = "outer" && outer.Trace.sp_depth = 0);
+      check "inner nested" true (inner.Trace.sp_name = "inner" && inner.Trace.sp_depth = 1);
+      check "outer spans inner" true
+        (outer.Trace.sp_start <= inner.Trace.sp_start
+        && Option.get inner.Trace.sp_stop <= Option.get outer.Trace.sp_stop)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length l))
+
+let test_span_closes_on_raise () =
+  let tr, _ = fake_clock () in
+  (try Trace.span tr ~kind:"a" "failing" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "closed despite raise" 0 (Trace.open_spans tr)
+
+let test_counters_monotone () =
+  let tr, _ = fake_clock () in
+  Trace.count tr "x" 3;
+  Trace.count tr "x" 0;
+  Trace.count tr "x" 4;
+  Alcotest.(check int) "accumulated" 7 (Trace.counter tr "x");
+  Alcotest.(check int) "absent is 0" 0 (Trace.counter tr "y");
+  check "negative increment rejected" true
+    (match Trace.count tr "x" (-1) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check int) "unchanged after reject" 7 (Trace.counter tr "x")
+
+let test_json_roundtrip_values () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "he said \"hi\"\n\t");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 0.30000000000000004);
+        ("inf", Json.Float infinity);
+        ("l", Json.List [ Json.Null; Json.Bool true; Json.Bool false ]);
+      ]
+  in
+  let s = Json.to_string v in
+  (* non-finite floats serialize as null, so compare after one round *)
+  let once = Json.of_string s in
+  let twice = Json.of_string (Json.to_string once) in
+  check "fixpoint after one round" true (once = twice);
+  check "float survives" true
+    (Json.to_float (Json.member "f" once) = 0.30000000000000004);
+  check "infinity becomes null" true (Json.member "inf" once = Json.Null);
+  check "trailing garbage rejected" true
+    (match Json.of_string "{} x" with
+    | _ -> false
+    | exception Json.Parse_error _ -> true)
+
+(* a small TC instance that needs a few recursive iterations *)
+let tc_edb () = [ ("arc", Frontend.edges [ (0, 1); (1, 2); (2, 3); (3, 4) ]) ]
+
+let traced_tc_run () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let trace = Trace.create ~now:(fun () -> Pool.vtime_now pool) () in
+  (* pbme off: the relational path is what exercises executor/dedup/storage *)
+  let options = Interpreter.options ~pbme:false ~trace () in
+  let result =
+    Interpreter.run ~options ~pool ~edb:(tc_edb ())
+      (Recstep.Parser.parse Recstep.Programs.tc)
+  in
+  (trace, result)
+
+let test_trace_covers_subsystems () =
+  let trace, result = traced_tc_run () in
+  Alcotest.(check int) "all spans closed" 0 (Trace.open_spans trace);
+  let kinds =
+    List.sort_uniq compare (List.map (fun s -> s.Trace.sp_kind) (Trace.spans trace))
+  in
+  List.iter
+    (fun k -> check ("has " ^ k ^ " spans") true (List.mem k kinds))
+    [ "storage"; "dedup"; "executor"; "interpreter" ];
+  (* the per-iteration timeline matches the interpreter's own count: TC has a
+     single IDB, so one record per counted iteration *)
+  Alcotest.(check int) "iteration records"
+    result.Interpreter.iterations
+    (List.length (Trace.iterations trace));
+  Alcotest.(check int) "iterations counter"
+    result.Interpreter.iterations
+    (Trace.counter trace "interpreter.iterations");
+  check "queries counted" true
+    (Trace.counter trace "executor.queries" = result.Interpreter.queries)
+
+let test_trace_json_roundtrip () =
+  let trace, _ = traced_tc_run () in
+  let j = Trace.to_json trace in
+  let s = Json.to_string j in
+  check "round-trips" true (Json.of_string s = j);
+  let arr name = Json.to_list (Json.member name j) in
+  Alcotest.(check int) "spans serialized" (List.length (Trace.spans trace)) (List.length (arr "spans"));
+  Alcotest.(check int) "iterations serialized"
+    (List.length (Trace.iterations trace))
+    (List.length (arr "iterations"));
+  check "summary renders" true (String.length (Trace.summary trace) > 0)
+
+(* --- run_guarded: each simulated failure maps to its outcome --- *)
+
+let guarded ?deadline_vs engine =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  Engine_intf.run_guarded engine ~pool ?deadline_vs ~edb:(tc_edb ())
+    (Recstep.Parser.parse Recstep.Programs.tc)
+
+let test_run_guarded_done () =
+  match guarded Engines.recstep with
+  | Engine_intf.Done r ->
+      Alcotest.(check int) "tc of a 5-chain" 10
+        (List.length
+           (Rs_relation.Relation.sorted_distinct_rows (r.Engine_intf.relation_of "tc")));
+      check "iterations reported" true (r.Engine_intf.iterations > 0);
+      check "pool stats captured" true (r.Engine_intf.pool_stats.Pool.vtime > 0.0)
+  | _ -> Alcotest.fail "expected Done"
+
+let test_run_guarded_timeout () =
+  match guarded ~deadline_vs:0.0 Engines.recstep with
+  | Engine_intf.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout"
+
+let test_run_guarded_oom () =
+  Rs_storage.Memtrack.hard_reset ();
+  (* build the inputs first, then leave almost no headroom for the run *)
+  let edb = [ ("arc", Frontend.edges (List.init 63 (fun i -> (i, i + 1)))) ] in
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  Rs_storage.Memtrack.set_budget (Some (Rs_storage.Memtrack.live () + 200));
+  let outcome =
+    Engine_intf.run_guarded Engines.recstep ~pool ~edb
+      (Recstep.Parser.parse Recstep.Programs.tc)
+  in
+  Rs_storage.Memtrack.set_budget None;
+  Rs_storage.Memtrack.hard_reset ();
+  match outcome with
+  | Engine_intf.Oom -> ()
+  | _ -> Alcotest.fail "expected Oom"
+
+let test_run_guarded_unsupported () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  (* recursive aggregation (CC) is outside Souffle's fragment *)
+  match
+    Engine_intf.run_guarded Engines.souffle_like ~pool
+      ~edb:[ ("arc", Frontend.edges [ (0, 1) ]) ]
+      (Recstep.Parser.parse Recstep.Programs.cc)
+  with
+  | Engine_intf.Unsupported m -> check "has a reason" true (String.length m > 0)
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let suite =
+  [
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span closes on raise" `Quick test_span_closes_on_raise;
+    Alcotest.test_case "counters monotone" `Quick test_counters_monotone;
+    Alcotest.test_case "json value round-trip" `Quick test_json_roundtrip_values;
+    Alcotest.test_case "trace covers subsystems" `Quick test_trace_covers_subsystems;
+    Alcotest.test_case "trace json round-trip" `Quick test_trace_json_roundtrip;
+    Alcotest.test_case "run_guarded Done" `Quick test_run_guarded_done;
+    Alcotest.test_case "run_guarded Timeout" `Quick test_run_guarded_timeout;
+    Alcotest.test_case "run_guarded Oom" `Quick test_run_guarded_oom;
+    Alcotest.test_case "run_guarded Unsupported" `Quick test_run_guarded_unsupported;
+  ]
