@@ -56,4 +56,34 @@ else
   echo "profile written (python3 unavailable, JSON not validated)"
 fi
 
+echo "== CLI serve smoke =="
+dune exec bin/recstep_cli.exe -- serve programs/serve_demo.workload \
+  --report "$tmp/serve.json" >/dev/null
+
+# the service report must carry the full counter set, the accounting
+# identities must hold, and the demo's repeated queries must actually hit
+cat >"$tmp/validate_serve.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+c = r["counters"]
+need = {"submitted", "admitted", "rejected", "done", "oom", "timeout",
+        "unsupported", "cache_hit", "cache_miss", "retried", "deadline_miss"}
+missing = need - set(c)
+assert not missing, "missing counters: %s" % missing
+assert c["submitted"] == c["admitted"] + c["rejected"], "submitted identity"
+assert c["admitted"] == c["done"] + c["oom"] + c["timeout"] + c["unsupported"], \
+    "admitted identity"
+assert c["cache_hit"] > 0, "demo workload produced no cache hits"
+assert len(r["queries"]) == c["submitted"], "one disposition per submission"
+print("serve OK: %d submitted, %d served, %d cache hits, p95=%.4fs"
+      % (c["submitted"], c["done"], c["cache_hit"], r["latency"]["p95"]))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_serve.py" "$tmp/serve.json"
+else
+  test -s "$tmp/serve.json"
+  echo "service report written (python3 unavailable, JSON not validated)"
+fi
+
 echo "== check passed =="

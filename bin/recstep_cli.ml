@@ -2,13 +2,23 @@
 
      recstep run program.datalog --fact arc=edges.tsv --out results/
      recstep run program.datalog --fact arc=edges.tsv --engine Souffle-like
+     recstep serve workload.serve --report report.json
      recstep gen gnp -n 1000 -p 0.01 -o arc.tsv
      recstep gen rmat -n 65536 -m 655360 -o arc.tsv
 
    Programs use the paper's syntax (see lib/core/parser.mli); facts are
-   whitespace-separated integer tuples, one per line. *)
+   whitespace-separated integer tuples, one per line; serve replays a
+   workload script (see lib/service/script.mli) through the multi-tenant
+   query service. *)
 
 open Cmdliner
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("recstep: " ^ msg);
+      exit 1)
+    fmt
 
 let load_facts an specs =
   List.map
@@ -19,7 +29,7 @@ let load_facts an specs =
           let path = String.sub spec (i + 1) (String.length spec - i - 1) in
           let arity = Recstep.Analyzer.arity an name in
           (name, Recstep.Frontend.load_tsv ~name ~arity path)
-      | None -> failwith (Printf.sprintf "bad --fact %S (expected name=path)" spec))
+      | None -> die "bad --fact %S (expected name=path)" spec)
     specs
 
 let explain program =
@@ -44,14 +54,16 @@ let explain program =
         s.Recstep.Analyzer.rules)
     an.Recstep.Analyzer.strata
 
-let die fmt =
-  Printf.ksprintf
-    (fun msg ->
-      prerr_endline ("recstep: " ^ msg);
-      exit 1)
-    fmt
+(* Malformed inputs are user errors: one precise line on stderr, exit 1. *)
+let with_input_errors f =
+  try f () with
+  | Recstep.Frontend.Parse_error { path; line; msg } ->
+      die "parse error: %s:%d: %s" path line msg
+  | Rs_service.Script.Script_error { path; line; msg } ->
+      die "script error: %s:%d: %s" path line msg
 
 let run_cmd program_path facts out_dir engine workers verbose explain_only profile =
+  with_input_errors @@ fun () ->
   let program = Recstep.Parser.parse_file program_path in
   if explain_only then explain program
   else begin
@@ -119,6 +131,46 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
     stats.Rs_parallel.Pool.workers stats.Rs_parallel.Pool.wall
   end
 
+let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget report_path
+    verbose =
+  with_input_errors @@ fun () ->
+  let script = Rs_service.Script.load script_path in
+  let setting key = List.assoc_opt key script.Rs_service.Script.settings in
+  let int_setting key = Option.bind (setting key) int_of_string_opt in
+  let float_setting key = Option.bind (setting key) float_of_string_opt in
+  (* precedence: explicit flag > script [set] line > built-in default *)
+  let pick cli s default = match cli with Some v -> v | None -> Option.value s ~default in
+  let workers = pick workers (int_setting "workers") 8 in
+  let queue_capacity = pick queue (int_setting "queue") 64 in
+  let cache_bytes =
+    if no_cache then 0 else pick cache_bytes (int_setting "cache_bytes") (64 * 1024 * 1024)
+  in
+  let seed = pick seed (int_setting "seed") 1 in
+  let mem_budget =
+    match mem_budget with Some b -> Some b | None -> int_setting "budget"
+  in
+  let cache_hit_cost_s = Option.value (float_setting "hit_cost") ~default:1e-4 in
+  let store = Rs_service.Edb_store.create () in
+  List.iter
+    (fun (name, rels) -> Rs_service.Edb_store.define store name rels)
+    script.Rs_service.Script.defs;
+  let config =
+    Rs_service.Service.config ~workers ~queue_capacity ?mem_budget ~cache_bytes
+      ~cache_hit_cost_s ~seed ()
+  in
+  let report = Rs_service.Service.run ~config ~edb:store script.Rs_service.Script.events in
+  print_string (Rs_service.Service.report_summary report);
+  (match report_path with
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Rs_obs.Json.to_string (Rs_service.Service.report_json report));
+        output_char oc '\n';
+        close_out oc
+      with Sys_error msg -> die "cannot write report: %s" msg)
+  | None -> ());
+  if verbose then print_string (Rs_obs.Trace.summary report.Rs_service.Service.trace)
+
 let gen_cmd kind n m p seed out =
   let rel =
     match kind with
@@ -158,6 +210,34 @@ let profile_arg =
 let run_term =
   Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg)
 
+let script_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"workload script: EDB definitions plus a stream of submit/delta events (see lib/service/script.mli)")
+
+let serve_workers_arg =
+  Arg.(value & opt (some int) None & info [ "workers"; "j" ] ~doc:"simulated worker count (default: script setting or 8)")
+
+let queue_arg =
+  Arg.(value & opt (some int) None & info [ "queue" ] ~docv:"N" ~doc:"admission queue capacity (default: script setting or 64)")
+
+let cache_bytes_arg =
+  Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"BYTES" ~doc:"result-cache budget in bytes (default: script setting or 64 MiB)")
+
+let no_cache_arg = Arg.(value & flag & info [ "no-cache" ] ~doc:"disable the result cache")
+
+let serve_seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"scheduler seed (default: script setting or 1)")
+
+let mem_budget_arg =
+  Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"BYTES" ~doc:"admission + OOM memory budget in bytes (default: script setting or unlimited)")
+
+let report_arg =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"write the service report (counters, latency percentiles, per-query dispositions) to FILE as JSON")
+
+let serve_term =
+  Term.(
+    const serve_cmd $ script_arg $ serve_workers_arg $ queue_arg $ cache_bytes_arg
+    $ no_cache_arg $ serve_seed_arg $ mem_budget_arg $ report_arg $ verbose_arg)
+
 let kind_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"gnp | rmat | livejournal | orkut | arabic | twitter")
 
 let n_arg = Arg.(value & opt int 1000 & info [ "n"; "num-vertices" ] ~doc:"vertex count")
@@ -174,6 +254,14 @@ let gen_term = Term.(const gen_cmd $ kind_arg $ n_arg $ m_arg $ p_arg $ seed_arg
 
 let () =
   let run = Cmd.v (Cmd.info "run" ~doc:"evaluate a Datalog program") run_term in
+  let serve =
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "replay a multi-tenant query workload through the serving layer (admission \
+            control, tenant-fair scheduling, result cache)")
+      serve_term
+  in
   let gen = Cmd.v (Cmd.info "gen" ~doc:"generate benchmark datasets") gen_term in
-  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; gen ] in
+  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; gen ] in
   exit (Cmd.eval main)

@@ -1,0 +1,6 @@
+(** Serving-layer experiment: result cache on vs off on a repeated-query
+    tenant mix (see the implementation header for the workload). *)
+
+val service : scale:int -> unit
+
+val run : scale:int -> unit

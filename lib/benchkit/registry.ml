@@ -22,6 +22,7 @@ let all =
     { id = "costmodel"; title = "DSD cost model (Appendix A)"; run = (fun ~scale -> ignore scale; Exp_tables.costmodel ()) };
     { id = "coord_sweep"; title = "EXTRA: SG-PBME threshold sweep (paper's future work)"; run = (fun ~scale -> Exp_extra.coord_sweep ~scale) };
     { id = "uie_sharing"; title = "EXTRA: UIE batching vs cache sharing"; run = (fun ~scale -> Exp_extra.uie_sharing ~scale) };
+    { id = "service"; title = "EXTRA: serving throughput, result cache on vs off"; run = (fun ~scale -> Exp_service.service ~scale) };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

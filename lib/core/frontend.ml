@@ -1,26 +1,43 @@
 module Relation = Rs_relation.Relation
 module Pool = Rs_parallel.Pool
 
+exception Parse_error of { path : string; line : int; msg : string }
+
+let parse_error path line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { path; line; msg })) fmt
+
 let load_tsv ?name ~arity path =
   let r = Relation.create ?name arity in
   let ic = open_in path in
-  (try
-     while true do
-       let line = input_line ic in
-       let line = String.trim line in
-       if line <> "" && line.[0] <> '#' then begin
-         let parts =
-           String.split_on_char '\t' line
-           |> List.concat_map (String.split_on_char ' ')
-           |> List.filter (fun s -> s <> "")
-         in
-         match List.map int_of_string parts with
-         | fields when List.length fields = arity -> Relation.push_row r (Array.of_list fields)
-         | _ -> failwith (Printf.sprintf "%s: bad line %S" path line)
-       end
-     done
-   with End_of_file -> ());
-  close_in ic;
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lineno = ref 0 in
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          incr lineno;
+          if line <> "" && line.[0] <> '#' then begin
+            let parts =
+              String.split_on_char '\t' line
+              |> List.concat_map (String.split_on_char ' ')
+              |> List.filter (fun s -> s <> "")
+            in
+            let fields =
+              List.map
+                (fun s ->
+                  match int_of_string_opt s with
+                  | Some v -> v
+                  | None -> parse_error path !lineno "not an integer: %S" s)
+                parts
+            in
+            if List.length fields <> arity then
+              parse_error path !lineno "expected %d fields, got %d" arity
+                (List.length fields);
+            Relation.push_row r (Array.of_list fields)
+          end
+        done
+      with End_of_file -> ());
   Relation.account r;
   r
 

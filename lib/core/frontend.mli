@@ -2,9 +2,15 @@
 
 module Relation = Rs_relation.Relation
 
+exception Parse_error of { path : string; line : int; msg : string }
+(** A malformed fact file: a non-integer field or an arity mismatch.
+    Carries the source position so the CLI can report one precise line
+    ([path:line: msg]) and exit nonzero instead of dumping a backtrace. *)
+
 val load_tsv : ?name:string -> arity:int -> string -> Relation.t
 (** [load_tsv ~arity path] reads whitespace/tab-separated integer tuples,
-    one per line; blank lines and [#] comments are skipped. *)
+    one per line; blank lines and [#] comments are skipped. Raises
+    {!Parse_error} on a malformed line. *)
 
 val save_tsv : Relation.t -> string -> unit
 

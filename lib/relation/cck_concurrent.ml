@@ -1,5 +1,7 @@
 module Int_key = Rs_util.Int_key
 
+exception Capacity_exhausted of { capacity : int }
+
 type t = {
   buckets : int Atomic.t array;  (* head slot index, -1 = empty *)
   keys : int array;
@@ -36,7 +38,8 @@ let add t key =
   if chain_has t key ~from:head ~until:(-1) then false
   else begin
     let slot = Atomic.fetch_and_add t.count 1 in
-    if slot >= Array.length t.keys then failwith "Cck_concurrent: capacity exhausted";
+    if slot >= Array.length t.keys then
+      raise (Capacity_exhausted { capacity = Array.length t.keys });
     t.keys.(slot) <- key;
     (* Publish: CAS the bucket head; on failure, re-check only the nodes that
        other threads prepended since [seen] (Figure 5, case 3). *)

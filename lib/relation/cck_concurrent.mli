@@ -15,14 +15,22 @@
 
 type t
 
+exception Capacity_exhausted of { capacity : int }
+(** Raised by {!add} when the pre-allocated slot array is full — the
+    optimizer's cardinality estimate was too small. The exception is typed
+    (not a bare [Failure]) so the engine boundary
+    ([Rs_engines.Engine_intf.guard]) can fold it into the [Oom] outcome:
+    a hot dedup table overflowing must fail that one query, not the
+    process serving it. *)
+
 val create : capacity:int -> buckets:int -> t
 (** [create ~capacity ~buckets] pre-allocates room for [capacity] keys and
     a power-of-two number of buckets of at least [buckets]. *)
 
 val add : t -> int -> bool
 (** [add t key] inserts the packed key; [true] iff it was new. Safe to call
-    from multiple domains concurrently. Raises [Failure] if capacity is
-    exhausted. *)
+    from multiple domains concurrently. Raises {!Capacity_exhausted} if the
+    table is full. *)
 
 val mem : t -> int -> bool
 

@@ -1,0 +1,43 @@
+type memclass = Small | Medium | Large
+
+let mib = 1024 * 1024
+
+let memclass_bytes = function
+  | Small -> mib
+  | Medium -> 16 * mib
+  | Large -> 128 * mib
+
+let memclass_of_string s =
+  match String.lowercase_ascii s with
+  | "small" -> Some Small
+  | "medium" -> Some Medium
+  | "large" -> Some Large
+  | _ -> None
+
+let memclass_to_string = function
+  | Small -> "small"
+  | Medium -> "medium"
+  | Large -> "large"
+
+type reason =
+  | Queue_full of { capacity : int }
+  | Over_memory of { need : int; available : int }
+  | Unknown_edb of string
+
+let reason_to_string = function
+  | Queue_full { capacity } -> Printf.sprintf "queue full (capacity %d)" capacity
+  | Over_memory { need; available } ->
+      Printf.sprintf "over memory budget (need %d bytes, %d available)" need available
+  | Unknown_edb name -> Printf.sprintf "unknown EDB %S" name
+
+type decision = Admit | Reject of reason
+
+let decide ~queue_len ~queue_capacity ~mem ~budget ~live =
+  if queue_len >= queue_capacity then Reject (Queue_full { capacity = queue_capacity })
+  else
+    match budget with
+    | None -> Admit
+    | Some b ->
+        let need = memclass_bytes mem in
+        let available = max 0 (b - live) in
+        if need > available then Reject (Over_memory { need; available }) else Admit

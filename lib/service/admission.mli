@@ -1,0 +1,38 @@
+(** Admission control: the service never queues unboundedly.
+
+    A submission is admitted only if (1) the pending queue has a free slot
+    and (2) its declared memory class fits in the headroom the
+    [Rs_storage.Memtrack] budget still has. Anything else is {e rejected}
+    with a typed reason — backpressure the client can see — rather than
+    parked on an unbounded queue that would itself be a memory leak. *)
+
+type memclass = Small | Medium | Large
+
+val memclass_bytes : memclass -> int
+(** The admission estimate a query of this class reserves against the
+    budget: 1 MiB / 16 MiB / 128 MiB. *)
+
+val memclass_of_string : string -> memclass option
+(** "small" / "medium" / "large" (case-insensitive). *)
+
+val memclass_to_string : memclass -> string
+
+type reason =
+  | Queue_full of { capacity : int }
+  | Over_memory of { need : int; available : int }
+  | Unknown_edb of string
+
+val reason_to_string : reason -> string
+
+type decision = Admit | Reject of reason
+
+val decide :
+  queue_len:int ->
+  queue_capacity:int ->
+  mem:memclass ->
+  budget:int option ->
+  live:int ->
+  decision
+(** Pure policy: reject on a full queue first, then on insufficient memory
+    headroom ([budget = None] means memory never rejects). The EDB-existence
+    check is the service's, since only it holds the store. *)

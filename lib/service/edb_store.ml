@@ -1,0 +1,40 @@
+module Relation = Rs_relation.Relation
+
+exception Unknown_edb of string
+
+type db = { mutable version : int; mutable rels : (string * Relation.t) list }
+
+type t = (string, db) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let define t name rels =
+  match Hashtbl.find_opt t name with
+  | Some db ->
+      db.version <- db.version + 1;
+      db.rels <- rels
+  | None -> Hashtbl.add t name { version = 1; rels }
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some db -> db
+  | None -> raise (Unknown_edb name)
+
+let delta t name ~rel rows =
+  let db = find t name in
+  let r =
+    match List.assoc_opt rel db.rels with
+    | Some r -> r
+    | None -> raise (Unknown_edb (name ^ "." ^ rel))
+  in
+  List.iter (Relation.push_row r) rows;
+  Relation.account r;
+  db.version <- db.version + 1
+
+let lookup t name = (find t name).rels
+
+let version t name = (find t name).version
+
+let mem t name = Hashtbl.mem t name
+
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

@@ -1,0 +1,39 @@
+(** Named, versioned EDB snapshots shared by the queries of a service.
+
+    A serving process holds its input databases resident: many queries run
+    against the same facts, so the store keeps one relation set per database
+    name and a monotone {e version} that bumps on every redefinition or
+    delta. The (name, version) pair is what the result cache keys on — a
+    delta makes every cached result computed against the old version
+    unreachable without touching the cache itself (the service additionally
+    drops those entries eagerly, see {!Result_cache.invalidate_edb}). *)
+
+module Relation = Rs_relation.Relation
+
+type t
+
+exception Unknown_edb of string
+
+val create : unit -> t
+
+val define : t -> string -> (string * Relation.t) list -> unit
+(** [define t name rels] installs (or replaces) database [name]. The
+    version starts at 1 and bumps on redefinition. *)
+
+val delta : t -> string -> rel:string -> int array list -> unit
+(** [delta t name ~rel rows] appends [rows] to relation [rel] of database
+    [name] (FlowLog-style incremental update at the granularity a serving
+    cache needs: the version bump is what matters) and re-accounts the
+    relation's bytes. Raises {!Unknown_edb} if [name] or [rel] is not
+    defined. *)
+
+val lookup : t -> string -> (string * Relation.t) list
+(** Raises {!Unknown_edb}. *)
+
+val version : t -> string -> int
+(** Current version of a database; raises {!Unknown_edb}. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** Defined database names, sorted. *)

@@ -1,0 +1,62 @@
+module Ast = Recstep.Ast
+
+(* Per-rule variable renaming: head first, then body, in first-occurrence
+   order. Wildcards stay wildcards (each occurrence is already fresh). *)
+
+let rename_rule (r : Ast.rule) : Ast.rule =
+  let tbl = Hashtbl.create 8 in
+  let fresh v =
+    match Hashtbl.find_opt tbl v with
+    | Some v' -> v'
+    | None ->
+        let v' = Printf.sprintf "v%d" (Hashtbl.length tbl) in
+        Hashtbl.add tbl v v';
+        v'
+  in
+  let term = function
+    | Ast.Var v -> Ast.Var (fresh v)
+    | (Ast.Const _ | Ast.Wildcard) as t -> t
+  in
+  let rec expr = function
+    | Ast.T t -> Ast.T (term t)
+    | Ast.Add (a, b) -> Ast.Add (expr a, expr b)
+    | Ast.Sub (a, b) -> Ast.Sub (expr a, expr b)
+    | Ast.Mul (a, b) -> Ast.Mul (expr a, expr b)
+  in
+  let head_term = function
+    | Ast.H_term t -> Ast.H_term (term t)
+    | Ast.H_agg (op, e) -> Ast.H_agg (op, expr e)
+  in
+  let atom (a : Ast.atom) = { a with Ast.args = List.map term a.Ast.args } in
+  let literal = function
+    | Ast.L_pos a -> Ast.L_pos (atom a)
+    | Ast.L_neg a -> Ast.L_neg (atom a)
+    | Ast.L_cmp (op, a, b) -> Ast.L_cmp (op, expr a, expr b)
+  in
+  let head_args = List.map head_term r.Ast.head_args in
+  let body = List.map literal r.Ast.body in
+  { r with Ast.head_args; body }
+
+let canonical (p : Ast.program) =
+  let rules =
+    List.sort compare (List.map (fun r -> Ast.rule_to_string (rename_rule r)) p.Ast.rules)
+  in
+  let inputs =
+    List.sort compare
+      (List.map (fun (n, a) -> Printf.sprintf ".input %s/%d" n a) p.Ast.inputs)
+  in
+  let outputs = List.sort compare (List.map (fun n -> ".output " ^ n) p.Ast.outputs) in
+  String.concat "\n" (rules @ inputs @ outputs)
+
+(* FNV-1a, 64-bit. OCaml ints are 63-bit; masking to 60 bits keeps the fold
+   well inside the native range while preserving avalanche behaviour good
+   enough for cache keying. *)
+let hash p =
+  let s = canonical p in
+  let h = ref 0xbf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land 0xFFFFFFFFFFFFFFF)
+    s;
+  Printf.sprintf "%016x" !h

@@ -1,0 +1,18 @@
+(** Canonical cache keys for Datalog programs.
+
+    Two submissions must hit the same cache line whenever they denote the
+    same program, even if one was written with different variable names or
+    its rules in a different order. [canonical] therefore renames every
+    rule's variables to [v0, v1, ...] in first-occurrence order (head first,
+    then body), prints each rule, and sorts the rule strings; the declared
+    inputs and outputs are folded in sorted as well, since they change what
+    a run reports. [hash] is an FNV-1a 64-bit digest of that canonical text
+    — the "canonical program hash" half of the service's cache key (the
+    other half is the EDB version, see {!Result_cache.key}). *)
+
+val canonical : Recstep.Ast.program -> string
+(** Canonical text: sorted renamed rules, one per line, followed by the
+    sorted input and output declarations. *)
+
+val hash : Recstep.Ast.program -> string
+(** 16-hex-digit FNV-1a digest of {!canonical}. *)

@@ -1,0 +1,121 @@
+type key = { program : string; edb : string; edb_version : int }
+
+type value = (string * int array list) list
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  invalidations : int;
+}
+
+type entry = { value : value; vbytes : int; mutable last_use : int }
+
+type t = {
+  budget : int;
+  table : (key, entry) Hashtbl.t;
+  mutable live_bytes : int;
+  mutable tick : int;  (* logical recency clock *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ~budget_bytes =
+  {
+    budget = max 0 budget_bytes;
+    table = Hashtbl.create 64;
+    live_bytes = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+(* Rows live on the OCaml heap, not in Memtrack: header + pointer per row
+   plus a boxed int array of [arity] words. *)
+let value_bytes (v : value) =
+  List.fold_left
+    (fun acc (name, rows) ->
+      let per_row =
+        match rows with [] -> 24 | r :: _ -> 24 + (8 * Array.length r)
+      in
+      acc + 64 + String.length name + (per_row * List.length rows))
+    0 v
+
+let find t k =
+  if t.budget = 0 then None
+  else
+    match Hashtbl.find_opt t.table k with
+    | Some e ->
+        t.tick <- t.tick + 1;
+        e.last_use <- t.tick;
+        t.hits <- t.hits + 1;
+        Some e.value
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      Hashtbl.remove t.table k;
+      t.live_bytes <- t.live_bytes - e.vbytes
+  | None -> ()
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= e.last_use -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | Some (k, _) ->
+      remove t k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t k v =
+  if t.budget > 0 then begin
+    let vbytes = value_bytes v in
+    if vbytes <= t.budget then begin
+      remove t k;
+      while t.live_bytes + vbytes > t.budget && Hashtbl.length t.table > 0 do
+        evict_lru t
+      done;
+      t.tick <- t.tick + 1;
+      Hashtbl.add t.table k { value = v; vbytes; last_use = t.tick };
+      t.live_bytes <- t.live_bytes + vbytes;
+      t.insertions <- t.insertions + 1
+    end
+  end
+
+let invalidate_edb t edb =
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if k.edb = edb then k :: acc else acc) t.table []
+  in
+  List.iter (remove t) doomed;
+  let n = List.length doomed in
+  t.invalidations <- t.invalidations + n;
+  n
+
+let stats t =
+  {
+    entries = Hashtbl.length t.table;
+    bytes = t.live_bytes;
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+  }

@@ -1,0 +1,50 @@
+(** Result cache: (canonical program hash, EDB version) → output relations.
+
+    Repeated analytic queries are the serving workload's common case; the
+    cache stores the {e canonical rows} of a finished query's outputs so an
+    identical resubmission is answered without touching the engines. The key
+    is exact — same canonicalized program ({!Program_key}), same database,
+    same version — so a stale hit is impossible by construction; eager
+    invalidation on a registered delta ({!invalidate_edb}) exists to free
+    the bytes, not for correctness.
+
+    Eviction is LRU under a byte budget: every entry carries an estimate of
+    its row storage, and inserting past the budget evicts least-recently-hit
+    entries first. A budget of [0] disables the cache ([find] never hits,
+    [add] never stores) — the cache-off arm of the benchmark. *)
+
+type key = { program : string; edb : string; edb_version : int }
+
+type value = (string * int array list) list
+(** Output relation name → sorted distinct rows. *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  invalidations : int;  (** entries dropped by {!invalidate_edb} *)
+}
+
+type t
+
+val create : budget_bytes:int -> t
+
+val find : t -> key -> value option
+(** Refreshes the entry's recency on a hit; counts hit/miss. *)
+
+val add : t -> key -> value -> unit
+(** Inserts (replacing any previous entry at [key]) and evicts LRU entries
+    until the budget holds. A value larger than the whole budget is not
+    stored. *)
+
+val invalidate_edb : t -> string -> int
+(** Drop every entry for the named database, any version; returns how many
+    were dropped. *)
+
+val value_bytes : value -> int
+(** The size estimate used for budgeting. *)
+
+val stats : t -> stats

@@ -1,0 +1,56 @@
+type 'a t = {
+  queues : (string, 'a Queue.t) Hashtbl.t;
+  mutable ring : string list;  (* reversed arrival order *)
+  mutable cursor : int;  (* next ring position to serve *)
+  rng : Rs_util.Rng.t;
+  mutable cursor_seeded : bool;
+  mutable total : int;
+}
+
+let create ~seed =
+  {
+    queues = Hashtbl.create 8;
+    ring = [];
+    cursor = 0;
+    rng = Rs_util.Rng.create seed;
+    cursor_seeded = false;
+    total = 0;
+  }
+
+let push t ~tenant x =
+  let q =
+    match Hashtbl.find_opt t.queues tenant with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.queues tenant q;
+        t.ring <- tenant :: t.ring;
+        q
+  in
+  Queue.push x q;
+  t.total <- t.total + 1
+
+let length t = t.total
+
+let pop t =
+  if t.total = 0 then None
+  else begin
+    let ring = Array.of_list (List.rev t.ring) in
+    let n = Array.length ring in
+    if not t.cursor_seeded then begin
+      (* one seeded draw fixes where the ring walk starts *)
+      t.cursor <- Rs_util.Rng.int t.rng (max 1 n);
+      t.cursor_seeded <- true
+    end;
+    let rec find i =
+      let tenant = ring.((t.cursor + i) mod n) in
+      let q = Hashtbl.find t.queues tenant in
+      if Queue.is_empty q then find (i + 1)
+      else begin
+        t.cursor <- (t.cursor + i + 1) mod n;
+        t.total <- t.total - 1;
+        Some (tenant, Queue.pop q)
+      end
+    in
+    find 0
+  end

@@ -1,0 +1,23 @@
+(** Tenant-fair ready queue.
+
+    Admitted queries wait here until the (serial, simulated-time) dispatch
+    loop picks the next one. Fairness is round-robin over tenants: each
+    tenant has a FIFO of its own submissions, and successive pops walk the
+    tenant ring so one chatty tenant cannot starve the others. The starting
+    point of the ring walk is drawn once from the seed, making the whole
+    dispatch order a deterministic function of (seed, submission order) —
+    the property the determinism test pins down. *)
+
+type 'a t
+
+val create : seed:int -> 'a t
+
+val push : 'a t -> tenant:string -> 'a -> unit
+(** Enqueue at the tail of the tenant's FIFO; first-seen tenants join the
+    ring in arrival order. *)
+
+val pop : 'a t -> (string * 'a) option
+(** Next (tenant, item) in round-robin order; [None] when empty. *)
+
+val length : 'a t -> int
+(** Total queued items across tenants. *)

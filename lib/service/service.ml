@@ -1,0 +1,409 @@
+module Trace = Rs_obs.Trace
+module Json = Rs_obs.Json
+module Pool = Rs_parallel.Pool
+module Memtrack = Rs_storage.Memtrack
+module Engine_intf = Rs_engines.Engine_intf
+module Engines = Rs_engines.Engines
+module Relation = Rs_relation.Relation
+module Ast = Recstep.Ast
+
+type submission = {
+  sub_id : string;
+  tenant : string;
+  program : Ast.program;
+  edb : string;
+  at : float;
+  deadline_vs : float option;
+  mem : Admission.memclass;
+  engine : string option;
+}
+
+let submission ?(id = "") ?(at = 0.0) ?deadline_vs ?(mem = Admission.Small) ?engine
+    ~tenant ~edb program =
+  { sub_id = id; tenant; program; edb; at; deadline_vs; mem; engine }
+
+type event =
+  | Submit of submission
+  | Delta of { at : float; edb : string; rel : string; rows : int array list }
+
+let event_time = function Submit s -> s.at | Delta d -> d.at
+
+type outcome =
+  | Done of Result_cache.value
+  | Oom
+  | Timeout
+  | Unsupported of string
+  | Rejected of Admission.reason
+
+let outcome_label = function
+  | Done _ -> "done"
+  | Oom -> "oom"
+  | Timeout -> "timeout"
+  | Unsupported _ -> "unsupported"
+  | Rejected _ -> "rejected"
+
+type completion = {
+  c_id : string;
+  c_tenant : string;
+  c_edb : string;
+  c_at : float;
+  c_started : float option;
+  c_finished : float;
+  c_outcome : outcome;
+  c_cache_hit : bool;
+  c_retries : int;
+}
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  mem_budget : int option;
+  cache_bytes : int;
+  cache_hit_cost_s : float;
+  seed : int;
+}
+
+let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
+    ?(cache_bytes = 64 * 1024 * 1024) ?(cache_hit_cost_s = 1e-4) ?(seed = 1) () =
+  { workers; queue_capacity; mem_budget; cache_bytes; cache_hit_cost_s; seed }
+
+type report = {
+  completions : completion list;
+  counters : (string * int) list;
+  cache : Result_cache.stats;
+  p50_latency : float;
+  p95_latency : float;
+  throughput : float;
+  vtime : float;
+  trace : Trace.t;
+}
+
+let counter_names =
+  [
+    "submitted"; "admitted"; "rejected"; "done"; "oom"; "timeout"; "unsupported";
+    "cache_hit"; "cache_miss"; "retried"; "deadline_miss";
+  ]
+
+let percentile p sorted =
+  match sorted with
+  | [] -> 0.0
+  | l ->
+      let n = List.length l in
+      let rank = int_of_float (ceil (p *. float_of_int n /. 100.0)) - 1 in
+      List.nth l (min (n - 1) (max 0 rank))
+
+(* The declared outputs of a program, or all its IDBs — same convention as
+   the CLI's run command. *)
+let output_names program =
+  if program.Ast.outputs <> [] then program.Ast.outputs
+  else (Recstep.Analyzer.analyze program).Recstep.Analyzer.idbs
+
+let run ?(config = config ()) ~edb:store events =
+  let pool = Pool.create ~workers:config.workers () in
+  let clock = ref 0.0 in
+  let now_impl = ref (fun () -> !clock) in
+  let trace = Trace.create ~now:(fun () -> !now_impl ()) () in
+  let counts = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace counts n 0) counter_names;
+  let bump name n =
+    Hashtbl.replace counts name (n + Option.value ~default:0 (Hashtbl.find_opt counts name));
+    Trace.count trace ("service." ^ name) n
+  in
+  let cache = Result_cache.create ~budget_bytes:config.cache_bytes in
+  let sched = Scheduler.create ~seed:config.seed in
+  let completions = ref [] in
+  (* auto ids in event order, before time-sorting *)
+  let next_id = ref 0 in
+  let events =
+    List.map
+      (function
+        | Submit s when s.sub_id = "" ->
+            incr next_id;
+            Submit { s with sub_id = Printf.sprintf "q%d" !next_id }
+        | e -> e)
+      events
+  in
+  let pending = ref (List.stable_sort (fun a b -> compare (event_time a) (event_time b)) events) in
+  let reject sub reason =
+    bump "rejected" 1;
+    completions :=
+      {
+        c_id = sub.sub_id;
+        c_tenant = sub.tenant;
+        c_edb = sub.edb;
+        c_at = sub.at;
+        c_started = None;
+        c_finished = !clock;
+        c_outcome = Rejected reason;
+        c_cache_hit = false;
+        c_retries = 0;
+      }
+      :: !completions
+  in
+  let admit sub =
+    bump "submitted" 1;
+    let decision =
+      if not (Edb_store.mem store sub.edb) then
+        Admission.Reject (Admission.Unknown_edb sub.edb)
+      else
+        Admission.decide ~queue_len:(Scheduler.length sched)
+          ~queue_capacity:config.queue_capacity ~mem:sub.mem ~budget:config.mem_budget
+          ~live:(Memtrack.live ())
+    in
+    match decision with
+    | Admission.Admit ->
+        bump "admitted" 1;
+        Scheduler.push sched ~tenant:sub.tenant sub
+    | Admission.Reject reason -> reject sub reason
+  in
+  let apply_delta d =
+    match d with
+    | Delta { edb; rel; rows; _ } ->
+        (* operator-applied state change: not subject to the query budget *)
+        let saved = Memtrack.budget () in
+        Memtrack.set_budget None;
+        Edb_store.delta store edb ~rel rows;
+        Memtrack.set_budget saved;
+        let dropped = Result_cache.invalidate_edb cache edb in
+        Trace.event trace ~kind:"service" "edb_delta"
+          [ ("rows", float_of_int (List.length rows)); ("invalidated", float_of_int dropped) ]
+    | Submit _ -> assert false
+  in
+  let apply_due () =
+    let rec go () =
+      match !pending with
+      | e :: rest when event_time e <= !clock ->
+          pending := rest;
+          (match e with Submit s -> admit s | Delta _ -> apply_delta e);
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (* one engine attempt at [w] workers; engine spans and pool batches land on
+     the service timeline at offset [base] *)
+  let run_attempt sub rels w deadline_left base =
+    Pool.set_workers pool w;
+    Pool.begin_run pool;
+    now_impl := (fun () -> base +. Pool.vtime_now pool);
+    let engine =
+      match sub.engine with
+      | None -> Some Engines.recstep
+      | Some name -> Engines.by_name name
+    in
+    let res =
+      match engine with
+      | None ->
+          Engine_intf.Unsupported
+            (Printf.sprintf "unknown engine %S" (Option.value ~default:"" sub.engine))
+      | Some e -> (
+          match
+            Engine_intf.run_guarded e ~pool ?deadline_vs:deadline_left ~trace ~edb:rels
+              sub.program
+          with
+          | o -> o
+          | exception Recstep.Analyzer.Analysis_error m ->
+              Engine_intf.Unsupported ("analysis error: " ^ m))
+    in
+    now_impl := (fun () -> !clock);
+    List.iter
+      (fun (e : Pool.event) ->
+        Trace.add_batch trace ~start:(base +. e.Pool.ev_vstart) ~len:e.Pool.ev_vlen
+          ~busy:e.Pool.ev_busy)
+      (Pool.events pool);
+    (res, (Pool.stats pool).Pool.vtime)
+  in
+  let execute sub =
+    let started = !clock in
+    Trace.begin_span trace ~kind:"service" (sub.tenant ^ "/" ^ sub.sub_id);
+    let version = Edb_store.version store sub.edb in
+    let key =
+      { Result_cache.program = Program_key.hash sub.program; edb = sub.edb; edb_version = version }
+    in
+    let deadline_left = Option.map (fun d -> d -. (started -. sub.at)) sub.deadline_vs in
+    let outcome, cost, cache_hit, retries =
+      match deadline_left with
+      | Some d when d <= 0.0 -> (Timeout, 0.0, false, 0)
+      | _ -> (
+          match Result_cache.find cache key with
+          | Some v ->
+              bump "cache_hit" 1;
+              (Done v, config.cache_hit_cost_s, true, 0)
+          | None ->
+              bump "cache_miss" 1;
+              let rels = Edb_store.lookup store sub.edb in
+              let mem_before = Memtrack.live () in
+              let res, cost, retries =
+                match run_attempt sub rels config.workers deadline_left started with
+                | Engine_intf.Oom, cost1 -> (
+                    (* bounded retry: half the workers, the remaining budget *)
+                    bump "retried" 1;
+                    let left = Option.map (fun d -> d -. cost1) deadline_left in
+                    match left with
+                    | Some d when d <= 0.0 -> (Engine_intf.Timeout, cost1, 1)
+                    | _ ->
+                        let w2 = max 1 (config.workers / 2) in
+                        let res2, cost2 =
+                          run_attempt sub rels w2 left (started +. cost1)
+                        in
+                        (res2, cost1 +. cost2, 1))
+                | res1, cost1 -> (res1, cost1, 0)
+              in
+              (* the query's working set is torn down with the query *)
+              let leak = Memtrack.live () - mem_before in
+              if leak > 0 then Memtrack.free leak;
+              let outcome =
+                match res with
+                | Engine_intf.Done result ->
+                    let rows =
+                      List.map
+                        (fun n ->
+                          (n, Relation.sorted_distinct_rows (result.Engine_intf.relation_of n)))
+                        (output_names sub.program)
+                    in
+                    Result_cache.add cache key rows;
+                    Done rows
+                | Engine_intf.Oom -> Oom
+                | Engine_intf.Timeout -> Timeout
+                | Engine_intf.Unsupported m -> Unsupported m
+              in
+              (outcome, cost, false, retries))
+    in
+    clock := started +. cost;
+    Trace.end_span trace;
+    bump (outcome_label outcome) 1;
+    (match outcome with Timeout -> bump "deadline_miss" 1 | _ -> ());
+    completions :=
+      {
+        c_id = sub.sub_id;
+        c_tenant = sub.tenant;
+        c_edb = sub.edb;
+        c_at = sub.at;
+        c_started = Some started;
+        c_finished = !clock;
+        c_outcome = outcome;
+        c_cache_hit = cache_hit;
+        c_retries = retries;
+      }
+      :: !completions
+  in
+  let prev_budget = Memtrack.budget () in
+  Memtrack.set_budget config.mem_budget;
+  Fun.protect
+    ~finally:(fun () -> Memtrack.set_budget prev_budget)
+    (fun () ->
+      let rec loop () =
+        apply_due ();
+        match Scheduler.pop sched with
+        | Some (_, sub) ->
+            execute sub;
+            loop ()
+        | None -> (
+            match !pending with
+            | [] -> ()
+            | e :: _ ->
+                clock := max !clock (event_time e);
+                loop ())
+      in
+      loop ());
+  let completions = List.rev !completions in
+  let served_latencies =
+    List.filter_map
+      (fun c -> match c.c_outcome with Done _ -> Some (c.c_finished -. c.c_at) | _ -> None)
+      completions
+    |> List.sort compare
+  in
+  let counters =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+  in
+  let served = List.length served_latencies in
+  {
+    completions;
+    counters;
+    cache = Result_cache.stats cache;
+    p50_latency = percentile 50.0 served_latencies;
+    p95_latency = percentile 95.0 served_latencies;
+    throughput = (if !clock > 0.0 then float_of_int served /. !clock else 0.0);
+    vtime = !clock;
+    trace;
+  }
+
+let counter report name = Option.value ~default:0 (List.assoc_opt name report.counters)
+
+let outcome_detail = function
+  | Unsupported m -> Some m
+  | Rejected r -> Some (Admission.reason_to_string r)
+  | Done _ | Oom | Timeout -> None
+
+let report_json r =
+  let query c =
+    Json.Obj
+      ([
+         ("id", Json.String c.c_id);
+         ("tenant", Json.String c.c_tenant);
+         ("edb", Json.String c.c_edb);
+         ("at", Json.Float c.c_at);
+         ("started", match c.c_started with Some s -> Json.Float s | None -> Json.Null);
+         ("finished", Json.Float c.c_finished);
+         ("outcome", Json.String (outcome_label c.c_outcome));
+         ("cache_hit", Json.Bool c.c_cache_hit);
+         ("retries", Json.Int c.c_retries);
+         ( "latency",
+           match c.c_outcome with
+           | Rejected _ -> Json.Null
+           | _ -> Json.Float (c.c_finished -. c.c_at) );
+       ]
+      @ match outcome_detail c.c_outcome with
+        | Some d -> [ ("detail", Json.String d) ]
+        | None -> [])
+  in
+  let cache = r.cache in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("vtime", Json.Float r.vtime);
+      ("throughput", Json.Float r.throughput);
+      ( "latency",
+        Json.Obj [ ("p50", Json.Float r.p50_latency); ("p95", Json.Float r.p95_latency) ] );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
+      ( "cache",
+        Json.Obj
+          [
+            ("entries", Json.Int cache.Result_cache.entries);
+            ("bytes", Json.Int cache.Result_cache.bytes);
+            ("hits", Json.Int cache.Result_cache.hits);
+            ("misses", Json.Int cache.Result_cache.misses);
+            ("insertions", Json.Int cache.Result_cache.insertions);
+            ("evictions", Json.Int cache.Result_cache.evictions);
+            ("invalidations", Json.Int cache.Result_cache.invalidations);
+          ] );
+      ("queries", Json.List (List.map query r.completions));
+    ]
+
+let report_summary r =
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.c_id;
+          c.c_tenant;
+          c.c_edb;
+          outcome_label c.c_outcome;
+          (if c.c_cache_hit then "hit" else "-");
+          string_of_int c.c_retries;
+          (match c.c_outcome with
+          | Rejected _ -> "-"
+          | _ -> Printf.sprintf "%.4f" (c.c_finished -. c.c_at));
+        ])
+      r.completions
+  in
+  let table =
+    Rs_util.Table_printer.render
+      ~header:[ "query"; "tenant"; "edb"; "outcome"; "cache"; "retries"; "latency (s)" ]
+      rows
+  in
+  let counters =
+    String.concat "  " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.counters)
+  in
+  Printf.sprintf "%s%s\nlatency p50=%.4fs p95=%.4fs  throughput=%.2f q/s  vtime=%.4fs\n"
+    table counters r.p50_latency r.p95_latency r.throughput r.vtime

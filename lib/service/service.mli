@@ -1,0 +1,137 @@
+(** The query-serving loop: many tenants, one engine substrate.
+
+    Everything below {!run} the repo already had — engines behind
+    [Rs_engines.Engine_intf.run_guarded], the shared [Rs_parallel.Pool], the
+    [Rs_storage.Memtrack] budget, [rs_obs] tracing. This module multiplexes
+    a stream of submitted queries over them in {e simulated time}: the
+    service owns a virtual clock; each dispatched query runs to completion
+    on the pool and advances the clock by its simulated makespan, while
+    arrivals, admission, tenant-fair scheduling and cache hits interleave
+    between dispatches. Deterministic where it matters: same events, same
+    seed, same config ⇒ the same admissions, dispatch order, cache hits and
+    outcomes (durations are simulated from measured execution, so the float
+    timings vary at microsecond scale run to run).
+
+    Per query the service applies, in order: admission ({!Admission}: queue
+    bound, memory-class headroom, EDB existence), the result cache
+    ({!Result_cache}, keyed by canonical program hash × EDB version),
+    deadline enforcement (the per-query budget shrinks by the time spent
+    waiting in the queue; an expired deadline is a {!Timeout} without
+    touching the engine), and one bounded retry at half the workers when
+    the first attempt ends [Oom]. Every completion is a typed {!outcome} —
+    the engine vocabulary extended with [Rejected] — and the run yields a
+    {!report} with service counters, latency percentiles and a full
+    [rs_obs] trace whose spans nest each engine run under its query. *)
+
+module Trace = Rs_obs.Trace
+module Json = Rs_obs.Json
+
+type submission = {
+  sub_id : string;
+  tenant : string;
+  program : Recstep.Ast.program;
+  edb : string;  (** database name in the {!Edb_store} *)
+  at : float;  (** arrival, simulated seconds *)
+  deadline_vs : float option;  (** budget from arrival to completion *)
+  mem : Admission.memclass;
+  engine : string option;  (** engine name; [None] = RecStep *)
+}
+
+val submission :
+  ?id:string ->
+  ?at:float ->
+  ?deadline_vs:float ->
+  ?mem:Admission.memclass ->
+  ?engine:string ->
+  tenant:string ->
+  edb:string ->
+  Recstep.Ast.program ->
+  submission
+(** Defaults: auto id ("q1", "q2", ... in event order), arrival 0, no
+    deadline, [Small], RecStep. *)
+
+type event =
+  | Submit of submission
+  | Delta of { at : float; edb : string; rel : string; rows : int array list }
+      (** An EDB update registered at a point in simulated time: appended to
+          the store, bumping its version and eagerly invalidating cached
+          results for that database. *)
+
+val event_time : event -> float
+
+type outcome =
+  | Done of Result_cache.value  (** output name → sorted distinct rows *)
+  | Oom  (** still over budget after the bounded retry *)
+  | Timeout  (** per-query deadline missed (queue wait counts) *)
+  | Unsupported of string
+  | Rejected of Admission.reason
+
+val outcome_label : outcome -> string
+(** "done" / "oom" / "timeout" / "unsupported" / "rejected". *)
+
+type completion = {
+  c_id : string;
+  c_tenant : string;
+  c_edb : string;
+  c_at : float;
+  c_started : float option;  (** dispatch time; [None] if rejected *)
+  c_finished : float;
+  c_outcome : outcome;
+  c_cache_hit : bool;
+  c_retries : int;
+}
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  mem_budget : int option;  (** admission headroom + per-run OOM budget *)
+  cache_bytes : int;  (** result-cache budget; 0 disables the cache *)
+  cache_hit_cost_s : float;  (** simulated cost of serving from cache *)
+  seed : int;  (** scheduler ring seed *)
+}
+
+val config :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?mem_budget:int ->
+  ?cache_bytes:int ->
+  ?cache_hit_cost_s:float ->
+  ?seed:int ->
+  unit ->
+  config
+(** Defaults: 8 workers, queue capacity 64, no memory budget, 64 MiB cache,
+    100 µs per cache hit, seed 1. *)
+
+type report = {
+  completions : completion list;  (** in completion order *)
+  counters : (string * int) list;  (** sorted by name, see below *)
+  cache : Result_cache.stats;
+  p50_latency : float;  (** over served (Done) queries; 0 if none *)
+  p95_latency : float;
+  throughput : float;  (** served queries per simulated second *)
+  vtime : float;  (** service clock when the last event settled *)
+  trace : Trace.t;  (** service + nested engine spans, service counters *)
+}
+(** Counters: [submitted], [admitted], [rejected], [done], [oom],
+    [timeout], [unsupported], [cache_hit], [cache_miss], [retried],
+    [deadline_miss]. Two identities hold by construction and are checked by
+    the CI smoke: [submitted = admitted + rejected] and
+    [admitted = done + oom + timeout + unsupported]. *)
+
+val run : ?config:config -> edb:Edb_store.t -> event list -> report
+(** Replays [events] (sorted by {!event_time}, ties in list order) to
+    quiescence. Mutates the store (deltas) and the global [Memtrack] budget
+    during the run; the previous budget is restored on exit. *)
+
+val counter : report -> string -> int
+(** 0 when absent. *)
+
+val report_json : report -> Json.t
+(** The service report: {v
+    {"version": 1, "workers": _, "vtime": _, "throughput": _,
+     "latency": {"p50": _, "p95": _}, "counters": {...}, "cache": {...},
+     "queries": [{"id", "tenant", "edb", "at", "started", "finished",
+                  "outcome", "cache_hit", "retries", "latency", ...}]} v} *)
+
+val report_summary : report -> string
+(** ASCII table of per-query dispositions plus the counter/latency lines. *)

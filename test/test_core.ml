@@ -163,6 +163,32 @@ let test_pattern_rejects () =
   in
   check "nonlinear TC not matched" true (Pattern.match_stratum an2 s2 = None)
 
+(* --- frontend fact loading: typed errors with positions --- *)
+
+let test_frontend_parse_error () =
+  let write lines =
+    let path = Filename.temp_file "facts" ".tsv" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let load ~arity path = ignore (Frontend.load_tsv ~name:"arc" ~arity path) in
+  let bad = write [ "1\t2"; "1\tfoo" ] in
+  (match load ~arity:2 bad with
+  | () -> Alcotest.fail "expected Parse_error"
+  | exception Frontend.Parse_error { path; line; msg } ->
+      check "path is reported" true (path = bad);
+      Alcotest.(check int) "line is reported" 2 line;
+      check "message names the field" true (msg = "not an integer: \"foo\""));
+  Sys.remove bad;
+  let short = write [ "1\t2\t3"; "4\t5" ] in
+  (match load ~arity:3 short with
+  | () -> Alcotest.fail "expected Parse_error"
+  | exception Frontend.Parse_error { line = 2; msg; _ } ->
+      check "arity mismatch named" true (msg = "expected 3 fields, got 2"));
+  Sys.remove short
+
 (* --- interpreter: correctness against references --- *)
 
 let run_program ?options src edb = fst (Frontend.run_text ?options ~edb src)
@@ -367,6 +393,7 @@ let suite =
     Alcotest.test_case "analyzer aggregate signatures" `Quick test_analyzer_agg_sig;
     Alcotest.test_case "planner delta variants" `Quick test_planner_delta_variants;
     Alcotest.test_case "planner facts" `Quick test_planner_fact;
+    Alcotest.test_case "frontend parse errors are typed" `Quick test_frontend_parse_error;
     Alcotest.test_case "pattern TC" `Quick test_pattern_tc;
     Alcotest.test_case "pattern SG" `Quick test_pattern_sg;
     Alcotest.test_case "pattern rejections" `Quick test_pattern_rejects;

@@ -11,6 +11,7 @@ let () =
       ("bitmatrix", Test_bitmatrix.suite);
       ("bdd", Test_bdd.suite);
       ("engines", Test_engines.suite);
+      ("service", Test_service.suite);
       ("datagen", Test_datagen.suite);
       ("integration", Test_integration.suite);
       ("invariants", Test_invariants.suite);

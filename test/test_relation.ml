@@ -127,6 +127,19 @@ let test_cck_concurrent_domains () =
   Alcotest.(check int) "exactly the range" 4000 (Cck.cardinal t);
   Alcotest.(check (list int)) "sorted contents" (List.init 4000 (fun i -> i)) (Cck.to_sorted_list t)
 
+let test_cck_capacity_exhausted () =
+  (* a full table fails with the typed exception (folded into Oom at the
+     engine boundary), never a bare [failwith] *)
+  let t = Cck.create ~capacity:4 ~buckets:16 in
+  for v = 0 to 3 do
+    check "add" true (Cck.add t v)
+  done;
+  Alcotest.check_raises "typed capacity failure"
+    (Cck.Capacity_exhausted { capacity = 4 })
+    (fun () -> ignore (Cck.add t 99));
+  Alcotest.(check bool) "guard folds it to Oom" true
+    (Rs_engines.Engine_intf.guard (fun () -> ignore (Cck.add t 100)) = Rs_engines.Engine_intf.Oom)
+
 (* --- hash index --- *)
 
 let prop_index_matches_scan =
@@ -191,6 +204,7 @@ let suite =
     Alcotest.test_case "dedup rehash growth" `Quick test_dedup_rehash_growth;
     Alcotest.test_case "cck sequential" `Quick test_cck_sequential;
     Alcotest.test_case "cck 4-domain stress" `Quick test_cck_concurrent_domains;
+    Alcotest.test_case "cck capacity exhaustion is typed" `Quick test_cck_capacity_exhausted;
     Alcotest.test_case "index two-column" `Quick test_index_two_col_and_mem;
   ]
   @ qsuite

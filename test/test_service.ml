@@ -1,0 +1,264 @@
+module Relation = Rs_relation.Relation
+module Service = Rs_service.Service
+module Edb_store = Rs_service.Edb_store
+module Result_cache = Rs_service.Result_cache
+module Admission = Rs_service.Admission
+module Program_key = Rs_service.Program_key
+module Script = Rs_service.Script
+module Json = Rs_obs.Json
+
+let tc = Recstep.Programs.parsed Recstep.Programs.tc
+let sg = Recstep.Programs.parsed Recstep.Programs.sg
+
+let ring n =
+  let rows = List.init n (fun i -> [| i; (i + 1) mod n |]) in
+  let r = Relation.of_rows ~name:"arc" 2 rows in
+  Relation.account r;
+  r
+
+let store ?(name = "g") ?(n = 6) () =
+  let t = Edb_store.create () in
+  Edb_store.define t name [ ("arc", ring n) ];
+  t
+
+(* --- program canonicalization --- *)
+
+let test_program_key () =
+  let a =
+    Recstep.Programs.parsed
+      ".input arc\n.output tc\ntc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).\n"
+  in
+  (* same program, alpha-renamed variables and different whitespace *)
+  let b =
+    Recstep.Programs.parsed
+      ".input arc\n.output tc\ntc(p,q) :- arc(p,q).\ntc(u,w):-tc(u,v),arc(v,w).\n"
+  in
+  Alcotest.(check string) "alpha-renaming invariant" (Program_key.hash a) (Program_key.hash b);
+  Alcotest.(check string)
+    "canonical forms equal" (Program_key.canonical a) (Program_key.canonical b);
+  Alcotest.(check bool) "tc and sg differ" false (Program_key.hash a = Program_key.hash sg);
+  Alcotest.(check int) "hash is 16 hex chars" 16 (String.length (Program_key.hash a))
+
+(* --- result cache unit behaviour --- *)
+
+let test_result_cache () =
+  let key v = { Result_cache.program = "p"; edb = "g"; edb_version = v } in
+  let value rows = [ ("out", rows) ] in
+  let c = Result_cache.create ~budget_bytes:4096 in
+  Alcotest.(check bool) "miss on empty" true (Result_cache.find c (key 1) = None);
+  Result_cache.add c (key 1) (value [ [| 1; 2 |] ]);
+  Alcotest.(check bool) "hit" true (Result_cache.find c (key 1) <> None);
+  Alcotest.(check bool) "version is part of the key" true (Result_cache.find c (key 2) = None);
+  let dropped = Result_cache.invalidate_edb c "g" in
+  Alcotest.(check int) "invalidation drops the entry" 1 dropped;
+  Alcotest.(check bool) "gone" true (Result_cache.find c (key 1) = None);
+  let s = Result_cache.stats c in
+  Alcotest.(check int) "hits counted" 1 s.Result_cache.hits;
+  Alcotest.(check int) "invalidations counted" 1 s.Result_cache.invalidations;
+  (* zero budget disables storage entirely *)
+  let off = Result_cache.create ~budget_bytes:0 in
+  Result_cache.add off (key 1) (value [ [| 1; 2 |] ]);
+  Alcotest.(check bool) "budget 0 never stores" true (Result_cache.find off (key 1) = None)
+
+let test_result_cache_lru () =
+  let big = List.init 64 (fun i -> [| i; i |]) in
+  let key n = { Result_cache.program = n; edb = "g"; edb_version = 1 } in
+  let bytes = Result_cache.value_bytes [ ("out", big) ] in
+  (* room for two entries, not three *)
+  let c = Result_cache.create ~budget_bytes:(2 * bytes) in
+  Result_cache.add c (key "a") [ ("out", big) ];
+  Result_cache.add c (key "b") [ ("out", big) ];
+  ignore (Result_cache.find c (key "a"));
+  (* "b" is now least recently used; inserting "c" must evict it *)
+  Result_cache.add c (key "c") [ ("out", big) ];
+  Alcotest.(check bool) "recently-used survives" true (Result_cache.find c (key "a") <> None);
+  Alcotest.(check bool) "lru evicted" true (Result_cache.find c (key "b") = None);
+  let s = Result_cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Result_cache.evictions;
+  Alcotest.(check bool) "budget holds" true (s.Result_cache.bytes <= 2 * bytes)
+
+(* --- accounting identities, shared by several tests --- *)
+
+let check_identities r =
+  let c = Service.counter r in
+  Alcotest.(check int) "submitted = admitted + rejected" (c "submitted")
+    (c "admitted" + c "rejected");
+  Alcotest.(check int) "admitted = done + oom + timeout + unsupported" (c "admitted")
+    (c "done" + c "oom" + c "timeout" + c "unsupported")
+
+(* --- cache hit / miss / invalidation through the service loop --- *)
+
+let test_service_cache_and_invalidation () =
+  let sub ~at = Service.submission ~at ~tenant:"t" ~edb:"g" tc in
+  let events =
+    [
+      Service.Submit (sub ~at:0.0);
+      Service.Submit (sub ~at:0.0);
+      (* well after both queries settle: version bump, cached TC dropped;
+         the new arc reaches a fresh vertex so the closure actually grows *)
+      Service.Delta { at = 50.0; edb = "g"; rel = "arc"; rows = [ [| 5; 6 |] ] };
+      Service.Submit (sub ~at:100.0);
+    ]
+  in
+  let r = Service.run ~edb:(store ()) events in
+  check_identities r;
+  Alcotest.(check int) "all three served" 3 (Service.counter r "done");
+  Alcotest.(check int) "second query hits" 1 (Service.counter r "cache_hit");
+  Alcotest.(check int) "first and post-delta miss" 2 (Service.counter r "cache_miss");
+  Alcotest.(check bool) "delta invalidated the entry" true
+    (r.Service.cache.Result_cache.invalidations >= 1);
+  match r.Service.completions with
+  | [ q1; q2; q3 ] -> (
+      Alcotest.(check bool) "q2 flagged as cache hit" true q2.Service.c_cache_hit;
+      match (q1.Service.c_outcome, q2.Service.c_outcome, q3.Service.c_outcome) with
+      | Service.Done v1, Service.Done v2, Service.Done v3 ->
+          Alcotest.(check bool) "cached rows identical" true (v1 = v2);
+          let nrows v = List.length (List.assoc "tc" v) in
+          Alcotest.(check bool) "post-delta result is larger" true (nrows v3 > nrows v1)
+      | _ -> Alcotest.fail "expected three Done outcomes")
+  | cs -> Alcotest.fail (Printf.sprintf "expected 3 completions, got %d" (List.length cs))
+
+(* --- admission control --- *)
+
+let test_admission_memory () =
+  (* a budget far below even a Small query's 1 MiB admission estimate *)
+  let config = Service.config ~mem_budget:1000 () in
+  let events =
+    [ Service.Submit (Service.submission ~tenant:"t" ~edb:"g" tc) ]
+  in
+  let r = Service.run ~config ~edb:(store ()) events in
+  check_identities r;
+  Alcotest.(check int) "rejected" 1 (Service.counter r "rejected");
+  Alcotest.(check int) "nothing admitted" 0 (Service.counter r "admitted");
+  match (List.hd r.Service.completions).Service.c_outcome with
+  | Service.Rejected (Admission.Over_memory _) -> ()
+  | o -> Alcotest.fail ("expected Over_memory rejection, got " ^ Service.outcome_label o)
+
+let test_admission_queue_full () =
+  let config = Service.config ~queue_capacity:1 () in
+  let sub () = Service.Submit (Service.submission ~tenant:"t" ~edb:"g" tc) in
+  let r = Service.run ~config ~edb:(store ()) [ sub (); sub (); sub () ] in
+  check_identities r;
+  Alcotest.(check int) "one slot, one admit" 1 (Service.counter r "admitted");
+  Alcotest.(check int) "the rest bounce" 2 (Service.counter r "rejected");
+  let queue_full =
+    List.filter
+      (fun c ->
+        match c.Service.c_outcome with
+        | Service.Rejected (Admission.Queue_full _) -> true
+        | _ -> false)
+      r.Service.completions
+  in
+  Alcotest.(check int) "rejections are typed Queue_full" 2 (List.length queue_full)
+
+let test_admission_unknown_edb () =
+  let r =
+    Service.run ~edb:(store ())
+      [ Service.Submit (Service.submission ~tenant:"t" ~edb:"nope" tc) ]
+  in
+  check_identities r;
+  match (List.hd r.Service.completions).Service.c_outcome with
+  | Service.Rejected (Admission.Unknown_edb "nope") -> ()
+  | o -> Alcotest.fail ("expected Unknown_edb rejection, got " ^ Service.outcome_label o)
+
+(* --- deadlines --- *)
+
+let test_deadline_miss () =
+  let events =
+    [
+      Service.Submit
+        (Service.submission ~deadline_vs:1e-9 ~tenant:"t" ~edb:"g" tc);
+    ]
+  in
+  let r = Service.run ~edb:(store ~n:24 ()) events in
+  check_identities r;
+  Alcotest.(check int) "timeout" 1 (Service.counter r "timeout");
+  Alcotest.(check int) "deadline_miss counted" 1 (Service.counter r "deadline_miss");
+  Alcotest.(check int) "not served" 0 (Service.counter r "done")
+
+(* --- determinism --- *)
+
+let test_determinism () =
+  let events () =
+    List.concat_map
+      (fun tenant ->
+        List.init 3 (fun k ->
+            Service.Submit
+              (Service.submission
+                 ~at:(0.001 *. float_of_int k)
+                 ~tenant ~edb:"g" (if k = 1 then sg else tc))))
+      [ "alice"; "bob"; "carol" ]
+  in
+  let run () =
+    let config = Service.config ~workers:4 ~seed:7 () in
+    Service.run ~config ~edb:(store ~n:8 ()) (events ())
+  in
+  (* the pool derives simulated durations from measured execution, so float
+     timings vary at microsecond scale run to run; what must replay exactly
+     is every scheduling decision and outcome *)
+  let signature r =
+    ( r.Service.counters,
+      List.map
+        (fun c ->
+          ( c.Service.c_id,
+            c.Service.c_tenant,
+            Service.outcome_label c.Service.c_outcome,
+            c.Service.c_cache_hit,
+            c.Service.c_retries ))
+        r.Service.completions )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same events, same seed, same dispatch and outcomes" true
+    (signature a = signature b);
+  (* and the report itself is well-formed JSON *)
+  Alcotest.(check bool) "report serializes" true
+    (String.length (Json.to_string (Service.report_json a)) > 0)
+
+(* --- workload scripts --- *)
+
+let test_script_parse () =
+  let prog = Filename.temp_file "svc_tc" ".datalog" in
+  let oc = open_out prog in
+  output_string oc Recstep.Programs.tc;
+  close_out oc;
+  let src =
+    String.concat "\n"
+      [
+        "# comment";
+        "set workers 4";
+        "edb g arc:2 = 0 1; 1 2; 2 0";
+        Printf.sprintf "submit tenant=a edb=g program=%s repeat=2 every=0.5" prog;
+        "delta at=1 g arc = 2 3";
+        "";
+      ]
+  in
+  let s = Script.parse src in
+  Alcotest.(check (list (pair string string))) "settings" [ ("workers", "4") ] s.Script.settings;
+  Alcotest.(check int) "one database" 1 (List.length s.Script.defs);
+  (match s.Script.events with
+  | [ Service.Submit s1; Service.Submit s2; Service.Delta d ] ->
+      Alcotest.(check string) "tenant" "a" s1.Service.tenant;
+      Alcotest.(check (float 1e-9)) "train spacing" 0.5 s2.Service.at;
+      Alcotest.(check (float 1e-9)) "delta time" 1.0 d.at;
+      Alcotest.(check int) "delta rows" 1 (List.length d.rows)
+  | _ -> Alcotest.fail "expected submit, submit, delta");
+  (* malformed lines carry their position *)
+  (match Script.parse ~path:"w" "set workers 4\nbogus directive\n" with
+  | _ -> Alcotest.fail "expected Script_error"
+  | exception Script.Script_error { line = 2; _ } -> ());
+  Sys.remove prog
+
+let suite =
+  [
+    Alcotest.test_case "program key canonicalization" `Quick test_program_key;
+    Alcotest.test_case "result cache basics" `Quick test_result_cache;
+    Alcotest.test_case "result cache LRU eviction" `Quick test_result_cache_lru;
+    Alcotest.test_case "cache hit + invalidation on delta" `Quick
+      test_service_cache_and_invalidation;
+    Alcotest.test_case "admission: memory budget" `Quick test_admission_memory;
+    Alcotest.test_case "admission: bounded queue" `Quick test_admission_queue_full;
+    Alcotest.test_case "admission: unknown edb" `Quick test_admission_unknown_edb;
+    Alcotest.test_case "deadline miss is a timeout" `Quick test_deadline_miss;
+    Alcotest.test_case "deterministic replay" `Quick test_determinism;
+    Alcotest.test_case "workload script parsing" `Quick test_script_parse;
+  ]
