@@ -62,7 +62,8 @@ let with_input_errors f =
   | Rs_service.Script.Script_error { path; line; msg } ->
       die "script error: %s:%d: %s" path line msg
 
-let run_cmd program_path facts out_dir engine workers verbose explain_only profile =
+let run_cmd program_path facts out_dir engine workers verbose explain_only profile dsd
+    no_pbme no_persistent_indexes =
   with_input_errors @@ fun () ->
   let program = Recstep.Parser.parse_file program_path in
   if explain_only then explain program
@@ -77,10 +78,20 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
         Some (Rs_obs.Trace.create ~now:(fun () -> Rs_parallel.Pool.vtime_now pool) ())
     | None -> None
   in
+  let dsd =
+    match dsd with
+    | "dynamic" -> Recstep.Interpreter.Dsd_dynamic
+    | "opsd" -> Recstep.Interpreter.Dsd_force_opsd
+    | "tpsd" -> Recstep.Interpreter.Dsd_force_tpsd
+    | other -> die "bad --dsd %S (expected dynamic, opsd or tpsd)" other
+  in
   let lookup =
     match engine with
     | None ->
-        let options = Recstep.Interpreter.options ?trace () in
+        let options =
+          Recstep.Interpreter.options ~dsd ~pbme:(not no_pbme)
+            ~persistent_indexes:(not no_persistent_indexes) ?trace ()
+        in
         let result = Recstep.Interpreter.run ~options ~pool ~edb program in
         if verbose then
           Printf.printf "iterations=%d queries=%d pbme_strata=%d io_bytes=%d\n"
@@ -207,8 +218,17 @@ let explain_arg =
 let profile_arg =
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc:"record an execution trace (spans, counters, per-iteration deltas) and write it to FILE as JSON; with --verbose also print a summary")
 
+let dsd_arg =
+  Arg.(value & opt string "dynamic" & info [ "dsd" ] ~docv:"MODE" ~doc:"set-difference strategy: dynamic (cost model), opsd, or tpsd")
+
+let no_pbme_arg =
+  Arg.(value & flag & info [ "no-pbme" ] ~doc:"disable the bit-matrix kernels for TC/SG-shaped strata (forces the relational path)")
+
+let no_persistent_indexes_arg =
+  Arg.(value & flag & info [ "no-persistent-indexes" ] ~doc:"disable the fixpoint-lifetime index manager (rebuild join indexes per query, the pre-optimization behavior)")
+
 let run_term =
-  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg)
+  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg $ dsd_arg $ no_pbme_arg $ no_persistent_indexes_arg)
 
 let script_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"workload script: EDB definitions plus a stream of submit/delta events (see lib/service/script.mli)")

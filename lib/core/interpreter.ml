@@ -19,6 +19,7 @@ type options = {
   eost : bool;
   fast_dedup : bool;
   pbme : bool;
+  persistent_indexes : bool;
   query_overhead_s : float;
   alpha : float;
   timeout_vs : float option;
@@ -28,9 +29,9 @@ type options = {
 }
 
 let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true)
-    ?(fast_dedup = true) ?(pbme = true) ?(query_overhead_s = 0.002)
-    ?(alpha = Cost.default_alpha) ?timeout_vs ?(hoard_memory = false) ?(share_builds = true)
-    ?trace () =
+    ?(fast_dedup = true) ?(pbme = true) ?(persistent_indexes = true)
+    ?(query_overhead_s = 0.002) ?(alpha = Cost.default_alpha) ?timeout_vs
+    ?(hoard_memory = false) ?(share_builds = true) ?trace () =
   {
     uie;
     oof;
@@ -38,6 +39,7 @@ let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true
     eost;
     fast_dedup;
     pbme;
+    persistent_indexes;
     query_overhead_s;
     alpha;
     timeout_vs;
@@ -226,9 +228,26 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
   let an = Analyzer.analyze program in
   let catalog = Catalog.create () in
   let trace = options.trace in
+  (* Persistent join indexes live for the whole run: EDBs are indexed once;
+     a recursive IDB's full table is delta-appended each iteration. Delta
+     tables are excluded (their backing relation is replaced every
+     iteration), and so are aggregated IDBs (their full table is rebuilt
+     from the aggregate state every iteration, so an index could never be
+     reused). *)
+  let index_manager =
+    if not options.persistent_indexes then None
+    else begin
+      let stable = Hashtbl.create 16 in
+      List.iter (fun n -> Hashtbl.replace stable n ()) an.Analyzer.edbs;
+      List.iter
+        (fun n -> if Analyzer.agg_sig an n = None then Hashtbl.replace stable n ())
+        an.Analyzer.idbs;
+      Some (Rs_exec.Index_manager.create ?trace ~persistent:(Hashtbl.mem stable) pool)
+    end
+  in
   let exec =
     Executor.create ~query_overhead_s:options.query_overhead_s
-      ~share_builds:options.share_builds ?trace pool catalog
+      ~share_builds:options.share_builds ?index_manager ?trace pool catalog
   in
   (* Modeled disk: 0.5 ms seek + 300 MB/s bandwidth per physical flush
      (the container's page cache hides the real cost QuickStep pays). *)
@@ -236,6 +255,14 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
     Pool.add_serial pool (0.0005 +. (float_of_int bytes /. 300e6))
   in
   let txn = Txn.create ~on_flush ?trace (if options.eost then Txn.Eost else Txn.Per_query) in
+  (* From here on, every exit path (fixpoint reached, simulated OOM or
+     timeout) must hand the managed indexes' bytes back to the tracker. *)
+  Fun.protect
+    ~finally:(fun () ->
+      match index_manager with
+      | Some m -> Rs_exec.Index_manager.release_all m
+      | None -> ())
+  @@ fun () ->
   let queries = ref 0 in
   let total_iterations = ref 0 in
   let pbme_strata = ref 0 in
@@ -415,8 +442,8 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
         | None -> ());
         let delta, intersection =
           match choice with
-          | Cost.Opsd -> Executor.opsd exec ~rdelta ~r
-          | Cost.Tpsd -> Executor.tpsd exec ~rdelta ~r
+          | Cost.Opsd -> Executor.opsd exec ~name:st.name ~rdelta ~r ()
+          | Cost.Tpsd -> Executor.tpsd exec ~name:st.name ~rdelta ~r ()
         in
         st.mu_prev <-
           Some (Cost.observed_mu ~rdelta_rows:(Relation.nrows rdelta) ~intersection_rows:intersection);

@@ -30,6 +30,11 @@ type options = {
   eost : bool;
   fast_dedup : bool;
   pbme : bool;
+  persistent_indexes : bool;
+      (** maintain join indexes across queries and iterations in an
+          {!Rs_exec.Index_manager} (EDB indexes built once, recursive full
+          tables delta-appended); off = the seed's rebuild-per-query
+          behavior, kept as an ablation toggle *)
   query_overhead_s : float;
   alpha : float;  (** DSD cost-model build/probe ratio (from calibration) *)
   timeout_vs : float option;  (** simulated-seconds budget per run *)
@@ -52,6 +57,7 @@ val options :
   ?eost:bool ->
   ?fast_dedup:bool ->
   ?pbme:bool ->
+  ?persistent_indexes:bool ->
   ?query_overhead_s:float ->
   ?alpha:float ->
   ?timeout_vs:float ->

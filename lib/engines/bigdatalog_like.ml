@@ -35,8 +35,11 @@ let gate program =
   an
 
 let options_for ?(query_overhead_s = stage_overhead_s) ?timeout_vs ?trace () =
+  (* no persistent indexes: an RDD-lineage system re-materializes each
+     iteration's datasets, so build-side tables are re-indexed per stage *)
   Interpreter.options ~uie:false ~oof:Interpreter.Oof_off ~dsd:Interpreter.Dsd_force_opsd
-    ~fast_dedup:true ~pbme:false ~query_overhead_s ~hoard_memory:true ?timeout_vs ?trace ()
+    ~fast_dedup:true ~pbme:false ~persistent_indexes:false ~query_overhead_s
+    ~hoard_memory:true ?timeout_vs ?trace ()
 
 let interpret ~options ~pool ?trace ~edb program =
   let result = Interpreter.run ~options ~pool ~edb program in

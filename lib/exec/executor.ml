@@ -1,5 +1,6 @@
 module Relation = Rs_relation.Relation
 module Hash_index = Rs_relation.Hash_index
+module Radix_index = Rs_relation.Radix_index
 module Pool = Rs_parallel.Pool
 module Int_vec = Rs_util.Int_vec
 
@@ -8,11 +9,14 @@ type t = {
   catalog : Catalog.t;
   query_overhead_s : float;
   share_builds : bool;
+  index_manager : Index_manager.t option;
+  radix_min_rows : int;
   trace : Rs_obs.Trace.t option;
 }
 
-let create ?(query_overhead_s = 0.0005) ?(share_builds = true) ?trace pool catalog =
-  { pool; catalog; query_overhead_s; share_builds; trace }
+let create ?(query_overhead_s = 0.0005) ?(share_builds = true) ?index_manager
+    ?(radix_min_rows = 16384) ?trace pool catalog =
+  { pool; catalog; query_overhead_s; share_builds; index_manager; radix_min_rows; trace }
 
 let estimate t p = Plan.estimate (fun name -> Catalog.stat_rows t.catalog name) p
 
@@ -29,39 +33,80 @@ let plan_label = function
   | Plan.UnionAll ps -> Printf.sprintf "union_all(%d)" (List.length ps)
   | Plan.Aggregate _ -> "aggregate"
 
+(* Either index layout behind one probe interface: the executor's cost
+   policy picks radix (partitioned open addressing) for large one-shot
+   builds and the chained layout for cached / persistent ones. Both
+   enumerate matches newest-row-first, so the choice never changes result
+   bytes. *)
+type built_index = Chained of Hash_index.t | Radix of Radix_index.t
+
+let idx_iter_matches idx key f =
+  match idx with
+  | Chained i -> Hash_index.iter_matches i key f
+  | Radix i -> Radix_index.iter_matches i key f
+
+let idx_mem idx key =
+  match idx with Chained i -> Hash_index.mem i key | Radix i -> Radix_index.mem i key
+
+let idx_bytes = function Chained i -> Hash_index.bytes i | Radix i -> Radix_index.bytes i
+
+let idx_account = function Chained i -> Hash_index.account i | Radix i -> Radix_index.account i
+
+let idx_release = function Chained i -> Hash_index.release i | Radix i -> Radix_index.release i
+
+let count t name n =
+  match t.trace with Some tr -> Rs_obs.Trace.count tr name n | None -> ()
+
 let note_index_build t idx =
-  match t.trace with
-  | None -> ()
-  | Some tr ->
-      Rs_obs.Trace.count tr "executor.index_builds" 1;
-      Rs_obs.Trace.count tr "executor.index_bytes" (Hash_index.bytes idx)
+  count t "executor.index_builds" 1;
+  count t "executor.index_bytes" (idx_bytes idx);
+  match idx with Radix _ -> count t "executor.index_radix_builds" 1 | Chained _ -> ()
+
+(* One-shot build for an anonymous (or non-persistent) build side: radix for
+   large inputs, chained otherwise. *)
+let build_transient t rel keys =
+  let idx =
+    if Relation.nrows rel >= t.radix_min_rows then Radix (Radix_index.build_pool t.pool rel keys)
+    else Chained (Hash_index.build_pool t.pool rel keys)
+  in
+  idx_account idx;
+  note_index_build t idx;
+  idx
 
 (* Per-query cache of hash tables built on named tables, keyed by
    (table, key columns). Shared across the subplans of a UNION ALL when
    [share_builds] — the cache-sharing effect of UIE. *)
 type cache = (string * int list, Hash_index.t) Hashtbl.t
 
-let build_index t ?(cache : cache option) ?scan_name ~build_fn rel keys =
-  match (cache, scan_name) with
-  | Some c, Some name ->
-      let k = (name, Array.to_list keys) in
-      (match Hashtbl.find_opt c k with
-      | Some idx ->
-          (match t.trace with
-          | Some tr -> Rs_obs.Trace.count tr "executor.index_cache_hits" 1
-          | None -> ());
-          idx
-      | None ->
-          let idx = build_fn rel keys in
-          Hash_index.account idx;
-          note_index_build t idx;
-          Hashtbl.add c k idx;
-          idx)
-  | _ ->
-      let idx = build_fn rel keys in
-      Hash_index.account idx;
-      note_index_build t idx;
-      idx
+let managed t = function
+  | Some name -> (
+      match t.index_manager with
+      | Some m when Index_manager.eligible m name -> Some (m, name)
+      | _ -> None)
+  | None -> None
+
+(* Acquire a build-side index for [rel] keyed by [keys]. Ownership: manager
+   indexes persist across queries (the manager releases them); cache indexes
+   live until the query's [release_cache]; transient indexes are the
+   caller's to release. *)
+let build_index t ?(cache : cache option) ?scan_name rel keys =
+  match managed t scan_name with
+  | Some (m, name) -> (Chained (Index_manager.get m ~name rel keys), false)
+  | None -> (
+      match (cache, scan_name) with
+      | Some c, Some name -> (
+          let k = (name, Array.to_list keys) in
+          match Hashtbl.find_opt c k with
+          | Some idx ->
+              count t "executor.index_cache_hits" 1;
+              (Chained idx, false)
+          | None ->
+              let idx = Hash_index.build_pool t.pool rel keys in
+              Hash_index.account idx;
+              note_index_build t (Chained idx);
+              Hashtbl.add c k idx;
+              (Chained idx, false))
+      | _ -> (build_transient t rel keys, true))
 
 let release_cache (c : cache) = Hashtbl.iter (fun _ idx -> Hash_index.release idx) c
 
@@ -120,22 +165,32 @@ and eval_join t cache { Plan.l; r; lkeys; rkeys; extra; out } =
     match out with Some es -> Array.length es | None -> la + Relation.arity rrel
   in
   (* Build-side choice from optimizer estimates (not true sizes): this is
-     the decision OOF keeps honest by refreshing row counts. *)
-  let est_l = estimate t l and est_r = estimate t r in
-  let build_left = est_l <= est_r in
-  let brel, bkeys, bname, prel, pkeys =
-    if build_left then (lrel, lkeys, scan_name l, rrel, rkeys)
-    else (rrel, rkeys, scan_name r, lrel, lkeys)
+     the decision OOF keeps honest by refreshing row counts. A side whose
+     index persists across iterations (the manager's tables) trumps the
+     estimates — its build cost amortizes to ~zero over the fixpoint, so the
+     join degenerates to |probe side| hash probes. *)
+  let lname = scan_name l and rname = scan_name r in
+  let l_managed = managed t lname <> None and r_managed = managed t rname <> None in
+  let build_left =
+    match (l_managed, r_managed) with
+    | true, false -> true
+    | false, true -> false
+    | _ ->
+        let est_l = estimate t l and est_r = estimate t r in
+        est_l <= est_r
   in
-  let idx = build_index t ?cache ?scan_name:bname ~build_fn:(Hash_index.build_pool t.pool) brel bkeys in
-  let own_index = match (cache, bname) with Some _, Some _ -> false | _ -> true in
+  let brel, bkeys, bname, prel, pkeys =
+    if build_left then (lrel, lkeys, lname, rrel, rkeys)
+    else (rrel, rkeys, rname, lrel, lkeys)
+  in
+  let idx, own_index = build_index t ?cache ?scan_name:bname brel bkeys in
   let n = Relation.nrows prel in
   let key = Array.make (Array.length pkeys) 0 in
   let result =
     chunked_output t ~arity:out_arity ~n (fun frag lo hi ->
         for prow = lo to hi - 1 do
           Array.iteri (fun i c -> key.(i) <- Relation.get prel ~row:prow ~col:c) pkeys;
-          Hash_index.iter_matches idx key (fun brow ->
+          idx_iter_matches idx key (fun brow ->
               let lrow, rrow = if build_left then (brow, prow) else (prow, brow) in
               let get c =
                 if c < la then Relation.get lrel ~row:lrow ~col:c
@@ -153,29 +208,29 @@ and eval_join t cache { Plan.l; r; lkeys; rkeys; extra; out } =
                     done)
         done)
   in
-  if own_index then Hash_index.release idx;
+  if own_index then idx_release idx;
   result
 
 and eval_anti t cache { Plan.al; ar; alkeys; arkeys } =
+  let scan_name = function Plan.Scan n -> Some n | _ -> None in
   let lrel = eval t cache al and rrel = eval t cache ar in
   let arity = Relation.arity lrel in
-  let idx = Hash_index.build_pool t.pool rrel arkeys in
-  Hash_index.account idx;
-  note_index_build t idx;
+  (* The negated side is a lower-stratum table under stratification, so its
+     index persists across every iteration of this stratum's fixpoint. *)
+  let idx, own_index = build_index t ?cache ?scan_name:(scan_name ar) rrel arkeys in
   let n = Relation.nrows lrel in
   let key = Array.make (Array.length alkeys) 0 in
   let result =
     chunked_output t ~arity ~n (fun frag lo hi ->
         for row = lo to hi - 1 do
           Array.iteri (fun i c -> key.(i) <- Relation.get lrel ~row ~col:c) alkeys;
-          if not (Hash_index.mem idx key) then
+          if not (idx_mem idx key) then
             for c = 0 to arity - 1 do
               Int_vec.push (Relation.col frag c) (Relation.get lrel ~row ~col:c)
             done
         done)
   in
-  ignore cache;
-  Hash_index.release idx;
+  if own_index then idx_release idx;
   result
 
 and eval_agg t cache { Plan.group; aggs; src } =
@@ -282,11 +337,18 @@ let run_query t plan =
 
 let all_cols rel = Array.init (Relation.arity rel) (fun i -> i)
 
-let opsd_impl t ~rdelta ~r =
-  let keys = all_cols rdelta in
-  let idx = Hash_index.build_pool t.pool r keys in
-  Hash_index.account idx;
-  note_index_build t idx;
+(* Index over the full table [r] keyed by every column: the dedup /
+   anti-probe side of both set-difference translations. When [r] is a
+   managed recursive table its index persists across iterations and only
+   the delta suffix is appended each round. *)
+let full_table_index t ?name r =
+  let keys = all_cols r in
+  match managed t name with
+  | Some (m, name) -> (Chained (Index_manager.get m ~name r keys), false)
+  | None -> (build_transient t r keys, true)
+
+let opsd_impl t ?name ~rdelta ~r () =
+  let idx, own_index = full_table_index t ?name r in
   let n = Relation.nrows rdelta in
   let arity = Relation.arity rdelta in
   let key = Array.make arity 0 in
@@ -297,26 +359,28 @@ let opsd_impl t ~rdelta ~r =
           for c = 0 to arity - 1 do
             key.(c) <- Relation.get rdelta ~row ~col:c
           done;
-          if Hash_index.mem idx key then incr matched
+          if idx_mem idx key then incr matched
           else
             for c = 0 to arity - 1 do
               Int_vec.push (Relation.col frag c) key.(c)
             done
         done)
   in
-  Hash_index.release idx;
+  if own_index then idx_release idx;
   (out, !matched)
 
-let tpsd_impl t ~rdelta ~r =
+let tpsd_impl t ?name ~rdelta ~r () =
   let arity = Relation.arity rdelta in
   let keys = all_cols rdelta in
-  (* Phase 1: intersection, building on the smaller input. *)
-  let build, probe =
-    if Relation.nrows r <= Relation.nrows rdelta then (r, rdelta) else (rdelta, r)
+  (* Phase 1: intersection, building on the smaller input — unless [r]'s
+     persistent index already exists, which makes the build side free. *)
+  let r_side = Relation.nrows r <= Relation.nrows rdelta || managed t name <> None in
+  let hb, own_hb, probe =
+    if r_side then
+      let idx, own = full_table_index t ?name r in
+      (idx, own, rdelta)
+    else (build_transient t rdelta keys, true, r)
   in
-  let hb = Hash_index.build_pool t.pool build keys in
-  Hash_index.account hb;
-  note_index_build t hb;
   let inter = Relation.create arity in
   let key = Array.make arity 0 in
   let n = Relation.nrows probe in
@@ -325,19 +389,17 @@ let tpsd_impl t ~rdelta ~r =
         for c = 0 to arity - 1 do
           key.(c) <- Relation.get probe ~row ~col:c
         done;
-        if Hash_index.mem hb key then
+        if idx_mem hb key then
           for c = 0 to arity - 1 do
             Int_vec.push (Relation.col inter c) key.(c)
           done
       done);
   Relation.account inter;
-  Hash_index.release hb;
+  if own_hb then idx_release hb;
   (* The probe side may contain tuples of [r] several times only if [r] had
      duplicates; IDB tables are deduplicated, so [inter] is a set. *)
   (* Phase 2: Rδ − r. *)
-  let hr = Hash_index.build_pool t.pool inter keys in
-  Hash_index.account hr;
-  note_index_build t hr;
+  let hr = build_transient t inter keys in
   let nd = Relation.nrows rdelta in
   let out =
     chunked_output t ~arity ~n:nd (fun frag lo hi ->
@@ -345,13 +407,13 @@ let tpsd_impl t ~rdelta ~r =
           for c = 0 to arity - 1 do
             key.(c) <- Relation.get rdelta ~row ~col:c
           done;
-          if not (Hash_index.mem hr key) then
+          if not (idx_mem hr key) then
             for c = 0 to arity - 1 do
               Int_vec.push (Relation.col frag c) key.(c)
             done
         done)
   in
-  Hash_index.release hr;
+  idx_release hr;
   let inter_n = Relation.nrows inter in
   Relation.release inter;
   (out, inter_n)
@@ -359,5 +421,5 @@ let tpsd_impl t ~rdelta ~r =
 let with_span t name f =
   match t.trace with Some tr -> Rs_obs.Trace.span tr ~kind:"executor" name f | None -> f ()
 
-let opsd t ~rdelta ~r = with_span t "opsd" (fun () -> opsd_impl t ~rdelta ~r)
-let tpsd t ~rdelta ~r = with_span t "tpsd" (fun () -> tpsd_impl t ~rdelta ~r)
+let opsd t ?name ~rdelta ~r () = with_span t "opsd" (opsd_impl t ?name ~rdelta ~r)
+let tpsd t ?name ~rdelta ~r () = with_span t "tpsd" (tpsd_impl t ?name ~rdelta ~r)

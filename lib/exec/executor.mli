@@ -7,7 +7,18 @@ module Hash_index = Rs_relation.Hash_index
     optimizes joins with the catalog's (possibly stale) statistics, runs the
     operators chunk-parallel on the worker pool, and materializes a bag
     result ([UNION ALL] semantics — deduplication is the engine's separate
-    [dedup] call, as in Algorithm 1). *)
+    [dedup] call, as in Algorithm 1).
+
+    Build-side indexes come from three tiers, cheapest first:
+    - the {!Index_manager} (when attached): persistent chained indexes on
+      named tables, reused across queries and delta-appended across fixpoint
+      iterations — a join against a managed table costs only its probes;
+    - the per-query [share_builds] cache: one build shared by the subplans
+      of a UNION ALL (the cache-sharing effect of UIE);
+    - a transient build, released when the operator finishes: chained for
+      small inputs, {!Rs_relation.Radix_index} (partitioned open addressing)
+      for builds of at least [radix_min_rows] rows, where the pointer-free
+      probe path wins. *)
 
 type t = {
   pool : Rs_parallel.Pool.t;
@@ -17,28 +28,43 @@ type t = {
   share_builds : bool;
       (** share hash tables built on the same (table, key) within one query —
           the cache-sharing benefit UIE unlocks (paper §5.1) *)
+  index_manager : Index_manager.t option;
+      (** when set, indexes on tables the manager deems persistent outlive
+          the query; the manager owns and releases them *)
+  radix_min_rows : int;
+      (** one-shot builds at or above this row count use the radix layout *)
   trace : Rs_obs.Trace.t option;
       (** when set, each query records an ["executor"] span labelled with the
           top plan operator, counters (queries, est/actual rows, index
-          builds) and an estimated-vs-actual cardinality event *)
+          builds/appends/reuse) and an estimated-vs-actual cardinality
+          event *)
 }
 
 val create :
-  ?query_overhead_s:float -> ?share_builds:bool -> ?trace:Rs_obs.Trace.t ->
-  Rs_parallel.Pool.t -> Catalog.t -> t
+  ?query_overhead_s:float ->
+  ?share_builds:bool ->
+  ?index_manager:Index_manager.t ->
+  ?radix_min_rows:int ->
+  ?trace:Rs_obs.Trace.t ->
+  Rs_parallel.Pool.t ->
+  Catalog.t ->
+  t
 
 val run_query : t -> Plan.t -> Relation.t
 (** Executes one query. The result is a fresh materialized relation (not
     registered in the catalog). *)
 
-val opsd : t -> rdelta:Relation.t -> r:Relation.t -> Relation.t * int
-(** One-phase set difference [Rδ − R] (Algorithm 4): build a hash table on
-    [R], anti-probe with [Rδ]. Returns [(ΔR, |Rδ ∩ R|)] — the intersection
-    cardinality feeds the next iteration's µ. *)
+val opsd : t -> ?name:string -> rdelta:Relation.t -> r:Relation.t -> unit -> Relation.t * int
+(** One-phase set difference [Rδ − R] (Algorithm 4): hash table on [R],
+    anti-probe with [Rδ]. Returns [(ΔR, |Rδ ∩ R|)] — the intersection
+    cardinality feeds the next iteration's µ. When [name] names a managed
+    table, [R]'s all-column index persists across iterations and is
+    delta-appended instead of rebuilt. *)
 
-val tpsd : t -> rdelta:Relation.t -> r:Relation.t -> Relation.t * int
-(** Two-phase set difference (Algorithm 5): build on the smaller of the two,
-    compute the intersection [r], then [Rδ − r]. Same result and return
+val tpsd : t -> ?name:string -> rdelta:Relation.t -> r:Relation.t -> unit -> Relation.t * int
+(** Two-phase set difference (Algorithm 5): intersect first (building on the
+    smaller input, or on [R]'s persistent index when [name] is managed —
+    an already-built side is free), then [Rδ − r]. Same result and return
     convention as {!opsd}. *)
 
 val estimate : t -> Plan.t -> int

@@ -1,0 +1,77 @@
+module Relation = Rs_relation.Relation
+module Hash_index = Rs_relation.Hash_index
+module Pool = Rs_parallel.Pool
+
+type t = {
+  pool : Pool.t;
+  persistent : string -> bool;
+  tbl : (string * int list, Hash_index.t) Hashtbl.t;
+  trace : Rs_obs.Trace.t option;
+  mutable builds : int;
+  mutable appends : int;
+  mutable reuse_hits : int;
+  mutable rehashes : int;
+}
+
+let create ?trace ~persistent pool =
+  { pool; persistent; tbl = Hashtbl.create 16; trace; builds = 0; appends = 0;
+    reuse_hits = 0; rehashes = 0 }
+
+let eligible t name = t.persistent name
+
+let count t name n =
+  match t.trace with Some tr -> Rs_obs.Trace.count tr name n | None -> ()
+
+let note_build t idx =
+  t.builds <- t.builds + 1;
+  count t "executor.index_builds" 1;
+  count t "executor.index_bytes" (Hash_index.bytes idx)
+
+let rebuild t key rel keys =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old -> Hash_index.release old
+  | None -> ());
+  let idx = Hash_index.build_pool t.pool rel keys in
+  Hash_index.account idx;
+  note_build t idx;
+  Hashtbl.replace t.tbl key idx;
+  idx
+
+let get t ~name rel keys =
+  let key = (name, Array.to_list keys) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some idx
+    when Hash_index.relation idx == rel
+         && Hash_index.generation idx = Relation.generation rel
+         && Hash_index.indexed_rows idx <= Relation.nrows rel ->
+      if Hash_index.indexed_rows idx = Relation.nrows rel then begin
+        t.reuse_hits <- t.reuse_hits + 1;
+        count t "executor.index_reuse_hits" 1;
+        idx
+      end
+      else begin
+        (* the relation grew by its delta since the last iteration: extend
+           the index over the fresh suffix instead of rebuilding *)
+        let r0 = Hash_index.rehashes idx in
+        ignore (Hash_index.append_pool t.pool idx);
+        let dr = Hash_index.rehashes idx - r0 in
+        Hash_index.account idx;
+        t.appends <- t.appends + 1;
+        t.rehashes <- t.rehashes + dr;
+        count t "executor.index_appends" 1;
+        if dr > 0 then count t "executor.index_rehashes" dr;
+        idx
+      end
+  | _ ->
+      (* never built, or the catalog swapped in a different relation under
+         this name, or the relation was destructively mutated *)
+      rebuild t key rel keys
+
+let builds t = t.builds
+let appends t = t.appends
+let reuse_hits t = t.reuse_hits
+let rehashes t = t.rehashes
+
+let release_all t =
+  Hashtbl.iter (fun _ idx -> Hash_index.release idx) t.tbl;
+  Hashtbl.reset t.tbl

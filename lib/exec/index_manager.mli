@@ -1,0 +1,64 @@
+(** Persistent, delta-maintained join indexes with fixpoint lifetime.
+
+    The dominant per-iteration cost of semi-naive evaluation is rebuilding
+    hash tables for joins (the observation behind the paper's UIE sharing).
+    This manager generalizes the executor's per-query [share_builds] cache to
+    the lifetime of a whole interpreter run: indexes are keyed by
+    [(table name, key columns)] and live across queries and iterations.
+
+    - On {e stable} relations (EDBs, and lower-stratum IDB tables) the index
+      is built once and every later access is a reuse hit.
+    - On {e growing} relations (a recursive IDB's full table, which absorbs
+      its delta each iteration) the index is extended over the appended
+      suffix with {!Rs_relation.Hash_index.append_pool} — amortized-doubling
+      delta maintenance instead of an O(|R|) rebuild per iteration.
+
+    Invalidation is by identity and generation: an entry is reused only if
+    the catalog still maps the name to the {e same} [Relation.t] (physical
+    equality — [replace_table] churn on delta tables is caught here) {e and}
+    the relation's {!Rs_relation.Relation.generation} is unchanged (clears
+    and in-place rewrites bump it). Anything else rebuilds.
+
+    The [persistent] predicate supplied at creation decides which table
+    names are worth managing (the interpreter passes EDBs and
+    non-aggregated IDB full tables; per-iteration delta tables are excluded
+    because their backing relation changes identity every iteration).
+
+    All index bytes are accounted against {!Rs_storage.Memtrack}; the owner
+    must call {!release_all} when the run ends. With a trace attached the
+    manager maintains the [executor.index_builds], [executor.index_appends],
+    [executor.index_reuse_hits] and [executor.index_rehashes] counters. *)
+
+type t
+
+val create :
+  ?trace:Rs_obs.Trace.t ->
+  persistent:(string -> bool) ->
+  Rs_parallel.Pool.t ->
+  t
+
+val eligible : t -> string -> bool
+(** [eligible t name] is the [persistent] predicate: should accesses to
+    [name] be routed through the manager? *)
+
+val get : t -> name:string -> Rs_relation.Relation.t -> int array -> Rs_relation.Hash_index.t
+(** [get t ~name rel keys] returns a valid index over all current rows of
+    [rel], reusing / delta-appending / rebuilding as the invalidation rules
+    dictate. The returned index is owned by the manager — callers must not
+    release it. *)
+
+val builds : t -> int
+(** Full builds performed (first access and every invalidation). *)
+
+val appends : t -> int
+(** Delta-append maintenance passes performed. *)
+
+val reuse_hits : t -> int
+(** Accesses satisfied by an index that was already up to date. *)
+
+val rehashes : t -> int
+(** Bucket-table doublings triggered by appends. *)
+
+val release_all : t -> unit
+(** Return every managed index's bytes to {!Rs_storage.Memtrack} and drop
+    all entries. Call when the run ends (normally or by OOM/timeout). *)

@@ -55,23 +55,43 @@ let on_progress t f = t.progress <- f :: t.progress
 
 let clear_progress t = t.progress <- []
 
-(* Greedy assignment of task durations to the least-loaded virtual worker;
-   the batch makespan is the maximum worker load. *)
-let record_batch t durations =
-  let k = t.workers in
-  let loads = Array.make k 0.0 in
-  let total = ref 0.0 in
+(* Greedy assignment of task durations to the least-loaded virtual worker,
+   via a binary min-heap of worker loads: O(log k) per task instead of the
+   old O(k) linear scan. Which of several equally-loaded workers receives a
+   task is irrelevant to the makespan (the load multiset evolves
+   identically), so the heap reproduces the linear scan's makespan
+   exactly. *)
+let makespan ~workers durations =
+  let k = max 1 workers in
+  let heap = Array.make k 0.0 in
+  (* all-zero loads satisfy the heap property *)
+  let sift_down i =
+    let i = ref i in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < k && heap.(l) < heap.(!smallest) then smallest := l;
+      if r < k && heap.(r) < heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue_ := false
+      else begin
+        let tmp = heap.(!i) in
+        heap.(!i) <- heap.(!smallest);
+        heap.(!smallest) <- tmp;
+        i := !smallest
+      end
+    done
+  in
   List.iter
     (fun d ->
-      let best = ref 0 in
-      for i = 1 to k - 1 do
-        if loads.(i) < loads.(!best) then best := i
-      done;
-      loads.(!best) <- loads.(!best) +. d;
-      total := !total +. d)
+      heap.(0) <- heap.(0) +. d;
+      sift_down 0)
     durations;
-  let makespan = Array.fold_left max 0.0 loads in
-  let real = !total in
+  Array.fold_left max 0.0 heap
+
+let record_batch t durations =
+  let makespan = makespan ~workers:t.workers durations in
+  let real = List.fold_left ( +. ) 0.0 durations in
   (* The batch's real duration is already on the wall clock but not yet in
      [real_in_batches]; subtract it so the event starts where the batch
      started on the simulated clock. *)

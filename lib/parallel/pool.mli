@@ -59,6 +59,13 @@ val map_tasks : t -> (unit -> 'a) list -> 'a list
 (** Runs heterogeneous tasks as one batch and returns their results in
     order. *)
 
+val makespan : workers:int -> float list -> float
+(** The scheduling kernel behind batch accounting: greedily assigns each
+    duration (in list order) to the least-loaded of [workers] virtual
+    workers — a binary min-heap of loads, O(log workers) per task — and
+    returns the maximum worker load. Exposed for testing the scheduler
+    against a reference implementation. *)
+
 val vtime_now : t -> float
 (** Current simulated clock (seconds since {!begin_run}). *)
 

@@ -5,9 +5,12 @@ module Memtrack = Rs_storage.Memtrack
 type t = {
   rel : Relation.t;
   key_cols : int array;
-  heads : int array;
-  nexts : int array;
-  mask : int;
+  mutable heads : int array;
+  mutable nexts : int array;
+  mutable mask : int;
+  mutable n : int;  (* rows of [rel] currently indexed: [0, n) *)
+  mutable generation : int;  (* [rel]'s generation when last (re)built *)
+  mutable rehashes : int;
   mutable accounted : int;
 }
 
@@ -37,7 +40,8 @@ let build rel key_cols =
     nexts.(row) <- heads.(h);
     heads.(h) <- row
   done;
-  { rel; key_cols; heads; nexts; mask; accounted = 0 }
+  { rel; key_cols; heads; nexts; mask; n; generation = Relation.generation rel;
+    rehashes = 0; accounted = 0 }
 
 let build_pool pool rel key_cols =
   let n = Relation.nrows rel in
@@ -45,19 +49,76 @@ let build_pool pool rel key_cols =
   let heads = Array.make cap (-1) in
   let nexts = Array.make (max 1 n) (-1) in
   let mask = cap - 1 in
-  (* Chain prepends commute; under real threads this is one CAS per row on
-     the bucket head (cf. Cck_concurrent), so the pass is parallel work. *)
+  (* The virtual pool runs chunks back to back, so the two-step prepend below
+     is deterministic. A real threaded build would need a CAS retry loop on
+     the bucket head (cf. Cck_concurrent); because such a loop makes each
+     insertion independent, the pass is still *charged* as parallel work. *)
   Rs_parallel.Pool.parallel_for pool 0 n (fun lo hi ->
       for row = lo to hi - 1 do
         let h = row_key_hash rel key_cols row land mask in
         nexts.(row) <- heads.(h);
         heads.(h) <- row
       done);
-  { rel; key_cols; heads; nexts; mask; accounted = 0 }
+  { rel; key_cols; heads; nexts; mask; n; generation = Relation.generation rel;
+    rehashes = 0; accounted = 0 }
+
+(* Relink every indexed row into a table of [cap] buckets, chunk-parallel
+   like [build_pool]. Rows are prepended in ascending order, so each chain
+   ends up in descending row order — the same layout a fresh [build]
+   produces. *)
+let rehash pool t cap =
+  let heads = Array.make cap (-1) in
+  let mask = cap - 1 in
+  Rs_parallel.Pool.parallel_for pool 0 t.n (fun lo hi ->
+      for row = lo to hi - 1 do
+        let h = row_key_hash t.rel t.key_cols row land mask in
+        t.nexts.(row) <- heads.(h);
+        heads.(h) <- row
+      done);
+  t.heads <- heads;
+  t.mask <- mask;
+  t.rehashes <- t.rehashes + 1
+
+let append_pool pool t =
+  let new_n = Relation.nrows t.rel in
+  let added = new_n - t.n in
+  if added > 0 then begin
+    (* grow the chain array by amortized doubling *)
+    if new_n > Array.length t.nexts then begin
+      let cap = max new_n (2 * Array.length t.nexts) in
+      let nexts = Array.make cap (-1) in
+      Array.blit t.nexts 0 nexts 0 t.n;
+      t.nexts <- nexts
+    end;
+    (* keep the load factor at or below 1/2, as [build] does *)
+    if 2 * new_n > Array.length t.heads then begin
+      (* over the load-factor threshold: double and relink everything (the
+         rehash links the fresh rows too) *)
+      t.n <- new_n;
+      rehash pool t (pow2_at_least (2 * new_n))
+    end
+    else begin
+      let lo = t.n in
+      t.n <- new_n;
+      (* new rows are prepended ahead of older ones — exactly where a full
+         rebuild would put them, so probe order is unchanged *)
+      Rs_parallel.Pool.parallel_for pool lo new_n (fun clo chi ->
+          for row = clo to chi - 1 do
+            let h = row_key_hash t.rel t.key_cols row land t.mask in
+            t.nexts.(row) <- t.heads.(h);
+            t.heads.(h) <- row
+          done)
+    end
+  end;
+  t.generation <- Relation.generation t.rel;
+  added
 
 let relation t = t.rel
 let key_cols t = t.key_cols
 let nrows t = Relation.nrows t.rel
+let indexed_rows t = t.n
+let generation t = t.generation
+let rehashes t = t.rehashes
 
 let key_eq t row key =
   let rec go i =
@@ -73,41 +134,47 @@ let iter_matches t key f =
     | 2 -> Int_key.hash (Int_key.pack2 key.(0) key.(1))
     | _ -> Array.fold_left Int_key.hash_combine 0x9E3779B9 key
   in
+  let nexts = t.nexts in
   let rec walk row =
     if row >= 0 then begin
       if key_eq t row key then f row;
-      walk t.nexts.(row)
+      walk nexts.(row)
     end
   in
   walk t.heads.(h land t.mask)
 
 let iter_matches1 t k f =
   let c = t.key_cols.(0) in
+  let nexts = t.nexts in
   let rec walk row =
     if row >= 0 then begin
       if Relation.get t.rel ~row ~col:c = k then f row;
-      walk t.nexts.(row)
+      walk nexts.(row)
     end
   in
   walk t.heads.(Int_key.hash k land t.mask)
 
 let iter_matches2 t k1 k2 f =
   let c1 = t.key_cols.(0) and c2 = t.key_cols.(1) in
+  let nexts = t.nexts in
   let rec walk row =
     if row >= 0 then begin
       if Relation.get t.rel ~row ~col:c1 = k1 && Relation.get t.rel ~row ~col:c2 = k2 then f row;
-      walk t.nexts.(row)
+      walk nexts.(row)
     end
   in
   walk t.heads.(Int_key.hash (Int_key.pack2 k1 k2) land t.mask)
 
-exception Found
-
 let mem t key =
-  try
-    iter_matches t key (fun _ -> raise Found);
-    false
-  with Found -> true
+  let h =
+    match Array.length t.key_cols with
+    | 1 -> Int_key.hash key.(0)
+    | 2 -> Int_key.hash (Int_key.pack2 key.(0) key.(1))
+    | _ -> Array.fold_left Int_key.hash_combine 0x9E3779B9 key
+  in
+  let nexts = t.nexts in
+  let rec walk row = row >= 0 && (key_eq t row key || walk nexts.(row)) in
+  walk t.heads.(h land t.mask)
 
 let bytes t = 8 * (Array.length t.heads + Array.length t.nexts)
 

@@ -2,24 +2,52 @@
 
     The build side of every hash join, anti-join and group-by in the
     executor. Chains are stored in flat arrays (no boxing), matching the
-    storage discipline of the rest of the backend. *)
+    storage discipline of the rest of the backend.
+
+    An index covers rows [\[0, indexed_rows)] of its relation. When the
+    relation only grows (the semi-naive recursive case: a full table
+    absorbing its delta each iteration), {!append_pool} extends the index
+    over the fresh suffix in one parallel pass with amortized doubling,
+    instead of rebuilding from scratch — the maintenance discipline the
+    executor's {!Rs_exec.Index_manager} relies on. *)
 
 type t
 
 val build : Relation.t -> int array -> t
 (** [build r key_cols] indexes every row of [r] by the values of
-    [key_cols]. The index holds a reference to [r]; [r] must not be mutated
-    while the index is in use. *)
+    [key_cols]. The index holds a reference to [r]; [r] must not be
+    destructively mutated while the index is in use (appends are fine — the
+    index simply does not cover them until {!append_pool}). *)
 
 val build_pool : Rs_parallel.Pool.t -> Relation.t -> int array -> t
 (** Like {!build} but with the insertion pass chunked through the worker
-    pool. Chain insertion is order-independent and latch-free with a CAS on
-    the bucket head (the same argument as the CCK-GSCHT, Figure 5), so the
-    build step is charged as parallel work. *)
+    pool. Chain prepends commute up to per-bucket order; a real threaded
+    build would use a CAS retry loop per bucket head (cf. Cck_concurrent),
+    so the pass is charged as parallel work. *)
+
+val append_pool : Rs_parallel.Pool.t -> t -> int
+(** [append_pool pool t] indexes the rows appended to the relation since the
+    index was built or last appended ([\[indexed_rows, nrows)]), returning
+    how many were added. The chain array grows by amortized doubling; when
+    the load factor would exceed 1/2 the bucket table doubles and every row
+    is relinked (one {!rehashes} tick). Probe order is identical to a fresh
+    {!build} of the grown relation. Refreshes the recorded {!generation}. *)
 
 val relation : t -> Relation.t
 
 val key_cols : t -> int array
+
+val indexed_rows : t -> int
+(** Rows currently covered; equals [nrows (relation t)] right after
+    {!build} / {!append_pool}. *)
+
+val generation : t -> int
+(** The relation's {!Relation.generation} when the index was last built or
+    appended — the invalidation handle: if it differs from the live
+    relation's generation the index is stale and must be rebuilt. *)
+
+val rehashes : t -> int
+(** Bucket-table doublings performed by {!append_pool} so far. *)
 
 val iter_matches : t -> int array -> (int -> unit) -> unit
 (** [iter_matches idx key f] calls [f row_id] for every indexed row whose key

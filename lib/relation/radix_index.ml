@@ -1,0 +1,158 @@
+module Int_vec = Rs_util.Int_vec
+module Int_key = Rs_util.Int_key
+module Memtrack = Rs_storage.Memtrack
+
+(* Radix-partitioned open-addressing multi-map: a parallel partition pass on
+   the low hash bits splits the build rows into [P] partitions; each
+   partition gets one contiguous linear-probing table of row ids. Probes go
+   straight to their partition and walk a short cluster — no [nexts] pointer
+   chain, so a probe touches one cache-resident slab instead of chasing rows
+   scattered across the whole build side. *)
+
+type t = {
+  rel : Relation.t;
+  key_cols : int array;
+  pbits : int;  (* log2 of the partition count *)
+  pmask : int;
+  slots : int array array;  (* per partition: open addressing, -1 = empty *)
+  masks : int array;  (* per partition: capacity - 1 *)
+  mutable accounted : int;
+}
+
+let pow2_at_least ~base n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go base
+
+(* Partitions sized so each open-addressing slab stays around the scale of a
+   private cache; capped so tiny builds do not pay partitioning overhead. *)
+let partition_bits n =
+  let rec go bits = if bits >= 8 || n lsr bits <= 8192 then bits else go (bits + 1) in
+  if n <= 8192 then 0 else go 1
+
+let row_key_hash rel key_cols row =
+  match Array.length key_cols with
+  | 1 -> Int_key.hash (Relation.get rel ~row ~col:key_cols.(0))
+  | 2 ->
+      Int_key.hash
+        (Int_key.pack2 (Relation.get rel ~row ~col:key_cols.(0)) (Relation.get rel ~row ~col:key_cols.(1)))
+  | _ ->
+      Array.fold_left
+        (fun acc c -> Int_key.hash_combine acc (Relation.get rel ~row ~col:c))
+        0x9E3779B9 key_cols
+
+let key_hash key_cols key =
+  match Array.length key_cols with
+  | 1 -> Int_key.hash key.(0)
+  | 2 -> Int_key.hash (Int_key.pack2 key.(0) key.(1))
+  | _ -> Array.fold_left Int_key.hash_combine 0x9E3779B9 key
+
+let build_pool pool rel key_cols =
+  let n = Relation.nrows rel in
+  let pbits = partition_bits n in
+  let nparts = 1 lsl pbits in
+  let pmask = nparts - 1 in
+  (* Pass 1 (parallel): each chunk routes its rows into chunk-local
+     per-partition buckets — the scatter phase of a radix partition, with
+     chunk-locality standing in for the per-thread output buffers a real
+     partitioned build uses. *)
+  let chunk_parts : Int_vec.t array list ref = ref [] in
+  Rs_parallel.Pool.parallel_for pool 0 n (fun lo hi ->
+      let local = Array.init nparts (fun _ -> Int_vec.create ()) in
+      for row = lo to hi - 1 do
+        Int_vec.push local.(row_key_hash rel key_cols row land pmask) row
+      done;
+      chunk_parts := local :: !chunk_parts);
+  let chunks = Array.of_list (List.rev !chunk_parts) in
+  let counts = Array.make nparts 0 in
+  Array.iter
+    (fun local -> Array.iteri (fun p v -> counts.(p) <- counts.(p) + Int_vec.length v) local)
+    chunks;
+  let slots = Array.make nparts [||] and masks = Array.make nparts 0 in
+  (* Pass 2 (parallel over partitions): each partition fills its own table,
+     so the insert phase is embarrassingly parallel. Rows are inserted in
+     descending global row order; equal keys share a home slot, so linear
+     probing preserves that order and matches enumerate newest-row-first —
+     byte-compatible with the chained index's prepend order. *)
+  Rs_parallel.Pool.parallel_for pool ~chunks:(max 1 nparts) 0 nparts (fun plo phi ->
+      for p = plo to phi - 1 do
+        let cap = pow2_at_least ~base:8 (2 * max 4 counts.(p)) in
+        let tab = Array.make cap (-1) in
+        let mask = cap - 1 in
+        for ci = Array.length chunks - 1 downto 0 do
+          let v = chunks.(ci).(p) in
+          for i = Int_vec.length v - 1 downto 0 do
+            let row = Int_vec.get v i in
+            let h = row_key_hash rel key_cols row in
+            let slot = ref ((h lsr pbits) land mask) in
+            while tab.(!slot) >= 0 do
+              slot := (!slot + 1) land mask
+            done;
+            tab.(!slot) <- row
+          done
+        done;
+        slots.(p) <- tab;
+        masks.(p) <- mask
+      done);
+  { rel; key_cols; pbits; pmask; slots; masks; accounted = 0 }
+
+let relation t = t.rel
+let key_cols t = t.key_cols
+let nrows t = Relation.nrows t.rel
+let partitions t = Array.length t.slots
+
+let key_eq t row key =
+  let rec go i =
+    i = Array.length t.key_cols
+    || (Relation.get t.rel ~row ~col:t.key_cols.(i) = key.(i) && go (i + 1))
+  in
+  go 0
+
+let probe t h matches f =
+  let p = h land t.pmask in
+  let tab = t.slots.(p) and mask = t.masks.(p) in
+  let slot = ref ((h lsr t.pbits) land mask) in
+  let continue_ = ref true in
+  while !continue_ do
+    let row = tab.(!slot) in
+    if row < 0 then continue_ := false
+    else begin
+      if matches row then f row;
+      slot := (!slot + 1) land mask
+    end
+  done
+
+let iter_matches t key f = probe t (key_hash t.key_cols key) (fun row -> key_eq t row key) f
+
+let iter_matches1 t k f =
+  let c = t.key_cols.(0) in
+  probe t (Int_key.hash k) (fun row -> Relation.get t.rel ~row ~col:c = k) f
+
+let iter_matches2 t k1 k2 f =
+  let c1 = t.key_cols.(0) and c2 = t.key_cols.(1) in
+  probe t
+    (Int_key.hash (Int_key.pack2 k1 k2))
+    (fun row -> Relation.get t.rel ~row ~col:c1 = k1 && Relation.get t.rel ~row ~col:c2 = k2)
+    f
+
+let mem t key =
+  let h = key_hash t.key_cols key in
+  let p = h land t.pmask in
+  let tab = t.slots.(p) and mask = t.masks.(p) in
+  let rec walk slot =
+    let row = tab.(slot) in
+    row >= 0 && (key_eq t row key || walk ((slot + 1) land mask))
+  in
+  walk ((h lsr t.pbits) land mask)
+
+let bytes t =
+  Array.fold_left (fun acc tab -> acc + (8 * Array.length tab)) (16 * Array.length t.slots) t.slots
+
+let account t =
+  let b = bytes t in
+  let delta = b - t.accounted in
+  if delta > 0 then Memtrack.alloc delta else Memtrack.free (-delta);
+  t.accounted <- b
+
+let release t =
+  Memtrack.free t.accounted;
+  t.accounted <- 0

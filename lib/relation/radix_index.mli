@@ -1,0 +1,49 @@
+(** Radix-partitioned open-addressing join index.
+
+    The probe-optimized alternative to {!Hash_index}'s chained layout: a
+    parallel partition pass on the low hash bits splits the build rows into
+    [P] partitions, each partition gets one contiguous linear-probing table
+    of row ids, and a probe goes straight to its partition and scans a short
+    cluster — no pointer chain to chase. Matches enumerate in the same order
+    as {!Hash_index} (newest row first), so the two layouts are drop-in
+    interchangeable inside the executor without perturbing result bytes.
+
+    The layout is immutable once built; the executor's cost policy picks it
+    for large one-shot builds, and the chained incremental index for
+    persistent (delta-appended) ones. *)
+
+type t
+
+val build_pool : Rs_parallel.Pool.t -> Relation.t -> int array -> t
+(** [build_pool pool r key_cols] partitions and indexes every row of [r] in
+    two parallel passes (scatter by low hash bits, then per-partition table
+    fill). [r] must not be mutated while the index is in use. *)
+
+val relation : t -> Relation.t
+
+val key_cols : t -> int array
+
+val nrows : t -> int
+
+val partitions : t -> int
+(** Number of partitions chosen for this build (a power of two; 1 for small
+    builds). *)
+
+val iter_matches : t -> int array -> (int -> unit) -> unit
+(** [iter_matches idx key f] calls [f row_id] for every indexed row whose
+    key columns equal [key], newest row first. *)
+
+val iter_matches1 : t -> int -> (int -> unit) -> unit
+(** Specialization for one-column keys. *)
+
+val iter_matches2 : t -> int -> int -> (int -> unit) -> unit
+(** Specialization for two-column keys. *)
+
+val mem : t -> int array -> bool
+
+val bytes : t -> int
+(** Footprint of the partition tables (excluding the indexed relation). *)
+
+val account : t -> unit
+
+val release : t -> unit

@@ -6,19 +6,24 @@ type t = {
   arity : int;
   cols : Int_vec.t array;
   mutable accounted : int;
+  mutable generation : int;
 }
 
 let create ?(name = "_anon") arity =
   if arity < 1 then invalid_arg "Relation.create: arity must be >= 1";
-  { name; arity; cols = Array.init arity (fun _ -> Int_vec.create ()); accounted = 0 }
+  { name; arity; cols = Array.init arity (fun _ -> Int_vec.create ()); accounted = 0;
+    generation = 0 }
 
 let create_sized ?(name = "_anon") arity n =
   if arity < 1 then invalid_arg "Relation.create_sized";
-  { name; arity; cols = Array.init arity (fun _ -> Int_vec.create_sized n); accounted = 0 }
+  { name; arity; cols = Array.init arity (fun _ -> Int_vec.create_sized n); accounted = 0;
+    generation = 0 }
 
 let name t = t.name
 let arity t = t.arity
 let nrows t = Int_vec.length t.cols.(0)
+let generation t = t.generation
+let touch t = t.generation <- t.generation + 1
 
 let push_row t row =
   if Array.length row <> t.arity then invalid_arg "Relation.push_row: arity mismatch";
@@ -61,7 +66,9 @@ let append_all dst src =
   if dst.arity <> src.arity then invalid_arg "Relation.append_all: arity mismatch";
   Array.iteri (fun i c -> Int_vec.append dst.cols.(i) c) src.cols
 
-let clear t = Array.iter Int_vec.clear t.cols
+let clear t =
+  Array.iter Int_vec.clear t.cols;
+  touch t
 
 let concat_parallel pool arity fragments =
   let frags = Array.of_list fragments in
@@ -73,7 +80,7 @@ let concat_parallel pool arity fragments =
   let total = offsets.(nf) in
   let out =
     { name = "_concat"; arity; cols = Array.init arity (fun _ -> Int_vec.create_sized total);
-      accounted = 0 }
+      accounted = 0; generation = 0 }
   in
   (* disjoint destination slices: safe under real parallelism too *)
   Rs_parallel.Pool.parallel_for pool ~chunks:(max nf 1) 0 nf (fun lo hi ->

@@ -23,6 +23,18 @@ val arity : t -> int
 
 val nrows : t -> int
 
+val generation : t -> int
+(** Destructive-mutation counter. Appends ([push_*], {!append_all}) leave it
+    unchanged — growth is tracked by {!nrows} — while {!clear} (and any
+    in-place rewrite, via {!touch}) bumps it. A persistent index built at
+    [(generation, nrows)] therefore remains valid while the generation is
+    unchanged, and only rows [\[nrows_at_build, nrows)] need appending. *)
+
+val touch : t -> unit
+(** Bump {!generation}. Writers that mutate existing rows in place (e.g.
+    through {!col}) on a relation that may be indexed must call this;
+    appends need not. *)
+
 val push_row : t -> int array -> unit
 (** Appends a tuple; [Array.length] must equal the arity. *)
 

@@ -107,8 +107,8 @@ let prop_opsd_eq_tpsd =
       let distinct rows = List.sort_uniq compare rows in
       let rdelta = Relation.of_rows 2 (List.map Array.of_list (distinct delta_rows)) in
       let r = Relation.of_rows 2 (List.map Array.of_list (distinct r_rows)) in
-      let o, oi = Executor.opsd exec ~rdelta ~r in
-      let t, ti = Executor.tpsd exec ~rdelta ~r in
+      let o, oi = Executor.opsd exec ~rdelta ~r () in
+      let t, ti = Executor.tpsd exec ~rdelta ~r () in
       let norm rel = List.sort compare (Relation.to_rows rel |> List.map Array.to_list) in
       let expected =
         List.filter (fun row -> not (List.mem row (distinct r_rows))) (distinct delta_rows)
@@ -208,6 +208,73 @@ let test_share_builds_cache () =
   let out = Executor.run_query exec (Plan.UnionAll [ sub; sub ]) in
   Alcotest.(check int) "both subplans produced" 2 (Relation.nrows out)
 
+module Index_manager = Rs_exec.Index_manager
+module Hash_index = Rs_relation.Hash_index
+
+let test_index_manager_lifecycle () =
+  Rs_storage.Memtrack.hard_reset ();
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let m = Index_manager.create ~persistent:(fun n -> n = "tc" || n = "arc") pool in
+  check "eligible" true (Index_manager.eligible m "tc");
+  check "not eligible" false (Index_manager.eligible m "delta_tc");
+  let r = Relation.of_rows 2 [ [| 1; 2 |]; [| 2; 3 |] ] in
+  let i1 = Index_manager.get m ~name:"tc" r [| 0 |] in
+  Alcotest.(check int) "one build" 1 (Index_manager.builds m);
+  (* unchanged relation: same physical index back, counted as a reuse hit *)
+  let i2 = Index_manager.get m ~name:"tc" r [| 0 |] in
+  check "reused physically" true (i1 == i2);
+  Alcotest.(check int) "reuse hit" 1 (Index_manager.reuse_hits m);
+  (* grown relation: delta-append, not rebuild *)
+  Relation.push2 r 3 4;
+  let i3 = Index_manager.get m ~name:"tc" r [| 0 |] in
+  check "appended in place" true (i1 == i3);
+  Alcotest.(check int) "append counted" 1 (Index_manager.appends m);
+  Alcotest.(check int) "still one build" 1 (Index_manager.builds m);
+  Alcotest.(check int) "covers appended row" 3 (Hash_index.indexed_rows i3);
+  (* distinct key columns are a distinct entry *)
+  ignore (Index_manager.get m ~name:"tc" r [| 1 |]);
+  Alcotest.(check int) "second pattern builds" 2 (Index_manager.builds m);
+  (* generation bump (in-place rewrite) invalidates *)
+  Relation.clear r;
+  Relation.push2 r 9 9;
+  ignore (Index_manager.get m ~name:"tc" r [| 0 |]);
+  Alcotest.(check int) "rebuild after clear" 3 (Index_manager.builds m);
+  (* identity change (catalog replace_table churn) invalidates *)
+  let r' = Relation.of_rows 2 [ [| 5; 5 |] ] in
+  ignore (Index_manager.get m ~name:"tc" r' [| 0 |]);
+  Alcotest.(check int) "rebuild after replace" 4 (Index_manager.builds m);
+  check "bytes accounted" true (Rs_storage.Memtrack.live () > 0);
+  Index_manager.release_all m;
+  Alcotest.(check int) "release_all returns bytes" 0 (Rs_storage.Memtrack.live ())
+
+let test_executor_uses_manager () =
+  (* a join against a managed table twice: second query must be a reuse hit,
+     and results must match the unmanaged executor exactly *)
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let catalog = Catalog.create () in
+  Catalog.register catalog "e"
+    (Relation.of_rows 2 [ [| 1; 2 |]; [| 2; 3 |]; [| 3; 1 |] ]);
+  Catalog.register catalog "d" (Relation.of_rows 2 [ [| 0; 1 |]; [| 0; 2 |] ]);
+  let m = Index_manager.create ~persistent:(fun n -> n = "e") pool in
+  let exec = Executor.create ~query_overhead_s:0.0 ~index_manager:m pool catalog in
+  let plan = Plan.join2 (Plan.Scan "d") [| 1 |] (Plan.Scan "e") [| 0 |] in
+  let out1 = Executor.run_query exec plan in
+  let out2 = Executor.run_query exec plan in
+  Alcotest.(check int) "one build across two queries" 1 (Index_manager.builds m);
+  check "second query reused" true (Index_manager.reuse_hits m >= 1);
+  let exec_plain = Executor.create ~query_overhead_s:0.0 pool catalog in
+  let ref_out = Executor.run_query exec_plain plan in
+  let rows rel = Relation.to_rows rel |> List.map Array.to_list in
+  (* the manager may flip the build side (it prefers the persistent side),
+     which permutes row order but never the bag of rows *)
+  Alcotest.(check (list (list int))) "managed = unmanaged rows"
+    (List.sort compare (rows ref_out))
+    (List.sort compare (rows out1));
+  Alcotest.(check (list (list int))) "stable across reuse" (rows out1) (rows out2);
+  Index_manager.release_all m
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_hash_join_eq_nested_loop; prop_join_extra_preds; prop_opsd_eq_tpsd ]
@@ -223,5 +290,7 @@ let suite =
     Alcotest.test_case "cost model regions" `Quick test_cost_choose_regions;
     Alcotest.test_case "observed mu" `Quick test_observed_mu;
     Alcotest.test_case "build cache sharing" `Quick test_share_builds_cache;
+    Alcotest.test_case "index manager lifecycle" `Quick test_index_manager_lifecycle;
+    Alcotest.test_case "executor reuses managed index" `Quick test_executor_uses_manager;
   ]
   @ qsuite

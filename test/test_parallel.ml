@@ -91,6 +91,42 @@ let test_set_workers () =
   Pool.set_workers pool 0;
   Alcotest.(check int) "clamped to 1" 1 (Pool.workers pool)
 
+(* Reference implementation of the scheduler record_batch used before the
+   min-heap: O(workers) linear scan for the least-loaded worker per task.
+   The heap must reproduce its makespan exactly — ties may pick a different
+   worker index, but the multiset of loads evolves identically. *)
+let reference_makespan ~workers durations =
+  let loads = Array.make (max 1 workers) 0.0 in
+  List.iter
+    (fun d ->
+      let best = ref 0 in
+      for i = 1 to Array.length loads - 1 do
+        if loads.(i) < loads.(!best) then best := i
+      done;
+      loads.(!best) <- loads.(!best) +. d)
+    durations;
+  Array.fold_left max 0.0 loads
+
+let test_makespan_matches_greedy () =
+  let cases =
+    [
+      (1, [ 1.0; 2.0; 3.0 ]);
+      (4, [ 5.0; 4.0; 3.0; 2.0; 1.0; 1.0; 1.0; 1.0 ]);
+      (4, List.init 100 (fun i -> float_of_int ((i * 7919) mod 13) /. 3.0));
+      (3, [ 2.0; 2.0; 2.0; 2.0; 2.0; 2.0 ]);  (* all ties *)
+      (16, [ 0.5 ]);  (* fewer tasks than workers *)
+      (8, []);
+      (5, List.init 1000 (fun i -> float_of_int ((i * 104729) mod 97) /. 11.0));
+    ]
+  in
+  List.iter
+    (fun (workers, durations) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "makespan k=%d n=%d" workers (List.length durations))
+        (reference_makespan ~workers durations)
+        (Pool.makespan ~workers durations))
+    cases
+
 let test_utilization_bounds () =
   let pool = Pool.create ~workers:4 () in
   Pool.begin_run pool;
@@ -114,5 +150,6 @@ let suite =
     Alcotest.test_case "events recorded" `Quick test_events_recorded;
     Alcotest.test_case "progress hooks" `Quick test_progress_hook;
     Alcotest.test_case "set_workers clamps" `Quick test_set_workers;
+    Alcotest.test_case "heap makespan matches greedy scan" `Quick test_makespan_matches_greedy;
     Alcotest.test_case "utilization bounded" `Quick test_utilization_bounds;
   ]

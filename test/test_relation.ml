@@ -1,6 +1,7 @@
 module Relation = Rs_relation.Relation
 module Dedup = Rs_relation.Dedup
 module Hash_index = Rs_relation.Hash_index
+module Radix_index = Rs_relation.Radix_index
 module Cck = Rs_relation.Cck_concurrent
 module Pool = Rs_parallel.Pool
 
@@ -182,6 +183,145 @@ let test_index_two_col_and_mem () =
   Hash_index.iter_matches2 idx 1 2 (fun _ -> incr hits);
   Alcotest.(check int) "exact match" 1 !hits
 
+let test_index_three_col () =
+  (* arity >= 3 exercises the generic fold branch of row_key_hash and the
+     array-key iter_matches path (vs the 1/2-column specializations) *)
+  let r =
+    Relation.of_rows 4
+      [ [| 1; 2; 3; 9 |]; [| 1; 2; 4; 8 |]; [| 1; 2; 3; 7 |]; [| 2; 2; 3; 6 |] ]
+  in
+  let idx = Hash_index.build r [| 0; 1; 2 |] in
+  let hits = ref [] in
+  Hash_index.iter_matches idx [| 1; 2; 3 |] (fun row -> hits := row :: !hits);
+  Alcotest.(check (list int)) "3-col key matches" [ 0; 2 ] (List.sort compare !hits);
+  check "3-col mem" true (Hash_index.mem idx [| 2; 2; 3 |]);
+  check "3-col not mem" false (Hash_index.mem idx [| 2; 2; 4 |]);
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let radix = Radix_index.build_pool pool r [| 0; 1; 2 |] in
+  let rhits = ref [] in
+  Radix_index.iter_matches radix [| 1; 2; 3 |] (fun row -> rhits := row :: !rhits);
+  Alcotest.(check (list int)) "radix 3-col key matches" [ 0; 2 ] (List.sort compare !rhits);
+  check "radix 3-col mem" true (Radix_index.mem radix [| 2; 2; 3 |]);
+  check "radix 3-col not mem" false (Radix_index.mem radix [| 2; 2; 4 |])
+
+let test_index_memtrack_roundtrip () =
+  Rs_storage.Memtrack.hard_reset ();
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let r = Relation.of_rows 3 (List.init 500 (fun i -> [| i mod 17; i mod 5; i |])) in
+  let chained = Hash_index.build r [| 0; 1; 2 |] in
+  Hash_index.account chained;
+  let live_chained = Rs_storage.Memtrack.live () in
+  check "chained accounted" true (live_chained > 0);
+  let radix = Radix_index.build_pool pool r [| 0; 1; 2 |] in
+  Radix_index.account radix;
+  check "radix accounted on top" true (Rs_storage.Memtrack.live () > live_chained);
+  Radix_index.release radix;
+  Alcotest.(check int) "radix released" live_chained (Rs_storage.Memtrack.live ());
+  Hash_index.release chained;
+  Alcotest.(check int) "all released" 0 (Rs_storage.Memtrack.live ())
+
+let gen_triples =
+  QCheck2.Gen.(list (pair (int_range 0 30) (pair (int_range 0 30) (int_range 0 30))))
+
+let prop_radix_eq_chained =
+  QCheck2.Test.make ~name:"radix index = chained index (incl. order)" ~count:150
+    gen_triples
+    (fun triples ->
+      let pool = Pool.create ~workers:4 () in
+      Pool.begin_run pool;
+      let r = Relation.create 3 in
+      List.iter (fun (x, (y, z)) -> Relation.push3 r x y z) triples;
+      let chained = Hash_index.build_pool pool r [| 0; 1 |] in
+      let radix = Radix_index.build_pool pool r [| 0; 1 |] in
+      List.for_all
+        (fun (x, (y, _)) ->
+          let a = ref [] and b = ref [] in
+          Hash_index.iter_matches2 chained x y (fun i -> a := i :: !a);
+          Radix_index.iter_matches2 radix x y (fun i -> b := i :: !b);
+          (* exact list equality: the two layouts must enumerate matches in
+             the same (newest-first) order for byte-identical join output *)
+          !a = !b)
+        triples)
+
+let prop_append_eq_rebuild =
+  QCheck2.Test.make ~name:"append_pool = fresh rebuild" ~count:100
+    QCheck2.Gen.(pair gen_pairs gen_pairs)
+    (fun (base, extra) ->
+      let pool = Pool.create ~workers:4 () in
+      Pool.begin_run pool;
+      let r = Relation.create 2 in
+      List.iter (fun (x, y) -> Relation.push2 r x y) base;
+      let idx = Hash_index.build_pool pool r [| 0 |] in
+      List.iter (fun (x, y) -> Relation.push2 r x y) extra;
+      let added = Hash_index.append_pool pool idx in
+      let fresh = Hash_index.build r [| 0 |] in
+      added = List.length extra
+      && Hash_index.indexed_rows idx = Relation.nrows r
+      && List.for_all
+           (fun (x, _) ->
+             let a = ref [] and b = ref [] in
+             Hash_index.iter_matches1 idx x (fun i -> a := i :: !a);
+             Hash_index.iter_matches1 fresh x (fun i -> b := i :: !b);
+             !a = !b)
+           (base @ extra))
+
+let test_append_rehash_growth () =
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let r = Relation.create 2 in
+  for i = 0 to 15 do
+    Relation.push2 r i i
+  done;
+  let idx = Hash_index.build_pool pool r [| 0 |] in
+  Alcotest.(check int) "no rehash yet" 0 (Hash_index.rehashes idx);
+  (* grow the relation 64x through repeated appends: the bucket table must
+     double (rehash) several times and stay correct throughout *)
+  for round = 1 to 6 do
+    let n = Relation.nrows r in
+    for i = 0 to n - 1 do
+      Relation.push2 r (i + (round * 10000)) i
+    done;
+    ignore (Hash_index.append_pool pool idx)
+  done;
+  check "rehashed" true (Hash_index.rehashes idx > 0);
+  Alcotest.(check int) "covers all rows" (Relation.nrows r) (Hash_index.indexed_rows idx);
+  let hits = ref 0 in
+  Hash_index.iter_matches1 idx 3 (fun _ -> incr hits);
+  let expected = ref 0 in
+  for row = 0 to Relation.nrows r - 1 do
+    if Relation.get r ~row ~col:0 = 3 then incr expected
+  done;
+  Alcotest.(check int) "post-rehash probe" !expected !hits
+
+let test_radix_multi_partition () =
+  (* enough rows to force partition_bits > 0 and exercise the partitioned
+     probe path (partition select on low bits, home slot on high bits) *)
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let n = 40_000 in
+  let r = Relation.create 2 in
+  for i = 0 to n - 1 do
+    Relation.push2 r (i mod 4096) i
+  done;
+  let radix = Radix_index.build_pool pool r [| 0 |] in
+  check "multiple partitions" true (Radix_index.partitions radix > 1);
+  let hits = ref [] in
+  Radix_index.iter_matches1 radix 17 (fun row -> hits := row :: !hits);
+  let expected = List.init (n / 4096 + (if 17 < n mod 4096 then 1 else 0)) (fun k -> 17 + (k * 4096)) in
+  Alcotest.(check (list int)) "all occurrences found" expected (List.sort compare !hits);
+  check "absent key" false (Radix_index.mem radix [| 5000 |])
+
+let test_generation_tracking () =
+  let r = Relation.of_rows 2 [ [| 1; 2 |] ] in
+  let g0 = Relation.generation r in
+  Relation.push2 r 3 4;
+  Alcotest.(check int) "appends do not bump generation" g0 (Relation.generation r);
+  Relation.clear r;
+  check "clear bumps generation" true (Relation.generation r > g0);
+  Alcotest.(check int) "clear empties" 0 (Relation.nrows r)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -191,6 +331,8 @@ let qsuite =
       prop_dedup_fast_eq_boxed;
       prop_index_matches_scan;
       prop_build_pool_equals_build;
+      prop_radix_eq_chained;
+      prop_append_eq_rebuild;
     ]
 
 let suite =
@@ -206,5 +348,10 @@ let suite =
     Alcotest.test_case "cck 4-domain stress" `Quick test_cck_concurrent_domains;
     Alcotest.test_case "cck capacity exhaustion is typed" `Quick test_cck_capacity_exhausted;
     Alcotest.test_case "index two-column" `Quick test_index_two_col_and_mem;
+    Alcotest.test_case "index three-column (fold branch)" `Quick test_index_three_col;
+    Alcotest.test_case "index memtrack round-trip" `Quick test_index_memtrack_roundtrip;
+    Alcotest.test_case "append rehash growth" `Quick test_append_rehash_growth;
+    Alcotest.test_case "radix multi-partition probe" `Quick test_radix_multi_partition;
+    Alcotest.test_case "relation generation tracking" `Quick test_generation_tracking;
   ]
   @ qsuite
