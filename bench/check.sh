@@ -107,6 +107,32 @@ sort "$tmp/idx_off/tc.tsv" >"$tmp/tc_off.sorted"
 cmp "$tmp/tc_on.sorted" "$tmp/tc_off.sorted"
 echo "results identical with and without persistent indexes"
 
+echo "== differential fuzz smoke =="
+# A fixed-seed campaign over every engine and every optimization-toggle
+# configuration must agree with the naive reference evaluator on all cases.
+dune exec bin/recstep_cli.exe -- fuzz --seed 42 --iters 25 \
+  --report "$tmp/fuzz.json" >/dev/null
+
+cat >"$tmp/validate_fuzz.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+runs = r["runs"]
+assert runs["diverged"] == 0, "campaign diverged: %s" % r["divergences"]
+assert runs["failed"] == 0, "campaign had crashed runs"
+assert runs["total"] == (r["cases"] - r["invalid"]) * r["runners"], "runs identity"
+assert runs["total"] == runs["ok"] + runs["skipped"] + runs["diverged"] + runs["failed"], \
+    "disposition identity"
+print("fuzz OK: seed %d, %d cases x %d runners = %d runs, %d ok, %d skipped"
+      % (r["seed"], r["cases"], r["runners"], runs["total"], runs["ok"], runs["skipped"]))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_fuzz.py" "$tmp/fuzz.json"
+else
+  test -s "$tmp/fuzz.json"
+  echo "fuzz report written (python3 unavailable, JSON not validated)"
+fi
+
 echo "== CLI serve smoke =="
 dune exec bin/recstep_cli.exe -- serve programs/serve_demo.workload \
   --report "$tmp/serve.json" >/dev/null

@@ -49,7 +49,9 @@ let explain program =
           | Recstep.Planner.Query { base; deltas } ->
               Printf.printf "    base plan:\n%s" (Rs_exec.Plan.to_string base);
               List.iteri
-                (fun i d -> Printf.printf "    delta plan %d:\n%s" i (Rs_exec.Plan.to_string d))
+                (fun i (dpred, d) ->
+                  Printf.printf "    delta plan %d (Δ%s):\n%s" i dpred
+                    (Rs_exec.Plan.to_string d))
                 deltas)
         s.Recstep.Analyzer.rules)
     an.Recstep.Analyzer.strata
@@ -62,10 +64,19 @@ let with_input_errors f =
   | Rs_service.Script.Script_error { path; line; msg } ->
       die "script error: %s:%d: %s" path line msg
 
+(* Parser/lexer errors carry a line but no path; attach it here so every
+   syntax error reaches the user as path:line. *)
+let parse_program path =
+  try Recstep.Parser.parse_file path with
+  | Recstep.Parser.Error { line; message } ->
+      raise (Recstep.Frontend.Parse_error { path; line; msg = message })
+  | Recstep.Lexer.Error { line; message } ->
+      raise (Recstep.Frontend.Parse_error { path; line; msg = message })
+
 let run_cmd program_path facts out_dir engine workers verbose explain_only profile dsd
     no_pbme no_persistent_indexes =
   with_input_errors @@ fun () ->
-  let program = Recstep.Parser.parse_file program_path in
+  let program = parse_program program_path in
   if explain_only then explain program
   else begin
   let an = Recstep.Analyzer.analyze program in
@@ -182,6 +193,35 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget rep
   | None -> ());
   if verbose then print_string (Rs_obs.Trace.summary report.Rs_service.Service.trace)
 
+let fuzz_cmd seed iters out_dir report_path verbose inject_dedup_fault =
+  if inject_dedup_fault then Rs_relation.Dedup.chaos_drop := true;
+  let log = if verbose then prerr_endline else fun (_ : string) -> () in
+  let report = Rs_fuzz.Fuzz.run ~log ~seed ~iters () in
+  Rs_relation.Dedup.chaos_drop := false;
+  Printf.printf
+    "fuzz: seed=%d cases=%d (invalid=%d) runners=%d runs=%d: ok=%d skipped=%d \
+     diverged=%d failed=%d\n"
+    report.Rs_fuzz.Fuzz.seed report.Rs_fuzz.Fuzz.cases report.Rs_fuzz.Fuzz.invalid
+    report.Rs_fuzz.Fuzz.n_runners report.Rs_fuzz.Fuzz.runs_total report.Rs_fuzz.Fuzz.runs_ok
+    report.Rs_fuzz.Fuzz.runs_skipped report.Rs_fuzz.Fuzz.runs_diverged
+    report.Rs_fuzz.Fuzz.runs_failed;
+  (match out_dir with
+  | Some dir ->
+      List.iter
+        (fun path -> Printf.printf "reproducer: %s\n" path)
+        (Rs_fuzz.Fuzz.dump_divergences ~dir report)
+  | None -> ());
+  (match report_path with
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Rs_obs.Json.to_string (Rs_fuzz.Fuzz.report_json report));
+        output_char oc '\n';
+        close_out oc
+      with Sys_error msg -> die "cannot write report: %s" msg)
+  | None -> ());
+  if not (Rs_fuzz.Fuzz.clean report) then exit 1
+
 let gen_cmd kind n m p seed out =
   let rel =
     match kind with
@@ -272,6 +312,24 @@ let gen_out_arg = Arg.(required & opt (some string) None & info [ "o"; "out" ] ~
 
 let gen_term = Term.(const gen_cmd $ kind_arg $ n_arg $ m_arg $ p_arg $ seed_arg $ gen_out_arg)
 
+let fuzz_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"campaign seed (per-case seeds derive from it deterministically)")
+
+let iters_arg = Arg.(value & opt int 50 & info [ "iters"; "n" ] ~docv:"K" ~doc:"number of random cases to generate and diff")
+
+let fuzz_out_arg =
+  Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR" ~doc:"dump each shrunk reproducer under DIR as a runnable .dl plus one .tsv per input relation")
+
+let fuzz_report_arg =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"write the campaign report (counters, divergences, failures) to FILE as JSON")
+
+let inject_dedup_fault_arg =
+  Arg.(value & flag & info [ "inject-dedup-fault" ] ~doc:"self-test: deterministically drop a fraction of fresh keys in the fast dedup paths; the campaign must catch and shrink the resulting divergences")
+
+let fuzz_term =
+  Term.(
+    const fuzz_cmd $ fuzz_seed_arg $ iters_arg $ fuzz_out_arg $ fuzz_report_arg
+    $ verbose_arg $ inject_dedup_fault_arg)
+
 let () =
   let run = Cmd.v (Cmd.info "run" ~doc:"evaluate a Datalog program") run_term in
   let serve =
@@ -283,5 +341,15 @@ let () =
       serve_term
   in
   let gen = Cmd.v (Cmd.info "gen" ~doc:"generate benchmark datasets") gen_term in
-  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; gen ] in
+  let fuzz =
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "differential fuzzing: random stratified programs diffed against a naive \
+            reference evaluator across every baseline engine and the full \
+            optimization-toggle matrix; failing cases are shrunk to minimal \
+            reproducers (exit 1 on any divergence or failure)")
+      fuzz_term
+  in
+  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; gen; fuzz ] in
   exit (Cmd.eval main)

@@ -551,14 +551,41 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
             let produced =
               List.map
                 (fun st ->
-                  let plans = delta_plans st in
+                  (* Empty-delta skip: a subplan scanning a Δ-table that went
+                     empty cannot derive anything, so it is never issued —
+                     a stratum whose deltas all drain terminates without
+                     evaluating the remaining rule subplans. *)
+                  let live =
+                    List.filter
+                      (fun (dpred, _) ->
+                        Relation.nrows (Catalog.rel catalog (Planner.delta_name dpred)) > 0)
+                      (delta_plans st)
+                  in
+                  let plans = List.map snd live in
                   (st, plans, eval_plans plans))
                 idb_states
             in
             List.iter
               (fun (st, plans, rt_opt) ->
                 match rt_opt with
-                | None -> ()
+                | None ->
+                    (* Every subplan was skipped, but this IDB's own Δ-table
+                       may still hold the previous round's delta; drain it so
+                       mutually recursive consumers don't re-read it next
+                       round. *)
+                    let dn = Planner.delta_name st.name in
+                    if Relation.nrows (Catalog.rel catalog dn) > 0 then begin
+                      replace_table dn (Relation.create ~name:dn st.arity);
+                      analyze_updated [ dn ]
+                    end;
+                    note_iteration
+                      {
+                        it_stratum = stratum.index;
+                        it_iteration = !iteration;
+                        it_idb = st.name;
+                        it_delta_rows = 0;
+                        it_vtime = Pool.vtime_now pool;
+                      }
                 | Some rt ->
                     let rdelta =
                       Dedup.dedup_relation_parallel ~expected:(dedup_expected plans) ?trace ~pool

@@ -1,0 +1,157 @@
+(* Trivially-correct reference evaluator: naive (not semi-naive) stratified
+   fixpoint over OCaml sets. No deltas, no indexes, no dedup structures —
+   every rule is re-evaluated from scratch against the full relations each
+   round until nothing grows. Deliberately slow; its only job is to be
+   obviously right so rs_fuzz can diff the optimized engines against it. *)
+
+module Rows = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+exception Unsupported_feature of string
+
+let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported_feature m)) fmt
+
+type env = (string * int) list
+
+let rec eval_expr (env : env) = function
+  | Ast.T (Ast.Const c) -> c
+  | Ast.T (Ast.Var v) -> (
+      match List.assoc_opt v env with
+      | Some c -> c
+      | None -> invalid_arg ("naive: unbound variable " ^ v))
+  | Ast.T Ast.Wildcard -> invalid_arg "naive: wildcard in expression"
+  | Ast.Add (a, b) -> eval_expr env a + eval_expr env b
+  | Ast.Sub (a, b) -> eval_expr env a - eval_expr env b
+  | Ast.Mul (a, b) -> eval_expr env a * eval_expr env b
+
+let cmp_holds op a b =
+  match op with
+  | Ast.Eq -> a = b
+  | Ast.Ne -> a <> b
+  | Ast.Lt -> a < b
+  | Ast.Le -> a <= b
+  | Ast.Gt -> a > b
+  | Ast.Ge -> a >= b
+
+(* Try to extend [env] so that [args] matches [row]; [None] on clash.
+   Wildcards have been renamed apart by the analyzer, so they arrive here
+   as ordinary single-occurrence variables — the Wildcard case is only for
+   callers handing us raw, un-normalized rules. *)
+let match_args env args row =
+  let rec go env args row =
+    match (args, row) with
+    | [], [] -> Some env
+    | a :: args', v :: row' -> (
+        match a with
+        | Ast.Const c -> if c = v then go env args' row' else None
+        | Ast.Wildcard -> go env args' row'
+        | Ast.Var x -> (
+            match List.assoc_opt x env with
+            | Some c -> if c = v then go env args' row' else None
+            | None -> go ((x, v) :: env) args' row'))
+    | _ -> None
+  in
+  go env args row
+
+let rel db pred = match Hashtbl.find_opt db pred with Some s -> s | None -> Rows.empty
+
+(* All bindings satisfying [body] under [env], folded through [k].
+   Positive atoms first (they bind), then comparisons and negations — the
+   analyzer's safety check guarantees those are ground once the positive
+   atoms are matched, whatever order they appear in the source rule. *)
+let eval_body db body env k =
+  let pos, rest =
+    List.partition (function Ast.L_pos _ -> true | _ -> false) body
+  in
+  let rec go env = function
+    | [] -> k env
+    | Ast.L_pos a :: tl ->
+        Rows.iter
+          (fun row ->
+            match match_args env a.Ast.args row with
+            | Some env' -> go env' tl
+            | None -> ())
+          (rel db a.Ast.pred)
+    | Ast.L_neg a :: tl ->
+        let row =
+          List.map
+            (function
+              | Ast.Const c -> c
+              | Ast.Var x -> (
+                  match List.assoc_opt x env with
+                  | Some c -> c
+                  | None -> invalid_arg ("naive: unsafe negation on " ^ x))
+              | Ast.Wildcard -> invalid_arg "naive: wildcard under negation")
+            a.Ast.args
+        in
+        if not (Rows.mem row (rel db a.Ast.pred)) then go env tl
+    | Ast.L_cmp (op, l, r) :: tl ->
+        if cmp_holds op (eval_expr env l) (eval_expr env r) then go env tl
+  in
+  go env (pos @ rest)
+
+let head_row env head_args =
+  List.map
+    (function
+      | Ast.H_term (Ast.Const c) -> c
+      | Ast.H_term (Ast.Var x) -> (
+          match List.assoc_opt x env with
+          | Some c -> c
+          | None -> invalid_arg ("naive: unsafe head variable " ^ x))
+      | Ast.H_term Ast.Wildcard -> invalid_arg "naive: wildcard in head"
+      | Ast.H_agg _ -> unsupported "naive oracle does not evaluate aggregates")
+    head_args
+
+(* One naive round: evaluate every rule of the stratum against the full
+   current database; returns true if any relation grew. *)
+let round db rules =
+  let grew = ref false in
+  List.iter
+    (fun r ->
+      let derived = ref Rows.empty in
+      eval_body db r.Ast.body []
+        (fun env -> derived := Rows.add (head_row env r.Ast.head_args) !derived);
+      let before = rel db r.Ast.head_pred in
+      let after = Rows.union before !derived in
+      if not (Rows.equal before after) then begin
+        grew := true;
+        Hashtbl.replace db r.Ast.head_pred after
+      end)
+    rules;
+  !grew
+
+let run ~edb (program : Ast.program) =
+  let an = Analyzer.analyze program in
+  (match an.Analyzer.agg_sigs with
+  | (p, _) :: _ -> unsupported "naive oracle does not evaluate aggregates (%s)" p
+  | [] -> ());
+  let db : (string, Rows.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, arity) ->
+      match List.assoc_opt name edb with
+      | Some rows ->
+          List.iter
+            (fun row ->
+              if List.length row <> arity then
+                invalid_arg
+                  (Printf.sprintf "naive: %s expects arity %d" name arity))
+            rows;
+          Hashtbl.replace db name (Rows.of_list rows)
+      | None ->
+          if List.mem name an.Analyzer.edbs then
+            invalid_arg (Printf.sprintf "naive: no EDB named %s was supplied" name))
+    (List.filter (fun (n, _) -> List.mem n an.Analyzer.edbs) an.Analyzer.arities);
+  (* bottom-up over strata; inside each stratum iterate all its rules to
+     fixpoint (facts are rules with empty bodies and converge in round 1) *)
+  List.iter
+    (fun s ->
+      let continue = ref true in
+      while !continue do
+        continue := round db s.Analyzer.rules
+      done)
+    an.Analyzer.strata;
+  let result pred = Rows.elements (rel db pred) in
+  (an.Analyzer.idbs, result)

@@ -1,0 +1,22 @@
+(** Naive reference evaluator — the rs_fuzz oracle.
+
+    A textbook bottom-up stratified evaluator over OCaml [Set]s: every rule
+    of a stratum is re-evaluated against the full database each round until
+    nothing grows. No semi-naive deltas, no indexes, no dedup structures,
+    none of the paper's optimizations — which is the point: it is slow but
+    trivially auditable, so the optimized engines can be differentially
+    tested against it. *)
+
+exception Unsupported_feature of string
+(** Raised for programs the oracle deliberately does not cover
+    (aggregation). The fuzzer never generates these. *)
+
+val run :
+  edb:(string * int list list) list ->
+  Ast.program ->
+  string list * (string -> int list list)
+(** [run ~edb program] evaluates to fixpoint and returns the IDB predicate
+    names plus a lookup returning each relation's rows sorted ascending
+    (lexicographic), duplicate-free. Raises [Analyzer.Analysis_error] on
+    ill-formed programs, [Invalid_argument] on missing or mis-shaped EDBs —
+    mirroring the interpreter's frontline checks. *)

@@ -6,7 +6,7 @@ let delta_name pred = pred ^ "@delta"
 
 type compiled =
   | Fact of int array
-  | Query of { base : Plan.t; deltas : Plan.t list }
+  | Query of { base : Plan.t; deltas : (string * Plan.t) list }
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Analyzer.Analysis_error m)) fmt
 
@@ -183,17 +183,19 @@ let compile_rule analyzer stratum rule =
             in
             Plan.Project (out, filtered)
       in
-      let n_rec_occurrences =
-        List.fold_left
-          (fun acc l ->
-            match l with
-            | L_pos a when List.mem a.pred stratum.Analyzer.preds -> acc + 1
-            | L_pos _ | L_neg _ | L_cmp _ -> acc)
-          0 rule.body
+      (* Recursive predicates in body order — the same positive-atom walk
+         [compile_body]'s occurrence counter performs, so occurrence [i]
+         scans the Δ-table of [List.nth rec_preds i]. *)
+      let rec_preds =
+        List.filter_map
+          (function
+            | L_pos a when List.mem a.pred stratum.Analyzer.preds -> Some a.pred
+            | L_pos _ | L_neg _ | L_cmp _ -> None)
+          rule.body
       in
       ignore analyzer;
       Query
         {
           base = build ~delta_occurrence:(-1);
-          deltas = List.init n_rec_occurrences (fun i -> build ~delta_occurrence:i);
+          deltas = List.mapi (fun i p -> (p, build ~delta_occurrence:i)) rec_preds;
         }

@@ -24,8 +24,10 @@ type compiled =
   | Fact of int array  (** ground rule: tuple to seed the head relation *)
   | Query of {
       base : Plan.t;  (** all-full-tables version (initialization) *)
-      deltas : Plan.t list;
-          (** one per current-stratum atom occurrence; empty for base rules *)
+      deltas : (string * Plan.t) list;
+          (** one per current-stratum atom occurrence, tagged with the
+              predicate whose Δ-table the subplan scans — the interpreter
+              skips subplans whose Δ went empty; empty list for base rules *)
     }
 
 val compile_rule : Analyzer.t -> Analyzer.stratum -> Ast.rule -> compiled

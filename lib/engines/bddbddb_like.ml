@@ -63,17 +63,35 @@ let run ~pool ?deadline_vs ?trace ~edb program =
                 unsupported "%s: repeated variable inside a body atom" name)
         r.Ast.body)
     an.An.program.Ast.rules;
-  (* Bit width from the EDB active domain (recursion creates no constants). *)
+  (* Bit width from the active domain: EDB values plus every constant in the
+     program text (a rule constant wider than the EDB would otherwise be
+     silently truncated to [bits] and alias a small value). *)
   let maxv = ref 1 in
   List.iter
-    (fun (_, r) ->
+    (fun (p, r) ->
       for row = 0 to Relation.nrows r - 1 do
         for c = 0 to Relation.arity r - 1 do
           let v = Relation.get r ~row ~col:c in
+          if v < 0 then unsupported "%s: negative attribute in %s" name p;
           if v > !maxv then maxv := v
         done
       done)
     edb;
+  let note_term = function
+    | Ast.Const c ->
+        if c < 0 then unsupported "%s: negative constant" name;
+        if c > !maxv then maxv := c
+    | _ -> ()
+  in
+  List.iter
+    (fun r ->
+      List.iter (function Ast.H_term t -> note_term t | Ast.H_agg _ -> ()) r.Ast.head_args;
+      List.iter
+        (function
+          | Ast.L_pos a | Ast.L_neg a -> List.iter note_term a.Ast.args
+          | Ast.L_cmp _ -> ())
+        r.Ast.body)
+    an.An.program.Ast.rules;
   let bits =
     let rec go b = if 1 lsl b > !maxv then b else go (b + 1) in
     go 1

@@ -203,6 +203,10 @@ let run ~pool ?deadline_vs ?trace ~edb program =
           let ls = store p in
           for row = 0 to Relation.nrows r - 1 do
             let u = Relation.get r ~row ~col:0 and v = Relation.get r ~row ~col:1 in
+            (* edges travel packed through the worklist; vertices outside the
+               packed range (negative ids) would be corrupted by unpack2 *)
+            if not (Int_key.fits2 u v) then
+              unsupported "%s: vertex id outside [0, 2^31) in %s" name p;
             if insert_edge ls u v then worklist := (p, Int_key.pack2 u v) :: !worklist
           done
       | None -> unsupported "%s: missing input %s" name p)
@@ -291,6 +295,12 @@ let run ~pool ?deadline_vs ?trace ~edb program =
         let r = Relation.create ~name:p 2 in
         Hashtbl.iter (fun u vec -> Int_vec.iter (fun v -> Relation.push2 r u v) vec) ls.succ
         |> ignore;
+        Relation.account r;
+        r
+    | None when List.mem_assoc p an.An.arities ->
+        (* known predicate that derived no edges (stores are created
+           lazily): the empty relation, not an error *)
+        let r = Relation.create ~name:p 2 in
         Relation.account r;
         r
     | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name p)

@@ -307,15 +307,15 @@ let run_variant pool stores nregs variant ~out =
           | Probe a :: rest -> (
               let aps = Hashtbl.find stores a.a_pred in
               let try_row row =
+                (* bind before checking: a repeated variable inside this atom
+                   produces a check against a register this same row binds *)
+                Array.iter (fun (pos, r) -> regs.(r) <- Relation.get aps.store ~row ~col:pos) a.a_binds;
                 let ok = ref true in
                 Array.iter
                   (fun (pos, src) ->
                     if Relation.get aps.store ~row ~col:pos <> value src then ok := false)
                   a.a_checks;
-                if !ok then begin
-                  Array.iter (fun (pos, r) -> regs.(r) <- Relation.get aps.store ~row ~col:pos) a.a_binds;
-                  exec rest
-                end
+                if !ok then exec rest
               in
               match a.a_index with
               | Some idx ->
@@ -327,17 +327,17 @@ let run_variant pool stores nregs variant ~out =
                   done)
         in
         for drow = clo to chi - 1 do
+          (* bind before checking, as in try_row: a repeated variable in the
+             driver atom checks a register bound from this same row *)
+          Array.iter
+            (fun (pos, r) -> regs.(r) <- Relation.get ps.store ~row:drow ~col:pos)
+            variant.v_driver_binds;
           let ok = ref true in
           Array.iter
             (fun (pos, src) ->
               if Relation.get ps.store ~row:drow ~col:pos <> value src then ok := false)
             variant.v_driver_checks;
-          if !ok then begin
-            Array.iter
-              (fun (pos, r) -> regs.(r) <- Relation.get ps.store ~row:drow ~col:pos)
-              variant.v_driver_binds;
-            exec variant.v_steps
-          end
+          if !ok then exec variant.v_steps
         done;
         fragments := frag :: !fragments);
     List.iter (fun frag -> Relation.append_all out frag) (List.rev !fragments)

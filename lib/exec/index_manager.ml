@@ -41,6 +41,12 @@ let get t ~name rel keys =
   let key = (name, Array.to_list keys) in
   match Hashtbl.find_opt t.tbl key with
   | Some idx
+    (* Validity = same physical relation, same generation, and no shrink.
+       The generation check is what catches destructive in-place rewrites
+       (Relation.clear bumps it): a clear-then-repopulate within one
+       fixpoint changes neither identity nor (necessarily) the row count,
+       so without it the appends-only fast path below would extend a stale
+       index over rewritten rows. *)
     when Hash_index.relation idx == rel
          && Hash_index.generation idx = Relation.generation rel
          && Hash_index.indexed_rows idx <= Relation.nrows rel ->

@@ -1,0 +1,61 @@
+(** The fuzz campaign driver: generate, diff, shrink, report.
+
+    [run] draws [iters] seeded cases, diffs each across every runner
+    (baseline engines + toggle matrix, unless a subset is given), shrinks
+    the first diverging runner's case to a minimal reproducer, and returns
+    the aggregate {!report}. The counters satisfy
+    [runs_total = (cases - invalid) * n_runners] and
+    [runs_total = runs_ok + runs_skipped + runs_diverged + runs_failed] —
+    the identities the CI smoke asserts. *)
+
+type divergence = {
+  div_iter : int;
+  div_seed : int;
+  div_runner : string;
+  div_mismatches : Differ.mismatch list;
+  div_shrunk : Gen.case option;
+      (** minimal reproducer; [None] for runners after the first diverging
+          one on the same case (only the first is shrunk) *)
+}
+
+type failure = { fail_iter : int; fail_seed : int; fail_runner : string; fail_msg : string }
+
+type report = {
+  seed : int;
+  iters : int;
+  n_runners : int;
+  cases : int;
+  invalid : int;
+  runs_total : int;
+  runs_ok : int;
+  runs_skipped : int;
+  runs_diverged : int;
+  runs_failed : int;
+  divergences : divergence list;
+  failures : failure list;
+}
+
+val case_seed : seed:int -> int -> int
+(** The derived per-case seed ([Gen.gen_case] input) for iteration [i]. *)
+
+val run :
+  ?log:(string -> unit) ->
+  ?shrink:bool ->
+  ?runners:Differ.runner list ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  report
+
+val dump_case : dir:string -> tag:string -> Gen.case -> string
+(** Write [case<tag>.dl] plus one [.tsv] per EDB under [dir] (created if
+    missing); the [.dl] header comments carry the replay command line.
+    Returns the [.dl] path. *)
+
+val dump_divergences : dir:string -> report -> string list
+(** Dump every shrunk reproducer; returns the [.dl] paths. *)
+
+val report_json : report -> Rs_obs.Json.t
+
+val clean : report -> bool
+(** No divergences and no failures. *)

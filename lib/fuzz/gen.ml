@@ -1,0 +1,245 @@
+module Ast = Recstep.Ast
+module Rng = Rs_util.Rng
+
+type case = {
+  case_seed : int;
+  program : Ast.program;
+  edb : (string * int list list) list;  (* one entry per declared input *)
+}
+
+(* --- helpers ------------------------------------------------------------ *)
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let var_pool = [ "x"; "y"; "z"; "w" ]
+
+let gen_rows rng ~arity ~dom ~n =
+  List.init n (fun _ -> List.init arity (fun _ -> Rng.int rng dom))
+
+(* --- the TC template ----------------------------------------------------
+   A quarter of the corpus is transitive closure over a generated graph:
+   the shape every engine fragment accepts (all-binary chains for Graspan,
+   arity <= 2 for bddbddb) and the one PBME collapses, so the bit-matrix
+   kernels and the empty-delta path get steady coverage. The graph is
+   sometimes two disconnected clusters — the disconnected-graph TC case of
+   the empty-delta satellite. *)
+
+let tc_template rng case_seed =
+  let n = 3 + Rng.int rng 6 in
+  let p = 0.15 +. Rng.float rng 0.35 in
+  let split = if Rng.bool rng 0.5 then Some (1 + Rng.int rng (n - 1)) else None in
+  let same_cluster u v =
+    match split with None -> true | Some k -> u < k = (v < k)
+  in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && same_cluster u v && Rng.bool rng p then edges := [ u; v ] :: !edges
+    done
+  done;
+  let var v = Ast.Var v in
+  let atom pred args = { Ast.pred; args } in
+  let rule head_pred head_args body =
+    { Ast.head_pred; head_args = List.map (fun t -> Ast.H_term t) head_args; body }
+  in
+  let base = rule "p0" [ var "x"; var "y" ] [ Ast.L_pos (atom "e0" [ var "x"; var "y" ]) ] in
+  let step =
+    if Rng.bool rng 0.4 then
+      (* non-linear: two recursive occurrences *)
+      rule "p0" [ var "x"; var "y" ]
+        [
+          Ast.L_pos (atom "p0" [ var "x"; var "z" ]);
+          Ast.L_pos (atom "p0" [ var "z"; var "y" ]);
+        ]
+    else
+      rule "p0" [ var "x"; var "y" ]
+        [
+          Ast.L_pos (atom "p0" [ var "x"; var "z" ]);
+          Ast.L_pos (atom "e0" [ var "z"; var "y" ]);
+        ]
+  in
+  let extra =
+    (* a negation stratum on top: shrinks every fragment but RecStep/Souffle *)
+    if Rng.bool rng 0.4 then
+      [
+        rule "p1" [ var "x"; var "y" ]
+          [
+            Ast.L_pos (atom "p0" [ var "x"; var "y" ]);
+            Ast.L_neg (atom "e0" [ var "x"; var "y" ]);
+          ];
+      ]
+    else []
+  in
+  let outputs = "p0" :: (if extra = [] then [] else [ "p1" ]) in
+  {
+    case_seed;
+    program =
+      { Ast.rules = (base :: step :: extra); inputs = [ ("e0", 2) ]; outputs };
+    edb = [ ("e0", !edges) ];
+  }
+
+(* --- the general random program ----------------------------------------
+   Stratified Datalog, safety-respecting by construction:
+
+   - 1-2 EDBs (e0 always binary; e1 arity 1-3) over a small constant domain;
+   - 1-4 IDBs p0.. each assigned a layer; rule bodies draw positive atoms
+     from EDBs and IDBs of a layer <= their own (same layer = linear,
+     non-linear or mutual recursion), negated atoms only from EDBs and
+     strictly lower layers (stratified by construction), head / negation /
+     comparison variables only from positive-atom bindings (safe by
+     construction);
+   - occasional duplicate rules, constants and wildcards in atom positions,
+     comparisons with arithmetic. *)
+
+let gen_pos_atom rng ~preds =
+  let name, arity = pick rng preds in
+  let args =
+    List.init arity (fun _ ->
+        let r = Rng.float rng 1.0 in
+        if r < 0.70 then Ast.Var (pick rng var_pool)
+        else if r < 0.85 then Ast.Const (Rng.int rng 8)
+        else Ast.Wildcard)
+  in
+  { Ast.pred = name; args }
+
+let bound_vars body =
+  List.concat_map
+    (function Ast.L_pos a -> Ast.atom_vars a | Ast.L_neg _ | Ast.L_cmp _ -> [])
+    body
+  |> List.sort_uniq compare
+
+let gen_rule rng ~dom ~head ~head_arity ~pos_pool ~neg_pool =
+  if Rng.bool rng 0.1 then
+    (* a fact *)
+    {
+      Ast.head_pred = head;
+      head_args = List.init head_arity (fun _ -> Ast.H_term (Ast.Const (Rng.int rng dom)));
+      body = [];
+    }
+  else begin
+    let n_pos = 1 + Rng.int rng 3 in
+    let pos =
+      List.init n_pos (fun i ->
+          (* bias the first atom toward an EDB so bodies tend to be
+             satisfiable; later atoms roam the whole pool *)
+          let preds =
+            if i = 0 && Rng.bool rng 0.6 then
+              match List.filter (fun (n, _) -> n.[0] = 'e') pos_pool with
+              | [] -> pos_pool
+              | edbs -> edbs
+            else pos_pool
+          in
+          Ast.L_pos (gen_pos_atom rng ~preds))
+    in
+    let bound = bound_vars pos in
+    let bound_term rng =
+      if bound <> [] && Rng.bool rng 0.75 then Ast.Var (pick rng bound)
+      else Ast.Const (Rng.int rng dom)
+    in
+    let negs =
+      if neg_pool <> [] && Rng.bool rng 0.3 then
+        let name, arity = pick rng neg_pool in
+        [ Ast.L_neg { Ast.pred = name; args = List.init arity (fun _ -> bound_term rng) } ]
+      else []
+    in
+    let cmps =
+      if bound <> [] && Rng.bool rng 0.35 then
+        let v = Ast.T (Ast.Var (pick rng bound)) in
+        let rhs =
+          let r = Rng.float rng 1.0 in
+          if r < 0.4 then Ast.T (Ast.Const (Rng.int rng dom))
+          else if r < 0.8 then Ast.T (bound_term rng)
+          else Ast.Add (Ast.T (bound_term rng), Ast.T (Ast.Const (Rng.int rng 3)))
+        in
+        let op = pick rng [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+        [ Ast.L_cmp (op, v, rhs) ]
+      else []
+    in
+    let head_args =
+      List.init head_arity (fun _ ->
+          if bound <> [] && Rng.bool rng 0.85 then Ast.H_term (Ast.Var (pick rng bound))
+          else Ast.H_term (Ast.Const (Rng.int rng dom)))
+    in
+    { Ast.head_pred = head; head_args; body = pos @ negs @ cmps }
+  end
+
+let random_program rng case_seed =
+  let dom = 2 + Rng.int rng 6 in
+  let n_edb = 1 + Rng.int rng 2 in
+  let edbs =
+    List.init n_edb (fun i ->
+        let arity = if i = 0 then 2 else pick rng [ 1; 2; 2; 3 ] in
+        (Printf.sprintf "e%d" i, arity))
+  in
+  let edb =
+    List.map
+      (fun (name, arity) -> (name, gen_rows rng ~arity ~dom ~n:(Rng.int rng 11)))
+      edbs
+  in
+  let n_idb = 1 + Rng.int rng 4 in
+  let idbs =
+    let layer = ref 0 in
+    List.init n_idb (fun i ->
+        if i > 0 && not (Rng.bool rng 0.4) then incr layer;
+        (Printf.sprintf "p%d" i, pick rng [ 1; 2; 2; 2; 3 ], !layer))
+  in
+  let rules =
+    List.concat_map
+      (fun (name, arity, layer) ->
+        let pos_pool =
+          edbs @ List.filter_map (fun (n, a, l) -> if l <= layer then Some (n, a) else None) idbs
+        in
+        let neg_pool =
+          edbs @ List.filter_map (fun (n, a, l) -> if l < layer then Some (n, a) else None) idbs
+        in
+        let n_rules = 1 + Rng.int rng 3 in
+        let rs =
+          List.init n_rules (fun _ ->
+              gen_rule rng ~dom ~head:name ~head_arity:arity ~pos_pool ~neg_pool)
+        in
+        (* duplicate-identical-rule coverage *)
+        if Rng.bool rng 0.15 then rs @ [ List.hd rs ] else rs)
+      idbs
+  in
+  {
+    case_seed;
+    program =
+      { Ast.rules; inputs = edbs; outputs = List.map (fun (n, _, _) -> n) idbs };
+    edb;
+  }
+
+let gen_case ~seed =
+  let rng = Rng.create seed in
+  if Rng.bool rng 0.25 then tc_template rng seed else random_program rng seed
+
+(* --- reproducer printing ------------------------------------------------ *)
+
+(* [Ast.rule_to_string] prints facts as "p(1) :- ." which does not reparse;
+   reproducers must round-trip through the frontend. *)
+let rule_to_source (r : Ast.rule) =
+  if r.Ast.body = [] then
+    Printf.sprintf "%s(%s)." r.Ast.head_pred
+      (String.concat ", " (List.map Ast.head_term_to_string r.Ast.head_args))
+  else Ast.rule_to_string r
+
+let case_to_source c =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (n, arity) ->
+      (* explicit arity, so the printed case reparses with the declared
+         schema even for an input no rule happens to mention *)
+      if arity > 0 then Buffer.add_string b (Printf.sprintf ".input %s %d\n" n arity)
+      else Buffer.add_string b (Printf.sprintf ".input %s\n" n))
+    c.program.Ast.inputs;
+  List.iter (fun r -> Buffer.add_string b (rule_to_source r ^ "\n")) c.program.Ast.rules;
+  List.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf ".output %s\n" n))
+    c.program.Ast.outputs;
+  Buffer.contents b
+
+let rows_to_tsv rows =
+  String.concat "" (List.map (fun r -> String.concat "\t" (List.map string_of_int r) ^ "\n") rows)
+
+let size c =
+  ( List.length c.program.Ast.rules,
+    List.fold_left (fun acc (_, rows) -> acc + List.length rows) 0 c.edb )

@@ -1,0 +1,29 @@
+(** Seeded random-program generator for the differential fuzzer.
+
+    Programs are stratified Datalog with negation and linear / non-linear /
+    mutual recursion over generated EDBs, safety-respecting and stratified
+    {e by construction}: head, negation and comparison variables are drawn
+    only from positive-atom bindings, and negated predicates only from EDBs
+    or strictly lower layers. A quarter of the corpus is a transitive-closure
+    template (sometimes over a disconnected graph) — the shape every engine
+    fragment accepts and PBME collapses. *)
+
+type case = {
+  case_seed : int;
+  program : Recstep.Ast.program;
+  edb : (string * int list list) list;  (** one entry per declared input *)
+}
+
+val gen_case : seed:int -> case
+(** Deterministic: equal seeds yield equal cases. *)
+
+val case_to_source : case -> string
+(** Runnable [.dl] text (inputs, rules, outputs) that round-trips through
+    the frontend — facts are printed as ["p(1)."], not the
+    non-reparsable [Ast.rule_to_string] form. *)
+
+val rows_to_tsv : int list list -> string
+(** TSV text for one EDB relation, one row per line. *)
+
+val size : case -> int * int
+(** (rules, total EDB tuples) — the shrinker's progress measure. *)

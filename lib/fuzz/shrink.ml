@@ -1,0 +1,159 @@
+module Ast = Recstep.Ast
+
+(* Greedy delta-debugging over a failing case, in the fixed order
+   rules -> EDB tuples -> constants. Every accepted candidate strictly
+   decreases the lexicographic measure (#rules, #tuples, sum of constants),
+   so the loop terminates; every candidate is re-checked against the same
+   failure predicate, so the minimized case provably still fails. *)
+
+(* Dropping a rule can orphan a predicate: body atoms referencing an IDB
+   that lost all its rules would turn it into an undeclared EDB and make
+   the case invalid. Cascade-drop such rules and re-derive the outputs. *)
+let normalize_program (p : Ast.program) =
+  let declared = List.map fst p.Ast.inputs in
+  let rec go rules =
+    let heads = List.sort_uniq compare (List.map (fun r -> r.Ast.head_pred) rules) in
+    let defined q = List.mem q declared || List.mem q heads in
+    let rules' = List.filter (fun r -> List.for_all defined (Ast.rule_body_preds r)) rules in
+    if List.length rules' = List.length rules then rules else go rules'
+  in
+  let rules = go p.Ast.rules in
+  let heads = List.sort_uniq compare (List.map (fun r -> r.Ast.head_pred) rules) in
+  { p with Ast.rules; outputs = List.filter (fun o -> List.mem o heads) p.Ast.outputs }
+
+let with_program (c : Gen.case) p = { c with Gen.program = normalize_program p }
+
+(* --- candidate streams -------------------------------------------------- *)
+
+let drop_rule_candidates (c : Gen.case) =
+  let rules = c.Gen.program.Ast.rules in
+  List.init (List.length rules) (fun i ->
+      with_program c
+        { c.Gen.program with Ast.rules = List.filteri (fun j _ -> j <> i) rules })
+
+(* For each EDB: first halves (fast for big relations), then singles. *)
+let drop_tuple_candidates (c : Gen.case) =
+  List.concat_map
+    (fun (name, rows) ->
+      let n = List.length rows in
+      let without keep =
+        {
+          c with
+          Gen.edb =
+            List.map
+              (fun (n', rows') -> if n' = name then (n', keep rows') else (n', rows'))
+              c.Gen.edb;
+        }
+      in
+      let halves =
+        if n >= 4 then
+          [
+            without (fun rows -> List.filteri (fun i _ -> i >= n / 2) rows);
+            without (fun rows -> List.filteri (fun i _ -> i < n / 2) rows);
+          ]
+        else []
+      in
+      let singles =
+        List.init n (fun i -> without (List.filteri (fun j _ -> j <> i)))
+      in
+      halves @ singles)
+    c.Gen.edb
+
+(* Constant shrinking: rewrite one constant value [v] to [v'] everywhere —
+   program text and EDB data together, so the case stays self-consistent. *)
+let map_consts f (c : Gen.case) =
+  let term = function Ast.Const k -> Ast.Const (f k) | t -> t in
+  let rec expr = function
+    | Ast.T t -> Ast.T (term t)
+    | Ast.Add (a, b) -> Ast.Add (expr a, expr b)
+    | Ast.Sub (a, b) -> Ast.Sub (expr a, expr b)
+    | Ast.Mul (a, b) -> Ast.Mul (expr a, expr b)
+  in
+  let atom a = { a with Ast.args = List.map term a.Ast.args } in
+  let literal = function
+    | Ast.L_pos a -> Ast.L_pos (atom a)
+    | Ast.L_neg a -> Ast.L_neg (atom a)
+    | Ast.L_cmp (op, a, b) -> Ast.L_cmp (op, expr a, expr b)
+  in
+  let head_term = function
+    | Ast.H_term t -> Ast.H_term (term t)
+    | Ast.H_agg (op, e) -> Ast.H_agg (op, expr e)
+  in
+  let rule r =
+    {
+      r with
+      Ast.head_args = List.map head_term r.Ast.head_args;
+      body = List.map literal r.Ast.body;
+    }
+  in
+  {
+    c with
+    Gen.program = { c.Gen.program with Ast.rules = List.map rule c.Gen.program.Ast.rules };
+    edb = List.map (fun (n, rows) -> (n, List.map (List.map f) rows)) c.Gen.edb;
+  }
+
+(* Every constant occurrence in the case (program text and EDB data). *)
+let iter_consts f (c : Gen.case) =
+  let term = function Ast.Const k -> f k | _ -> () in
+  let rec expr = function
+    | Ast.T t -> term t
+    | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) -> expr a; expr b
+  in
+  List.iter
+    (fun r ->
+      List.iter (function Ast.H_term t -> term t | Ast.H_agg (_, e) -> expr e) r.Ast.head_args;
+      List.iter
+        (function
+          | Ast.L_pos a | Ast.L_neg a -> List.iter term a.Ast.args
+          | Ast.L_cmp (_, a, b) -> expr a; expr b)
+        r.Ast.body)
+    c.Gen.program.Ast.rules;
+  List.iter (fun (_, rows) -> List.iter (List.iter f) rows) c.Gen.edb
+
+let constants c =
+  let acc = ref [] in
+  iter_consts (fun k -> acc := k :: !acc) c;
+  List.sort_uniq compare !acc
+
+let const_sum c =
+  let s = ref 0 in
+  iter_consts (fun k -> s := !s + max k 0) c;
+  !s
+
+let shrink_const_candidates (c : Gen.case) =
+  List.concat_map
+    (fun v ->
+      if v <= 0 then []
+      else
+        (* straight to 0 first (largest jump), then one step down *)
+        [
+          map_consts (fun k -> if k = v then 0 else k) c;
+          map_consts (fun k -> if k = v then v - 1 else k) c;
+        ])
+    (List.rev (constants c))
+
+(* --- the greedy loop ---------------------------------------------------- *)
+
+let measure c =
+  let rules, tuples = Gen.size c in
+  (rules, tuples, const_sum c)
+
+let minimize ~check (c0 : Gen.case) =
+  let accept cur cand = measure cand < measure cur && check cand in
+  let rec pass cur candidates_of =
+    match List.find_opt (accept cur) (candidates_of cur) with
+    | Some better -> pass better candidates_of
+    | None -> cur
+  in
+  (* a smaller EDB may unlock further rule drops (and vice versa); loop the
+     whole chain to a fixpoint — the measure strictly decreases on every
+     acceptance, so it ends *)
+  let rec outer cur =
+    let next =
+      pass
+        (pass (pass cur drop_rule_candidates) drop_tuple_candidates)
+        shrink_const_candidates
+    in
+    if measure next < measure cur then outer next else next
+  in
+  outer c0

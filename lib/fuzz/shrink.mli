@@ -1,0 +1,14 @@
+(** Greedy shrinking of failing fuzz cases.
+
+    Fixed order, per the harness contract: drop whole rules (with a cascade
+    removing rules orphaned by the drop and re-deriving the outputs), then
+    drop EDB tuples (halves, then singles), then shrink constants (each
+    value to 0, else one step down) — looped to a fixpoint. Every accepted
+    candidate both strictly decreases the (#rules, #tuples, constant-sum)
+    measure and still satisfies [check], so minimization terminates and the
+    result provably still fails. *)
+
+val minimize : check:(Gen.case -> bool) -> Gen.case -> Gen.case
+(** [minimize ~check c] assumes [check c = true] (the case fails) and
+    returns a minimal failing case. [check] must be deterministic — it is
+    re-run on every candidate. *)

@@ -12,9 +12,13 @@ type fast = {
   mutable heads : int array;
   nexts : Int_vec.t;
   keys : Int_vec.t;
-  wide : Int_vec.t;  (* used when farity > 2 *)
+  wide : Int_vec.t;  (* used when [packed] is false and farity > 1 *)
   mutable count : int;
   mutable mask : int;
+  mutable packed : bool;
+      (* arity-2 tables start packed and migrate to the wide layout on the
+         first tuple outside [0, 2^31) (e.g. a negative attribute); arity-1
+         keys are raw values and stay packed for any int *)
 }
 
 type impl = F of fast | B of (int array, unit) Hashtbl.t
@@ -41,6 +45,7 @@ let create ?(expected = 64) mode arity =
             wide = Int_vec.create ();
             count = 0;
             mask = cap - 1;
+            packed = arity <= 2;
           }
   in
   { mode; arity; impl; accounted = 0 }
@@ -56,13 +61,21 @@ let rehash f =
   let keys = Int_vec.unsafe_data f.keys in
   for slot = 0 to f.count - 1 do
     let h =
-      if f.farity <= 2 then Int_key.hash keys.(slot) land mask else keys.(slot) land mask
+      if f.packed then Int_key.hash keys.(slot) land mask else keys.(slot) land mask
     in
     nexts.(slot) <- heads.(h);
     heads.(h) <- slot
   done;
   f.heads <- heads;
   f.mask <- mask
+
+(* Fault injection for rs_fuzz: when set, the Fast paths deterministically
+   claim ~1/4 of fresh keys are duplicates, silently dropping derivations.
+   Exists only so the differential fuzzer can prove it catches a broken
+   dedup step; never set in production code. *)
+let chaos_drop = ref false
+
+let chaos_drops key = !chaos_drop && Int_key.hash key land 3 = 0
 
 (* --- packed (arity <= 2) path --- *)
 
@@ -74,6 +87,7 @@ let fast_add_packed f key =
     else walk (Int_vec.get f.nexts slot)
   in
   if walk f.heads.(h) then false
+  else if chaos_drops key then false
   else begin
     let slot = f.count in
     Int_vec.push f.keys key;
@@ -113,6 +127,7 @@ let fast_add_wide f row =
     else walk (Int_vec.get f.nexts slot)
   in
   if walk f.heads.(h) then false
+  else if chaos_drops hk then false
   else begin
     let slot = f.count in
     Int_vec.push f.keys hk;
@@ -134,14 +149,45 @@ let fast_mem_wide f row =
   in
   walk f.heads.(h)
 
-(* Arity-2 fast tables require attributes in [0, 2^31): the integer-mapped
-   active domains of every Datalog workload satisfy this (paper §5.2). *)
+(* Packed arity-2 keys require attributes in [0, 2^31): the integer-mapped
+   active domains of the paper's workloads satisfy this (§5.2), but parsed
+   programs and EDBs may carry negative constants. The first tuple outside
+   the packed range migrates the table to the wide layout: unpack every
+   stored pair, re-key by tuple hash, and rebuild the buckets in place. *)
+let migrate_to_wide f =
+  let keys = Int_vec.unsafe_data f.keys in
+  for slot = 0 to f.count - 1 do
+    let x, y = Int_key.unpack2 keys.(slot) in
+    Int_vec.push f.wide x;
+    Int_vec.push f.wide y;
+    keys.(slot) <- wide_hash [| x; y |]
+  done;
+  f.packed <- false;
+  Array.fill f.heads 0 (Array.length f.heads) (-1);
+  let nexts = Int_vec.unsafe_data f.nexts in
+  for slot = 0 to f.count - 1 do
+    let h = keys.(slot) land f.mask in
+    nexts.(slot) <- f.heads.(h);
+    f.heads.(h) <- slot
+  done
+
+let fast_add2 f x y =
+  if f.packed then
+    if Int_key.fits2 x y then fast_add_packed f (Int_key.pack2 x y)
+    else begin
+      migrate_to_wide f;
+      fast_add_wide f [| x; y |]
+    end
+  else fast_add_wide f [| x; y |]
+
+let fast_mem2 f x y =
+  if f.packed then Int_key.fits2 x y && fast_mem_packed f (Int_key.pack2 x y)
+  else fast_mem_wide f [| x; y |]
+
 let add2 t x y =
   assert (t.arity = 2);
   match t.impl with
-  | F f ->
-      assert (Int_key.fits2 x y);
-      fast_add_packed f (Int_key.pack2 x y)
+  | F f -> fast_add2 f x y
   | B h ->
       let k = [| x; y |] in
       if Hashtbl.mem h k then false
@@ -167,10 +213,7 @@ let add_row t row =
   match t.impl with
   | F f ->
       if t.arity = 1 then fast_add_packed f row.(0)
-      else if t.arity = 2 then begin
-        assert (Int_key.fits2 row.(0) row.(1));
-        fast_add_packed f (Int_key.pack2 row.(0) row.(1))
-      end
+      else if t.arity = 2 then fast_add2 f row.(0) row.(1)
       else fast_add_wide f row
   | B h ->
       if Hashtbl.mem h row then false
@@ -183,10 +226,7 @@ let mem_row t row =
   match t.impl with
   | F f ->
       if t.arity = 1 then fast_mem_packed f row.(0)
-      else if t.arity = 2 then begin
-        assert (Int_key.fits2 row.(0) row.(1));
-        fast_mem_packed f (Int_key.pack2 row.(0) row.(1))
-      end
+      else if t.arity = 2 then fast_mem2 f row.(0) row.(1)
       else fast_mem_wide f row
   | B h -> Hashtbl.mem h row
 

@@ -4,9 +4,11 @@
     entries are Compact Concatenated Keys: the whole tuple packed into one
     machine word that serves as key, value and hash at once. We provide:
 
-    - {!Fast}: the CCK-GSCHT. Tuples of arity <= 2 (with attributes below
-      2^31) are packed with {!Rs_util.Int_key.pack2}; wider tuples fall back
-      to a flattened arena with combined hashing, still pointer-free.
+    - {!Fast}: the CCK-GSCHT. Tuples of arity <= 2 are packed with
+      {!Rs_util.Int_key.pack2} while every attribute stays in [0, 2^31);
+      the first out-of-range pair (e.g. a negative constant from a parsed
+      program) migrates the table to the wider flattened-arena layout that
+      arity > 2 tuples always use — combined hashing, still pointer-free.
     - {!Boxed}: the "un-specialized" baseline used for the FAST-DEDUP-off
       ablation — a stdlib [Hashtbl] keyed by boxed [int array] tuples, which
       costs extra allocation, hashing and per-entry overhead.
@@ -22,6 +24,12 @@ val create : ?expected:int -> mode -> int -> t
 (** [create mode arity] makes an empty set. [expected] pre-sizes the bucket
     array, mirroring the paper's pre-allocation from the optimizer's
     estimate. *)
+
+val chaos_drop : bool ref
+(** Fault injection for rs_fuzz's self-test: when [true], the {!Fast} paths
+    deterministically drop ~1/4 of fresh insertions (claiming them
+    duplicates), so a differential run must diverge from the oracle. Never
+    set this in production code; {!Boxed} is unaffected. *)
 
 val mode : t -> mode
 

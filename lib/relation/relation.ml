@@ -66,6 +66,12 @@ let append_all dst src =
   if dst.arity <> src.arity then invalid_arg "Relation.append_all: arity mismatch";
   Array.iteri (fun i c -> Int_vec.append dst.cols.(i) c) src.cols
 
+(* Generation-bump audit (Index_manager invalidation contract): appends
+   (push*, append_all) deliberately do NOT bump — a grown relation is a
+   valid delta-append target for a live index. Every destructive mutation
+   MUST [touch]: without the bump here, a clear-then-repopulate that ends
+   at >= the indexed row count passes the manager's [indexed_rows <= nrows]
+   check and serves a stale index over rewritten rows. *)
 let clear t =
   Array.iter Int_vec.clear t.cols;
   touch t

@@ -51,8 +51,7 @@ let canonical (p : Ast.program) =
 (* FNV-1a, 64-bit. OCaml ints are 63-bit; masking to 60 bits keeps the fold
    well inside the native range while preserving avalanche behaviour good
    enough for cache keying. *)
-let hash p =
-  let s = canonical p in
+let hash_of_canonical s =
   let h = ref 0xbf29ce484222325 in
   String.iter
     (fun c ->
@@ -60,3 +59,5 @@ let hash p =
       h := !h * 0x100000001b3 land 0xFFFFFFFFFFFFFFF)
     s;
   Printf.sprintf "%016x" !h
+
+let hash p = hash_of_canonical (canonical p)

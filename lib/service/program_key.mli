@@ -15,4 +15,11 @@ val canonical : Recstep.Ast.program -> string
     sorted input and output declarations. *)
 
 val hash : Recstep.Ast.program -> string
-(** 16-hex-digit FNV-1a digest of {!canonical}. *)
+(** 16-hex-digit FNV-1a digest of {!canonical}. A digest is {e not} an
+    identity: the cache stores the canonical text alongside each entry and
+    verifies it on lookup (see {!Result_cache.find}). *)
+
+val hash_of_canonical : string -> string
+(** The digest of an already-canonicalized text ([hash p] is
+    [hash_of_canonical (canonical p)]). Exposed so tests can force
+    collisions and callers can hash once and reuse both forms. *)

@@ -10,9 +10,15 @@ type stats = {
   insertions : int;
   evictions : int;
   invalidations : int;
+  collisions : int;
 }
 
-type entry = { value : value; vbytes : int; mutable last_use : int }
+type entry = {
+  value : value;
+  canonical : string;  (* full canonical program text, verified on lookup *)
+  vbytes : int;
+  mutable last_use : int;
+}
 
 type t = {
   budget : int;
@@ -24,6 +30,7 @@ type t = {
   mutable insertions : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable collisions : int;
 }
 
 let create ~budget_bytes =
@@ -37,6 +44,7 @@ let create ~budget_bytes =
     insertions = 0;
     evictions = 0;
     invalidations = 0;
+    collisions = 0;
   }
 
 (* Rows live on the OCaml heap, not in Memtrack: header + pointer per row
@@ -50,15 +58,22 @@ let value_bytes (v : value) =
       acc + 64 + String.length name + (per_row * List.length rows))
     0 v
 
-let find t k =
+let find t k ~canonical =
   if t.budget = 0 then None
   else
     match Hashtbl.find_opt t.table k with
-    | Some e ->
+    | Some e when String.equal e.canonical canonical ->
         t.tick <- t.tick + 1;
         e.last_use <- t.tick;
         t.hits <- t.hits + 1;
         Some e.value
+    | Some _ ->
+        (* 60-bit FNV-1a hash collision: the key matched but the program is
+           a different one. Serving the entry would hand this tenant another
+           program's rows — count it and miss. *)
+        t.collisions <- t.collisions + 1;
+        t.misses <- t.misses + 1;
+        None
     | None ->
         t.misses <- t.misses + 1;
         None
@@ -85,16 +100,16 @@ let evict_lru t =
       t.evictions <- t.evictions + 1
   | None -> ()
 
-let add t k v =
+let add t k v ~canonical =
   if t.budget > 0 then begin
-    let vbytes = value_bytes v in
+    let vbytes = value_bytes v + String.length canonical in
     if vbytes <= t.budget then begin
       remove t k;
       while t.live_bytes + vbytes > t.budget && Hashtbl.length t.table > 0 do
         evict_lru t
       done;
       t.tick <- t.tick + 1;
-      Hashtbl.add t.table k { value = v; vbytes; last_use = t.tick };
+      Hashtbl.add t.table k { value = v; canonical; vbytes; last_use = t.tick };
       t.live_bytes <- t.live_bytes + vbytes;
       t.insertions <- t.insertions + 1
     end
@@ -118,4 +133,5 @@ let stats t =
     insertions = t.insertions;
     evictions = t.evictions;
     invalidations = t.invalidations;
+    collisions = t.collisions;
   }

@@ -2,11 +2,15 @@
 
     Repeated analytic queries are the serving workload's common case; the
     cache stores the {e canonical rows} of a finished query's outputs so an
-    identical resubmission is answered without touching the engines. The key
-    is exact — same canonicalized program ({!Program_key}), same database,
-    same version — so a stale hit is impossible by construction; eager
-    invalidation on a registered delta ({!invalidate_edb}) exists to free
-    the bytes, not for correctness.
+    identical resubmission is answered without touching the engines. The
+    key's program component is a 60-bit FNV-1a digest ({!Program_key.hash})
+    — a digest, not an identity — so every entry also carries the full
+    canonical program text and {!find} verifies it on lookup: a hash
+    collision is counted ([collisions]) and served as a miss, never as
+    another program's rows. With the text verified (and the EDB version in
+    the key), a stale or cross-program hit is impossible; eager invalidation
+    on a registered delta ({!invalidate_edb}) exists to free the bytes, not
+    for correctness.
 
     Eviction is LRU under a byte budget: every entry carries an estimate of
     its row storage, and inserting past the budget evicts least-recently-hit
@@ -26,19 +30,25 @@ type stats = {
   insertions : int;
   evictions : int;
   invalidations : int;  (** entries dropped by {!invalidate_edb} *)
+  collisions : int;
+      (** lookups whose key matched but whose canonical text did not — hash
+          collisions deflected to misses *)
 }
 
 type t
 
 val create : budget_bytes:int -> t
 
-val find : t -> key -> value option
-(** Refreshes the entry's recency on a hit; counts hit/miss. *)
+val find : t -> key -> canonical:string -> value option
+(** Refreshes the entry's recency on a verified hit; counts hit/miss. A key
+    match whose stored canonical text differs from [canonical] is a hash
+    collision: counted in [collisions] and returned as a miss. *)
 
-val add : t -> key -> value -> unit
+val add : t -> key -> value -> canonical:string -> unit
 (** Inserts (replacing any previous entry at [key]) and evicts LRU entries
-    until the budget holds. A value larger than the whole budget is not
-    stored. *)
+    until the budget holds; [canonical] is stored for lookup verification
+    and charged to the entry's bytes. A value larger than the whole budget
+    is not stored. *)
 
 val invalidate_edb : t -> string -> int
 (** Drop every entry for the named database, any version; returns how many

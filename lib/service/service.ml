@@ -217,15 +217,22 @@ let run ?(config = config ()) ~edb:store events =
     let started = !clock in
     Trace.begin_span trace ~kind:"service" (sub.tenant ^ "/" ^ sub.sub_id);
     let version = Edb_store.version store sub.edb in
+    (* hash once, keep the canonical text: the cache verifies it on lookup
+       so an FNV-1a collision between tenants can never serve foreign rows *)
+    let canonical = Program_key.canonical sub.program in
     let key =
-      { Result_cache.program = Program_key.hash sub.program; edb = sub.edb; edb_version = version }
+      {
+        Result_cache.program = Program_key.hash_of_canonical canonical;
+        edb = sub.edb;
+        edb_version = version;
+      }
     in
     let deadline_left = Option.map (fun d -> d -. (started -. sub.at)) sub.deadline_vs in
     let outcome, cost, cache_hit, retries =
       match deadline_left with
       | Some d when d <= 0.0 -> (Timeout, 0.0, false, 0)
       | _ -> (
-          match Result_cache.find cache key with
+          match Result_cache.find cache key ~canonical with
           | Some v ->
               bump "cache_hit" 1;
               (Done v, config.cache_hit_cost_s, true, 0)
@@ -261,7 +268,7 @@ let run ?(config = config ()) ~edb:store events =
                           (n, Relation.sorted_distinct_rows (result.Engine_intf.relation_of n)))
                         (output_names sub.program)
                     in
-                    Result_cache.add cache key rows;
+                    Result_cache.add cache key rows ~canonical;
                     Done rows
                 | Engine_intf.Oom -> Oom
                 | Engine_intf.Timeout -> Timeout
@@ -376,6 +383,7 @@ let report_json r =
             ("insertions", Json.Int cache.Result_cache.insertions);
             ("evictions", Json.Int cache.Result_cache.evictions);
             ("invalidations", Json.Int cache.Result_cache.invalidations);
+            ("collisions", Json.Int cache.Result_cache.collisions);
           ] );
       ("queries", Json.List (List.map query r.completions));
     ]

@@ -141,3 +141,66 @@ let relation_of_edges ?(name = "arc") edges =
   Recstep.Frontend.edges ~name edges
 
 let sorted_pairs rows = List.sort compare (List.map (fun r -> (r.(0), r.(1))) rows)
+
+(* --- fuzz regression corpus ---------------------------------------------
+   Named (program source, EDB) cases diffed against the naive oracle across
+   every engine and toggle configuration. The first two are minimal
+   reproducers for real bugs the differential fuzzer caught. *)
+
+let fuzz_corpus : (string * string * (string * int list list) list) list =
+  [
+    (* Souffle-like evaluated per-row equality checks before binding the
+       row's registers, so a repeated variable inside one atom compared
+       against a stale register (lost and phantom tuples). *)
+    ( "repeated var with const and cmp",
+      ".input e0\n.input e1\np0(w, w, w) :- e0(w, w), e1(1, w), w < 2.\n.output p0",
+      [ ("e0", [ [ 1; 1 ] ]); ("e1", [ [ 1; 1 ] ]) ] );
+    (* bddbddb-like sized its bit width from the EDB active domain only, so
+       a rule constant wider than any EDB value was truncated and aliased a
+       small value (phantom tuples). *)
+    ( "rule constant wider than EDB domain",
+      ".input e0\np0(y, y) :- e0(6, y).\n.output p0",
+      [ ("e0", [ [ 0; 0 ] ]) ] );
+    ( "tc over a disconnected graph",
+      ".input e0\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y).\n\
+       .output p0",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 5; 6 ]; [ 6; 5 ] ]) ] );
+    ( "mutual recursion",
+      ".input e0\n\
+       p0(x, y) :- e0(x, y).\n\
+       p1(x, y) :- p0(x, z), e0(z, y).\n\
+       p0(x, y) :- p1(x, z), e0(z, y).\n\
+       .output p0\n.output p1",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] ]) ] );
+    ( "negation against a lower stratum",
+      ".input e0\n.input e1\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y).\n\
+       p1(x, y) :- p0(x, y), !e1(x, y).\n\
+       .output p0\n.output p1",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ]); ("e1", [ [ 0; 2 ]; [ 1; 1 ] ]) ] );
+    ( "duplicate identical rules",
+      ".input e0\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y).\n\
+       .output p0",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ] ]) ] );
+    ( "comparisons and arithmetic",
+      ".input e0\n\
+       p0(x, y) :- e0(x, y), x < y, y <= 4.\n\
+       p1(x) :- e0(x, y), y = x + 1.\n\
+       .output p0\n.output p1",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 3 ]; [ 3; 7 ]; [ 2; 2 ]; [ 4; 5 ] ]) ] );
+    ( "ternary recursion with wildcard",
+      ".input e1\n\
+       p0(x, y, z) :- e1(x, y, z).\n\
+       p0(x, y, w) :- p0(x, y, _), e1(y, w, w).\n\
+       .output p0",
+      [ ("e1", [ [ 0; 1; 2 ]; [ 1; 2; 2 ]; [ 2; 0; 0 ] ]) ] );
+    ( "empty edb",
+      ".input e0\np0(x, y) :- e0(x, y).\np0(x, y) :- p0(x, z), e0(z, y).\n.output p0",
+      [ ("e0", []) ] );
+  ]

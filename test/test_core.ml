@@ -366,6 +366,62 @@ let test_eost_io_accounting () =
   in
   check "per-query writes more than EOST" true (io false > io true)
 
+(* --- lexer/parser edge cases --------------------------------------------- *)
+
+let test_lexer_comment_at_eof () =
+  (* a line comment terminated by end-of-input, not a newline *)
+  List.iter
+    (fun src ->
+      let p = Parser.parse src in
+      Alcotest.(check int) "one rule" 1 (List.length p.Ast.rules))
+    [ "p(1). % trailing"; "p(1). // trailing"; "p(1). # trailing"; "p(1). %" ]
+
+let test_parser_negative_constants () =
+  let r = Parser.parse_rule "p(-3, x) :- e(x, -1), x > -2." in
+  (match r.Ast.head_args with
+  | [ Ast.H_term (Ast.Const -3); _ ] -> ()
+  | _ -> Alcotest.fail "head constant should parse as -3");
+  check "negative in body atom" true
+    (List.exists
+       (function Ast.L_pos a -> List.mem (Ast.Const (-1)) a.Ast.args | _ -> false)
+       r.Ast.body);
+  check "negative in comparison" true
+    (List.exists
+       (function Ast.L_cmp (Ast.Gt, _, Ast.T (Ast.Const -2)) -> true | _ -> false)
+       r.Ast.body);
+  (* negative values survive a full evaluation round-trip *)
+  let edb = [ ("e", Rs_relation.Relation.of_rows ~name:"e" 2 [ [| -5; 2 |]; [| 1; 3 |] ]) ] in
+  let result, _ = Frontend.run_text ~edb ".input e\nq(x, y) :- e(x, y), x < 0.\n.output q" in
+  check "negative tuple kept" true
+    (List.map Array.to_list
+       (Rs_relation.Relation.sorted_distinct_rows (result.Interpreter.relation_of "q"))
+    = [ [ -5; 2 ] ])
+
+let test_parser_duplicate_rules () =
+  (* duplicate identical rules are legal and idempotent *)
+  let src = ".input e\np(x, y) :- e(x, y).\np(x, y) :- e(x, y).\n.output p" in
+  let p = Parser.parse src in
+  Alcotest.(check int) "both rules kept" 2 (List.length p.Ast.rules);
+  check "rules identical" true (List.nth p.Ast.rules 0 = List.nth p.Ast.rules 1);
+  let edb = [ ("e", Rs_relation.Relation.of_rows ~name:"e" 2 [ [| 1; 2 |] ]) ] in
+  let result, _ = Frontend.run_text ~edb src in
+  Alcotest.(check int) "no duplicate output tuples" 1
+    (Rs_relation.Relation.nrows (result.Interpreter.relation_of "p"))
+
+let test_parser_crlf_line_numbers () =
+  (* CRLF input must lex cleanly and report errors with the right line *)
+  let ok = Parser.parse ".input e\r\np(x, y) :- e(x, y).\r\n.output p\r\n" in
+  Alcotest.(check int) "crlf parses" 1 (List.length ok.Ast.rules);
+  check "crlf error line" true
+    (match Parser.parse "p(1).\r\nq(x" with
+    | exception Parser.Error { line = 2; _ } -> true
+    | exception Lexer.Error { line = 2; _ } -> true
+    | _ -> false);
+  check "crlf lexer error line" true
+    (match Lexer.tokenize "% c\r\n\r\n@" with
+    | exception Lexer.Error { line = 3; _ } -> true
+    | _ -> false)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -403,5 +459,9 @@ let suite =
     Alcotest.test_case "facts + negation" `Quick test_interpreter_facts_and_negation;
     Alcotest.test_case "interpreter stats" `Quick test_interpreter_stats;
     Alcotest.test_case "EOST io accounting" `Quick test_eost_io_accounting;
+    Alcotest.test_case "lexer comment at EOF" `Quick test_lexer_comment_at_eof;
+    Alcotest.test_case "parser negative constants" `Quick test_parser_negative_constants;
+    Alcotest.test_case "parser duplicate rules" `Quick test_parser_duplicate_rules;
+    Alcotest.test_case "parser CRLF line numbers" `Quick test_parser_crlf_line_numbers;
   ]
   @ qsuite

@@ -248,6 +248,39 @@ let test_index_manager_lifecycle () =
   Index_manager.release_all m;
   Alcotest.(check int) "release_all returns bytes" 0 (Rs_storage.Memtrack.live ())
 
+(* Regression for the invalidation contract: a clear-then-repopulate that
+   ends at MORE rows than were indexed. Identity is unchanged and
+   [indexed_rows <= nrows] holds, so only the generation bump in
+   [Relation.clear] forces the rebuild — remove the [touch] there and the
+   manager append-extends the stale index: rows 0..1 stay linked under the
+   old tuples' hash buckets and the lookups below go wrong. *)
+let test_index_manager_clear_repopulate () =
+  Rs_storage.Memtrack.hard_reset ();
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let m = Index_manager.create ~persistent:(fun _ -> true) pool in
+  let r = Relation.of_rows 2 [ [| 1; 2 |]; [| 3; 4 |] ] in
+  let i1 = Index_manager.get m ~name:"scratch" r [| 0 |] in
+  Alcotest.(check int) "initial build" 1 (Index_manager.builds m);
+  check "old key present" true (Hash_index.mem i1 [| 1; 2 |]);
+  (* scratch-table pattern of a multi-stratum program: same physical
+     relation cleared and refilled within one fixpoint, growing past the
+     previously indexed count *)
+  Relation.clear r;
+  Relation.push2 r 5 6;
+  Relation.push2 r 7 8;
+  Relation.push2 r 9 10;
+  let i2 = Index_manager.get m ~name:"scratch" r [| 0 |] in
+  Alcotest.(check int) "rewrite forces a rebuild, not an append" 2
+    (Index_manager.builds m);
+  Alcotest.(check int) "no stale append" 0 (Index_manager.appends m);
+  Alcotest.(check int) "index covers the new rows only" 3 (Hash_index.indexed_rows i2);
+  check "new keys found" true
+    (Hash_index.mem i2 [| 5; 6 |] && Hash_index.mem i2 [| 7; 8 |]
+    && Hash_index.mem i2 [| 9; 10 |]);
+  check "old keys gone" false (Hash_index.mem i2 [| 1; 2 |]);
+  Index_manager.release_all m
+
 let test_executor_uses_manager () =
   (* a join against a managed table twice: second query must be a reuse hit,
      and results must match the unmanaged executor exactly *)
@@ -291,6 +324,8 @@ let suite =
     Alcotest.test_case "observed mu" `Quick test_observed_mu;
     Alcotest.test_case "build cache sharing" `Quick test_share_builds_cache;
     Alcotest.test_case "index manager lifecycle" `Quick test_index_manager_lifecycle;
+    Alcotest.test_case "index manager clear-repopulate" `Quick
+      test_index_manager_clear_repopulate;
     Alcotest.test_case "executor reuses managed index" `Quick test_executor_uses_manager;
   ]
   @ qsuite

@@ -1,0 +1,172 @@
+(* rs_fuzz: the naive oracle, the differential driver, the shrinker, and the
+   regression corpus of minimal reproducers. *)
+
+module Gen = Rs_fuzz.Gen
+module Differ = Rs_fuzz.Differ
+module Shrink = Rs_fuzz.Shrink
+module Fuzz = Rs_fuzz.Fuzz
+module Naive = Recstep.Naive
+module Parser = Recstep.Parser
+module Interpreter = Recstep.Interpreter
+module Relation = Rs_relation.Relation
+module Dedup = Rs_relation.Dedup
+module Pool = Rs_parallel.Pool
+
+let check = Alcotest.(check bool)
+
+let case_of src edb = { Gen.case_seed = 0; program = Parser.parse src; edb }
+
+(* --- the oracle ---------------------------------------------------------- *)
+
+let test_oracle_tc () =
+  let edges = [ (0, 1); (1, 2); (2, 3); (5, 6); (6, 5) ] in
+  let edb = [ ("arc", List.map (fun (a, b) -> [ a; b ]) edges) ] in
+  let program =
+    Parser.parse
+      ".input arc\ntc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).\n.output tc"
+  in
+  let idbs, rows_of = Naive.run ~edb program in
+  check "tc is the only idb" true (idbs = [ "tc" ]);
+  let expect =
+    List.sort compare
+      (List.map (fun (a, b) -> [ a; b ]) (Refs.IntPairSet.elements (Refs.transitive_closure edges)))
+  in
+  Alcotest.(check (list (list int))) "tc matches reference" expect (rows_of "tc")
+
+let test_oracle_negation () =
+  let edb = [ ("e0", [ [ 0; 1 ]; [ 1; 2 ] ]); ("e1", [ [ 0; 1 ] ]) ] in
+  let program =
+    Parser.parse
+      ".input e0\n.input e1\np0(x, y) :- e0(x, y), !e1(x, y).\n.output p0"
+  in
+  let _, rows_of = Naive.run ~edb program in
+  Alcotest.(check (list (list int))) "negation filters" [ [ 1; 2 ] ] (rows_of "p0")
+
+let test_oracle_rejects_aggregates () =
+  let program = Parser.parse ".input e\nh(x, MIN(y)) :- e(x, y).\n.output h" in
+  check "aggregates unsupported" true
+    (match Naive.run ~edb:[ ("e", [ [ 1; 2 ] ]) ] program with
+    | exception Naive.Unsupported_feature _ -> true
+    | _ -> false)
+
+(* --- generator determinism ----------------------------------------------- *)
+
+let test_gen_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Gen.gen_case ~seed and b = Gen.gen_case ~seed in
+      check "same seed, same source" true (Gen.case_to_source a = Gen.case_to_source b);
+      check "same seed, same edb" true (a.Gen.edb = b.Gen.edb);
+      (* the printed case must round-trip through the frontend *)
+      let reparsed = Parser.parse (Gen.case_to_source a) in
+      check "case reparses" true (List.length reparsed.Recstep.Ast.rules >= 1))
+    [ 1; 7; 42; 1000; 424242 ]
+
+(* --- regression corpus across every runner ------------------------------- *)
+
+let test_corpus_all_runners () =
+  let runners = Differ.all_runners () in
+  List.iter
+    (fun (tag, src, edb) ->
+      let case = case_of src edb in
+      let oracle = Differ.oracle_of_case case in
+      List.iter
+        (fun (r : Differ.runner) ->
+          match r.Differ.run case oracle with
+          | Differ.Agree | Differ.Skipped _ -> ()
+          | Differ.Diverged ms ->
+              Alcotest.fail
+                (Printf.sprintf "%s diverged on %S (%s)" r.Differ.rname tag
+                   (String.concat ", " (List.map (fun m -> m.Differ.pred) ms)))
+          | Differ.Failed m ->
+              Alcotest.fail (Printf.sprintf "%s failed on %S: %s" r.Differ.rname tag m))
+        runners)
+    Refs.fuzz_corpus
+
+(* --- a small fixed-seed campaign ----------------------------------------- *)
+
+let test_campaign_clean () =
+  let r = Fuzz.run ~seed:7 ~iters:8 () in
+  check "clean" true (Fuzz.clean r);
+  Alcotest.(check int) "cases" 8 r.Fuzz.cases;
+  (* the counter identities the CI smoke also asserts *)
+  Alcotest.(check int) "runs add up" r.Fuzz.runs_total
+    (r.Fuzz.runs_ok + r.Fuzz.runs_skipped + r.Fuzz.runs_diverged + r.Fuzz.runs_failed);
+  Alcotest.(check int) "total = valid cases x runners"
+    ((r.Fuzz.cases - r.Fuzz.invalid) * r.Fuzz.n_runners)
+    r.Fuzz.runs_total
+
+(* --- fault injection: the campaign must catch a seeded dedup bug --------- *)
+
+let test_fault_injection_caught_and_shrunk () =
+  let runner =
+    Differ.toggle_runner
+      {
+        Differ.persistent_indexes = true;
+        dsd = Interpreter.Dsd_dynamic;
+        pbme = false;
+        fast_dedup = true;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> Dedup.chaos_drop := false)
+    (fun () ->
+      Dedup.chaos_drop := true;
+      let r = Fuzz.run ~runners:[ runner ] ~seed:42 ~iters:15 () in
+      check "fault caught" true (r.Fuzz.runs_diverged > 0);
+      let shrunk =
+        List.filter_map (fun d -> d.Fuzz.div_shrunk) r.Fuzz.divergences
+      in
+      check "at least one reproducer shrunk" true (shrunk <> []);
+      List.iter
+        (fun c ->
+          let rules, tuples = Gen.size c in
+          check "reproducer has <= 3 rules" true (rules <= 3);
+          check "reproducer has <= 10 tuples" true (tuples <= 10))
+        shrunk)
+
+(* --- semi-naive: an empty delta skips the plans it drives ----------------- *)
+
+let test_empty_delta_skips_plans () =
+  (* p and q are mutually recursive, but c is empty so q never derives a
+     tuple: Δq is empty in every round and the Δq-driven variant of the
+     third rule must never be issued. Query count: iteration 0 evaluates
+     only the delta-free rule (p :- e, 1 query; rules with recursive
+     occurrences read empty IDBs there); round 1 evaluates q's live
+     Δp-driven plan (1 query, derives nothing) and SKIPS p's Δq-driven
+     plan. Without the empty-delta skip the count would be 3. *)
+  let src =
+    ".input e\n.input c\n\
+     p(x, y) :- e(x, y).\n\
+     q(x, y) :- p(x, y), c(x, x).\n\
+     p(x, y) :- q(x, z), e(z, y).\n\
+     .output p\n.output q"
+  in
+  let program = Parser.parse src in
+  let edb =
+    [
+      ("e", Relation.of_rows ~name:"e" 2 [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |]; [| 3; 4 |] ]);
+      ("c", Relation.of_rows ~name:"c" 2 []);
+    ]
+  in
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let result = Interpreter.run ~pool ~edb program in
+  check "p = e" true
+    (List.map Array.to_list (Relation.sorted_distinct_rows (result.Interpreter.relation_of "p"))
+    = [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]);
+  check "q empty" true (Relation.nrows (result.Interpreter.relation_of "q") = 0);
+  Alcotest.(check int) "dead delta plans are never evaluated" 2 result.Interpreter.queries
+
+let suite =
+  [
+    Alcotest.test_case "oracle: transitive closure" `Quick test_oracle_tc;
+    Alcotest.test_case "oracle: negation" `Quick test_oracle_negation;
+    Alcotest.test_case "oracle: rejects aggregates" `Quick test_oracle_rejects_aggregates;
+    Alcotest.test_case "generator determinism" `Quick test_gen_deterministic;
+    Alcotest.test_case "corpus: all runners agree with the oracle" `Quick test_corpus_all_runners;
+    Alcotest.test_case "fixed-seed campaign is clean" `Quick test_campaign_clean;
+    Alcotest.test_case "injected dedup fault caught and shrunk" `Quick
+      test_fault_injection_caught_and_shrunk;
+    Alcotest.test_case "empty delta skips its plans" `Quick test_empty_delta_skips_plans;
+  ]

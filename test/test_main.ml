@@ -15,5 +15,6 @@ let () =
       ("datagen", Test_datagen.suite);
       ("integration", Test_integration.suite);
       ("invariants", Test_invariants.suite);
+      ("fuzz", Test_fuzz.suite);
       ("benchkit", Test_benchkit.suite);
     ]

@@ -44,35 +44,56 @@ let test_program_key () =
 let test_result_cache () =
   let key v = { Result_cache.program = "p"; edb = "g"; edb_version = v } in
   let value rows = [ ("out", rows) ] in
+  let canonical = "tc(v0, v1) :- arc(v0, v1)." in
+  let find c k = Result_cache.find c k ~canonical in
   let c = Result_cache.create ~budget_bytes:4096 in
-  Alcotest.(check bool) "miss on empty" true (Result_cache.find c (key 1) = None);
-  Result_cache.add c (key 1) (value [ [| 1; 2 |] ]);
-  Alcotest.(check bool) "hit" true (Result_cache.find c (key 1) <> None);
-  Alcotest.(check bool) "version is part of the key" true (Result_cache.find c (key 2) = None);
+  Alcotest.(check bool) "miss on empty" true (find c (key 1) = None);
+  Result_cache.add c (key 1) (value [ [| 1; 2 |] ]) ~canonical;
+  Alcotest.(check bool) "hit" true (find c (key 1) <> None);
+  Alcotest.(check bool) "version is part of the key" true (find c (key 2) = None);
   let dropped = Result_cache.invalidate_edb c "g" in
   Alcotest.(check int) "invalidation drops the entry" 1 dropped;
-  Alcotest.(check bool) "gone" true (Result_cache.find c (key 1) = None);
+  Alcotest.(check bool) "gone" true (find c (key 1) = None);
   let s = Result_cache.stats c in
   Alcotest.(check int) "hits counted" 1 s.Result_cache.hits;
   Alcotest.(check int) "invalidations counted" 1 s.Result_cache.invalidations;
   (* zero budget disables storage entirely *)
   let off = Result_cache.create ~budget_bytes:0 in
-  Result_cache.add off (key 1) (value [ [| 1; 2 |] ]);
-  Alcotest.(check bool) "budget 0 never stores" true (Result_cache.find off (key 1) = None)
+  Result_cache.add off (key 1) (value [ [| 1; 2 |] ]) ~canonical;
+  Alcotest.(check bool) "budget 0 never stores" true (find off (key 1) = None)
+
+(* The key's program component is a 60-bit hash. Two different programs can
+   (adversarially or by bad luck) share it; the lookup must verify the full
+   canonical text and deflect the clash to a miss instead of serving the
+   other tenant's rows. *)
+let test_result_cache_collision () =
+  let key = { Result_cache.program = "deadbeef"; edb = "g"; edb_version = 1 } in
+  let c = Result_cache.create ~budget_bytes:4096 in
+  Result_cache.add c key [ ("out", [ [| 1; 2 |] ]) ] ~canonical:"tc(v0, v1) :- arc(v0, v1).";
+  Alcotest.(check bool) "same hash, same program: hit" true
+    (Result_cache.find c key ~canonical:"tc(v0, v1) :- arc(v0, v1)." <> None);
+  Alcotest.(check bool) "same hash, different program: miss" true
+    (Result_cache.find c key ~canonical:"sg(v0, v1) :- arc(v2, v0), arc(v2, v1)." = None);
+  let s = Result_cache.stats c in
+  Alcotest.(check int) "collision counted" 1 s.Result_cache.collisions;
+  Alcotest.(check int) "collision is also a miss" 1 s.Result_cache.misses;
+  Alcotest.(check int) "true hit still counted" 1 s.Result_cache.hits
 
 let test_result_cache_lru () =
   let big = List.init 64 (fun i -> [| i; i |]) in
   let key n = { Result_cache.program = n; edb = "g"; edb_version = 1 } in
+  let canonical = "" in
   let bytes = Result_cache.value_bytes [ ("out", big) ] in
   (* room for two entries, not three *)
   let c = Result_cache.create ~budget_bytes:(2 * bytes) in
-  Result_cache.add c (key "a") [ ("out", big) ];
-  Result_cache.add c (key "b") [ ("out", big) ];
-  ignore (Result_cache.find c (key "a"));
+  Result_cache.add c (key "a") [ ("out", big) ] ~canonical;
+  Result_cache.add c (key "b") [ ("out", big) ] ~canonical;
+  ignore (Result_cache.find c (key "a") ~canonical);
   (* "b" is now least recently used; inserting "c" must evict it *)
-  Result_cache.add c (key "c") [ ("out", big) ];
-  Alcotest.(check bool) "recently-used survives" true (Result_cache.find c (key "a") <> None);
-  Alcotest.(check bool) "lru evicted" true (Result_cache.find c (key "b") = None);
+  Result_cache.add c (key "c") [ ("out", big) ] ~canonical;
+  Alcotest.(check bool) "recently-used survives" true
+    (Result_cache.find c (key "a") ~canonical <> None);
+  Alcotest.(check bool) "lru evicted" true (Result_cache.find c (key "b") ~canonical = None);
   let s = Result_cache.stats c in
   Alcotest.(check int) "one eviction" 1 s.Result_cache.evictions;
   Alcotest.(check bool) "budget holds" true (s.Result_cache.bytes <= 2 * bytes)
@@ -253,6 +274,7 @@ let suite =
     Alcotest.test_case "program key canonicalization" `Quick test_program_key;
     Alcotest.test_case "result cache basics" `Quick test_result_cache;
     Alcotest.test_case "result cache LRU eviction" `Quick test_result_cache_lru;
+    Alcotest.test_case "result cache hash collision" `Quick test_result_cache_collision;
     Alcotest.test_case "cache hit + invalidation on delta" `Quick
       test_service_cache_and_invalidation;
     Alcotest.test_case "admission: memory budget" `Quick test_admission_memory;
