@@ -145,12 +145,13 @@ with open(sys.argv[1]) as f:
     r = json.load(f)
 c = r["counters"]
 need = {"submitted", "admitted", "rejected", "done", "oom", "timeout",
-        "unsupported", "cache_hit", "cache_miss", "retried", "deadline_miss"}
+        "unsupported", "fault", "cache_hit", "cache_miss", "retried",
+        "degraded", "deadline_miss"}
 missing = need - set(c)
 assert not missing, "missing counters: %s" % missing
 assert c["submitted"] == c["admitted"] + c["rejected"], "submitted identity"
-assert c["admitted"] == c["done"] + c["oom"] + c["timeout"] + c["unsupported"], \
-    "admitted identity"
+assert c["admitted"] == c["done"] + c["oom"] + c["timeout"] + c["unsupported"] \
+    + c["fault"], "admitted identity"
 assert c["cache_hit"] > 0, "demo workload produced no cache hits"
 assert len(r["queries"]) == c["submitted"], "one disposition per submission"
 print("serve OK: %d submitted, %d served, %d cache hits, p95=%.4fs"
@@ -162,5 +163,47 @@ else
   test -s "$tmp/serve.json"
   echo "service report written (python3 unavailable, JSON not validated)"
 fi
+
+echo "== chaos smoke =="
+# A fixed-seed chaos campaign: seeded fault plans (allocation failures,
+# forced txn aborts, worker crashes and stalls, dedup/index build failures,
+# cache corruption) composed with the fuzz generator through the full
+# serving stack. Every faulted case must end correct or typed-rejected,
+# with live bytes back at the pre-case baseline.
+dune exec bin/recstep_cli.exe -- chaos --seed 42 --iters 50 \
+  --report "$tmp/chaos.json" >/dev/null
+
+cat >"$tmp/validate_chaos.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["clean"], "chaos campaign not clean: %s" % r["violations"]
+assert r["violations"] == [], "chaos campaign has violations"
+assert r["leaks"] == 0, "chaos campaign leaked live bytes"
+assert r["fault_classes"] >= 5, \
+    "too few fault classes exercised: %d" % r["fault_classes"]
+assert r["recovered"] > 0, "no faulted case recovered to a correct answer"
+assert r["rejected_typed"] > 0, "no case ended in a typed rejection"
+print("chaos OK: seed %d, %d cases, %d fault classes (%s), "
+      "%d recovered, %d typed rejections"
+      % (r["seed"], r["cases"], r["fault_classes"],
+         ",".join(sorted(r["injected"])), r["recovered"], r["rejected_typed"]))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_chaos.py" "$tmp/chaos.json"
+else
+  test -s "$tmp/chaos.json"
+  echo "chaos report written (python3 unavailable, JSON not validated)"
+fi
+
+# Self-test: a plan that silently corrupts dedup MUST trip the oracle and
+# exit non-zero — a harness that stays green under seeded silent corruption
+# proves nothing.
+if dune exec bin/recstep_cli.exe -- chaos --seed 7 --iters 5 \
+  --plan "dedup_drop:p=0.5" --report "$tmp/chaos_trip.json" >/dev/null 2>&1; then
+  echo "chaos self-test FAILED: seeded silent corruption was not detected"
+  exit 1
+fi
+echo "chaos self-test OK: seeded silent corruption detected and reported"
 
 echo "== check passed =="

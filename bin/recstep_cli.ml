@@ -121,7 +121,9 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
                 result.Rs_engines.Engine_intf.relation_of
             | Oom -> die "%s: out of (simulated) memory" name
             | Timeout -> die "%s: simulated deadline exceeded" name
-            | Unsupported m -> die "unsupported program: %s" m)
+            | Unsupported m -> die "unsupported program: %s" m
+            | Fault { cls; point } ->
+                die "%s: injected fault %s at %s" name (Rs_chaos.Fault.cls_name cls) point)
         | None ->
             die "unknown engine %S (known: %s)" name
               (String.concat ", " (List.map Rs_engines.Engines.name Rs_engines.Engines.all)))
@@ -194,10 +196,19 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget rep
   if verbose then print_string (Rs_obs.Trace.summary report.Rs_service.Service.trace)
 
 let fuzz_cmd seed iters out_dir report_path verbose inject_dedup_fault =
-  if inject_dedup_fault then Rs_relation.Dedup.chaos_drop := true;
   let log = if verbose then prerr_endline else fun (_ : string) -> () in
-  let report = Rs_fuzz.Fuzz.run ~log ~seed ~iters () in
-  Rs_relation.Dedup.chaos_drop := false;
+  let campaign () = Rs_fuzz.Fuzz.run ~log ~seed ~iters () in
+  let report =
+    (* self-test: arm a scoped dedup-drop plan for exactly the campaign; the
+       scope (not a bare global flag) guarantees nothing stays injected if
+       the campaign dies halfway *)
+    if inject_dedup_fault then
+      Rs_chaos.Inject.with_plan
+        (Rs_chaos.Fault.plan ~seed
+           [ Rs_chaos.Fault.spec ~p:0.25 Rs_chaos.Fault.Dedup_drop ])
+        campaign
+    else campaign ()
+  in
   Printf.printf
     "fuzz: seed=%d cases=%d (invalid=%d) runners=%d runs=%d: ok=%d skipped=%d \
      diverged=%d failed=%d\n"
@@ -221,6 +232,43 @@ let fuzz_cmd seed iters out_dir report_path verbose inject_dedup_fault =
       with Sys_error msg -> die "cannot write report: %s" msg)
   | None -> ());
   if not (Rs_fuzz.Fuzz.clean report) then exit 1
+
+let chaos_cmd seed iters plan report_path verbose =
+  let log = if verbose then prerr_endline else fun (_ : string) -> () in
+  let report =
+    match Rs_fuzz.Chaos_harness.run ~log ?plan ~seed ~iters () with
+    | r -> r
+    | exception Rs_chaos.Fault.Parse_error m -> die "bad --plan: %s" m
+  in
+  Printf.printf
+    "chaos: seed=%d cases=%d (invalid=%d) classes=%d recovered=%d typed_rejections=%d \
+     leaks=%d violations=%d\n"
+    report.Rs_fuzz.Chaos_harness.seed report.Rs_fuzz.Chaos_harness.cases
+    report.Rs_fuzz.Chaos_harness.invalid
+    (List.length report.Rs_fuzz.Chaos_harness.injected)
+    report.Rs_fuzz.Chaos_harness.recovered report.Rs_fuzz.Chaos_harness.rejected_typed
+    report.Rs_fuzz.Chaos_harness.leaks
+    (List.length report.Rs_fuzz.Chaos_harness.violations);
+  List.iter
+    (fun (c, n) -> Printf.printf "  injected %-10s %d\n" (Rs_chaos.Fault.cls_name c) n)
+    report.Rs_fuzz.Chaos_harness.injected;
+  List.iter
+    (fun v ->
+      Printf.printf "  VIOLATION case %d (seed %d, plan %s): %s\n"
+        v.Rs_fuzz.Chaos_harness.v_iter v.Rs_fuzz.Chaos_harness.v_seed
+        v.Rs_fuzz.Chaos_harness.v_plan v.Rs_fuzz.Chaos_harness.v_msg)
+    report.Rs_fuzz.Chaos_harness.violations;
+  (match report_path with
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc
+          (Rs_obs.Json.to_string (Rs_fuzz.Chaos_harness.report_json report));
+        output_char oc '\n';
+        close_out oc
+      with Sys_error msg -> die "cannot write report: %s" msg)
+  | None -> ());
+  if not (Rs_fuzz.Chaos_harness.clean report) then exit 1
 
 let gen_cmd kind n m p seed out =
   let rel =
@@ -330,6 +378,20 @@ let fuzz_term =
     const fuzz_cmd $ fuzz_seed_arg $ iters_arg $ fuzz_out_arg $ fuzz_report_arg
     $ verbose_arg $ inject_dedup_fault_arg)
 
+let chaos_iters_arg =
+  Arg.(value & opt int 50 & info [ "iters"; "n" ] ~docv:"K" ~doc:"number of chaos cases (program x fault plan) to run")
+
+let plan_arg =
+  Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc:"force one fault plan for every case instead of the builtin rotation; syntax: 'class:key=value,...;class:...' with classes mem, txn, stall, crash, dedup, dedup_drop, index, cache — e.g. 'mem:p=1,threshold=65536,limit=1;crash:p=0.5'")
+
+let chaos_report_arg =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"write the campaign report (per-class fire counts, outcome histogram, violations, leaks) to FILE as JSON")
+
+let chaos_term =
+  Term.(
+    const chaos_cmd $ fuzz_seed_arg $ chaos_iters_arg $ plan_arg $ chaos_report_arg
+    $ verbose_arg)
+
 let () =
   let run = Cmd.v (Cmd.info "run" ~doc:"evaluate a Datalog program") run_term in
   let serve =
@@ -351,5 +413,16 @@ let () =
             reproducers (exit 1 on any divergence or failure)")
       fuzz_term
   in
-  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; gen; fuzz ] in
+  let chaos =
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "chaos campaign: generated programs run through the serving stack under \
+            seeded fault plans (allocation failures, txn aborts, worker stalls and \
+            crashes, dedup/index failures, cache corruption); every case must end in \
+            a correct result or a typed rejection with no memory leaked (exit 1 \
+            otherwise)")
+      chaos_term
+  in
+  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; gen; fuzz; chaos ] in
   exit (Cmd.eval main)

@@ -26,7 +26,9 @@ let () =
                   (result.Engine_intf.relation_of "tc")))
       | Engine_intf.Unsupported msg -> Printf.printf "%-24s %s\n" E.name msg
       | Engine_intf.Oom -> Printf.printf "%-24s OOM\n" E.name
-      | Engine_intf.Timeout -> Printf.printf "%-24s timeout\n" E.name)
+      | Engine_intf.Timeout -> Printf.printf "%-24s timeout\n" E.name
+      | Engine_intf.Fault { cls; _ } ->
+          Printf.printf "%-24s fault:%s\n" E.name (Rs_chaos.Fault.cls_name cls))
     Rs_engines.Engines.all;
 
   (* capability envelope: who refuses what *)

@@ -36,6 +36,8 @@ let pbme_vs_relational ~title ~make_workload ~graphs =
               | Measure.Oom -> "failed (OOM)"
               | Measure.Timeout -> "failed (timeout)"
               | Measure.Unsupported m -> m
+              | Measure.Fault { cls; _ } ->
+                  Printf.sprintf "failed (fault:%s)" (Rs_chaos.Fault.cls_name cls)
             in
             ( Printf.sprintf "%s-%s" variant gname,
               status,

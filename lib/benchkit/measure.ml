@@ -7,6 +7,7 @@ type 'a engine_outcome = 'a Engine_intf.outcome =
   | Oom
   | Timeout
   | Unsupported of string
+  | Fault of { cls : Rs_chaos.Fault.cls; point : string }
 
 type outcome = float engine_outcome
 
@@ -132,3 +133,4 @@ let outcome_cell = function
   | Oom -> "OOM"
   | Timeout -> "timeout"
   | Unsupported _ -> "-"
+  | Fault { cls; _ } -> Printf.sprintf "fault:%s" (Rs_chaos.Fault.cls_name cls)

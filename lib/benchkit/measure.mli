@@ -13,6 +13,7 @@ type 'a engine_outcome = 'a Rs_engines.Engine_intf.outcome =
   | Oom
   | Timeout
   | Unsupported of string
+  | Fault of { cls : Rs_chaos.Fault.cls; point : string }
 
 type outcome = float engine_outcome
 

@@ -255,13 +255,18 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
     Pool.add_serial pool (0.0005 +. (float_of_int bytes /. 300e6))
   in
   let txn = Txn.create ~on_flush ?trace (if options.eost then Txn.Eost else Txn.Per_query) in
-  (* From here on, every exit path (fixpoint reached, simulated OOM or
-     timeout) must hand the managed indexes' bytes back to the tracker. *)
+  (* From here on, every exit path (fixpoint reached, simulated OOM,
+     timeout or injected fault) must hand the managed indexes' bytes back to
+     the tracker and drop the transaction's scratch state. [Txn.discard] is
+     a no-op after the normal-path [Txn.finish], but on an exceptional exit
+     it closes the scratch channel and removes the file — the seed leaked
+     both whenever a run died mid-fixpoint. *)
   Fun.protect
     ~finally:(fun () ->
-      match index_manager with
+      Txn.discard txn;
+      (match index_manager with
       | Some m -> Rs_exec.Index_manager.release_all m
-      | None -> ())
+      | None -> ()))
   @@ fun () ->
   let queries = ref 0 in
   let total_iterations = ref 0 in

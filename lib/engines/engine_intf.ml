@@ -73,12 +73,15 @@ type 'a outcome =
   | Oom  (** exceeded the simulated memory budget *)
   | Timeout  (** passed the simulated-seconds deadline *)
   | Unsupported of string  (** program outside the engine's fragment *)
+  | Fault of { cls : Rs_chaos.Fault.cls; point : string }
+      (** an injected chaos fault escaped the run (see {!Rs_chaos}) *)
 
 let outcome_map f = function
   | Done v -> Done (f v)
   | Oom -> Oom
   | Timeout -> Timeout
   | Unsupported m -> Unsupported m
+  | Fault f -> Fault f
 
 (* The one place the simulated-failure exceptions are caught. Dedup-table
    capacity exhaustion (a wrong cardinality estimate on a hot table) is a
@@ -91,6 +94,7 @@ let guard (f : unit -> 'a) : 'a outcome =
   | exception Recstep.Interpreter.Timeout_simulated _ -> Timeout
   | exception Rs_storage.Memtrack.Simulated_oom _ -> Oom
   | exception Rs_relation.Cck_concurrent.Capacity_exhausted _ -> Oom
+  | exception Rs_chaos.Fault.Injected { cls; point } -> Fault { cls; point }
 
 let run_guarded (module E : S) ~pool ?deadline_vs ?trace ~edb program =
   guard (fun () -> E.run ~pool ?deadline_vs ?trace ~edb program)

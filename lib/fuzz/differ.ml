@@ -86,6 +86,8 @@ let guarded_run eval (case : Gen.case) (oracle : oracle) =
   | `Guarded (Engine_intf.Unsupported m) -> Skipped m
   | `Guarded Engine_intf.Oom -> Failed "simulated OOM"
   | `Guarded Engine_intf.Timeout -> Failed "simulated timeout"
+  | `Guarded (Engine_intf.Fault { cls; point }) ->
+      Failed (Printf.sprintf "injected fault %s at %s" (Rs_chaos.Fault.cls_name cls) point)
   | `Crashed m -> Failed m
 
 (* --- baseline engines --------------------------------------------------- *)

@@ -29,6 +29,11 @@ val oracle_of_case : Gen.case -> oracle
 (** Runs the naive evaluator; raises whatever it raises (analysis errors,
     unsupported features) — callers treat that as an invalid case. *)
 
+val relations_of_case : Gen.case -> (string * Rs_relation.Relation.t) list
+(** The case's EDB as accounted relations, one per declared input (arities
+    recovered from the analyzer when the declaration omits them). Shared
+    with the chaos harness, which loads them into an {!Rs_service.Edb_store}. *)
+
 val engine_runner : Rs_engines.Engine_intf.engine -> runner
 
 type toggles = {

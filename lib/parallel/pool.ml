@@ -91,6 +91,12 @@ let makespan ~workers durations =
 
 let record_batch t durations =
   let makespan = makespan ~workers:t.workers durations in
+  (* Chaos fault point: a stalled worker inflates this batch's simulated
+     makespan by the plan's factor — the straggler from the paper's skewed
+     workloads, reproduced on demand. Real wall time is untouched, so the
+     stall only shows up where it should: on the virtual clock (and hence in
+     deadline checks). *)
+  let makespan = makespan *. Rs_chaos.Inject.stall_factor () in
   let real = List.fold_left ( +. ) 0.0 durations in
   (* The batch's real duration is already on the wall clock but not yet in
      [real_in_batches]; subtract it so the event starts where the batch
@@ -128,6 +134,10 @@ let parallel_for t ?chunks lo hi f =
           while !sub < hi do
             let sub_hi = min hi (!sub + size) in
             let t0 = Rs_util.Clock.now () in
+            (* Chaos fault point: this worker chunk dies. The exception
+               unwinds through the Fun.protect above, so the depth guard is
+               restored and the pool stays usable for the retry. *)
+            Rs_chaos.Inject.crash_point ~point:"pool.parallel_for";
             f !sub sub_hi;
             durations := (Rs_util.Clock.now () -. t0) :: !durations;
             sub := sub_hi
@@ -146,6 +156,7 @@ let map_tasks t fs =
           List.map
             (fun f ->
               let t0 = Rs_util.Clock.now () in
+              Rs_chaos.Inject.crash_point ~point:"pool.map_tasks";
               let r = f () in
               (r, Rs_util.Clock.now () -. t0))
             fs)

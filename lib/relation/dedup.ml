@@ -35,6 +35,8 @@ let create ?(expected = 64) mode arity =
     match mode with
     | Boxed -> B (Hashtbl.create (max 16 expected))
     | Fast ->
+        (* Chaos fault point: allocation of a fast dedup table fails. *)
+        Rs_chaos.Inject.dedup_should_fail ~point:"dedup.create";
         let cap = pow2_at_least (2 * max 16 expected) in
         F
           {
@@ -54,6 +56,8 @@ let mode t = t.mode
 let arity t = t.arity
 
 let rehash f =
+  (* Chaos fault point: growth of a fast dedup table fails. *)
+  Rs_chaos.Inject.dedup_should_fail ~point:"dedup.rehash";
   let cap = 2 * Array.length f.heads in
   let heads = Array.make cap (-1) in
   let mask = cap - 1 in
@@ -69,14 +73,6 @@ let rehash f =
   f.heads <- heads;
   f.mask <- mask
 
-(* Fault injection for rs_fuzz: when set, the Fast paths deterministically
-   claim ~1/4 of fresh keys are duplicates, silently dropping derivations.
-   Exists only so the differential fuzzer can prove it catches a broken
-   dedup step; never set in production code. *)
-let chaos_drop = ref false
-
-let chaos_drops key = !chaos_drop && Int_key.hash key land 3 = 0
-
 (* --- packed (arity <= 2) path --- *)
 
 let fast_add_packed f key =
@@ -87,7 +83,7 @@ let fast_add_packed f key =
     else walk (Int_vec.get f.nexts slot)
   in
   if walk f.heads.(h) then false
-  else if chaos_drops key then false
+  else if Rs_chaos.Inject.dedup_drops ~key then false
   else begin
     let slot = f.count in
     Int_vec.push f.keys key;
@@ -127,7 +123,7 @@ let fast_add_wide f row =
     else walk (Int_vec.get f.nexts slot)
   in
   if walk f.heads.(h) then false
-  else if chaos_drops hk then false
+  else if Rs_chaos.Inject.dedup_drops ~key:hk then false
   else begin
     let slot = f.count in
     Int_vec.push f.keys hk;

@@ -14,7 +14,13 @@
       costs extra allocation, hashing and per-entry overhead.
 
     Memory is accounted to {!Rs_storage.Memtrack} (real array sizes for
-    {!Fast}; a per-entry estimate of the GC-heap footprint for {!Boxed}). *)
+    {!Fast}; a per-entry estimate of the GC-heap footprint for {!Boxed}).
+
+    Fault injection: the {!Fast} insert paths probe
+    {!Rs_chaos.Inject.dedup_drops} (silent per-key derivation loss — the
+    corruption the differential fuzzer must catch) and table creation/growth
+    probe {!Rs_chaos.Inject.dedup_should_fail}. Both are no-ops unless a
+    chaos plan is armed in scope; {!Boxed} is unaffected. *)
 
 type mode = Fast | Boxed
 
@@ -24,12 +30,6 @@ val create : ?expected:int -> mode -> int -> t
 (** [create mode arity] makes an empty set. [expected] pre-sizes the bucket
     array, mirroring the paper's pre-allocation from the optimizer's
     estimate. *)
-
-val chaos_drop : bool ref
-(** Fault injection for rs_fuzz's self-test: when [true], the {!Fast} paths
-    deterministically drop ~1/4 of fresh insertions (claiming them
-    duplicates), so a differential run must diverge from the oracle. Never
-    set this in production code; {!Boxed} is unaffected. *)
 
 val mode : t -> mode
 

@@ -30,6 +30,8 @@ let row_key_hash rel key_cols row =
         0x9E3779B9 key_cols
 
 let build rel key_cols =
+  (* Chaos fault point: index build allocation fails. *)
+  Rs_chaos.Inject.index_should_fail ~point:"hash_index.build";
   let n = Relation.nrows rel in
   let cap = pow2_at_least (2 * max 8 n) in
   let heads = Array.make cap (-1) in
@@ -44,6 +46,7 @@ let build rel key_cols =
     rehashes = 0; accounted = 0 }
 
 let build_pool pool rel key_cols =
+  Rs_chaos.Inject.index_should_fail ~point:"hash_index.build_pool";
   let n = Relation.nrows rel in
   let cap = pow2_at_least (2 * max 8 n) in
   let heads = Array.make cap (-1) in
@@ -80,6 +83,7 @@ let rehash pool t cap =
   t.rehashes <- t.rehashes + 1
 
 let append_pool pool t =
+  Rs_chaos.Inject.index_should_fail ~point:"hash_index.append_pool";
   let new_n = Relation.nrows t.rel in
   let added = new_n - t.n in
   if added > 0 then begin

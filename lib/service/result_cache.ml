@@ -1,3 +1,5 @@
+module Int_key = Rs_util.Int_key
+
 type key = { program : string; edb : string; edb_version : int }
 
 type value = (string * int array list) list
@@ -11,11 +13,14 @@ type stats = {
   evictions : int;
   invalidations : int;
   collisions : int;
+  corruptions : int;
+  skipped : int;
 }
 
 type entry = {
   value : value;
   canonical : string;  (* full canonical program text, verified on lookup *)
+  checksum : int;  (* content digest of [value], verified on lookup *)
   vbytes : int;
   mutable last_use : int;
 }
@@ -31,6 +36,8 @@ type t = {
   mutable evictions : int;
   mutable invalidations : int;
   mutable collisions : int;
+  mutable corruptions : int;
+  mutable skipped : int;
 }
 
 let create ~budget_bytes =
@@ -45,6 +52,8 @@ let create ~budget_bytes =
     evictions = 0;
     invalidations = 0;
     collisions = 0;
+    corruptions = 0;
+    skipped = 0;
   }
 
 (* Rows live on the OCaml heap, not in Memtrack: header + pointer per row
@@ -58,15 +67,47 @@ let value_bytes (v : value) =
       acc + 64 + String.length name + (per_row * List.length rows))
     0 v
 
+(* Order-sensitive digest over every attribute of every row, plus names and
+   shapes, so any single-bit corruption of a stored entry flips it. *)
+let checksum (v : value) =
+  List.fold_left
+    (fun acc (name, rows) ->
+      let acc = Int_key.hash_combine acc (Hashtbl.hash name) in
+      List.fold_left
+        (fun acc row ->
+          Array.fold_left Int_key.hash_combine
+            (Int_key.hash_combine acc (Array.length row))
+            row)
+        acc rows)
+    0x811C9DC5 v
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      Hashtbl.remove t.table k;
+      t.live_bytes <- t.live_bytes - e.vbytes
+  | None -> ()
+
 let find t k ~canonical =
   if t.budget = 0 then None
   else
     match Hashtbl.find_opt t.table k with
     | Some e when String.equal e.canonical canonical ->
-        t.tick <- t.tick + 1;
-        e.last_use <- t.tick;
-        t.hits <- t.hits + 1;
-        Some e.value
+        if checksum e.value <> e.checksum then begin
+          (* The stored rows no longer match the digest taken at insert:
+             the entry is corrupt. Serving it would hand the tenant wrong
+             rows silently — drop it and miss, so the query recomputes. *)
+          t.corruptions <- t.corruptions + 1;
+          t.misses <- t.misses + 1;
+          remove t k;
+          None
+        end
+        else begin
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.value
+        end
     | Some _ ->
         (* 60-bit FNV-1a hash collision: the key matched but the program is
            a different one. Serving the entry would hand this tenant another
@@ -77,13 +118,6 @@ let find t k ~canonical =
     | None ->
         t.misses <- t.misses + 1;
         None
-
-let remove t k =
-  match Hashtbl.find_opt t.table k with
-  | Some e ->
-      Hashtbl.remove t.table k;
-      t.live_bytes <- t.live_bytes - e.vbytes
-  | None -> ()
 
 let evict_lru t =
   let victim =
@@ -100,16 +134,41 @@ let evict_lru t =
       t.evictions <- t.evictions + 1
   | None -> ()
 
-let add t k v ~canonical =
-  if t.budget > 0 then begin
+(* Chaos fault point: store a corrupted private copy of the value. The
+   checksum is taken from the caller's rows first, so {!find} detects the
+   damage; the copy keeps the caller's arrays (which it has already handed
+   to the client as the query's answer) intact. *)
+let maybe_corrupt (v : value) =
+  if not (Rs_chaos.Inject.cache_should_corrupt ()) then v
+  else
+    let copy = List.map (fun (n, rows) -> (n, List.map Array.copy rows)) v in
+    (match
+       List.find_opt (fun (_, rows) -> List.exists (fun r -> Array.length r > 0) rows) copy
+     with
+    | Some (_, rows) ->
+        let row = List.find (fun r -> Array.length r > 0) rows in
+        row.(0) <- row.(0) lxor 1
+    | None -> ());
+    copy
+
+let add ?(stale = false) ?(degraded = false) t k v ~canonical =
+  if stale || degraded then
+    (* A run that beat its deadline but finished after it expired, or ran
+       under a degraded configuration, must not populate the cache: the
+       entry would outlive the incident and serve a possibly-reduced answer
+       at full-confidence latency forever after. *)
+    t.skipped <- t.skipped + 1
+  else if t.budget > 0 then begin
     let vbytes = value_bytes v + String.length canonical in
     if vbytes <= t.budget then begin
+      let sum = checksum v in
+      let v = maybe_corrupt v in
       remove t k;
       while t.live_bytes + vbytes > t.budget && Hashtbl.length t.table > 0 do
         evict_lru t
       done;
       t.tick <- t.tick + 1;
-      Hashtbl.add t.table k { value = v; canonical; vbytes; last_use = t.tick };
+      Hashtbl.add t.table k { value = v; canonical; checksum = sum; vbytes; last_use = t.tick };
       t.live_bytes <- t.live_bytes + vbytes;
       t.insertions <- t.insertions + 1
     end
@@ -134,4 +193,6 @@ let stats t =
     evictions = t.evictions;
     invalidations = t.invalidations;
     collisions = t.collisions;
+    corruptions = t.corruptions;
+    skipped = t.skipped;
   }

@@ -15,7 +15,16 @@
     Eviction is LRU under a byte budget: every entry carries an estimate of
     its row storage, and inserting past the budget evicts least-recently-hit
     entries first. A budget of [0] disables the cache ([find] never hits,
-    [add] never stores) — the cache-off arm of the benchmark. *)
+    [add] never stores) — the cache-off arm of the benchmark.
+
+    Two further integrity guards: every entry stores a content checksum of
+    its rows, verified on lookup — a corrupted entry (the
+    {!Rs_chaos.Fault.Cache_corrupt} fault point lives in {!add}) is dropped
+    and served as a miss, so the query recomputes rather than receiving
+    damaged rows. And {!add} refuses values from runs flagged [stale] (the
+    deadline expired before the result landed) or [degraded] (produced under
+    a reduced retry-ladder configuration): such an entry would outlive the
+    incident and keep serving at full-confidence latency. *)
 
 type key = { program : string; edb : string; edb_version : int }
 
@@ -33,6 +42,10 @@ type stats = {
   collisions : int;
       (** lookups whose key matched but whose canonical text did not — hash
           collisions deflected to misses *)
+  corruptions : int;
+      (** verified lookups whose stored rows failed the content checksum —
+          dropped and deflected to misses *)
+  skipped : int;  (** inserts refused because the run was stale or degraded *)
 }
 
 type t
@@ -42,13 +55,17 @@ val create : budget_bytes:int -> t
 val find : t -> key -> canonical:string -> value option
 (** Refreshes the entry's recency on a verified hit; counts hit/miss. A key
     match whose stored canonical text differs from [canonical] is a hash
-    collision: counted in [collisions] and returned as a miss. *)
+    collision: counted in [collisions] and returned as a miss. A text match
+    whose rows fail the stored checksum is a corruption: counted in
+    [corruptions], the entry dropped, and returned as a miss. *)
 
-val add : t -> key -> value -> canonical:string -> unit
+val add : ?stale:bool -> ?degraded:bool -> t -> key -> value -> canonical:string -> unit
 (** Inserts (replacing any previous entry at [key]) and evicts LRU entries
     until the budget holds; [canonical] is stored for lookup verification
     and charged to the entry's bytes. A value larger than the whole budget
-    is not stored. *)
+    is not stored. When [stale] or [degraded] is set the insert is refused
+    and counted in [skipped] — the caller still returns the rows to its
+    client, they just don't enter the cache. *)
 
 val invalidate_edb : t -> string -> int
 (** Drop every entry for the named database, any version; returns how many

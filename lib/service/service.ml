@@ -6,6 +6,8 @@ module Engine_intf = Rs_engines.Engine_intf
 module Engines = Rs_engines.Engines
 module Relation = Rs_relation.Relation
 module Ast = Recstep.Ast
+module Interpreter = Recstep.Interpreter
+module Fault = Rs_chaos.Fault
 
 type submission = {
   sub_id : string;
@@ -33,6 +35,7 @@ type outcome =
   | Oom
   | Timeout
   | Unsupported of string
+  | Fault of { cls : Fault.cls; point : string }
   | Rejected of Admission.reason
 
 let outcome_label = function
@@ -40,6 +43,7 @@ let outcome_label = function
   | Oom -> "oom"
   | Timeout -> "timeout"
   | Unsupported _ -> "unsupported"
+  | Fault _ -> "fault"
   | Rejected _ -> "rejected"
 
 type completion = {
@@ -52,6 +56,8 @@ type completion = {
   c_outcome : outcome;
   c_cache_hit : bool;
   c_retries : int;
+  c_degraded : string option;
+      (* rung name when the final attempt ran below Retry.Full *)
 }
 
 type config = {
@@ -61,11 +67,13 @@ type config = {
   cache_bytes : int;
   cache_hit_cost_s : float;
   seed : int;
+  retry : Retry.policy;
 }
 
 let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
-    ?(cache_bytes = 64 * 1024 * 1024) ?(cache_hit_cost_s = 1e-4) ?(seed = 1) () =
-  { workers; queue_capacity; mem_budget; cache_bytes; cache_hit_cost_s; seed }
+    ?(cache_bytes = 64 * 1024 * 1024) ?(cache_hit_cost_s = 1e-4) ?(seed = 1)
+    ?(retry = Retry.default) () =
+  { workers; queue_capacity; mem_budget; cache_bytes; cache_hit_cost_s; seed; retry }
 
 type report = {
   completions : completion list;
@@ -81,7 +89,7 @@ type report = {
 let counter_names =
   [
     "submitted"; "admitted"; "rejected"; "done"; "oom"; "timeout"; "unsupported";
-    "cache_hit"; "cache_miss"; "retried"; "deadline_miss";
+    "fault"; "cache_hit"; "cache_miss"; "retried"; "degraded"; "deadline_miss";
   ]
 
 let percentile p sorted =
@@ -137,6 +145,7 @@ let run ?(config = config ()) ~edb:store events =
         c_outcome = Rejected reason;
         c_cache_hit = false;
         c_retries = 0;
+        c_degraded = None;
       }
       :: !completions
   in
@@ -180,30 +189,41 @@ let run ?(config = config ()) ~edb:store events =
     in
     go ()
   in
-  (* one engine attempt at [w] workers; engine spans and pool batches land on
-     the service timeline at offset [base] *)
-  let run_attempt sub rels w deadline_left base =
-    Pool.set_workers pool w;
+  (* one engine attempt under the rung's knobs; engine spans and pool batches
+     land on the service timeline at offset [base] *)
+  let run_attempt sub rels (knobs : Retry.knobs) deadline_left base =
+    Pool.set_workers pool knobs.Retry.k_workers;
     Pool.begin_run pool;
     now_impl := (fun () -> base +. Pool.vtime_now pool);
-    let engine =
-      match sub.engine with
-      | None -> Some Engines.recstep
-      | Some name -> Engines.by_name name
-    in
     let res =
-      match engine with
-      | None ->
-          Engine_intf.Unsupported
-            (Printf.sprintf "unknown engine %S" (Option.value ~default:"" sub.engine))
-      | Some e -> (
-          match
-            Engine_intf.run_guarded e ~pool ?deadline_vs:deadline_left ~trace ~edb:rels
-              sub.program
-          with
-          | o -> o
-          | exception Recstep.Analyzer.Analysis_error m ->
-              Engine_intf.Unsupported ("analysis error: " ^ m))
+      match
+        match sub.engine with
+        | None ->
+            (* Default path: drive the RecStep interpreter directly, so the
+               ladder's lower rungs can turn engine structures off. At
+               {!Retry.Full} the options equal Engines.recstep's. *)
+            Engine_intf.guard (fun () ->
+                let options =
+                  Interpreter.options ?timeout_vs:deadline_left ~trace
+                    ~persistent_indexes:knobs.Retry.k_persistent_indexes
+                    ~pbme:knobs.Retry.k_fast_path ~fast_dedup:knobs.Retry.k_fast_path ()
+                in
+                let r = Interpreter.run ~options ~pool ~edb:rels sub.program in
+                Engine_intf.mk_result ~pool ~trace ~iterations:r.Interpreter.iterations
+                  ~queries:r.Interpreter.queries r.Interpreter.relation_of)
+        | Some name -> (
+            match Engines.by_name name with
+            | None ->
+                Engine_intf.Unsupported (Printf.sprintf "unknown engine %S" name)
+            | Some e ->
+                (* named baseline engines have no knob surface; the ladder
+                   degrades them through the pool's worker count only *)
+                Engine_intf.run_guarded e ~pool ?deadline_vs:deadline_left ~trace
+                  ~edb:rels sub.program)
+      with
+      | o -> o
+      | exception Recstep.Analyzer.Analysis_error m ->
+          Engine_intf.Unsupported ("analysis error: " ^ m)
     in
     now_impl := (fun () -> !clock);
     List.iter
@@ -227,38 +247,63 @@ let run ?(config = config ()) ~edb:store events =
         edb_version = version;
       }
     in
-    let deadline_left = Option.map (fun d -> d -. (started -. sub.at)) sub.deadline_vs in
-    let outcome, cost, cache_hit, retries =
-      match deadline_left with
-      | Some d when d <= 0.0 -> (Timeout, 0.0, false, 0)
+    let deadline0 = Option.map (fun d -> d -. (started -. sub.at)) sub.deadline_vs in
+    let outcome, cost, cache_hit, retries, degraded =
+      match deadline0 with
+      | Some d when d <= 0.0 -> (Timeout, 0.0, false, 0, None)
       | _ -> (
           match Result_cache.find cache key ~canonical with
           | Some v ->
               bump "cache_hit" 1;
-              (Done v, config.cache_hit_cost_s, true, 0)
+              (Done v, config.cache_hit_cost_s, true, 0, None)
           | None ->
               bump "cache_miss" 1;
               let rels = Edb_store.lookup store sub.edb in
               let mem_before = Memtrack.live () in
-              let res, cost, retries =
-                match run_attempt sub rels config.workers deadline_left started with
-                | Engine_intf.Oom, cost1 -> (
-                    (* bounded retry: half the workers, the remaining budget *)
-                    bump "retried" 1;
-                    let left = Option.map (fun d -> d -. cost1) deadline_left in
-                    match left with
-                    | Some d when d <= 0.0 -> (Engine_intf.Timeout, cost1, 1)
-                    | _ ->
-                        let w2 = max 1 (config.workers / 2) in
-                        let res2, cost2 =
-                          run_attempt sub rels w2 left (started +. cost1)
-                        in
-                        (res2, cost1 +. cost2, 1))
-                | res1, cost1 -> (res1, cost1, 0)
+              let left_after elapsed = Option.map (fun d -> d -. elapsed) deadline0 in
+              (* Walk the retry policy. [attempt] is 1-based; [elapsed] is
+                 simulated seconds since [started] including backoffs. *)
+              let rec attempts rung attempt elapsed =
+                let res, cost =
+                  run_attempt sub rels
+                    (Retry.knobs ~workers:config.workers rung)
+                    (left_after elapsed) (started +. elapsed)
+                in
+                (* every exit path — success or any fault class — restores
+                   the tracker to the pre-query baseline immediately, so a
+                   retry never runs with the failed attempt's leak still
+                   counted against its headroom (the seed freed it only
+                   after the last attempt) *)
+                let leak = Memtrack.live () - mem_before in
+                if leak > 0 then Memtrack.free leak;
+                let elapsed = elapsed +. cost in
+                match res with
+                | Engine_intf.Done _ | Engine_intf.Timeout | Engine_intf.Unsupported _ ->
+                    (res, elapsed, attempt - 1, rung)
+                | Engine_intf.Oom | Engine_intf.Fault _ -> (
+                    let failure =
+                      match res with
+                      | Engine_intf.Oom -> Retry.Oom_failure
+                      | Engine_intf.Fault { cls; _ } -> Retry.Fault_failure cls
+                      | _ -> assert false
+                    in
+                    match Retry.next config.retry ~attempt ~rung failure with
+                    | Retry.Give_up -> (res, elapsed, attempt - 1, rung)
+                    | Retry.Retry { rung = rung'; backoff_s } -> (
+                        bump "retried" 1;
+                        let elapsed = elapsed +. backoff_s in
+                        match left_after elapsed with
+                        | Some d when d <= 0.0 ->
+                            (* retry budget exhausted: typed, not an
+                               exception — attempt count includes the retry
+                               we could not afford *)
+                            (Engine_intf.Timeout, elapsed, attempt, rung)
+                        | _ -> attempts rung' (attempt + 1) elapsed))
               in
-              (* the query's working set is torn down with the query *)
-              let leak = Memtrack.live () - mem_before in
-              if leak > 0 then Memtrack.free leak;
+              let res, cost, retries, rung = attempts Retry.Full 1 0.0 in
+              let degraded =
+                if rung <> Retry.Full then Some (Retry.rung_name rung) else None
+              in
               let outcome =
                 match res with
                 | Engine_intf.Done result ->
@@ -268,18 +313,29 @@ let run ?(config = config ()) ~edb:store events =
                           (n, Relation.sorted_distinct_rows (result.Engine_intf.relation_of n)))
                         (output_names sub.program)
                     in
-                    Result_cache.add cache key rows ~canonical;
+                    (* a result that lands after its deadline, or from a
+                       degraded rung, is returned to the client but must not
+                       enter the cache *)
+                    let stale =
+                      match sub.deadline_vs with
+                      | Some d -> started +. cost -. sub.at > d
+                      | None -> false
+                    in
+                    Result_cache.add cache key rows ~canonical ~stale
+                      ~degraded:(degraded <> None);
                     Done rows
                 | Engine_intf.Oom -> Oom
                 | Engine_intf.Timeout -> Timeout
                 | Engine_intf.Unsupported m -> Unsupported m
+                | Engine_intf.Fault { cls; point } -> Fault { cls; point }
               in
-              (outcome, cost, false, retries))
+              (outcome, cost, false, retries, degraded))
     in
     clock := started +. cost;
     Trace.end_span trace;
     bump (outcome_label outcome) 1;
     (match outcome with Timeout -> bump "deadline_miss" 1 | _ -> ());
+    if degraded <> None then bump "degraded" 1;
     completions :=
       {
         c_id = sub.sub_id;
@@ -291,6 +347,7 @@ let run ?(config = config ()) ~edb:store events =
         c_outcome = outcome;
         c_cache_hit = cache_hit;
         c_retries = retries;
+        c_degraded = degraded;
       }
       :: !completions
   in
@@ -340,6 +397,7 @@ let counter report name = Option.value ~default:0 (List.assoc_opt name report.co
 let outcome_detail = function
   | Unsupported m -> Some m
   | Rejected r -> Some (Admission.reason_to_string r)
+  | Fault { cls; point } -> Some (Fault.cls_name cls ^ "@" ^ point)
   | Done _ | Oom | Timeout -> None
 
 let report_json r =
@@ -355,6 +413,8 @@ let report_json r =
          ("outcome", Json.String (outcome_label c.c_outcome));
          ("cache_hit", Json.Bool c.c_cache_hit);
          ("retries", Json.Int c.c_retries);
+         ( "degraded",
+           match c.c_degraded with Some d -> Json.String d | None -> Json.Null );
          ( "latency",
            match c.c_outcome with
            | Rejected _ -> Json.Null
@@ -384,6 +444,8 @@ let report_json r =
             ("evictions", Json.Int cache.Result_cache.evictions);
             ("invalidations", Json.Int cache.Result_cache.invalidations);
             ("collisions", Json.Int cache.Result_cache.collisions);
+            ("corruptions", Json.Int cache.Result_cache.corruptions);
+            ("skipped", Json.Int cache.Result_cache.skipped);
           ] );
       ("queries", Json.List (List.map query r.completions));
     ]
@@ -399,6 +461,7 @@ let report_summary r =
           outcome_label c.c_outcome;
           (if c.c_cache_hit then "hit" else "-");
           string_of_int c.c_retries;
+          Option.value ~default:"-" c.c_degraded;
           (match c.c_outcome with
           | Rejected _ -> "-"
           | _ -> Printf.sprintf "%.4f" (c.c_finished -. c.c_at));
@@ -407,7 +470,8 @@ let report_summary r =
   in
   let table =
     Rs_util.Table_printer.render
-      ~header:[ "query"; "tenant"; "edb"; "outcome"; "cache"; "retries"; "latency (s)" ]
+      ~header:
+        [ "query"; "tenant"; "edb"; "outcome"; "cache"; "retries"; "degraded"; "latency (s)" ]
       rows
   in
   let counters =

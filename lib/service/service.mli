@@ -17,9 +17,14 @@
     ({!Result_cache}, keyed by canonical program hash × EDB version),
     deadline enforcement (the per-query budget shrinks by the time spent
     waiting in the queue; an expired deadline is a {!Timeout} without
-    touching the engine), and one bounded retry at half the workers when
-    the first attempt ends [Oom]. Every completion is a typed {!outcome} —
-    the engine vocabulary extended with [Rejected] — and the run yields a
+    touching the engine), and the typed retry policy ({!Retry}): retryable
+    failures — OOM and transient injected faults — are reattempted with
+    exponential backoff in simulated time, OOM walking down the degradation
+    ladder (half workers → no persistent indexes → no PBME/FAST-DEDUP)
+    until the policy gives up and the last typed failure is reported.
+    Results produced after the deadline or under a degraded rung are served
+    but never cached. Every completion is a typed {!outcome} —
+    the engine vocabulary extended with [Fault] and [Rejected] — and the run yields a
     {!report} with service counters, latency percentiles and a full
     [rs_obs] trace whose spans nest each engine run under its query. *)
 
@@ -61,13 +66,15 @@ val event_time : event -> float
 
 type outcome =
   | Done of Result_cache.value  (** output name → sorted distinct rows *)
-  | Oom  (** still over budget after the bounded retry *)
-  | Timeout  (** per-query deadline missed (queue wait counts) *)
+  | Oom  (** still over budget when the retry policy gave up *)
+  | Timeout  (** per-query deadline missed (queue wait and backoff count) *)
   | Unsupported of string
+  | Fault of { cls : Rs_chaos.Fault.cls; point : string }
+      (** an injected fault survived the retry policy *)
   | Rejected of Admission.reason
 
 val outcome_label : outcome -> string
-(** "done" / "oom" / "timeout" / "unsupported" / "rejected". *)
+(** "done" / "oom" / "timeout" / "unsupported" / "fault" / "rejected". *)
 
 type completion = {
   c_id : string;
@@ -79,6 +86,9 @@ type completion = {
   c_outcome : outcome;
   c_cache_hit : bool;
   c_retries : int;
+  c_degraded : string option;
+      (** {!Retry.rung_name} of the final attempt's rung when it ran below
+          [Full]; [None] for an undegraded query *)
 }
 
 type config = {
@@ -88,6 +98,7 @@ type config = {
   cache_bytes : int;  (** result-cache budget; 0 disables the cache *)
   cache_hit_cost_s : float;  (** simulated cost of serving from cache *)
   seed : int;  (** scheduler ring seed *)
+  retry : Retry.policy;
 }
 
 val config :
@@ -97,10 +108,11 @@ val config :
   ?cache_bytes:int ->
   ?cache_hit_cost_s:float ->
   ?seed:int ->
+  ?retry:Retry.policy ->
   unit ->
   config
 (** Defaults: 8 workers, queue capacity 64, no memory budget, 64 MiB cache,
-    100 µs per cache hit, seed 1. *)
+    100 µs per cache hit, seed 1, {!Retry.default}. *)
 
 type report = {
   completions : completion list;  (** in completion order *)
@@ -113,10 +125,11 @@ type report = {
   trace : Trace.t;  (** service + nested engine spans, service counters *)
 }
 (** Counters: [submitted], [admitted], [rejected], [done], [oom],
-    [timeout], [unsupported], [cache_hit], [cache_miss], [retried],
-    [deadline_miss]. Two identities hold by construction and are checked by
-    the CI smoke: [submitted = admitted + rejected] and
-    [admitted = done + oom + timeout + unsupported]. *)
+    [timeout], [unsupported], [fault], [cache_hit], [cache_miss],
+    [retried], [degraded], [deadline_miss]. Two identities hold by
+    construction and are checked by the CI smoke:
+    [submitted = admitted + rejected] and
+    [admitted = done + oom + timeout + unsupported + fault]. *)
 
 val run : ?config:config -> edb:Edb_store.t -> event list -> report
 (** Replays [events] (sorted by {!event_time}, ties in list order) to
@@ -131,7 +144,8 @@ val report_json : report -> Json.t
     {"version": 1, "workers": _, "vtime": _, "throughput": _,
      "latency": {"p50": _, "p95": _}, "counters": {...}, "cache": {...},
      "queries": [{"id", "tenant", "edb", "at", "started", "finished",
-                  "outcome", "cache_hit", "retries", "latency", ...}]} v} *)
+                  "outcome", "cache_hit", "retries", "degraded",
+                  "latency", ...}]} v} *)
 
 val report_summary : report -> string
 (** ASCII table of per-query dispositions plus the counter/latency lines. *)

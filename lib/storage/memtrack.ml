@@ -21,6 +21,13 @@ let alloc bytes =
       ignore (Atomic.fetch_and_add live_bytes (-bytes));
       raise (Simulated_oom { requested = bytes; live = v - bytes; budget = b })
     end;
+    (* Chaos fault point: a plan-driven allocation failure once live bytes
+       reach the plan's threshold. Rolled back exactly like a budget OOM, so
+       recovery paths can't tell the two apart — which is the point. *)
+    if Rs_chaos.Inject.mem_should_fail ~live:v then begin
+      ignore (Atomic.fetch_and_add live_bytes (-bytes));
+      raise (Simulated_oom { requested = bytes; live = v - bytes; budget = b })
+    end;
     bump_peak v
   end
 

@@ -43,6 +43,10 @@ let channel t =
 
 let flush_dirty t =
   if t.dirty > 0 then begin
+    (* Chaos fault point: a forced abort of the pending flush. The dirty
+       counter is left intact — a retried run re-creates the transaction and
+       re-pends its writes. *)
+    Rs_chaos.Inject.txn_should_abort ~point:"txn.flush";
     let go () =
       let c = channel t in
       seek_out c 0;
@@ -75,6 +79,19 @@ let finish t =
   (match t.chan with
   | Some c ->
       close_out c;
+      t.chan <- None
+  | None -> ());
+  if Sys.file_exists t.path then try Sys.remove t.path with Sys_error _ -> ()
+
+(* Abort-path cleanup: drop pending writes and the scratch file without
+   flushing. Safe to call after [finish] (everything is already closed and
+   removed); the interpreter runs it from its exception-protected finally so
+   a run that dies mid-fixpoint can't leak the open scratch channel. *)
+let discard t =
+  t.dirty <- 0;
+  (match t.chan with
+  | Some c ->
+      close_out_noerr c;
       t.chan <- None
   | None -> ());
   if Sys.file_exists t.path then try Sys.remove t.path with Sys_error _ -> ()

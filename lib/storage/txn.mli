@@ -36,6 +36,12 @@ val finish : t -> unit
 (** Final commit (always flushes remaining dirty bytes) and closes the
     scratch file. *)
 
+val discard : t -> unit
+(** Abort-path cleanup: drop pending dirty bytes and remove the scratch file
+    {e without} flushing. A no-op after {!finish}, so callers can put it in a
+    [Fun.protect] finally unconditionally — a run that dies mid-fixpoint then
+    can't leak the open scratch channel. *)
+
 val bytes_written : t -> int
 (** Total bytes physically written so far. *)
 

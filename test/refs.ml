@@ -204,3 +204,28 @@ let fuzz_corpus : (string * string * (string * int list list) list) list =
       ".input e0\np0(x, y) :- e0(x, y).\np0(x, y) :- p0(x, z), e0(z, y).\n.output p0",
       [ ("e0", []) ] );
   ]
+
+(* Frozen chaos regressions: one small recursive program run through the
+   serving stack under a fixed fault plan, with the expected outcome label
+   of each of the two identical submissions. Labels were frozen from
+   observed behaviour at a fixed case seed; drift means the retry ladder,
+   the fault vocabulary, or the service recovery loop changed semantics. *)
+
+let chaos_src =
+  ".input e0\n\
+   p0(x, y) :- e0(x, y).\n\
+   p0(x, y) :- p0(x, z), e0(z, y).\n\
+   .output p0"
+
+let chaos_edb = [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] ]) ]
+
+let chaos_corpus : (string * string * string list) list =
+  [
+    ("single txn abort is retried", "txn:p=1,limit=1", [ "done"; "done" ]);
+    ("single worker crash is retried", "crash:p=1,limit=1", [ "done"; "done" ]);
+    ("persistent crash ends in a typed fault", "crash:p=1", [ "fault"; "fault" ]);
+    ("hard memory pressure ends in a typed oom", "mem:p=1,threshold=256", [ "oom"; "oom" ]);
+    ("single index build failure is retried", "index:p=1,limit=1", [ "done"; "done" ]);
+    ("corrupted cache entry is recomputed", "cache:p=1,limit=1", [ "done"; "done" ]);
+    ("memory blip degrades and completes", "mem:p=1,threshold=1024,limit=1", [ "done"; "done" ]);
+  ]

@@ -31,7 +31,11 @@ let agree ?(engines = Engines.all) src edb outs =
         | Engine_intf.Done r -> Some (E.name, r)
         | Engine_intf.Unsupported _ -> None
         | Engine_intf.Oom -> Alcotest.fail (E.name ^ " hit the simulated memory budget")
-        | Engine_intf.Timeout -> Alcotest.fail (E.name ^ " hit the simulated deadline"))
+        | Engine_intf.Timeout -> Alcotest.fail (E.name ^ " hit the simulated deadline")
+        | Engine_intf.Fault { cls; point } ->
+            Alcotest.fail
+              (Printf.sprintf "%s: injected fault %s at %s" E.name
+                 (Rs_chaos.Fault.cls_name cls) point))
       engines
   in
   match results with

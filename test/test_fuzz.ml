@@ -9,7 +9,6 @@ module Naive = Recstep.Naive
 module Parser = Recstep.Parser
 module Interpreter = Recstep.Interpreter
 module Relation = Rs_relation.Relation
-module Dedup = Rs_relation.Dedup
 module Pool = Rs_parallel.Pool
 
 let check = Alcotest.(check bool)
@@ -108,10 +107,11 @@ let test_fault_injection_caught_and_shrunk () =
         fast_dedup = true;
       }
   in
-  Fun.protect
-    ~finally:(fun () -> Dedup.chaos_drop := false)
-    (fun () ->
-      Dedup.chaos_drop := true;
+  let plan =
+    Rs_chaos.Fault.plan ~seed:42
+      [ Rs_chaos.Fault.spec ~p:0.25 Rs_chaos.Fault.Dedup_drop ]
+  in
+  Rs_chaos.Inject.with_plan plan (fun () ->
       let r = Fuzz.run ~runners:[ runner ] ~seed:42 ~iters:15 () in
       check "fault caught" true (r.Fuzz.runs_diverged > 0);
       let shrunk =

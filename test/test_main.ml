@@ -16,5 +16,6 @@ let () =
       ("integration", Test_integration.suite);
       ("invariants", Test_invariants.suite);
       ("fuzz", Test_fuzz.suite);
+      ("chaos", Test_chaos.suite);
       ("benchkit", Test_benchkit.suite);
     ]
