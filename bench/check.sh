@@ -133,6 +133,94 @@ else
   echo "fuzz report written (python3 unavailable, JSON not validated)"
 fi
 
+echo "== delta-stream fuzz smoke =="
+# Fixed-seed delta-sequence campaign: random insert/retract streams
+# maintained through the IVM must match a from-scratch recompute at every
+# version.
+dune exec bin/recstep_cli.exe -- fuzz --delta-stream --seed 42 --iters 20 \
+  --deltas 6 --report "$tmp/dfuzz.json" >/dev/null
+
+cat >"$tmp/validate_dfuzz.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["divergences"] == [], "delta-stream campaign diverged: %s" % r["divergences"]
+assert r["versions"] >= (r["cases"] - r["invalid"]) * 6, "too few versions checked"
+assert r["ops"] > r["versions"], "streams carried fewer ops than versions"
+print("delta fuzz OK: seed %d, %d cases, %d versions, %d ops, 0 divergences"
+      % (r["seed"], r["cases"], r["versions"], r["ops"]))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_dfuzz.py" "$tmp/dfuzz.json"
+else
+  test -s "$tmp/dfuzz.json"
+  echo "delta fuzz report written (python3 unavailable, JSON not validated)"
+fi
+
+echo "== incremental maintenance smoke =="
+# The demo workload carries a mid-run insert+retract delta. With
+# maintenance on (default) the cached results must be refreshed in place;
+# with --no-ivm they are invalidated and recomputed. The two runs must
+# serve byte-identical results (checksums per query), proving the warm
+# refresh path returns exactly what a recompute would.
+dune exec bin/recstep_cli.exe -- serve programs/serve_demo.workload \
+  --report "$tmp/serve_ivm.json" >/dev/null
+dune exec bin/recstep_cli.exe -- serve programs/serve_demo.workload \
+  --no-ivm --report "$tmp/serve_noivm.json" >/dev/null
+
+cat >"$tmp/validate_ivm.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    warm = json.load(f)
+with open(sys.argv[2]) as f:
+    cold = json.load(f)
+wc, cc = warm["counters"], cold["counters"]
+assert wc["delta_applied"] > 0, "no delta was applied"
+assert wc["refreshed"] > 0, "maintenance on but nothing was refreshed"
+assert cc["refreshed"] == 0, "--no-ivm still refreshed entries"
+assert wc["cache_hit"] > cc["cache_hit"], \
+    "warm refresh did not save a recompute (hits %d vs %d)" % (wc["cache_hit"], cc["cache_hit"])
+def sums(r):
+    return {q["id"]: q.get("checksum") for q in r["queries"] if q["outcome"] == "done"}
+ws, cs = sums(warm), sums(cold)
+assert set(ws) == set(cs), "query sets differ between ivm and no-ivm runs"
+diff = [q for q in ws if ws[q] != cs[q]]
+assert not diff, "refreshed results differ from recompute for %s" % diff
+print("ivm smoke OK: %d deltas applied, %d entries refreshed, "
+      "%d queries byte-identical to recompute" % (wc["delta_applied"], wc["refreshed"], len(ws)))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_ivm.py" "$tmp/serve_ivm.json" "$tmp/serve_noivm.json"
+else
+  test -s "$tmp/serve_ivm.json" && test -s "$tmp/serve_noivm.json"
+  echo "ivm reports written (python3 unavailable, JSON not validated)"
+fi
+
+# Incremental-vs-recompute benchmark: the maintained view must beat
+# recompute-per-delta on the serving-shaped churn stream, with identical
+# outputs at every version. BENCH_ivm.json lands in the working directory
+# (gitignored) and is removed after validation.
+dune exec bench/main.exe -- --only ivm >/dev/null
+BENCH_IVM="BENCH_ivm.json"
+
+cat >"$tmp/validate_bench_ivm.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["identical"], "incremental outputs diverged from recompute"
+assert b["ratio"] > 1.0, \
+    "incremental maintenance not faster than recompute: ratio %.2f" % b["ratio"]
+print("BENCH_ivm OK: %d deltas, recompute/incremental = %.1fx, outputs identical"
+      % (b["deltas"], b["ratio"]))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_bench_ivm.py" "$BENCH_IVM"
+else
+  test -s "$BENCH_IVM"
+  echo "BENCH_ivm.json written (python3 unavailable, JSON not validated)"
+fi
+rm -f BENCH_ivm.json
+
 echo "== CLI serve smoke =="
 dune exec bin/recstep_cli.exe -- serve programs/serve_demo.workload \
   --report "$tmp/serve.json" >/dev/null

@@ -155,8 +155,8 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
     stats.Rs_parallel.Pool.workers stats.Rs_parallel.Pool.wall
   end
 
-let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget report_path
-    verbose =
+let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_ivm
+    ivm_max_delta report_path verbose =
   with_input_errors @@ fun () ->
   let script = Rs_service.Script.load script_path in
   let setting key = List.assoc_opt key script.Rs_service.Script.settings in
@@ -174,13 +174,19 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget rep
     match mem_budget with Some b -> Some b | None -> int_setting "budget"
   in
   let cache_hit_cost_s = Option.value (float_setting "hit_cost") ~default:1e-4 in
+  let ivm =
+    if no_ivm then false
+    else
+      Option.value (Option.bind (setting "ivm") bool_of_string_opt) ~default:true
+  in
+  let ivm_max_delta = pick ivm_max_delta (int_setting "ivm_max_delta") 512 in
   let store = Rs_service.Edb_store.create () in
   List.iter
     (fun (name, rels) -> Rs_service.Edb_store.define store name rels)
     script.Rs_service.Script.defs;
   let config =
     Rs_service.Service.config ~workers ~queue_capacity ?mem_budget ~cache_bytes
-      ~cache_hit_cost_s ~seed ()
+      ~cache_hit_cost_s ~seed ~ivm ~ivm_max_delta ()
   in
   let report = Rs_service.Service.run ~config ~edb:store script.Rs_service.Script.events in
   print_string (Rs_service.Service.report_summary report);
@@ -195,7 +201,40 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget rep
   | None -> ());
   if verbose then print_string (Rs_obs.Trace.summary report.Rs_service.Service.trace)
 
-let fuzz_cmd seed iters out_dir report_path verbose inject_dedup_fault =
+(* Delta-sequence mode: random insert/retract streams maintained through the
+   IVM and diffed against a from-scratch recompute at every version. *)
+let delta_fuzz_cmd seed iters deltas report_path verbose =
+  let log = if verbose then prerr_endline else fun (_ : string) -> () in
+  let report = Rs_fuzz.Delta_fuzz.run ~log ~seed ~iters ~deltas () in
+  Printf.printf
+    "fuzz --delta-stream: seed=%d cases=%d (invalid=%d) versions=%d ops=%d diverged=%d\n"
+    report.Rs_fuzz.Delta_fuzz.seed report.Rs_fuzz.Delta_fuzz.cases
+    report.Rs_fuzz.Delta_fuzz.invalid report.Rs_fuzz.Delta_fuzz.versions
+    report.Rs_fuzz.Delta_fuzz.ops
+    (List.length report.Rs_fuzz.Delta_fuzz.divergences);
+  List.iter
+    (fun (d : Rs_fuzz.Delta_fuzz.divergence) ->
+      Printf.printf "  DIVERGENCE seed=%d version=%d pred=%s missing=%d extra=%d\n"
+        d.Rs_fuzz.Delta_fuzz.div_seed d.Rs_fuzz.Delta_fuzz.div_version
+        d.Rs_fuzz.Delta_fuzz.div_pred
+        (List.length d.Rs_fuzz.Delta_fuzz.div_missing)
+        (List.length d.Rs_fuzz.Delta_fuzz.div_extra))
+    report.Rs_fuzz.Delta_fuzz.divergences;
+  (match report_path with
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Rs_obs.Json.to_string (Rs_fuzz.Delta_fuzz.report_json report));
+        output_char oc '\n';
+        close_out oc
+      with Sys_error msg -> die "cannot write report: %s" msg)
+  | None -> ());
+  if not (Rs_fuzz.Delta_fuzz.clean report) then exit 1
+
+let fuzz_cmd seed iters out_dir report_path verbose inject_dedup_fault delta_stream
+    deltas =
+  if delta_stream then delta_fuzz_cmd seed iters deltas report_path verbose
+  else
   let log = if verbose then prerr_endline else fun (_ : string) -> () in
   let campaign () = Rs_fuzz.Fuzz.run ~log ~seed ~iters () in
   let report =
@@ -341,10 +380,17 @@ let mem_budget_arg =
 let report_arg =
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"write the service report (counters, latency percentiles, per-query dispositions) to FILE as JSON")
 
+let no_ivm_arg =
+  Arg.(value & flag & info [ "no-ivm" ] ~doc:"disable incremental view maintenance: deltas always invalidate cached results instead of refreshing them")
+
+let ivm_max_delta_arg =
+  Arg.(value & opt (some int) None & info [ "ivm-max-delta" ] ~docv:"OPS" ~doc:"net delta size above which warm refresh falls back to invalidation (default: script setting or 512)")
+
 let serve_term =
   Term.(
     const serve_cmd $ script_arg $ serve_workers_arg $ queue_arg $ cache_bytes_arg
-    $ no_cache_arg $ serve_seed_arg $ mem_budget_arg $ report_arg $ verbose_arg)
+    $ no_cache_arg $ serve_seed_arg $ mem_budget_arg $ no_ivm_arg $ ivm_max_delta_arg
+    $ report_arg $ verbose_arg)
 
 let kind_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"gnp | rmat | livejournal | orkut | arabic | twitter")
 
@@ -373,10 +419,16 @@ let fuzz_report_arg =
 let inject_dedup_fault_arg =
   Arg.(value & flag & info [ "inject-dedup-fault" ] ~doc:"self-test: deterministically drop a fraction of fresh keys in the fast dedup paths; the campaign must catch and shrink the resulting divergences")
 
+let delta_stream_arg =
+  Arg.(value & flag & info [ "delta-stream" ] ~doc:"delta-sequence mode: per case, stream random insert/retract deltas through incremental view maintenance and diff the maintained IDBs against a from-scratch recompute at every version")
+
+let deltas_arg =
+  Arg.(value & opt int 8 & info [ "deltas" ] ~docv:"K" ~doc:"delta-stream mode: versions (deltas) per case")
+
 let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seed_arg $ iters_arg $ fuzz_out_arg $ fuzz_report_arg
-    $ verbose_arg $ inject_dedup_fault_arg)
+    $ verbose_arg $ inject_dedup_fault_arg $ delta_stream_arg $ deltas_arg)
 
 let chaos_iters_arg =
   Arg.(value & opt int 50 & info [ "iters"; "n" ] ~docv:"K" ~doc:"number of chaos cases (program x fault plan) to run")

@@ -27,6 +27,8 @@ let table1 () =
       row "Mutual Recursion" (fun c -> yn c.Engine_intf.mutual_recursion);
       row "Non-Recursive Aggregation" (fun c -> yn c.Engine_intf.nonrecursive_aggregation);
       row "Recursive Aggregation" (fun c -> yn c.Engine_intf.recursive_aggregation);
+      row "Incremental Maintenance" (fun c ->
+          if c.Engine_intf.incremental then "yes" else "recompute");
     ]
 
 (* Table 4: ce = 1 / (time * cores) on representative workloads. *)

@@ -24,6 +24,7 @@ let all =
     { id = "uie_sharing"; title = "EXTRA: UIE batching vs cache sharing"; run = (fun ~scale -> Exp_extra.uie_sharing ~scale) };
     { id = "service"; title = "EXTRA: serving throughput, result cache on vs off"; run = (fun ~scale -> Exp_service.service ~scale) };
     { id = "join"; title = "EXTRA: join-index maintenance — rebuild vs delta-append vs radix"; run = (fun ~scale -> Exp_join.exp ~scale) };
+    { id = "ivm"; title = "EXTRA: incremental maintenance vs recompute-per-delta (BENCH_ivm.json)"; run = (fun ~scale -> Exp_ivm.exp ~scale) };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

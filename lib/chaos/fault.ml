@@ -7,11 +7,12 @@ type cls =
   | Dedup_drop
   | Index_fail
   | Cache_corrupt
+  | Delta_abort
 
 exception Injected of { cls : cls; point : string }
 
 let all_classes =
-  [ Mem; Txn; Stall; Crash; Dedup_fail; Dedup_drop; Index_fail; Cache_corrupt ]
+  [ Mem; Txn; Stall; Crash; Dedup_fail; Dedup_drop; Index_fail; Cache_corrupt; Delta_abort ]
 
 let cls_index = function
   | Mem -> 0
@@ -22,6 +23,7 @@ let cls_index = function
   | Dedup_drop -> 5
   | Index_fail -> 6
   | Cache_corrupt -> 7
+  | Delta_abort -> 8
 
 let n_classes = List.length all_classes
 
@@ -34,6 +36,7 @@ let cls_name = function
   | Dedup_drop -> "dedup_drop"
   | Index_fail -> "index"
   | Cache_corrupt -> "cache"
+  | Delta_abort -> "delta"
 
 let cls_of_name = function
   | "mem" -> Some Mem
@@ -44,6 +47,7 @@ let cls_of_name = function
   | "dedup_drop" -> Some Dedup_drop
   | "index" -> Some Index_fail
   | "cache" -> Some Cache_corrupt
+  | "delta" -> Some Delta_abort
   | _ -> None
 
 (* A crash mid-injection must still name what was injected. *)

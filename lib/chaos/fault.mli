@@ -18,7 +18,11 @@
       what the differential oracle must catch, never a typed failure;
     - {!Index_fail} — a {!Rs_relation.Hash_index} build/append fails;
     - {!Cache_corrupt} — a result-cache entry is corrupted at insert (the
-      cache's checksum must detect it on the next hit). *)
+      cache's checksum must detect it on the next hit);
+    - {!Delta_abort} — a typed EDB delta fails mid-application. The store
+      stages every relation's change before committing any, so a fired
+      probe must leave the store (and hence the version-keyed result cache
+      and maintained views) exactly at the pre-delta state. *)
 
 type cls =
   | Mem
@@ -29,6 +33,7 @@ type cls =
   | Dedup_drop
   | Index_fail
   | Cache_corrupt
+  | Delta_abort
 
 exception Injected of { cls : cls; point : string }
 (** Raised by the probes of the typed-failure classes ({!Txn}, {!Crash},
@@ -45,7 +50,7 @@ val cls_index : cls -> int
 
 val cls_name : cls -> string
 (** "mem" / "txn" / "stall" / "crash" / "dedup" / "dedup_drop" / "index" /
-    "cache" — the plan-syntax and report vocabulary. *)
+    "cache" / "delta" — the plan-syntax and report vocabulary. *)
 
 val cls_of_name : string -> cls option
 

@@ -122,3 +122,5 @@ let dedup_drops ~key =
 let index_should_fail ~point = raise_if Fault.Index_fail point
 
 let cache_should_corrupt () = probe Fault.Cache_corrupt
+
+let delta_should_abort ~point = raise_if Fault.Delta_abort point

@@ -62,3 +62,9 @@ val index_should_fail : point:string -> unit
 val cache_should_corrupt : unit -> bool
 (** {!Fault.Cache_corrupt}: [true] when the entry being inserted should be
     stored corrupted. *)
+
+val delta_should_abort : point:string -> unit
+(** {!Fault.Delta_abort}: raises {!Fault.Injected} when an EDB delta
+    application should abort mid-flight. The probe sits between the staging
+    steps of [Edb_store.apply], before anything commits — firing must be
+    indistinguishable from the delta never having arrived. *)

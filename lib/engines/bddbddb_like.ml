@@ -18,6 +18,7 @@ let capabilities =
     mutual_recursion = true;
     nonrecursive_aggregation = false;
     recursive_aggregation = false;
+    incremental = false;
   }
 
 let unsupported = Engine_intf.unsupported
@@ -337,3 +338,6 @@ let run ~pool ?deadline_vs ?trace ~edb program =
     | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name p)
   in
   Engine_intf.mk_result ~pool ?trace ~iterations:!iterations ~queries:!rule_evals relation_of
+
+let maintain ~pool ?trace ~edb program =
+  Engine_intf.maintain_by_recompute run ~pool ?trace ~edb program

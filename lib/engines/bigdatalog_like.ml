@@ -15,6 +15,7 @@ let capabilities =
     mutual_recursion = false;
     nonrecursive_aggregation = true;
     recursive_aggregation = true;
+    incremental = false;
   }
 
 (* Spark-style configuration of the shared evaluation machinery:
@@ -51,6 +52,9 @@ let run ~pool ?deadline_vs ?trace ~edb program =
   let options = options_for ?timeout_vs:deadline_vs ?trace () in
   interpret ~options ~pool ?trace ~edb program
 
+let maintain ~pool ?trace ~edb program =
+  Engine_intf.maintain_by_recompute run ~pool ?trace ~edb program
+
 module Distributed = struct
   let name = "Distributed-BigDatalog"
 
@@ -70,6 +74,9 @@ module Distributed = struct
           options_for ~query_overhead_s:(2.0 *. stage_overhead_s) ?timeout_vs:deadline_vs ?trace ()
         in
         interpret ~options ~pool ?trace ~edb program)
+
+  let maintain ~pool ?trace ~edb program =
+    Engine_intf.maintain_by_recompute run ~pool ?trace ~edb program
 end
 
 let distributed : Engine_intf.engine = (module Distributed)

@@ -19,6 +19,7 @@ let capabilities =
     mutual_recursion = true;
     nonrecursive_aggregation = false;
     recursive_aggregation = false;
+    incremental = false;
   }
 
 (* --- grammar normalization --- *)
@@ -306,3 +307,6 @@ let run ~pool ?deadline_vs ?trace ~edb program =
     | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name p)
   in
   Engine_intf.mk_result ~pool ?trace ~iterations:!rounds ~queries:!rounds relation_of
+
+let maintain ~pool ?trace ~edb program =
+  Engine_intf.maintain_by_recompute run ~pool ?trace ~edb program

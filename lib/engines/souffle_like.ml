@@ -17,6 +17,7 @@ let capabilities =
     mutual_recursion = true;
     nonrecursive_aggregation = true;
     recursive_aggregation = false;
+    incremental = false;
   }
 
 (* --- storage: one store per predicate, with incremental indices --- *)
@@ -593,3 +594,6 @@ let run ~pool ?deadline_vs ?trace ~edb program =
     | None -> invalid_arg (Printf.sprintf "%s: unknown relation %s" name pred)
   in
   Engine_intf.mk_result ~pool ?trace ~iterations:!iterations ~queries:!rule_evals relation_of
+
+let maintain ~pool ?trace ~edb program =
+  Engine_intf.maintain_by_recompute run ~pool ?trace ~edb program

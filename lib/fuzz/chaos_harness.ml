@@ -2,6 +2,9 @@ module Json = Rs_obs.Json
 module Fault = Rs_chaos.Fault
 module Inject = Rs_chaos.Inject
 module Memtrack = Rs_storage.Memtrack
+module Relation = Rs_relation.Relation
+module Delta = Rs_relation.Delta
+module Naive = Recstep.Naive
 module Service = Rs_service.Service
 module Edb_store = Rs_service.Edb_store
 module Result_cache = Rs_service.Result_cache
@@ -24,6 +27,8 @@ let builtin_plans =
     "stall:p=0.5,factor=64";
     "mem:p=1,threshold=512";
     "crash:p=1";
+    "delta:p=1,limit=1";
+    "delta:p=1";
     "txn:p=0.4,limit=2;crash:p=0.3,limit=1;index:p=0.5,limit=1;mem:p=1,threshold=8192,limit=1";
   |]
 
@@ -74,16 +79,41 @@ let absolutize ~baseline (plan : Fault.plan) =
 
 let canon_rows rows = List.map Array.to_list rows
 
-(* One case: oracle outside the chaos scope, the service (two identical
-   submissions, to drive the result cache through the fault plan) inside
-   it. Everything the case may legitimately keep alive (the EDB store) is
-   allocated before the baseline is taken, so any live-byte delta after the
-   service returns is a leak. *)
+(* The deterministic mid-case delta: retract the first stored row of the
+   first EDB relation and insert a fresh high-domain row. Derived from the
+   case seed only, so a frozen case replays the same stream. *)
+let case_delta ~cseed rels =
+  match rels with
+  | [] -> Delta.empty
+  | (name, r) :: _ ->
+      let arity = Relation.arity r in
+      let retracts = match Relation.to_rows r with [] -> [] | row :: _ -> [ row ] in
+      let inserts = [ Array.init arity (fun j -> 90 + ((cseed + j) mod 8)) ] in
+      Delta.merge (Delta.of_retracts name retracts) (Delta.of_inserts name inserts)
+
+(* One case: oracle outside the chaos scope, the service inside it — two
+   identical submissions with a typed EDB delta between them (sub@0,
+   delta@50, sub@100), driving the result cache and the view-maintenance
+   path through the fault plan. Everything the case may legitimately keep
+   alive (the EDB store) is allocated before the baseline is taken and the
+   store's own byte drift from a committed delta is netted out, so any
+   remaining live-byte delta after the service returns is a leak. *)
 let run_case ~iter ~cseed ~plan_str (case : Gen.case) (oracle : Differ.oracle) =
   Memtrack.hard_reset ();
   Memtrack.set_budget None;
   let store = Edb_store.create () in
-  Edb_store.define store "g" (Differ.relations_of_case case);
+  let rels = Differ.relations_of_case case in
+  Edb_store.define store "g" rels;
+  let store_rows () =
+    List.map
+      (fun (n, r) ->
+        (n, List.sort_uniq compare (List.map Array.to_list (Relation.to_rows r))))
+      (Edb_store.lookup store "g")
+  in
+  let store_bytes () =
+    List.fold_left (fun acc (_, r) -> acc + Relation.bytes r) 0 (Edb_store.lookup store "g")
+  in
+  let rows0 = store_rows () and bytes0 = store_bytes () in
   let baseline = Memtrack.live () in
   let plan =
     absolutize ~baseline (Fault.plan_of_string ~seed:cseed plan_str)
@@ -94,18 +124,25 @@ let run_case ~iter ~cseed ~plan_str (case : Gen.case) (oracle : Differ.oracle) =
   (* only the stall plan gets a deadline: a tight budget elsewhere would
      turn unrelated cases into timeouts and hide the class under test *)
   let deadline_vs = if has_stall then Some 0.05 else None in
-  let sub () =
+  let sub ~at =
     Service.Submit
-      (Service.submission ?deadline_vs ~tenant:"chaos" ~edb:"g" case.Gen.program)
+      (Service.submission ~at ?deadline_vs ~tenant:"chaos" ~edb:"g" case.Gen.program)
   in
   let config = Service.config ~workers:8 ~seed:1 () in
   let ran =
     Inject.with_plan plan (fun () ->
-        match Service.run ~config ~edb:store [ sub (); sub () ] with
+        match
+          Service.run ~config ~edb:store
+            [
+              sub ~at:0.0;
+              Service.delta_event ~at:50.0 ~edb:"g" (case_delta ~cseed rels);
+              sub ~at:100.0;
+            ]
+        with
         | report -> Ok (report, Inject.fires ())
         | exception e -> Error (Printexc.to_string e))
   in
-  let leak = Memtrack.live () - baseline in
+  let leak = Memtrack.live () - baseline - (store_bytes () - bytes0) in
   match ran with
   | Error msg ->
       let v = Printf.sprintf "exception escaped the service: %s" msg in
@@ -129,14 +166,46 @@ let run_case ~iter ~cseed ~plan_str (case : Gen.case) (oracle : Differ.oracle) =
               :: !violations)
           fmt
       in
+      (* Delta accounting: exactly one delta event was registered, so it was
+         either committed, normalized away, or atomically rolled back by an
+         injected fault — and the store's version must say which. *)
+      let applied = Service.counter report "delta_applied"
+      and noop = Service.counter report "delta_noop"
+      and aborted = Service.counter report "delta_fault" in
+      if applied + noop + aborted <> 1 then
+        note "delta accounting off: applied=%d noop=%d fault=%d" applied noop aborted;
+      let version = Edb_store.version store "g" in
+      if version <> (if applied = 1 then 2 else 1) then
+        note "store version %d inconsistent with delta disposition (applied=%d)" version
+          applied;
+      if aborted = 1 && store_rows () <> rows0 then
+        note "aborted delta mutated the store";
+      (* Expected rows: the first submission settles before the delta and
+         answers against the original EDB (the oracle); the second answers
+         against whatever the store holds after the delta's disposition —
+         a from-scratch naive recompute on the final store contents. The
+         post-delta check is what holds the refreshed cache and the store
+         to the same version. *)
+      let post_rows_of =
+        lazy
+          (match Naive.run ~edb:(store_rows ()) case.Gen.program with
+          | _, rows_of -> rows_of
+          | exception _ ->
+              note "oracle rejected the post-delta EDB";
+              fun _ -> [])
+      in
       List.iter
         (fun (c : Service.completion) ->
           match c.Service.c_outcome with
           | Service.Done value ->
+              let expect_of =
+                if c.Service.c_at < 50.0 then oracle.Differ.rows_of
+                else Lazy.force post_rows_of
+              in
               List.iter
                 (fun (name, rows) ->
                   let got = canon_rows rows in
-                  let expect = oracle.Differ.rows_of name in
+                  let expect = expect_of name in
                   if got <> expect then
                     note "%s: wrong rows for %s (%d got, %d expected)"
                       c.Service.c_id name (List.length got) (List.length expect))

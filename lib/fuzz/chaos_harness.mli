@@ -5,22 +5,31 @@
     result cache, typed retry/degradation). The oracle ({!Recstep.Naive})
     is computed {e outside} the chaos scope; the service runs {e inside}
     {!Rs_chaos.Inject.with_plan}. Two identical submissions per case drive
-    the result cache through the plan as well.
+    the result cache through the plan, with a deterministic typed EDB delta
+    (one retract + one insert, derived from the case seed) registered
+    between them — so every plan also crosses the store's atomic apply and
+    the cache's warm-refresh path.
 
     The guarantee asserted per case — the PR's recovery contract:
 
-    - every submission either returns exactly the oracle's rows or ends in
-      a {e typed} rejection (oom / timeout / unsupported / fault /
+    - every submission either returns exactly the rows of a from-scratch
+      recompute against the store's state at its arrival (the pre-delta
+      oracle for the first, the store's final contents for the second) or
+      ends in a {e typed} rejection (oom / timeout / unsupported / fault /
       rejected); wrong rows or an escaped exception is a violation;
-    - [Memtrack] live bytes return to the pre-case baseline: a faulted run
-      may not leak its working set, its indexes or its scratch state.
+    - the delta's disposition is consistent: applied, normalized away, or
+      rolled back by an injected {!Rs_chaos.Fault.Delta_abort} — and the
+      store's version and rows must agree with whichever happened;
+    - [Memtrack] live bytes return to the pre-case baseline (net of the
+      store's own byte drift from a committed delta): a faulted run may not
+      leak its working set, its indexes or its scratch state.
 
     Without an explicit plan the campaign cycles a builtin rotation that
     covers every fault class — recovered single faults, unrecoverable
-    storms, a silent stall, a corrupted cache entry. Forcing
-    [~plan:"dedup_drop:p=0.5"] is the harness's self-test: silent dedup
-    corruption must produce violations (a campaign that stays green under
-    it proves nothing). *)
+    storms, a silent stall, a corrupted cache entry, an aborted delta.
+    Forcing [~plan:"dedup_drop:p=0.5"] is the harness's self-test: silent
+    dedup corruption must produce violations (a campaign that stays green
+    under it proves nothing). *)
 
 type violation = { v_iter : int; v_seed : int; v_plan : string; v_msg : string }
 
@@ -66,8 +75,9 @@ val run_case :
   Differ.oracle ->
   case_result * violation list
 (** One case under one plan: oracle outside the chaos scope, two identical
-    service submissions inside it, leak check against the pre-case
-    [Memtrack] baseline. Exposed for the frozen chaos-corpus regression. *)
+    service submissions with the seed-derived delta between them inside it,
+    version-consistency and leak checks afterwards. Exposed for the frozen
+    chaos-corpus regression. *)
 
 val run :
   ?log:(string -> unit) -> ?plan:string -> seed:int -> iters:int -> unit -> report

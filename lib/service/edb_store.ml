@@ -1,4 +1,6 @@
 module Relation = Rs_relation.Relation
+module Delta = Rs_relation.Delta
+module Inject = Rs_chaos.Inject
 
 exception Unknown_edb of string
 
@@ -20,16 +22,94 @@ let find t name =
   | Some db -> db
   | None -> raise (Unknown_edb name)
 
-let delta t name ~rel rows =
+(* Atomic typed delta: stage complete replacement relations for every
+   changed input, then commit them with one pointer swap and one version
+   bump. Nothing observable changes until the swap, so a chaos abort (or a
+   Memtrack OOM while accounting the staged copies) leaves the database at
+   its pre-delta version with no accounting drift — the invariant the
+   "delta" fault class of the chaos harness checks. *)
+let apply t name (d : Delta.t) =
   let db = find t name in
-  let r =
-    match List.assoc_opt rel db.rels with
-    | Some r -> r
-    | None -> raise (Unknown_edb (name ^ "." ^ rel))
+  let touched = Delta.rels d in
+  List.iter
+    (fun rl ->
+      if not (List.mem_assoc rl db.rels) then raise (Unknown_edb (name ^ "." ^ rl)))
+    touched;
+  List.iter
+    (fun rl ->
+      let arity = Relation.arity (List.assoc rl db.rels) in
+      List.iter
+        (fun (o : Delta.op) ->
+          if Array.length o.Delta.row <> arity then
+            invalid_arg
+              (Printf.sprintf "Edb_store.apply: %s.%s expects arity %d" name rl arity))
+        (Delta.ops d rl))
+    touched;
+  (* set-level normalization against current membership: inserting a
+     present row or retracting an absent one is a no-op and does not bump
+     the version *)
+  let members =
+    List.map
+      (fun rl ->
+        let r = List.assoc rl db.rels in
+        let h = Hashtbl.create (max 16 (Relation.nrows r)) in
+        List.iter (fun row -> Hashtbl.replace h (Array.to_list row) ()) (Relation.to_rows r);
+        (rl, h))
+      touched
   in
-  List.iter (Relation.push_row r) rows;
-  Relation.account r;
-  db.version <- db.version + 1
+  let changes =
+    Delta.normalize
+      ~mem:(fun rl row -> Hashtbl.mem (List.assoc rl members) (Array.to_list row))
+      d
+  in
+  if changes = [] then (db.version, Delta.empty)
+  else begin
+    (* stage: unaccounted replacement relations; a retraction removes every
+       stored instance of the row (relations are bags, deltas are sets) *)
+    let staged =
+      List.map
+        (fun (rl, (c : Delta.change)) ->
+          Inject.delta_should_abort ~point:(Printf.sprintf "edb_store.apply:%s.%s" name rl);
+          let old_r = List.assoc rl db.rels in
+          let dels = Hashtbl.create 16 in
+          List.iter (fun row -> Hashtbl.replace dels (Array.to_list row) ()) c.Delta.retract;
+          let fresh = Relation.create ~name:(Relation.name old_r) (Relation.arity old_r) in
+          List.iter
+            (fun row ->
+              if not (Hashtbl.mem dels (Array.to_list row)) then Relation.push_row fresh row)
+            (Relation.to_rows old_r);
+          List.iter (fun row -> Relation.push_row fresh row) c.Delta.insert;
+          (rl, fresh))
+        changes
+    in
+    (* account the staged copies; on any failure give back what was already
+       accounted so an aborted apply leaves Memtrack exactly where it was *)
+    let accounted = ref [] in
+    (try
+       List.iter
+         (fun (_, r) ->
+           Relation.account r;
+           accounted := r :: !accounted)
+         staged
+     with e ->
+       List.iter Relation.release !accounted;
+       raise e);
+    (* commit: swap pointers, bump the version once, drop the old copies *)
+    let old_rels = db.rels in
+    db.rels <-
+      List.map
+        (fun (rl, r) ->
+          match List.assoc_opt rl staged with Some fresh -> (rl, fresh) | None -> (rl, r))
+        db.rels;
+    db.version <- db.version + 1;
+    List.iter
+      (fun (rl, _) ->
+        match List.assoc_opt rl old_rels with
+        | Some old_r -> Relation.release old_r
+        | None -> ())
+      staged;
+    (db.version, Delta.of_changes changes)
+  end
 
 let lookup t name = (find t name).rels
 

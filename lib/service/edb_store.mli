@@ -3,10 +3,14 @@
     A serving process holds its input databases resident: many queries run
     against the same facts, so the store keeps one relation set per database
     name and a monotone {e version} that bumps on every redefinition or
-    delta. The (name, version) pair is what the result cache keys on — a
-    delta makes every cached result computed against the old version
-    unreachable without touching the cache itself (the service additionally
-    drops those entries eagerly, see {!Result_cache.invalidate_edb}). *)
+    applied delta. The (name, version) pair is what the result cache keys
+    on; on a delta the service either incrementally refreshes cached entries
+    to the new version or drops them (see {!Result_cache}).
+
+    {b API change}: the old append-only [delta : int array list -> unit]
+    surface is gone. Updates arrive as a typed {!Rs_relation.Delta.t} of
+    inserts {e and retracts} through {!apply}, which is atomic and reports
+    the net change it committed. *)
 
 module Relation = Rs_relation.Relation
 
@@ -20,12 +24,25 @@ val define : t -> string -> (string * Relation.t) list -> unit
 (** [define t name rels] installs (or replaces) database [name]. The
     version starts at 1 and bumps on redefinition. *)
 
-val delta : t -> string -> rel:string -> int array list -> unit
-(** [delta t name ~rel rows] appends [rows] to relation [rel] of database
-    [name] (FlowLog-style incremental update at the granularity a serving
-    cache needs: the version bump is what matters) and re-accounts the
-    relation's bytes. Raises {!Unknown_edb} if [name] or [rel] is not
-    defined. *)
+val apply : t -> string -> Rs_relation.Delta.t -> int * Rs_relation.Delta.t
+(** [apply t name d] applies a typed delta to database [name] and returns
+    [(version, net)] — the database's version after the apply and the net
+    delta actually committed.
+
+    Set-level semantics: inserting a row already present or retracting one
+    that is absent is a counted no-op, and flip-flops within [d] cancel
+    ({!Rs_relation.Delta.normalize}); a retraction removes {e every} stored
+    duplicate of its row. When the whole delta nets to nothing the version
+    is unchanged and [net] is empty.
+
+    Atomicity: replacement relations are fully staged before anything
+    becomes visible, then committed with a single pointer swap and one
+    version bump. A chaos-injected abort ({!Rs_chaos.Fault.Delta_abort}) or
+    an OOM while accounting the staged copies leaves the store — version,
+    rows, and Memtrack accounting — exactly at its pre-delta state.
+
+    Raises {!Unknown_edb} if [name] or a relation named in [d] is not
+    defined, [Invalid_argument] on arity mismatch. *)
 
 val lookup : t -> string -> (string * Relation.t) list
 (** Raises {!Unknown_edb}. *)

@@ -15,6 +15,7 @@ type stats = {
   collisions : int;
   corruptions : int;
   skipped : int;
+  refreshes : int;
 }
 
 type entry = {
@@ -38,6 +39,7 @@ type t = {
   mutable collisions : int;
   mutable corruptions : int;
   mutable skipped : int;
+  mutable refreshes : int;
 }
 
 let create ~budget_bytes =
@@ -54,6 +56,7 @@ let create ~budget_bytes =
     collisions = 0;
     corruptions = 0;
     skipped = 0;
+    refreshes = 0;
   }
 
 (* Rows live on the OCaml heap, not in Memtrack: header + pointer per row
@@ -183,6 +186,49 @@ let invalidate_edb t edb =
   t.invalidations <- t.invalidations + n;
   n
 
+(* Warm refresh: instead of dropping a database's entries on a delta, ask
+   the caller for each entry's rows at the new version (the serving layer
+   answers from its maintained views) and re-key the entry. Entries the
+   refresher cannot answer — no view, unsupported program — fall back to
+   plain invalidation. Recency is preserved: a refresh is bookkeeping, not
+   a hit. *)
+let refresh_edb t edb ~version refresher =
+  let affected =
+    Hashtbl.fold
+      (fun k e acc -> if k.edb = edb && k.edb_version <> version then (k, e) :: acc else acc)
+      t.table []
+  in
+  let refreshed = ref 0 in
+  List.iter
+    (fun (k, e) ->
+      match refresher ~canonical:e.canonical with
+      | Some v ->
+          remove t k;
+          let vbytes = value_bytes v + String.length e.canonical in
+          Hashtbl.add t.table
+            { k with edb_version = version }
+            {
+              value = v;
+              canonical = e.canonical;
+              checksum = checksum v;
+              vbytes;
+              last_use = e.last_use;
+            };
+          t.live_bytes <- t.live_bytes + vbytes;
+          incr refreshed;
+          t.refreshes <- t.refreshes + 1
+      | None ->
+          remove t k;
+          t.invalidations <- t.invalidations + 1)
+    affected;
+  (* refreshed rows may be larger than the ones they replaced *)
+  while t.live_bytes > t.budget && Hashtbl.length t.table > 0 do
+    evict_lru t
+  done;
+  !refreshed
+
+let value_checksum = checksum
+
 let stats t =
   {
     entries = Hashtbl.length t.table;
@@ -195,4 +241,5 @@ let stats t =
     collisions = t.collisions;
     corruptions = t.corruptions;
     skipped = t.skipped;
+    refreshes = t.refreshes;
   }

@@ -46,6 +46,7 @@ type stats = {
       (** verified lookups whose stored rows failed the content checksum —
           dropped and deflected to misses *)
   skipped : int;  (** inserts refused because the run was stale or degraded *)
+  refreshes : int;  (** entries re-keyed to a new EDB version by {!refresh_edb} *)
 }
 
 type t
@@ -71,7 +72,24 @@ val invalidate_edb : t -> string -> int
 (** Drop every entry for the named database, any version; returns how many
     were dropped. *)
 
+val refresh_edb :
+  t -> string -> version:int -> (canonical:string -> value option) -> int
+(** [refresh_edb t edb ~version refresher] visits every entry of [edb] not
+    already at [version]. Entries the [refresher] can answer (keyed by their
+    stored canonical program text) are re-keyed to [version] with the
+    returned rows — checksum and byte accounting recomputed, recency
+    preserved — and counted in [refreshes]; the rest are dropped and counted
+    in [invalidations]. Evicts LRU entries afterwards if the refreshed rows
+    outgrew the budget. Returns the number refreshed. This is how the
+    serving layer keeps tenants' materialized results warm across EDB
+    versions instead of cold-dropping them on every delta. *)
+
 val value_bytes : value -> int
 (** The size estimate used for budgeting. *)
+
+val value_checksum : value -> int
+(** Order-sensitive content digest of a value — the integrity checksum the
+    cache verifies on lookup, exported so reports can carry a comparable
+    fingerprint of served rows. *)
 
 val stats : t -> stats

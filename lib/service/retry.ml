@@ -44,7 +44,10 @@ let failure_name = function
 let retryable = function
   | Oom_failure -> true
   | Fault_failure (Rs_chaos.Fault.Txn | Crash | Dedup_fail | Index_fail) -> true
-  | Fault_failure (Rs_chaos.Fault.Mem | Stall | Dedup_drop | Cache_corrupt) -> false
+  (* Delta_abort fires at delta application, not query execution: the store
+     rolls back atomically and the retry ladder has nothing to re-run. *)
+  | Fault_failure (Rs_chaos.Fault.Mem | Stall | Dedup_drop | Cache_corrupt | Delta_abort)
+    -> false
 
 type policy = { max_attempts : int; backoff_base_s : float; backoff_cap_s : float }
 

@@ -1,4 +1,5 @@
 module Relation = Rs_relation.Relation
+module Delta = Rs_relation.Delta
 
 exception Script_error of { path : string; line : int; msg : string }
 
@@ -115,7 +116,8 @@ let parse ?(path = "<script>") src =
             in
             let rels = (rel, r) :: Option.value ~default:[] (List.assoc_opt name !defs) in
             defs := (name, rels) :: List.remove_assoc name !defs)
-        | "delta" :: rest -> (
+        | (("delta" | "retract") as verb) :: rest -> (
+            let mk = if verb = "delta" then Delta.of_inserts else Delta.of_retracts in
             let at, rest =
               match rest with
               | tok :: more when String.length tok > 3 && String.sub tok 0 3 = "at=" -> (
@@ -129,7 +131,7 @@ let parse ?(path = "<script>") src =
                 let arity = arity_of name rel in
                 let r = Recstep.Frontend.load_tsv ~name:rel ~arity (resolve path_tok) in
                 events :=
-                  Service.Delta { at; edb = name; rel; rows = Relation.to_rows r } :: !events
+                  Service.delta_event ~at ~edb:name (mk rel (Relation.to_rows r)) :: !events
             | name :: rel :: "=" :: _ ->
                 let arity = arity_of name rel in
                 (* rows contain no '=', so the last '=' is the separator
@@ -137,8 +139,8 @@ let parse ?(path = "<script>") src =
                 let j = String.rindex line '=' in
                 let rhs = String.trim (String.sub line (j + 1) (String.length line - j - 1)) in
                 let rows = parse_rows ~arity rhs in
-                events := Service.Delta { at; edb = name; rel; rows } :: !events
-            | _ -> err "delta takes: delta [at=T] EDB REL = rows | @ file")
+                events := Service.delta_event ~at ~edb:name (mk rel rows) :: !events
+            | _ -> err "%s takes: %s [at=T] EDB REL = rows | @ file" verb verb)
         | "submit" :: rest ->
             let args = kv_args rest in
             let get k = List.assoc_opt k args in
@@ -198,3 +200,27 @@ let load path =
   let src = really_input_string ic n in
   close_in ic;
   parse ~path src
+
+(* Render a typed delta back to script lines — one line per relation and
+   sign, preserving op order within each line. Parsing the lines back and
+   merging the events' deltas (in order) reproduces the input's net effect;
+   the round-trip test in test_service.ml holds the parser and this
+   renderer to that contract. *)
+let render_delta ~at ~edb (d : Delta.t) =
+  let row_str row =
+    String.concat " " (List.map string_of_int (Array.to_list row))
+  in
+  List.concat_map
+    (fun rel ->
+      let ops = Delta.ops d rel in
+      let part sign verb =
+        match List.filter (fun (o : Delta.op) -> o.Delta.sign = sign) ops with
+        | [] -> []
+        | os ->
+            [
+              Printf.sprintf "%s at=%g %s %s = %s" verb at edb rel
+                (String.concat "; " (List.map (fun (o : Delta.op) -> row_str o.Delta.row) os));
+            ]
+      in
+      part Delta.Insert "delta" @ part Delta.Retract "retract")
+    (Delta.rels d)

@@ -16,9 +16,14 @@
     submit at=0 tenant=alice edb=g1 program=tc.datalog repeat=3 every=0.01
     submit at=0 tenant=bob edb=g1 program=sg.datalog deadline=5 mem=medium
 
-    # an update at t=1: bumps g1's version, invalidates its cached results
+    # updates at t=1: a typed delta stream — inserts and retracts
     delta at=1 g1 arc = 4 5; 5 6
+    retract at=1.5 g1 arc = 0 1
     v}
+
+    [delta] inserts rows, [retract] removes them (both net out against the
+    store's current contents — see {!Edb_store.apply}); each line becomes
+    one {!Service.Delta} event.
 
     [submit] keys: [tenant], [edb], [program] (path, relative to the
     script) are required; [at], [deadline], [mem] (small/medium/large),
@@ -42,3 +47,8 @@ val parse : ?path:string -> string -> t
 
 val load : string -> t
 (** Read and {!parse} a script file. *)
+
+val render_delta : at:float -> edb:string -> Rs_relation.Delta.t -> string list
+(** Script lines ([delta] / [retract], one per relation and sign) that
+    parse back to events with the same timestamp, database and ops — the
+    renderer half of the DSL round-trip. *)

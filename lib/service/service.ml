@@ -7,6 +7,8 @@ module Engines = Rs_engines.Engines
 module Relation = Rs_relation.Relation
 module Ast = Recstep.Ast
 module Interpreter = Recstep.Interpreter
+module Ivm = Recstep.Ivm
+module Delta = Rs_relation.Delta
 module Fault = Rs_chaos.Fault
 
 type submission = {
@@ -26,9 +28,11 @@ let submission ?(id = "") ?(at = 0.0) ?deadline_vs ?(mem = Admission.Small) ?eng
 
 type event =
   | Submit of submission
-  | Delta of { at : float; edb : string; rel : string; rows : int array list }
+  | Delta of { at : float; edb : string; delta : Delta.t }
 
 let event_time = function Submit s -> s.at | Delta d -> d.at
+
+let delta_event ~at ~edb delta = Delta { at; edb; delta }
 
 type outcome =
   | Done of Result_cache.value
@@ -68,12 +72,24 @@ type config = {
   cache_hit_cost_s : float;
   seed : int;
   retry : Retry.policy;
+  ivm : bool;
+  ivm_max_delta : int;
 }
 
 let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
     ?(cache_bytes = 64 * 1024 * 1024) ?(cache_hit_cost_s = 1e-4) ?(seed = 1)
-    ?(retry = Retry.default) () =
-  { workers; queue_capacity; mem_budget; cache_bytes; cache_hit_cost_s; seed; retry }
+    ?(retry = Retry.default) ?(ivm = true) ?(ivm_max_delta = 512) () =
+  {
+    workers;
+    queue_capacity;
+    mem_budget;
+    cache_bytes;
+    cache_hit_cost_s;
+    seed;
+    retry;
+    ivm;
+    ivm_max_delta;
+  }
 
 type report = {
   completions : completion list;
@@ -90,6 +106,8 @@ let counter_names =
   [
     "submitted"; "admitted"; "rejected"; "done"; "oom"; "timeout"; "unsupported";
     "fault"; "cache_hit"; "cache_miss"; "retried"; "degraded"; "deadline_miss";
+    "delta_applied"; "delta_noop"; "delta_fault"; "refreshed"; "view_built";
+    "view_dropped";
   ]
 
 let percentile p sorted =
@@ -106,6 +124,17 @@ let output_names program =
   if program.Ast.outputs <> [] then program.Ast.outputs
   else (Recstep.Analyzer.analyze program).Recstep.Analyzer.idbs
 
+(* A maintained view: the incremental twin of one (edb, canonical program)
+   cache-entry family. [v_edbs] is the program's own input set — a store
+   delta is filtered to it before Ivm.apply, so deltas touching relations
+   the program never reads refresh its entries for free. *)
+type view = { v_ivm : Ivm.t; v_edbs : string list; v_outputs : string list }
+
+let view_value v =
+  List.map
+    (fun n -> (n, List.map Array.of_list (Ivm.rows v.v_ivm n)))
+    v.v_outputs
+
 let run ?(config = config ()) ~edb:store events =
   let pool = Pool.create ~workers:config.workers () in
   let clock = ref 0.0 in
@@ -118,6 +147,11 @@ let run ?(config = config ()) ~edb:store events =
     Trace.count trace ("service." ^ name) n
   in
   let cache = Result_cache.create ~budget_bytes:config.cache_bytes in
+  (* Maintained views: one {!Recstep.Ivm} instance per (database, canonical
+     program) that has produced a cacheable result. On a registered delta
+     the views absorb the net change and hand the result cache its entries'
+     rows at the new version — warm refresh instead of cold invalidation. *)
+  let views : (string * string, view) Hashtbl.t = Hashtbl.create 16 in
   let sched = Scheduler.create ~seed:config.seed in
   let completions = ref [] in
   (* auto ids in event order, before time-sorting *)
@@ -165,17 +199,75 @@ let run ?(config = config ()) ~edb:store events =
         Scheduler.push sched ~tenant:sub.tenant sub
     | Admission.Reject reason -> reject sub reason
   in
+  let drop_views edb =
+    let doomed =
+      Hashtbl.fold (fun (e, c) _ acc -> if e = edb then (e, c) :: acc else acc) views []
+    in
+    List.iter (Hashtbl.remove views) doomed;
+    List.length doomed
+  in
   let apply_delta d =
     match d with
-    | Delta { edb; rel; rows; _ } ->
+    | Delta { edb; delta; _ } ->
         (* operator-applied state change: not subject to the query budget *)
         let saved = Memtrack.budget () in
         Memtrack.set_budget None;
-        Edb_store.delta store edb ~rel rows;
+        let applied =
+          match Edb_store.apply store edb delta with
+          | r -> Ok r
+          | exception Fault.Injected { cls; point } -> Error (cls, point)
+          | exception Memtrack.Simulated_oom _ ->
+              (* a chaos Mem probe tripped while accounting the staged
+                 relations; the store released them and rolled back *)
+              Error (Fault.Mem, "edb_store.apply")
+        in
         Memtrack.set_budget saved;
-        let dropped = Result_cache.invalidate_edb cache edb in
-        Trace.event trace ~kind:"service" "edb_delta"
-          [ ("rows", float_of_int (List.length rows)); ("invalidated", float_of_int dropped) ]
+        (match applied with
+        | Error (cls, point) ->
+            (* the store rolled back atomically: version, cache and views
+               all still agree on the pre-delta state *)
+            bump "delta_fault" 1;
+            Trace.event trace ~kind:"service" "edb_delta_fault"
+              [ ("cls", float_of_int (Fault.cls_index cls)) ];
+            ignore point
+        | Ok (_, net) when Delta.is_empty net ->
+            (* insert-of-present / retract-of-absent: no version bump, every
+               cached result is still exact *)
+            bump "delta_noop" 1
+        | Ok (version, net) ->
+            bump "delta_applied" 1;
+            if config.ivm && Delta.size net <= config.ivm_max_delta then begin
+              (* warm path: fold the net change into every view of this
+                 database, then re-key its cache entries to [version] *)
+              Hashtbl.iter
+                (fun (e, _) v ->
+                  if e = edb then
+                    let mine = List.filter (fun (rl, _) -> List.mem rl v.v_edbs) net in
+                    ignore (Ivm.apply v.v_ivm mine))
+                views;
+              let refreshed =
+                Result_cache.refresh_edb cache edb ~version (fun ~canonical ->
+                    Option.map view_value (Hashtbl.find_opt views (edb, canonical)))
+              in
+              bump "refreshed" refreshed;
+              Trace.event trace ~kind:"service" "edb_delta"
+                [
+                  ("ops", float_of_int (Delta.size net));
+                  ("refreshed", float_of_int refreshed);
+                ]
+            end
+            else begin
+              (* fallback: the delta is too large for incremental refresh to
+                 pay off (or maintenance is off) — drop views and entries,
+                 queries recompute against the new version *)
+              bump "view_dropped" (drop_views edb);
+              let dropped = Result_cache.invalidate_edb cache edb in
+              Trace.event trace ~kind:"service" "edb_delta"
+                [
+                  ("ops", float_of_int (Delta.size net));
+                  ("invalidated", float_of_int dropped);
+                ]
+            end)
     | Submit _ -> assert false
   in
   let apply_due () =
@@ -323,6 +415,33 @@ let run ?(config = config ()) ~edb:store events =
                     in
                     Result_cache.add cache key rows ~canonical ~stale
                       ~degraded:(degraded <> None);
+                    (* register the incremental twin for whatever entered
+                       the cache: a full-confidence result of a maintainable
+                       program gets a view that will track future deltas *)
+                    if
+                      config.ivm && (not stale) && degraded = None
+                      && (not (Hashtbl.mem views (sub.edb, canonical)))
+                      && Ivm.supported sub.program
+                    then begin
+                      let edb_rows =
+                        List.map
+                          (fun (n, r) ->
+                            (n, List.map Array.to_list (Relation.to_rows r)))
+                          rels
+                      in
+                      match Ivm.create ~edb:edb_rows sub.program with
+                      | ivm ->
+                          Hashtbl.replace views (sub.edb, canonical)
+                            {
+                              v_ivm = ivm;
+                              v_edbs =
+                                (Recstep.Analyzer.analyze sub.program)
+                                  .Recstep.Analyzer.edbs;
+                              v_outputs = output_names sub.program;
+                            };
+                          bump "view_built" 1
+                      | exception Ivm.Unsupported _ -> ()
+                    end;
                     Done rows
                 | Engine_intf.Oom -> Oom
                 | Engine_intf.Timeout -> Timeout
@@ -420,6 +539,18 @@ let report_json r =
            | Rejected _ -> Json.Null
            | _ -> Json.Float (c.c_finished -. c.c_at) );
        ]
+      @ (match c.c_outcome with
+        | Done v ->
+            (* row count and content fingerprint of the served value, so an
+               external check can assert that incrementally-refreshed
+               results are byte-identical to recomputed ones *)
+            [
+              ( "rows",
+                Json.Int (List.fold_left (fun a (_, rs) -> a + List.length rs) 0 v) );
+              ( "checksum",
+                Json.String (Printf.sprintf "%x" (Result_cache.value_checksum v)) );
+            ]
+        | _ -> [])
       @ match outcome_detail c.c_outcome with
         | Some d -> [ ("detail", Json.String d) ]
         | None -> [])
@@ -446,6 +577,7 @@ let report_json r =
             ("collisions", Json.Int cache.Result_cache.collisions);
             ("corruptions", Json.Int cache.Result_cache.corruptions);
             ("skipped", Json.Int cache.Result_cache.skipped);
+            ("refreshes", Json.Int cache.Result_cache.refreshes);
           ] );
       ("queries", Json.List (List.map query r.completions));
     ]

@@ -57,12 +57,18 @@ val submission :
 
 type event =
   | Submit of submission
-  | Delta of { at : float; edb : string; rel : string; rows : int array list }
-      (** An EDB update registered at a point in simulated time: appended to
-          the store, bumping its version and eagerly invalidating cached
-          results for that database. *)
+  | Delta of { at : float; edb : string; delta : Rs_relation.Delta.t }
+      (** A typed EDB update — inserts {e and retracts} — registered at a
+          point in simulated time. Applied atomically through
+          {!Edb_store.apply}; when it nets to a real change the service
+          either incrementally refreshes that database's cached results
+          through its maintained views (small deltas, supported programs)
+          or drops them and lets queries recompute. *)
 
 val event_time : event -> float
+
+val delta_event : at:float -> edb:string -> Rs_relation.Delta.t -> event
+(** Convenience constructor for {!Delta}. *)
 
 type outcome =
   | Done of Result_cache.value  (** output name → sorted distinct rows *)
@@ -99,6 +105,11 @@ type config = {
   cache_hit_cost_s : float;  (** simulated cost of serving from cache *)
   seed : int;  (** scheduler ring seed *)
   retry : Retry.policy;
+  ivm : bool;  (** maintain views and refresh the cache across deltas *)
+  ivm_max_delta : int;
+      (** net delta size (ops) above which warm refresh falls back to
+          invalidation — past this point recomputation tends to beat
+          maintenance, and the view bootstrap cost stops amortizing *)
 }
 
 val config :
@@ -109,10 +120,13 @@ val config :
   ?cache_hit_cost_s:float ->
   ?seed:int ->
   ?retry:Retry.policy ->
+  ?ivm:bool ->
+  ?ivm_max_delta:int ->
   unit ->
   config
 (** Defaults: 8 workers, queue capacity 64, no memory budget, 64 MiB cache,
-    100 µs per cache hit, seed 1, {!Retry.default}. *)
+    100 µs per cache hit, seed 1, {!Retry.default}, maintenance on with a
+    512-op refresh threshold. *)
 
 type report = {
   completions : completion list;  (** in completion order *)
@@ -126,9 +140,13 @@ type report = {
 }
 (** Counters: [submitted], [admitted], [rejected], [done], [oom],
     [timeout], [unsupported], [fault], [cache_hit], [cache_miss],
-    [retried], [degraded], [deadline_miss]. Two identities hold by
-    construction and are checked by the CI smoke:
-    [submitted = admitted + rejected] and
+    [retried], [degraded], [deadline_miss], plus the delta-stream set:
+    [delta_applied] (net store changes committed), [delta_noop] (deltas
+    that normalized away), [delta_fault] (applies aborted by an injected
+    fault or a memory probe, store rolled back), [refreshed] (cache entries
+    incrementally re-keyed),
+    [view_built], [view_dropped]. Two identities hold by construction and
+    are checked by the CI smoke: [submitted = admitted + rejected] and
     [admitted = done + oom + timeout + unsupported + fault]. *)
 
 val run : ?config:config -> edb:Edb_store.t -> event list -> report

@@ -205,6 +205,55 @@ let fuzz_corpus : (string * string * (string * int list list) list) list =
       [ ("e0", []) ] );
   ]
 
+(* --- delta-sequence regression corpus -----------------------------------
+   Named (program source, EDB, delta stream) cases for the IVM: each delta
+   is an ordered op list (is_insert, relation, row); after every applied
+   delta the maintained IDB state must equal a from-scratch naive recompute
+   on the mirrored EDB. The streams pin the retraction edge cases: real
+   deletions under recursion (DRed overdelete/rederive), flip-flops inside
+   one delta, retracts of absent rows, and a deletion that empties the
+   relation. *)
+
+let delta_corpus :
+    (string * string * (string * int list list) list * (bool * string * int list) list list)
+    list =
+  [
+    ( "tc churn: grow, cut, heal, no-op retract",
+      ".input e0\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y).\n\
+       .output p0",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ]) ],
+      [
+        [ (true, "e0", [ 3; 4 ]) ];
+        [ (false, "e0", [ 1; 2 ]); (true, "e0", [ 4; 0 ]) ];
+        [ (false, "e0", [ 9; 9 ]) ];
+        [ (true, "e0", [ 1; 2 ]) ];
+      ] );
+    ( "dred rederivation: shortcut survives the cut",
+      ".input e0\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y).\n\
+       .output p0",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ]) ],
+      [ [ (false, "e0", [ 0; 1 ]) ]; [ (false, "e0", [ 0; 2 ]) ] ] );
+    ( "negation stratum: flip-flop nets out, then flips",
+      ".input e0\n.input e1\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y).\n\
+       p1(x, y) :- p0(x, y), !e1(x, y).\n\
+       .output p0\n.output p1",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ] ]); ("e1", [ [ 0; 2 ] ]) ],
+      [
+        [ (false, "e1", [ 0; 2 ]); (true, "e1", [ 0; 2 ]) ];
+        [ (false, "e1", [ 0; 2 ]); (true, "e1", [ 0; 1 ]) ];
+      ] );
+    ( "retraction empties the relation",
+      ".input e0\np0(x, y) :- e0(x, y).\np0(x, y) :- p0(x, z), e0(z, y).\n.output p0",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 0 ] ]) ],
+      [ [ (false, "e0", [ 0; 1 ]) ]; [ (false, "e0", [ 1; 0 ]) ] ] );
+  ]
+
 (* Frozen chaos regressions: one small recursive program run through the
    serving stack under a fixed fault plan, with the expected outcome label
    of each of the two identical submissions. Labels were frozen from
@@ -228,4 +277,10 @@ let chaos_corpus : (string * string * string list) list =
     ("single index build failure is retried", "index:p=1,limit=1", [ "done"; "done" ]);
     ("corrupted cache entry is recomputed", "cache:p=1,limit=1", [ "done"; "done" ]);
     ("memory blip degrades and completes", "mem:p=1,threshold=1024,limit=1", [ "done"; "done" ]);
+    (* Delta_abort fires inside Edb_store.apply's staging loop: the store
+       rolls back atomically (version and rows untouched), the cache keeps
+       serving the pre-delta version, and both submissions still answer
+       correctly — the harness checks rows against the store's final state. *)
+    ("aborted delta leaves store and cache consistent", "delta:p=1", [ "done"; "done" ]);
+    ("single delta abort only loses that delta", "delta:p=1,limit=1", [ "done"; "done" ]);
   ]

@@ -164,7 +164,64 @@ let capability_rows () =
   check "souffle no recursive agg" false (cap Engines.souffle_like).Engine_intf.recursive_aggregation;
   check "bigdatalog no mutual recursion" false (cap Engines.bigdatalog_like).Engine_intf.mutual_recursion;
   check "graspan no aggregation" false (cap Engines.graspan_like).Engine_intf.nonrecursive_aggregation;
-  check "bddbddb single-thread" false (cap Engines.bddbddb_like).Engine_intf.scale_up
+  check "bddbddb single-thread" false (cap Engines.bddbddb_like).Engine_intf.scale_up;
+  check "only recstep maintains incrementally" true
+    (List.for_all
+       (fun ((module E : Engine_intf.S) as e) ->
+         E.capabilities.Engine_intf.incremental = (e == Engines.recstep))
+       Engines.all)
+
+(* --- incremental maintenance: every engine's maintain handle must track
+   the same delta sequence to the same outputs and emit the same net output
+   deltas, whether it maintains incrementally or by recompute-and-diff --- *)
+
+module Delta = Rs_relation.Delta
+
+let delta_signature d =
+  List.map
+    (fun rel ->
+      ( rel,
+        List.sort compare
+          (List.map
+             (fun (o : Delta.op) -> (o.Delta.sign, Array.to_list o.Delta.row))
+             (Delta.ops d rel)) ))
+    (List.sort compare (Delta.rels d))
+
+let test_maintain_agree () =
+  let program = Recstep.Parser.parse Programs.tc in
+  let edb () =
+    [ ("arc", Refs.relation_of_edges [ (0, 1); (1, 2); (2, 3) ]) ]
+  in
+  let steps =
+    [
+      Delta.of_inserts "arc" [ [| 3; 4 |] ];
+      Delta.merge
+        (Delta.of_retracts "arc" [ [| 1; 2 |] ])
+        (Delta.of_inserts "arc" [ [| 4; 0 |] ]);
+      Delta.of_retracts "arc" [ [| 9; 9 |] ] (* never inserted: no-op *);
+    ]
+  in
+  let trail (module E : Engine_intf.S) =
+    let m = E.maintain ~pool:(pool ()) ~edb:(edb ()) program in
+    ( E.name,
+      m.Engine_intf.m_incremental,
+      List.map
+        (fun d ->
+          let out = m.Engine_intf.m_apply d in
+          (delta_signature out, m.Engine_intf.m_outputs ()))
+        steps )
+  in
+  match List.map trail Engines.all with
+  | (_, inc0, first) :: rest ->
+      check "recstep maintains incrementally" true inc0;
+      List.iter
+        (fun (name, _, tr) ->
+          if tr <> first then Alcotest.fail (Printf.sprintf "engine %s diverges" name))
+        rest;
+      (* the no-op retract emits an empty delta *)
+      let last_sig, _ = List.nth first 2 in
+      check "no-op retract emits nothing" true (last_sig = [])
+  | [] -> Alcotest.fail "no engines"
 
 (* --- inc_index --- *)
 
@@ -212,6 +269,7 @@ let suite =
   [
     Alcotest.test_case "capability gating" `Quick suite_gating;
     Alcotest.test_case "Table 1 capability rows" `Quick capability_rows;
+    Alcotest.test_case "maintain agrees across engines" `Quick test_maintain_agree;
     Alcotest.test_case "engines registry" `Quick test_engines_registry;
   ]
   @ qsuite

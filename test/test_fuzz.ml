@@ -5,6 +5,8 @@ module Gen = Rs_fuzz.Gen
 module Differ = Rs_fuzz.Differ
 module Shrink = Rs_fuzz.Shrink
 module Fuzz = Rs_fuzz.Fuzz
+module Delta_fuzz = Rs_fuzz.Delta_fuzz
+module Delta = Rs_relation.Delta
 module Naive = Recstep.Naive
 module Parser = Recstep.Parser
 module Interpreter = Recstep.Interpreter
@@ -125,6 +127,66 @@ let test_fault_injection_caught_and_shrunk () =
           check "reproducer has <= 10 tuples" true (tuples <= 10))
         shrunk)
 
+(* --- delta-sequence mode -------------------------------------------------- *)
+
+(* Replay the frozen corpus: every delta applied through the IVM must land
+   on the same IDB state as a from-scratch naive recompute on a set-level
+   mirror of the EDB. *)
+let test_delta_corpus () =
+  List.iter
+    (fun (tag, src, edb, deltas) ->
+      let program = Parser.parse src in
+      let mirror = Hashtbl.create 4 in
+      List.iter
+        (fun (rel, rows) ->
+          let tbl = Hashtbl.create 16 in
+          List.iter (fun row -> Hashtbl.replace tbl row ()) rows;
+          Hashtbl.add mirror rel tbl)
+        edb;
+      let mirror_rows () =
+        List.map
+          (fun (rel, _) ->
+            let tbl = Hashtbl.find mirror rel in
+            (rel, List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])))
+          edb
+      in
+      let ivm = Recstep.Ivm.create ~edb:(mirror_rows ()) program in
+      List.iteri
+        (fun v ops ->
+          let d =
+            List.fold_left
+              (fun acc (ins, rel, row) ->
+                let mk = if ins then Delta.of_inserts else Delta.of_retracts in
+                (if ins then Hashtbl.replace (Hashtbl.find mirror rel) row ()
+                 else Hashtbl.remove (Hashtbl.find mirror rel) row);
+                Delta.merge acc (mk rel [ Array.of_list row ]))
+              Delta.empty ops
+          in
+          ignore (Recstep.Ivm.apply ivm d);
+          let idbs, rows_of = Naive.run ~edb:(mirror_rows ()) program in
+          List.iter
+            (fun pred ->
+              let expect = List.sort_uniq compare (rows_of pred) in
+              let got = List.sort_uniq compare (Recstep.Ivm.rows ivm pred) in
+              if expect <> got then
+                Alcotest.fail
+                  (Printf.sprintf "%S: %s diverges at version %d" tag pred (v + 1)))
+            idbs)
+        deltas)
+    Refs.delta_corpus
+
+(* A fixed-seed delta-sequence campaign — the same seed the CI smoke pins. *)
+let test_delta_campaign_clean () =
+  let r = Delta_fuzz.run ~seed:11 ~iters:10 ~deltas:6 () in
+  check "clean" true (Delta_fuzz.clean r);
+  Alcotest.(check int) "cases" 10 r.Delta_fuzz.cases;
+  check "versions actually streamed" true
+    (r.Delta_fuzz.versions >= 6 * (r.Delta_fuzz.cases - r.Delta_fuzz.invalid));
+  check "ops actually streamed" true (r.Delta_fuzz.ops > r.Delta_fuzz.versions);
+  (* determinism: same seed, same campaign *)
+  let r2 = Delta_fuzz.run ~seed:11 ~iters:10 ~deltas:6 () in
+  check "deterministic per seed" true (r = r2)
+
 (* --- semi-naive: an empty delta skips the plans it drives ----------------- *)
 
 let test_empty_delta_skips_plans () =
@@ -168,5 +230,7 @@ let suite =
     Alcotest.test_case "fixed-seed campaign is clean" `Quick test_campaign_clean;
     Alcotest.test_case "injected dedup fault caught and shrunk" `Quick
       test_fault_injection_caught_and_shrunk;
+    Alcotest.test_case "frozen delta corpus replays clean" `Quick test_delta_corpus;
+    Alcotest.test_case "fixed-seed delta campaign is clean" `Quick test_delta_campaign_clean;
     Alcotest.test_case "empty delta skips its plans" `Quick test_empty_delta_skips_plans;
   ]

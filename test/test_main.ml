@@ -8,6 +8,7 @@ let () =
       ("relation", Test_relation.suite);
       ("exec", Test_exec.suite);
       ("core", Test_core.suite);
+      ("ivm", Test_ivm.suite);
       ("bitmatrix", Test_bitmatrix.suite);
       ("bdd", Test_bdd.suite);
       ("engines", Test_engines.suite);

@@ -1,4 +1,5 @@
 module Relation = Rs_relation.Relation
+module Delta = Rs_relation.Delta
 module Service = Rs_service.Service
 module Edb_store = Rs_service.Edb_store
 module Result_cache = Rs_service.Result_cache
@@ -109,23 +110,27 @@ let check_identities r =
 
 (* --- cache hit / miss / invalidation through the service loop --- *)
 
-let test_service_cache_and_invalidation () =
+let cache_events =
   let sub ~at = Service.submission ~at ~tenant:"t" ~edb:"g" tc in
-  let events =
-    [
-      Service.Submit (sub ~at:0.0);
-      Service.Submit (sub ~at:0.0);
-      (* well after both queries settle: version bump, cached TC dropped;
-         the new arc reaches a fresh vertex so the closure actually grows *)
-      Service.Delta { at = 50.0; edb = "g"; rel = "arc"; rows = [ [| 5; 6 |] ] };
-      Service.Submit (sub ~at:100.0);
-    ]
-  in
-  let r = Service.run ~edb:(store ()) events in
+  [
+    Service.Submit (sub ~at:0.0);
+    Service.Submit (sub ~at:0.0);
+    (* well after both queries settle: version bump; the new arc reaches a
+       fresh vertex so the closure actually grows *)
+    Service.delta_event ~at:50.0 ~edb:"g" (Delta.of_inserts "arc" [ [| 5; 6 |] ]);
+    Service.Submit (sub ~at:100.0);
+  ]
+
+(* With maintenance off, a delta cold-drops the database's cached results:
+   the post-delta query misses and recomputes. *)
+let test_service_cache_and_invalidation () =
+  let config = Service.config ~ivm:false () in
+  let r = Service.run ~config ~edb:(store ()) cache_events in
   check_identities r;
   Alcotest.(check int) "all three served" 3 (Service.counter r "done");
   Alcotest.(check int) "second query hits" 1 (Service.counter r "cache_hit");
   Alcotest.(check int) "first and post-delta miss" 2 (Service.counter r "cache_miss");
+  Alcotest.(check int) "delta applied" 1 (Service.counter r "delta_applied");
   Alcotest.(check bool) "delta invalidated the entry" true
     (r.Service.cache.Result_cache.invalidations >= 1);
   match r.Service.completions with
@@ -138,6 +143,69 @@ let test_service_cache_and_invalidation () =
           Alcotest.(check bool) "post-delta result is larger" true (nrows v3 > nrows v1)
       | _ -> Alcotest.fail "expected three Done outcomes")
   | cs -> Alcotest.fail (Printf.sprintf "expected 3 completions, got %d" (List.length cs))
+
+(* With maintenance on (the default), the same delta incrementally refreshes
+   the cached entry instead: the post-delta query is a warm hit and its rows
+   match a from-scratch recompute. *)
+let test_service_warm_refresh () =
+  let r = Service.run ~edb:(store ()) cache_events in
+  check_identities r;
+  Alcotest.(check int) "all three served" 3 (Service.counter r "done");
+  Alcotest.(check int) "repeat and post-delta both hit" 2 (Service.counter r "cache_hit");
+  Alcotest.(check int) "only the first misses" 1 (Service.counter r "cache_miss");
+  Alcotest.(check int) "one view built" 1 (Service.counter r "view_built");
+  Alcotest.(check int) "one entry refreshed" 1 (Service.counter r "refreshed");
+  Alcotest.(check int) "nothing dropped" 0 (Service.counter r "view_dropped");
+  Alcotest.(check int) "refresh counted in cache stats" 1
+    r.Service.cache.Result_cache.refreshes;
+  (* the refreshed rows must equal what a cold recompute produces *)
+  let cold = Service.run ~config:(Service.config ~ivm:false ()) ~edb:(store ()) cache_events in
+  let last r =
+    match List.rev r.Service.completions with
+    | { Service.c_outcome = Service.Done v; _ } :: _ -> v
+    | _ -> Alcotest.fail "expected a Done completion"
+  in
+  Alcotest.(check bool) "refreshed rows = recomputed rows" true (last r = last cold);
+  match List.rev r.Service.completions with
+  | q3 :: _ -> Alcotest.(check bool) "post-delta query is a hit" true q3.Service.c_cache_hit
+  | [] -> Alcotest.fail "no completions"
+
+(* A retraction refreshes too: the closure shrinks and the warm rows track
+   it. The ring 0→1→…→5→0 loses its closing arc, so tc drops from the full
+   cross product to the reachable-suffix pairs. *)
+let test_service_warm_retract () =
+  let sub ~at = Service.submission ~at ~tenant:"t" ~edb:"g" tc in
+  let events =
+    [
+      Service.Submit (sub ~at:0.0);
+      Service.delta_event ~at:50.0 ~edb:"g" (Delta.of_retracts "arc" [ [| 5; 0 |] ]);
+      Service.Submit (sub ~at:100.0);
+    ]
+  in
+  let r = Service.run ~edb:(store ()) events in
+  check_identities r;
+  Alcotest.(check int) "one entry refreshed" 1 (Service.counter r "refreshed");
+  match r.Service.completions with
+  | [ { Service.c_outcome = Service.Done v1; _ }; q2 ] ->
+      Alcotest.(check bool) "post-retract query is a hit" true q2.Service.c_cache_hit;
+      let v2 = match q2.Service.c_outcome with
+        | Service.Done v -> v
+        | _ -> Alcotest.fail "expected Done"
+      in
+      let nrows v = List.length (List.assoc "tc" v) in
+      Alcotest.(check int) "ring closure is the cross product" 36 (nrows v1);
+      Alcotest.(check int) "broken ring shrinks to the path closure" 15 (nrows v2)
+  | cs -> Alcotest.fail (Printf.sprintf "expected 2 completions, got %d" (List.length cs))
+
+(* A delta past the refresh threshold falls back to invalidation. *)
+let test_service_refresh_fallback () =
+  let config = Service.config ~ivm_max_delta:0 () in
+  let r = Service.run ~config ~edb:(store ()) cache_events in
+  check_identities r;
+  Alcotest.(check int) "no refresh past the threshold" 0 (Service.counter r "refreshed");
+  Alcotest.(check int) "views dropped instead" 1 (Service.counter r "view_dropped");
+  Alcotest.(check bool) "entry invalidated" true
+    (r.Service.cache.Result_cache.invalidations >= 1)
 
 (* --- admission control --- *)
 
@@ -250,6 +318,7 @@ let test_script_parse () =
         "edb g arc:2 = 0 1; 1 2; 2 0";
         Printf.sprintf "submit tenant=a edb=g program=%s repeat=2 every=0.5" prog;
         "delta at=1 g arc = 2 3";
+        "retract at=2 g arc = 0 1";
         "";
       ]
   in
@@ -257,17 +326,64 @@ let test_script_parse () =
   Alcotest.(check (list (pair string string))) "settings" [ ("workers", "4") ] s.Script.settings;
   Alcotest.(check int) "one database" 1 (List.length s.Script.defs);
   (match s.Script.events with
-  | [ Service.Submit s1; Service.Submit s2; Service.Delta d ] ->
+  | [ Service.Submit s1; Service.Submit s2; Service.Delta d1; Service.Delta d2 ] ->
       Alcotest.(check string) "tenant" "a" s1.Service.tenant;
       Alcotest.(check (float 1e-9)) "train spacing" 0.5 s2.Service.at;
-      Alcotest.(check (float 1e-9)) "delta time" 1.0 d.at;
-      Alcotest.(check int) "delta rows" 1 (List.length d.rows)
-  | _ -> Alcotest.fail "expected submit, submit, delta");
+      Alcotest.(check (float 1e-9)) "delta time" 1.0 d1.at;
+      Alcotest.(check int) "delta is one insert" 1 (Delta.size d1.delta);
+      Alcotest.(check bool) "delta op is an insert" true
+        (List.for_all
+           (fun (o : Delta.op) -> o.Delta.sign = Delta.Insert)
+           (Delta.ops d1.delta "arc"));
+      Alcotest.(check bool) "retract op is a retract" true
+        (List.for_all
+           (fun (o : Delta.op) -> o.Delta.sign = Delta.Retract)
+           (Delta.ops d2.delta "arc"))
+  | _ -> Alcotest.fail "expected submit, submit, delta, retract");
   (* malformed lines carry their position *)
   (match Script.parse ~path:"w" "set workers 4\nbogus directive\n" with
   | _ -> Alcotest.fail "expected Script_error"
   | exception Script.Script_error { line = 2; _ } -> ());
   Sys.remove prog
+
+(* Renderer round-trip: a mixed delta rendered to script lines parses back
+   to Delta events whose merged ops equal the original's, per relation and
+   sign, with the timestamp and database preserved. *)
+let test_script_delta_roundtrip () =
+  let d =
+    Delta.merge
+      (Delta.of_inserts "arc" [ [| 4; 5 |]; [| 5; 6 |] ])
+      (Delta.merge
+         (Delta.of_retracts "arc" [ [| 0; 1 |] ])
+         (Delta.of_inserts "lab" [ [| 7 |] ]))
+  in
+  let lines = Script.render_delta ~at:2.5 ~edb:"g" d in
+  let src =
+    String.concat "\n"
+      ("edb g arc:2 = 0 1" :: "edb g lab:1 = 7" :: lines)
+  in
+  let s = Script.parse src in
+  let parsed =
+    List.fold_left
+      (fun acc -> function
+        | Service.Delta { at; edb; delta } ->
+            Alcotest.(check (float 1e-9)) "timestamp survives" 2.5 at;
+            Alcotest.(check string) "database survives" "g" edb;
+            Delta.merge acc delta
+        | _ -> Alcotest.fail "expected only Delta events")
+      Delta.empty s.Script.events
+  in
+  let sig_of d =
+    List.map
+      (fun rel ->
+        ( rel,
+          List.sort compare
+            (List.map
+               (fun (o : Delta.op) -> (o.Delta.sign, Array.to_list o.Delta.row))
+               (Delta.ops d rel)) ))
+      (List.sort compare (Delta.rels d))
+  in
+  Alcotest.(check bool) "ops round-trip" true (sig_of parsed = sig_of d)
 
 let suite =
   [
@@ -277,10 +393,15 @@ let suite =
     Alcotest.test_case "result cache hash collision" `Quick test_result_cache_collision;
     Alcotest.test_case "cache hit + invalidation on delta" `Quick
       test_service_cache_and_invalidation;
+    Alcotest.test_case "warm refresh across a delta" `Quick test_service_warm_refresh;
+    Alcotest.test_case "warm refresh across a retraction" `Quick test_service_warm_retract;
+    Alcotest.test_case "refresh falls back past the threshold" `Quick
+      test_service_refresh_fallback;
     Alcotest.test_case "admission: memory budget" `Quick test_admission_memory;
     Alcotest.test_case "admission: bounded queue" `Quick test_admission_queue_full;
     Alcotest.test_case "admission: unknown edb" `Quick test_admission_unknown_edb;
     Alcotest.test_case "deadline miss is a timeout" `Quick test_deadline_miss;
     Alcotest.test_case "deterministic replay" `Quick test_determinism;
     Alcotest.test_case "workload script parsing" `Quick test_script_parse;
+    Alcotest.test_case "script delta render round-trip" `Quick test_script_delta_roundtrip;
   ]
