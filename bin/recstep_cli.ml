@@ -74,7 +74,7 @@ let parse_program path =
       raise (Recstep.Frontend.Parse_error { path; line; msg = message })
 
 let run_cmd program_path facts out_dir engine workers verbose explain_only profile dsd
-    no_pbme no_persistent_indexes =
+    no_pbme no_persistent_indexes shards no_colocation rebalance =
   with_input_errors @@ fun () ->
   let program = parse_program program_path in
   if explain_only then explain program
@@ -98,6 +98,31 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
   in
   let lookup =
     match engine with
+    | None when shards > 1 -> (
+        (* sharded execution: hash-partitioned simulated nodes with
+           colocation-aware planning (see DESIGN.md §13) *)
+        let options =
+          Rs_shard.Shard_exec.options ~shards ~colocation:(not no_colocation) ~rebalance
+            ~dsd ~persistent_indexes:(not no_persistent_indexes) ?trace ()
+        in
+        match Rs_shard.Shard_exec.run ~options ~pool ~edb program with
+        | result ->
+            if verbose then
+              Printf.printf
+                "iterations=%d queries=%d supersteps=%d rules: colocated=%d \
+                 broadcast=%d shuffled=%d  shuffle_tuples=%d broadcast_tuples=%d \
+                 rebalance_moves=%d recoveries=%d\n"
+                result.Rs_shard.Shard_exec.iterations result.Rs_shard.Shard_exec.queries
+                result.Rs_shard.Shard_exec.supersteps
+                result.Rs_shard.Shard_exec.colocated_rules
+                result.Rs_shard.Shard_exec.broadcast_rules
+                result.Rs_shard.Shard_exec.shuffled_rules
+                result.Rs_shard.Shard_exec.shuffle_tuples
+                result.Rs_shard.Shard_exec.broadcast_tuples
+                result.Rs_shard.Shard_exec.rebalance_moves
+                result.Rs_shard.Shard_exec.recoveries;
+            result.Rs_shard.Shard_exec.relation_of
+        | exception Rs_shard.Shard_exec.Unsupported m -> die "unsupported program: %s" m)
     | None ->
         let options =
           Recstep.Interpreter.options ~dsd ~pbme:(not no_pbme)
@@ -156,7 +181,7 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
   end
 
 let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_ivm
-    ivm_max_delta report_path verbose =
+    ivm_max_delta shards report_path verbose =
   with_input_errors @@ fun () ->
   let script = Rs_service.Script.load script_path in
   let setting key = List.assoc_opt key script.Rs_service.Script.settings in
@@ -180,13 +205,14 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_
       Option.value (Option.bind (setting "ivm") bool_of_string_opt) ~default:true
   in
   let ivm_max_delta = pick ivm_max_delta (int_setting "ivm_max_delta") 512 in
+  let shards = pick shards (int_setting "shards") 1 in
   let store = Rs_service.Edb_store.create () in
   List.iter
     (fun (name, rels) -> Rs_service.Edb_store.define store name rels)
     script.Rs_service.Script.defs;
   let config =
     Rs_service.Service.config ~workers ~queue_capacity ?mem_budget ~cache_bytes
-      ~cache_hit_cost_s ~seed ~ivm ~ivm_max_delta ()
+      ~cache_hit_cost_s ~seed ~ivm ~ivm_max_delta ~shards ()
   in
   let report = Rs_service.Service.run ~config ~edb:store script.Rs_service.Script.events in
   print_string (Rs_service.Service.report_summary report);
@@ -354,8 +380,17 @@ let no_pbme_arg =
 let no_persistent_indexes_arg =
   Arg.(value & flag & info [ "no-persistent-indexes" ] ~doc:"disable the fixpoint-lifetime index manager (rebuild join indexes per query, the pre-optimization behavior)")
 
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc:"evaluate on N simulated shard nodes with hash partitioning and colocation-aware join planning (1 = single-node interpreter)")
+
+let no_colocation_arg =
+  Arg.(value & flag & info [ "no-colocation" ] ~doc:"charge every derived tuple as a repartition shuffle even when colocation would keep it node-local (cost-model ablation; results are unchanged)")
+
+let rebalance_arg =
+  Arg.(value & flag & info [ "rebalance" ] ~doc:"detect load skew between fixpoint strata and migrate hot partition buckets to colder shard nodes")
+
 let run_term =
-  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg $ dsd_arg $ no_pbme_arg $ no_persistent_indexes_arg)
+  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg $ dsd_arg $ no_pbme_arg $ no_persistent_indexes_arg $ shards_arg $ no_colocation_arg $ rebalance_arg)
 
 let script_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"workload script: EDB definitions plus a stream of submit/delta events (see lib/service/script.mli)")
@@ -386,11 +421,14 @@ let no_ivm_arg =
 let ivm_max_delta_arg =
   Arg.(value & opt (some int) None & info [ "ivm-max-delta" ] ~docv:"OPS" ~doc:"net delta size above which warm refresh falls back to invalidation (default: script setting or 512)")
 
+let serve_shards_arg =
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"run engine-less submissions on N simulated shard nodes and report per-shard utilization (default: script setting or 1)")
+
 let serve_term =
   Term.(
     const serve_cmd $ script_arg $ serve_workers_arg $ queue_arg $ cache_bytes_arg
     $ no_cache_arg $ serve_seed_arg $ mem_budget_arg $ no_ivm_arg $ ivm_max_delta_arg
-    $ report_arg $ verbose_arg)
+    $ serve_shards_arg $ report_arg $ verbose_arg)
 
 let kind_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"gnp | rmat | livejournal | orkut | arabic | twitter")
 

@@ -8,11 +8,14 @@ type cls =
   | Index_fail
   | Cache_corrupt
   | Delta_abort
+  | Node_loss
+  | Shuffle_drop
 
 exception Injected of { cls : cls; point : string }
 
 let all_classes =
-  [ Mem; Txn; Stall; Crash; Dedup_fail; Dedup_drop; Index_fail; Cache_corrupt; Delta_abort ]
+  [ Mem; Txn; Stall; Crash; Dedup_fail; Dedup_drop; Index_fail; Cache_corrupt; Delta_abort;
+    Node_loss; Shuffle_drop ]
 
 let cls_index = function
   | Mem -> 0
@@ -24,6 +27,8 @@ let cls_index = function
   | Index_fail -> 6
   | Cache_corrupt -> 7
   | Delta_abort -> 8
+  | Node_loss -> 9
+  | Shuffle_drop -> 10
 
 let n_classes = List.length all_classes
 
@@ -37,6 +42,8 @@ let cls_name = function
   | Index_fail -> "index"
   | Cache_corrupt -> "cache"
   | Delta_abort -> "delta"
+  | Node_loss -> "node_loss"
+  | Shuffle_drop -> "shuffle_drop"
 
 let cls_of_name = function
   | "mem" -> Some Mem
@@ -48,6 +55,8 @@ let cls_of_name = function
   | "index" -> Some Index_fail
   | "cache" -> Some Cache_corrupt
   | "delta" -> Some Delta_abort
+  | "node_loss" -> Some Node_loss
+  | "shuffle_drop" -> Some Shuffle_drop
   | _ -> None
 
 (* A crash mid-injection must still name what was injected. *)

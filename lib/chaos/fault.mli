@@ -22,7 +22,13 @@
     - {!Delta_abort} — a typed EDB delta fails mid-application. The store
       stages every relation's change before committing any, so a fired
       probe must leave the store (and hence the version-keyed result cache
-      and maintained views) exactly at the pre-delta state. *)
+      and maintained views) exactly at the pre-delta state;
+    - {!Node_loss} — a simulated shard node dies at the start of a work
+      section. The sharded executor must re-execute the lost node's stratum
+      from the last committed fragment snapshot;
+    - {!Shuffle_drop} — a repartition exchange message is lost in flight.
+      Recovered the same way: the stratum restarts from committed state, so
+      a dropped message can never silently shrink an output. *)
 
 type cls =
   | Mem
@@ -34,6 +40,8 @@ type cls =
   | Index_fail
   | Cache_corrupt
   | Delta_abort
+  | Node_loss
+  | Shuffle_drop
 
 exception Injected of { cls : cls; point : string }
 (** Raised by the probes of the typed-failure classes ({!Txn}, {!Crash},
@@ -50,7 +58,8 @@ val cls_index : cls -> int
 
 val cls_name : cls -> string
 (** "mem" / "txn" / "stall" / "crash" / "dedup" / "dedup_drop" / "index" /
-    "cache" / "delta" — the plan-syntax and report vocabulary. *)
+    "cache" / "delta" / "node_loss" / "shuffle_drop" — the plan-syntax and
+    report vocabulary. *)
 
 val cls_of_name : string -> cls option
 

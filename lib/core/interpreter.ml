@@ -20,6 +20,7 @@ type options = {
   fast_dedup : bool;
   pbme : bool;
   persistent_indexes : bool;
+  shared_indexes : Rs_exec.Index_manager.t option;
   query_overhead_s : float;
   alpha : float;
   timeout_vs : float option;
@@ -29,7 +30,7 @@ type options = {
 }
 
 let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true)
-    ?(fast_dedup = true) ?(pbme = true) ?(persistent_indexes = true)
+    ?(fast_dedup = true) ?(pbme = true) ?(persistent_indexes = true) ?shared_indexes
     ?(query_overhead_s = 0.002) ?(alpha = Cost.default_alpha) ?timeout_vs
     ?(hoard_memory = false) ?(share_builds = true) ?trace () =
   {
@@ -40,6 +41,7 @@ let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true
     fast_dedup;
     pbme;
     persistent_indexes;
+    shared_indexes;
     query_overhead_s;
     alpha;
     timeout_vs;
@@ -242,7 +244,9 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
       List.iter
         (fun n -> if Analyzer.agg_sig an n = None then Hashtbl.replace stable n ())
         an.Analyzer.idbs;
-      Some (Rs_exec.Index_manager.create ?trace ~persistent:(Hashtbl.mem stable) pool)
+      Some
+        (Rs_exec.Index_manager.create ?trace ?parent:options.shared_indexes
+           ~persistent:(Hashtbl.mem stable) pool)
     end
   in
   let exec =

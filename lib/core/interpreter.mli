@@ -35,6 +35,12 @@ type options = {
           {!Rs_exec.Index_manager} (EDB indexes built once, recursive full
           tables delta-appended); off = the seed's rebuild-per-query
           behavior, kept as an ablation toggle *)
+  shared_indexes : Rs_exec.Index_manager.t option;
+      (** optional caller-owned parent manager: indexes on names its
+          predicate accepts (typically the serving layer's EDB store
+          relations) are built in and served from the parent, surviving
+          this run's teardown — the run-local manager releases only its own
+          entries *)
   query_overhead_s : float;
   alpha : float;  (** DSD cost-model build/probe ratio (from calibration) *)
   timeout_vs : float option;  (** simulated-seconds budget per run *)
@@ -58,6 +64,7 @@ val options :
   ?fast_dedup:bool ->
   ?pbme:bool ->
   ?persistent_indexes:bool ->
+  ?shared_indexes:Rs_exec.Index_manager.t ->
   ?query_overhead_s:float ->
   ?alpha:float ->
   ?timeout_vs:float ->

@@ -1,0 +1,15 @@
+(** RecStep on simulated shard nodes, behind the common engine interface.
+
+    Hash-partitions the EDB across four virtual nodes and evaluates with
+    {!Rs_shard.Shard_exec}'s colocation-aware join planning: colocated
+    rules run shuffle-free, reference relations are replicated, the rest
+    pay broadcast or repartition costs on the simulated clock. Mutual
+    recursion and negation are supported; aggregates raise
+    {!Engine_intf.Unsupported} (the shard planner does not distribute
+    group-by state yet). *)
+
+include Engine_intf.S
+
+val make : shards:int -> Engine_intf.engine
+(** Same engine with an explicit node count (named ["Sharded-RecStep[n]"]);
+    used by the scaling benchmarks. *)

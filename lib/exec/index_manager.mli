@@ -33,9 +33,15 @@ type t
 
 val create :
   ?trace:Rs_obs.Trace.t ->
+  ?parent:t ->
   persistent:(string -> bool) ->
   Rs_parallel.Pool.t ->
   t
+(** With [?parent], accesses to names the parent's predicate accepts are
+    delegated to (and cached in) the parent, so those indexes outlive this
+    manager's {!release_all} — the serving layer passes a store-lifetime
+    manager here so base-relation indexes survive across interpreter runs
+    and EDB deltas. *)
 
 val eligible : t -> string -> bool
 (** [eligible t name] is the [persistent] predicate: should accesses to
@@ -59,6 +65,26 @@ val reuse_hits : t -> int
 val rehashes : t -> int
 (** Bucket-table doublings triggered by appends. *)
 
+val rebase_to : t -> name:string -> Rs_relation.Relation.t -> unit
+(** [rebase_to t ~name rel] re-points every index held under [name] at the
+    replacement relation [rel] via {!Rs_relation.Hash_index.rebase} — valid
+    when [rel]'s prefix preserves the old rows in order (an insert-only
+    [Edb_store.apply]). Entries the rebase precondition rejects are dropped
+    instead (counted as invalidations). *)
+
+val invalidate : t -> name:string -> unit
+(** Release and drop every index held under [name]; the next access
+    rebuilds. For replacements that do {e not} preserve the indexed prefix
+    (retractions). *)
+
+val rebases : t -> int
+val invalidations : t -> int
+
+val bytes : t -> int
+(** Accounted footprint of every index currently held (not the parent's) —
+    lets an owner distinguish deliberate index growth from a leak. *)
+
 val release_all : t -> unit
 (** Return every managed index's bytes to {!Rs_storage.Memtrack} and drop
-    all entries. Call when the run ends (normally or by OOM/timeout). *)
+    all entries ({e not} the parent's, if one was supplied). Call when the
+    run ends (normally or by OOM/timeout). *)

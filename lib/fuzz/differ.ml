@@ -108,6 +108,7 @@ type toggles = {
   dsd : Interpreter.dsd_mode;
   pbme : bool;
   fast_dedup : bool;
+  shards : int;  (** 1 = the stock interpreter; > 1 = {!Rs_shard.Shard_exec} *)
 }
 
 let toggle_matrix =
@@ -117,15 +118,18 @@ let toggle_matrix =
         (fun dsd ->
           List.concat_map
             (fun pbme ->
-              List.map
-                (fun fast_dedup -> { persistent_indexes; dsd; pbme; fast_dedup })
+              List.concat_map
+                (fun fast_dedup ->
+                  List.map
+                    (fun shards -> { persistent_indexes; dsd; pbme; fast_dedup; shards })
+                    [ 1; 4 ])
                 [ true; false ])
             [ true; false ])
         [ Interpreter.Dsd_dynamic; Interpreter.Dsd_force_opsd; Interpreter.Dsd_force_tpsd ])
     [ true; false ]
 
 let toggle_label t =
-  Printf.sprintf "recstep[pi=%s,dsd=%s,pbme=%s,dedup=%s]"
+  Printf.sprintf "recstep[pi=%s,dsd=%s,pbme=%s,dedup=%s,shards=%d]"
     (if t.persistent_indexes then "on" else "off")
     (match t.dsd with
     | Interpreter.Dsd_dynamic -> "dyn"
@@ -133,18 +137,34 @@ let toggle_label t =
     | Interpreter.Dsd_force_tpsd -> "tpsd")
     (if t.pbme then "on" else "off")
     (if t.fast_dedup then "fast" else "boxed")
+    t.shards
 
 let toggle_runner t =
   {
     rname = toggle_label t;
     run =
       guarded_run (fun pool edb program ->
-          let options =
-            Interpreter.options ~persistent_indexes:t.persistent_indexes ~dsd:t.dsd
-              ~pbme:t.pbme ~fast_dedup:t.fast_dedup ()
-          in
-          let result = Interpreter.run ~options ~pool ~edb program in
-          fun p -> canon (result.Interpreter.relation_of p));
+          if t.shards > 1 then (
+            (* [pbme] has no shard-side analogue: each node always builds
+               its fragments from scratch, so the toggle only picks the
+               matrix point's label apart. *)
+            let options =
+              Rs_shard.Shard_exec.options ~shards:t.shards
+                ~persistent_indexes:t.persistent_indexes ~dsd:t.dsd
+                ~fast_dedup:t.fast_dedup ()
+            in
+            match Rs_shard.Shard_exec.run ~options ~pool ~edb program with
+            | result ->
+                fun p -> canon (result.Rs_shard.Shard_exec.relation_of p)
+            | exception Rs_shard.Shard_exec.Unsupported m ->
+                Engine_intf.unsupported "%s" m)
+          else
+            let options =
+              Interpreter.options ~persistent_indexes:t.persistent_indexes ~dsd:t.dsd
+                ~pbme:t.pbme ~fast_dedup:t.fast_dedup ()
+            in
+            let result = Interpreter.run ~options ~pool ~edb program in
+            fun p -> canon (result.Interpreter.relation_of p));
   }
 
 (* All runners: the baseline engines (including the stock RecStep

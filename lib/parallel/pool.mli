@@ -55,6 +55,20 @@ val add_serial : t -> float -> unit
     Used for modeled fixed costs: per-query dispatch overhead in the RDBMS
     backend, per-stage scheduling overhead in the BigDatalog-like engine. *)
 
+val consumed : t -> float * float * float
+(** [(real, sim, busy)] accumulated in batches since {!begin_run}. Diffing
+    two snapshots brackets a section of work on this pool; the sharded
+    executor uses this to re-account per-node work onto the coordinator's
+    clock via {!absorb}. *)
+
+val absorb : t -> real:float -> sim:float -> busy:float -> unit
+(** [absorb t ~real ~sim ~busy] books one batch whose makespan was computed
+    elsewhere: [real] wall seconds (already elapsed inside sub-domain pools)
+    are moved off this pool's serial account and [sim] simulated seconds are
+    charged in their place, with [busy] worker-busy seconds. The sharded
+    coordinator uses this to charge each superstep at the slowest node's
+    cost while counting every node's busy time. *)
+
 val map_tasks : t -> (unit -> 'a) list -> 'a list
 (** Runs heterogeneous tasks as one batch and returns their results in
     order. *)

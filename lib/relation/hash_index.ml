@@ -3,7 +3,7 @@ module Int_key = Rs_util.Int_key
 module Memtrack = Rs_storage.Memtrack
 
 type t = {
-  rel : Relation.t;
+  mutable rel : Relation.t;
   key_cols : int array;
   mutable heads : int array;
   mutable nexts : int array;
@@ -116,6 +116,19 @@ let append_pool pool t =
   end;
   t.generation <- Relation.generation t.rel;
   added
+
+(* Re-point the index at a replacement relation whose prefix
+   [0, indexed_rows) holds exactly the old rows in order — the shape an
+   order-preserving staged copy (Edb_store.apply without retractions)
+   produces. The chains stay valid because they store row ids, not values;
+   adopting the replacement's generation arms the append fast path for
+   whatever suffix the replacement added. *)
+let rebase t rel =
+  if Relation.arity rel <> Relation.arity t.rel then
+    invalid_arg "Hash_index.rebase: arity mismatch";
+  if Relation.nrows rel < t.n then invalid_arg "Hash_index.rebase: replacement shrank";
+  t.rel <- rel;
+  t.generation <- Relation.generation rel
 
 let relation t = t.rel
 let key_cols t = t.key_cols

@@ -33,6 +33,16 @@ val append_pool : Rs_parallel.Pool.t -> t -> int
     is relinked (one {!rehashes} tick). Probe order is identical to a fresh
     {!build} of the grown relation. Refreshes the recorded {!generation}. *)
 
+val rebase : t -> Relation.t -> unit
+(** [rebase t rel] re-points the index at a {e replacement} relation whose
+    prefix [\[0, indexed_rows t)] contains exactly the rows of the old
+    relation, in order — the guarantee an order-preserving staged copy
+    gives (e.g. [Edb_store.apply] with no retractions). Chains store row
+    ids, so they remain valid verbatim; the index adopts [rel]'s
+    generation, and a following {!append_pool} covers any appended suffix
+    without a rebuild. Raises [Invalid_argument] if [rel]'s arity differs
+    or it has fewer rows than are indexed. *)
+
 val relation : t -> Relation.t
 
 val key_cols : t -> int array

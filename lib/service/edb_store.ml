@@ -6,19 +6,27 @@ exception Unknown_edb of string
 
 type db = { mutable version : int; mutable rels : (string * Relation.t) list }
 
-type t = (string, db) Hashtbl.t
+type t = {
+  dbs : (string, db) Hashtbl.t;
+  mutable index_manager : Rs_exec.Index_manager.t option;
+}
 
-let create () : t = Hashtbl.create 8
+let create () : t = { dbs = Hashtbl.create 8; index_manager = None }
+
+let attach_index_manager t im = t.index_manager <- Some im
 
 let define t name rels =
-  match Hashtbl.find_opt t name with
+  (match t.index_manager with
+  | Some im -> List.iter (fun (rl, _) -> Rs_exec.Index_manager.invalidate im ~name:rl) rels
+  | None -> ());
+  match Hashtbl.find_opt t.dbs name with
   | Some db ->
       db.version <- db.version + 1;
       db.rels <- rels
-  | None -> Hashtbl.add t name { version = 1; rels }
+  | None -> Hashtbl.add t.dbs name { version = 1; rels }
 
 let find t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.dbs name with
   | Some db -> db
   | None -> raise (Unknown_edb name)
 
@@ -102,6 +110,20 @@ let apply t name (d : Delta.t) =
           match List.assoc_opt rl staged with Some fresh -> (rl, fresh) | None -> (rl, r))
         db.rels;
     db.version <- db.version + 1;
+    (* keep any attached persistent join indexes in step with the swap: an
+       insert-only replacement preserves the old row order as a prefix, so
+       the index can be re-pointed wholesale (rebase) and extended lazily;
+       a retraction breaks the prefix and forces a rebuild on next use *)
+    (match t.index_manager with
+    | Some im ->
+        List.iter
+          (fun (rl, fresh) ->
+            match List.assoc_opt rl changes with
+            | Some c when c.Delta.retract = [] ->
+                Rs_exec.Index_manager.rebase_to im ~name:rl fresh
+            | _ -> Rs_exec.Index_manager.invalidate im ~name:rl)
+          staged
+    | None -> ());
     List.iter
       (fun (rl, _) ->
         match List.assoc_opt rl old_rels with
@@ -115,6 +137,6 @@ let lookup t name = (find t name).rels
 
 let version t name = (find t name).version
 
-let mem t name = Hashtbl.mem t name
+let mem t name = Hashtbl.mem t.dbs name
 
-let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.dbs [])

@@ -20,6 +20,14 @@ exception Unknown_edb of string
 
 val create : unit -> t
 
+val attach_index_manager : t -> Rs_exec.Index_manager.t -> unit
+(** Attach a store-lifetime persistent index manager. From then on every
+    committed {!apply} keeps the manager's entries for the touched
+    relations live: an insert-only replacement is {e rebased} (the staged
+    copy preserves the old row order as a prefix, so indexes re-point and
+    later extend over the inserted suffix), anything with retractions is
+    invalidated. {!define} always invalidates the redefined names. *)
+
 val define : t -> string -> (string * Relation.t) list -> unit
 (** [define t name rels] installs (or replaces) database [name]. The
     version starts at 1 and bumps on redefinition. *)

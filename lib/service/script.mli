@@ -7,6 +7,7 @@
     # settings the CLI takes as defaults (flags override)
     set workers 8
     set cache_bytes 67108864
+    set shards 4
 
     # databases: inline rows, or a fact file (same TSV format as --fact)
     edb g1 arc:2 = 0 1; 1 2; 2 3; 3 4

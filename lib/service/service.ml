@@ -74,11 +74,12 @@ type config = {
   retry : Retry.policy;
   ivm : bool;
   ivm_max_delta : int;
+  shards : int;
 }
 
 let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
     ?(cache_bytes = 64 * 1024 * 1024) ?(cache_hit_cost_s = 1e-4) ?(seed = 1)
-    ?(retry = Retry.default) ?(ivm = true) ?(ivm_max_delta = 512) () =
+    ?(retry = Retry.default) ?(ivm = true) ?(ivm_max_delta = 512) ?(shards = 1) () =
   {
     workers;
     queue_capacity;
@@ -89,7 +90,16 @@ let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
     retry;
     ivm;
     ivm_max_delta;
+    shards = max 1 shards;
   }
+
+type shard_stat = {
+  sh_shard : int;
+  sh_queries : int;
+  sh_busy_s : float;
+  sh_sim_s : float;
+  sh_rows : int;
+}
 
 type report = {
   completions : completion list;
@@ -99,6 +109,7 @@ type report = {
   p95_latency : float;
   throughput : float;
   vtime : float;
+  shard_stats : shard_stat list;
   trace : Trace.t;
 }
 
@@ -147,6 +158,35 @@ let run ?(config = config ()) ~edb:store events =
     Trace.count trace ("service." ^ name) n
   in
   let cache = Result_cache.create ~budget_bytes:config.cache_bytes in
+  (* Store-lifetime persistent join indexes: keyed by base-relation name,
+     shared across every interpreter run of the service and kept live
+     across EDB deltas by the store's rebase/invalidate commit hook. *)
+  let shared_indexes =
+    let base_names = Hashtbl.create 16 in
+    List.iter
+      (fun db ->
+        List.iter (fun (rl, _) -> Hashtbl.replace base_names rl ()) (Edb_store.lookup store db))
+      (Edb_store.names store);
+    Rs_exec.Index_manager.create ~trace ~persistent:(Hashtbl.mem base_names) pool
+  in
+  Edb_store.attach_index_manager store shared_indexes;
+  (* per-shard utilization across every sharded run of the session *)
+  let shard_queries = Array.make config.shards 0 in
+  let shard_busy = Array.make config.shards 0.0 in
+  let shard_sim = Array.make config.shards 0.0 in
+  let shard_rows = Array.make config.shards 0 in
+  let note_shards (stats : Rs_shard.Shard_exec.node_stats list) =
+    List.iter
+      (fun (ns : Rs_shard.Shard_exec.node_stats) ->
+        let i = ns.Rs_shard.Shard_exec.ns_node in
+        if i < config.shards then begin
+          shard_queries.(i) <- shard_queries.(i) + ns.Rs_shard.Shard_exec.ns_queries;
+          shard_busy.(i) <- shard_busy.(i) +. ns.Rs_shard.Shard_exec.ns_busy_s;
+          shard_sim.(i) <- shard_sim.(i) +. ns.Rs_shard.Shard_exec.ns_sim_s;
+          shard_rows.(i) <- ns.Rs_shard.Shard_exec.ns_rows
+        end)
+      stats
+  in
   (* Maintained views: one {!Recstep.Ivm} instance per (database, canonical
      program) that has produced a cacheable result. On a registered delta
      the views absorb the net change and hand the result cache its entries'
@@ -290,6 +330,25 @@ let run ?(config = config ()) ~edb:store events =
     let res =
       match
         match sub.engine with
+        | None when config.shards > 1 ->
+            (* Sharded default path: the distributed executor with the
+               ladder's degradable knobs mapped onto its options. *)
+            Engine_intf.guard (fun () ->
+                let options =
+                  Rs_shard.Shard_exec.options ~shards:config.shards
+                    ?timeout_vs:deadline_left ~trace
+                    ~persistent_indexes:knobs.Retry.k_persistent_indexes
+                    ~fast_dedup:knobs.Retry.k_fast_path ()
+                in
+                match Rs_shard.Shard_exec.run ~options ~pool ~edb:rels sub.program with
+                | r ->
+                    note_shards r.Rs_shard.Shard_exec.node_stats;
+                    Engine_intf.mk_result ~pool ~trace
+                      ~iterations:r.Rs_shard.Shard_exec.iterations
+                      ~queries:r.Rs_shard.Shard_exec.queries
+                      r.Rs_shard.Shard_exec.relation_of
+                | exception Rs_shard.Shard_exec.Unsupported m ->
+                    Engine_intf.unsupported "%s" m)
         | None ->
             (* Default path: drive the RecStep interpreter directly, so the
                ladder's lower rungs can turn engine structures off. At
@@ -298,7 +357,8 @@ let run ?(config = config ()) ~edb:store events =
                 let options =
                   Interpreter.options ?timeout_vs:deadline_left ~trace
                     ~persistent_indexes:knobs.Retry.k_persistent_indexes
-                    ~pbme:knobs.Retry.k_fast_path ~fast_dedup:knobs.Retry.k_fast_path ()
+                    ~shared_indexes ~pbme:knobs.Retry.k_fast_path
+                    ~fast_dedup:knobs.Retry.k_fast_path ()
                 in
                 let r = Interpreter.run ~options ~pool ~edb:rels sub.program in
                 Engine_intf.mk_result ~pool ~trace ~iterations:r.Interpreter.iterations
@@ -352,6 +412,7 @@ let run ?(config = config ()) ~edb:store events =
               bump "cache_miss" 1;
               let rels = Edb_store.lookup store sub.edb in
               let mem_before = Memtrack.live () in
+              let shared_before = Rs_exec.Index_manager.bytes shared_indexes in
               let left_after elapsed = Option.map (fun d -> d -. elapsed) deadline0 in
               (* Walk the retry policy. [attempt] is 1-based; [elapsed] is
                  simulated seconds since [started] including backoffs. *)
@@ -365,8 +426,12 @@ let run ?(config = config ()) ~edb:store events =
                    the tracker to the pre-query baseline immediately, so a
                    retry never runs with the failed attempt's leak still
                    counted against its headroom (the seed freed it only
-                   after the last attempt) *)
-                let leak = Memtrack.live () - mem_before in
+                   after the last attempt); bytes the shared index manager
+                   deliberately grew by are not a leak and stay accounted *)
+                let shared_growth =
+                  Rs_exec.Index_manager.bytes shared_indexes - shared_before
+                in
+                let leak = Memtrack.live () - mem_before - max 0 shared_growth in
                 if leak > 0 then Memtrack.free leak;
                 let elapsed = elapsed +. cost in
                 match res with
@@ -473,7 +538,9 @@ let run ?(config = config ()) ~edb:store events =
   let prev_budget = Memtrack.budget () in
   Memtrack.set_budget config.mem_budget;
   Fun.protect
-    ~finally:(fun () -> Memtrack.set_budget prev_budget)
+    ~finally:(fun () ->
+      Rs_exec.Index_manager.release_all shared_indexes;
+      Memtrack.set_budget prev_budget)
     (fun () ->
       let rec loop () =
         apply_due ();
@@ -500,6 +567,18 @@ let run ?(config = config ()) ~edb:store events =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
   in
   let served = List.length served_latencies in
+  let shard_stats =
+    if config.shards <= 1 then []
+    else
+      List.init config.shards (fun i ->
+          {
+            sh_shard = i;
+            sh_queries = shard_queries.(i);
+            sh_busy_s = shard_busy.(i);
+            sh_sim_s = shard_sim.(i);
+            sh_rows = shard_rows.(i);
+          })
+  in
   {
     completions;
     counters;
@@ -508,6 +587,7 @@ let run ?(config = config ()) ~edb:store events =
     p95_latency = percentile 95.0 served_latencies;
     throughput = (if !clock > 0.0 then float_of_int served /. !clock else 0.0);
     vtime = !clock;
+    shard_stats;
     trace;
   }
 
@@ -557,7 +637,7 @@ let report_json r =
   in
   let cache = r.cache in
   Json.Obj
-    [
+    ([
       ("version", Json.Int 1);
       ("vtime", Json.Float r.vtime);
       ("throughput", Json.Float r.throughput);
@@ -581,6 +661,28 @@ let report_json r =
           ] );
       ("queries", Json.List (List.map query r.completions));
     ]
+    @
+    match r.shard_stats with
+    | [] -> []
+    | stats ->
+        [
+          ( "shards",
+            Json.List
+              (List.map
+                 (fun s ->
+                   Json.Obj
+                     [
+                       ("shard", Json.Int s.sh_shard);
+                       ("queries", Json.Int s.sh_queries);
+                       ("busy_s", Json.Float s.sh_busy_s);
+                       ("sim_s", Json.Float s.sh_sim_s);
+                       ("rows", Json.Int s.sh_rows);
+                       ( "utilization",
+                         Json.Float
+                           (if s.sh_sim_s > 0.0 then s.sh_busy_s /. s.sh_sim_s else 0.0) );
+                     ])
+                 stats) );
+        ])
 
 let report_summary r =
   let rows =
@@ -609,5 +711,19 @@ let report_summary r =
   let counters =
     String.concat "  " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.counters)
   in
-  Printf.sprintf "%s%s\nlatency p50=%.4fs p95=%.4fs  throughput=%.2f q/s  vtime=%.4fs\n"
-    table counters r.p50_latency r.p95_latency r.throughput r.vtime
+  let shards =
+    match r.shard_stats with
+    | [] -> ""
+    | stats ->
+        "shards: "
+        ^ String.concat "  "
+            (List.map
+               (fun s ->
+                 Printf.sprintf "s%d q=%d rows=%d util=%.2f" s.sh_shard s.sh_queries
+                   s.sh_rows
+                   (if s.sh_sim_s > 0.0 then s.sh_busy_s /. s.sh_sim_s else 0.0))
+               stats)
+        ^ "\n"
+  in
+  Printf.sprintf "%s%s\n%slatency p50=%.4fs p95=%.4fs  throughput=%.2f q/s  vtime=%.4fs\n"
+    table counters shards r.p50_latency r.p95_latency r.throughput r.vtime

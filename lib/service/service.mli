@@ -110,6 +110,10 @@ type config = {
       (** net delta size (ops) above which warm refresh falls back to
           invalidation — past this point recomputation tends to beat
           maintenance, and the view bootstrap cost stops amortizing *)
+  shards : int;
+      (** > 1 routes engine-less submissions through the sharded executor
+          ({!Rs_shard.Shard_exec}) with this many simulated nodes; the
+          report then carries per-shard utilization *)
 }
 
 val config :
@@ -122,11 +126,20 @@ val config :
   ?retry:Retry.policy ->
   ?ivm:bool ->
   ?ivm_max_delta:int ->
+  ?shards:int ->
   unit ->
   config
 (** Defaults: 8 workers, queue capacity 64, no memory budget, 64 MiB cache,
     100 µs per cache hit, seed 1, {!Retry.default}, maintenance on with a
-    512-op refresh threshold. *)
+    512-op refresh threshold, 1 shard (unsharded). *)
+
+type shard_stat = {
+  sh_shard : int;
+  sh_queries : int;  (** backend queries this shard node executed *)
+  sh_busy_s : float;  (** summed worker-busy seconds across runs *)
+  sh_sim_s : float;  (** summed simulated wall seconds across runs *)
+  sh_rows : int;  (** resident rows after the last sharded run *)
+}
 
 type report = {
   completions : completion list;  (** in completion order *)
@@ -136,6 +149,7 @@ type report = {
   p95_latency : float;
   throughput : float;  (** served queries per simulated second *)
   vtime : float;  (** service clock when the last event settled *)
+  shard_stats : shard_stat list;  (** per-shard utilization; [] when unsharded *)
   trace : Trace.t;  (** service + nested engine spans, service counters *)
 }
 (** Counters: [submitted], [admitted], [rejected], [done], [oom],

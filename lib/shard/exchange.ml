@@ -1,0 +1,66 @@
+module Pool = Rs_parallel.Pool
+
+type kind = Shuffle | Broadcast | Rebalance
+
+type t = {
+  shards : int;
+  edge_tuples : int array array;  (* src × dst *)
+  edge_bytes : int array array;
+  mutable shuffle_tuples : int;
+  mutable shuffle_bytes : int;
+  mutable shuffle_msgs : int;
+  mutable broadcast_tuples : int;
+  mutable broadcast_bytes : int;
+  mutable rebalance_tuples : int;
+  latency_s : float;
+  s_per_byte : float;
+}
+
+(* Defaults model a 10 GbE-ish interconnect: 0.2 ms per message plus
+   2 GB/s of payload bandwidth, charged to the destination node's clock. *)
+let create ?(latency_s = 2e-4) ?(bytes_per_s = 2e9) ~shards () =
+  {
+    shards;
+    edge_tuples = Array.make_matrix shards shards 0;
+    edge_bytes = Array.make_matrix shards shards 0;
+    shuffle_tuples = 0;
+    shuffle_bytes = 0;
+    shuffle_msgs = 0;
+    broadcast_tuples = 0;
+    broadcast_bytes = 0;
+    rebalance_tuples = 0;
+    latency_s;
+    s_per_byte = 1.0 /. bytes_per_s;
+  }
+
+let row_bytes arity = (8 * arity) + 16
+
+let send t ~kind ~src ~dst ~tuples ~arity ~dest_pool ~point =
+  if tuples > 0 then begin
+    (* Chaos fault point: this message is lost in flight. The executor
+       catches the raise and re-runs the stratum from committed state. *)
+    Rs_chaos.Inject.shuffle_should_drop ~point;
+    let bytes = tuples * row_bytes arity in
+    t.edge_tuples.(src).(dst) <- t.edge_tuples.(src).(dst) + tuples;
+    t.edge_bytes.(src).(dst) <- t.edge_bytes.(src).(dst) + bytes;
+    (match kind with
+    | Shuffle ->
+        t.shuffle_tuples <- t.shuffle_tuples + tuples;
+        t.shuffle_bytes <- t.shuffle_bytes + bytes;
+        t.shuffle_msgs <- t.shuffle_msgs + 1
+    | Broadcast ->
+        t.broadcast_tuples <- t.broadcast_tuples + tuples;
+        t.broadcast_bytes <- t.broadcast_bytes + bytes
+    | Rebalance -> t.rebalance_tuples <- t.rebalance_tuples + tuples);
+    Pool.add_serial dest_pool (t.latency_s +. (float_of_int bytes *. t.s_per_byte))
+  end
+
+let edges t =
+  let acc = ref [] in
+  for src = t.shards - 1 downto 0 do
+    for dst = t.shards - 1 downto 0 do
+      if t.edge_tuples.(src).(dst) > 0 then
+        acc := (src, dst, t.edge_tuples.(src).(dst), t.edge_bytes.(src).(dst)) :: !acc
+    done
+  done;
+  !acc

@@ -1,0 +1,49 @@
+(** Typed repartition exchange between shard nodes.
+
+    Every cross-node movement of tuples goes through {!send}: shuffles
+    (candidate rows routed to their owners), broadcasts (Δ replication for
+    joins that could not be colocated, and reference-style full copies) and
+    rebalancer migrations. Each message charges the {e destination} node's
+    virtual clock with a latency + bandwidth cost and maintains per-edge
+    (src, dst) tuple/byte counters — the communication the paper's
+    distributed baselines pay and a colocated plan avoids.
+
+    Fault point: every message probes {!Rs_chaos.Inject.shuffle_should_drop}
+    before being counted, so a {!Rs_chaos.Fault.Shuffle_drop} plan loses a
+    message before any of its effects land. *)
+
+type kind = Shuffle | Broadcast | Rebalance
+
+type t = {
+  shards : int;
+  edge_tuples : int array array;
+  edge_bytes : int array array;
+  mutable shuffle_tuples : int;
+  mutable shuffle_bytes : int;
+  mutable shuffle_msgs : int;
+  mutable broadcast_tuples : int;
+  mutable broadcast_bytes : int;
+  mutable rebalance_tuples : int;
+  latency_s : float;
+  s_per_byte : float;
+}
+
+val create : ?latency_s:float -> ?bytes_per_s:float -> shards:int -> unit -> t
+
+val row_bytes : int -> int
+(** Modeled wire size of one row of the given arity. *)
+
+val send :
+  t ->
+  kind:kind ->
+  src:int ->
+  dst:int ->
+  tuples:int ->
+  arity:int ->
+  dest_pool:Rs_parallel.Pool.t ->
+  point:string ->
+  unit
+(** Charge one message carrying [tuples] rows. No-op when [tuples = 0]. *)
+
+val edges : t -> (int * int * int * int) list
+(** Non-empty [(src, dst, tuples, bytes)] edges in row-major order. *)

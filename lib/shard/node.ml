@@ -1,0 +1,58 @@
+module Pool = Rs_parallel.Pool
+module Catalog = Rs_exec.Catalog
+module Executor = Rs_exec.Executor
+module Relation = Rs_relation.Relation
+
+type t = {
+  id : int;
+  pool : Pool.t;
+  catalog : Catalog.t;
+  exec : Executor.t;
+  indexes : Rs_exec.Index_manager.t option;
+  mutable queries : int;
+}
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Local fragments and broadcast copies are append-only within a stratum,
+   so their join indexes persist and delta-append across fixpoint
+   iterations — the PR-3 machinery, per shard. Δ bindings ("@dl" / "@db")
+   are replaced every round and stay transient. *)
+let persistent_binding name = ends_with ~suffix:"@l" name || ends_with ~suffix:"@b" name
+
+let create ~id ~workers ~query_overhead_s ~share_builds ~persistent_indexes () =
+  let pool = Pool.create ~workers () in
+  Pool.begin_run pool;
+  let catalog = Catalog.create () in
+  let indexes =
+    if persistent_indexes then
+      Some (Rs_exec.Index_manager.create ~persistent:persistent_binding pool)
+    else None
+  in
+  let exec =
+    Executor.create ~query_overhead_s ~share_builds ?index_manager:indexes pool catalog
+  in
+  { id; pool; catalog; exec; indexes; queries = 0 }
+
+let release t =
+  match t.indexes with
+  | Some m -> Rs_exec.Index_manager.release_all m
+  | None -> ()
+
+let bytes t =
+  List.fold_left
+    (fun acc name -> acc + Relation.bytes (Catalog.rel t.catalog name))
+    0 (Catalog.names t.catalog)
+
+let rows t names =
+  List.fold_left
+    (fun acc name ->
+      if Catalog.mem t.catalog name then acc + Relation.nrows (Catalog.rel t.catalog name)
+      else acc)
+    0 names
+
+let replace_table t name rel =
+  Catalog.drop t.catalog name;
+  Catalog.register t.catalog name rel

@@ -1,0 +1,42 @@
+(** One simulated shard node: its own virtual-time pool, catalog, executor
+    and (optional) persistent-index manager.
+
+    Node pools run the real work; the coordinator pool absorbs each
+    superstep at the slowest node's simulated cost
+    ({!Rs_parallel.Pool.absorb}), so N nodes genuinely overlap on the
+    simulated clock while executing sequentially in the container. *)
+
+type t = {
+  id : int;
+  pool : Rs_parallel.Pool.t;
+  catalog : Rs_exec.Catalog.t;
+  exec : Rs_exec.Executor.t;
+  indexes : Rs_exec.Index_manager.t option;
+  mutable queries : int;
+}
+
+val persistent_binding : string -> bool
+(** Which catalog bindings keep persistent join indexes: local fragments
+    ("@l") and broadcast copies ("@b"); Δ bindings are replaced per round
+    and excluded. *)
+
+val create :
+  id:int ->
+  workers:int ->
+  query_overhead_s:float ->
+  share_builds:bool ->
+  persistent_indexes:bool ->
+  unit ->
+  t
+
+val release : t -> unit
+(** Hand the node's managed index bytes back to the memory tracker. *)
+
+val bytes : t -> int
+(** Resident bytes of all catalog relations on this node. *)
+
+val rows : t -> string list -> int
+(** Total rows across the named catalog tables (missing names count 0). *)
+
+val replace_table : t -> string -> Rs_relation.Relation.t -> unit
+(** Drop-and-register: releases the old relation's accounting. *)

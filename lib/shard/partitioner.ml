@@ -1,0 +1,93 @@
+module Relation = Rs_relation.Relation
+module Int_key = Rs_util.Int_key
+
+type strategy = Hash of { col : int } | Reference
+
+(* Two-level routing (the Citus playbook): a row hashes to one of
+   [shards * buckets_per_shard] buckets, and a mutable bucket→node map says
+   which node owns it. Routing stays a pure function of the key while the
+   rebalancer only has to rewrite map entries — moving a bucket never
+   rehashes anything. *)
+let buckets_per_shard = 8
+
+type t = {
+  shards : int;
+  buckets : int;
+  assign : int array;  (* bucket -> owning node *)
+  strategies : (string, strategy) Hashtbl.t;
+  weights : int array;  (* rows routed through each bucket, skew signal *)
+  reference_max_rows : int;
+}
+
+let default_reference_max_rows = 96
+
+let create ?(reference_max_rows = default_reference_max_rows) ~shards () =
+  let shards = max 1 shards in
+  let buckets = shards * buckets_per_shard in
+  {
+    shards;
+    buckets;
+    assign = Array.init buckets (fun b -> b mod shards);
+    strategies = Hashtbl.create 16;
+    weights = Array.make buckets 0;
+    reference_max_rows;
+  }
+
+let shards t = t.shards
+
+let buckets t = t.buckets
+
+(* Small relations are cheaper to replicate everywhere than to ever move:
+   the "reference table" strategy. Arity-0 relations have no key to hash. *)
+let decide_edb t name r =
+  let s =
+    if Relation.arity r = 0 || Relation.nrows r <= t.reference_max_rows then Reference
+    else Hash { col = 0 }
+  in
+  Hashtbl.replace t.strategies name s;
+  s
+
+let decide_idb t name ~arity =
+  let s = if arity = 0 then Reference else Hash { col = 0 } in
+  Hashtbl.replace t.strategies name s;
+  s
+
+let strategy t name =
+  match Hashtbl.find_opt t.strategies name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Partitioner: no strategy for %S" name)
+
+let bucket_of_key t k = Int_key.hash k land max_int mod t.buckets
+
+let node_of_bucket t b = t.assign.(b)
+
+let node_of_key t k = t.assign.(bucket_of_key t k)
+
+let note_routed t k =
+  let b = bucket_of_key t k in
+  t.weights.(b) <- t.weights.(b) + 1
+
+(* Reference rows are canonically owned by node 0 (where they are absorbed
+   and deduplicated before re-replication). *)
+let owner_of_row t name row =
+  match strategy t name with
+  | Reference -> 0
+  | Hash { col } -> node_of_key t row.(col)
+
+let weights t = Array.copy t.weights
+
+let assignment t = Array.copy t.assign
+
+let move_bucket t ~bucket ~node =
+  if node < 0 || node >= t.shards then invalid_arg "Partitioner.move_bucket";
+  t.assign.(bucket) <- node
+
+let restore t ~assign ~weights =
+  Array.blit assign 0 t.assign 0 t.buckets;
+  Array.blit weights 0 t.weights 0 t.buckets
+
+let hash_relations t =
+  Hashtbl.fold
+    (fun name s acc -> match s with Hash { col } -> (name, col) :: acc | Reference -> acc)
+    t.strategies []
+  |> List.sort compare

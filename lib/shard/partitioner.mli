@@ -1,0 +1,65 @@
+(** Relation placement across simulated shard nodes.
+
+    Each relation gets a {!strategy}: hash-distributed on a key column
+    (rows live on the node owning the key's bucket) or replicated as a
+    "reference table" (small relations where a full copy per node is
+    cheaper than ever moving rows — the Citus reference-table play).
+
+    Routing is two-level: key → bucket (a pure hash, [shards * 8] buckets)
+    → node (a mutable assignment array). The {!Rebalancer} migrates load by
+    reassigning buckets; the hash never changes, so a key's bucket — and
+    every routing decision already made for unmoved buckets — is stable.
+    Per-bucket routed-row counters feed skew detection. *)
+
+type strategy = Hash of { col : int } | Reference
+
+type t
+
+val default_reference_max_rows : int
+
+val create : ?reference_max_rows:int -> shards:int -> unit -> t
+
+val shards : t -> int
+
+val buckets : t -> int
+
+val decide_edb : t -> string -> Rs_relation.Relation.t -> strategy
+(** Records and returns the strategy for an EDB: [Reference] when the
+    relation has no key column (arity 0) or at most [reference_max_rows]
+    rows, else [Hash] on column 0. *)
+
+val decide_idb : t -> string -> arity:int -> strategy
+(** IDBs are hash-distributed on column 0 (arity 0 → [Reference]). *)
+
+val strategy : t -> string -> strategy
+(** Raises [Invalid_argument] for a relation never decided. *)
+
+val bucket_of_key : t -> int -> int
+(** Pure function of the key and shard count — stable across instances
+    created with the same [shards]. *)
+
+val node_of_bucket : t -> int -> int
+
+val node_of_key : t -> int -> int
+
+val note_routed : t -> int -> unit
+(** Count one row routed by this key, for the rebalancer's skew signal. *)
+
+val owner_of_row : t -> string -> int array -> int
+(** Owning node of a full row under the relation's strategy; [Reference]
+    rows are canonically owned by node 0. *)
+
+val weights : t -> int array
+(** Per-bucket routed-row counts (a copy). *)
+
+val assignment : t -> int array
+(** The bucket→node map (a copy), for snapshots. *)
+
+val move_bucket : t -> bucket:int -> node:int -> unit
+
+val restore : t -> assign:int array -> weights:int array -> unit
+(** Reset routing state from a snapshot (stratum-recovery path). *)
+
+val hash_relations : t -> (string * int) list
+(** All [Hash]-strategy relations with their partition column, sorted —
+    the fragments the rebalancer must physically migrate. *)

@@ -1,0 +1,131 @@
+module Relation = Rs_relation.Relation
+module Catalog = Rs_exec.Catalog
+
+type move = { mv_bucket : int; mv_from : int; mv_to : int }
+
+(* Decide which buckets to migrate, purely from observed load. A node's
+   load combines its routed-row weight with its accumulated simulated busy
+   time (normalized to rows): a node can be row-balanced yet time-skewed
+   when its keys are join-heavy, and vice versa. Greedy: while the most
+   loaded node exceeds [threshold] x mean, move its heaviest bucket to the
+   least loaded node — bounded by one pass over the buckets. *)
+let plan ~shards ~assign ~weights ~busy ~threshold =
+  if shards <= 1 then []
+  else begin
+    let n_buckets = Array.length assign in
+    let assign = Array.copy assign in
+    let row_load = Array.make shards 0.0 in
+    Array.iteri (fun b w -> row_load.(assign.(b)) <- row_load.(assign.(b)) +. float_of_int w) weights;
+    let total_rows = Array.fold_left ( +. ) 0.0 row_load in
+    let total_busy = Array.fold_left ( +. ) 0.0 busy in
+    let load = Array.make shards 0.0 in
+    for n = 0 to shards - 1 do
+      let t = if total_busy > 0.0 then busy.(n) /. total_busy *. total_rows else 0.0 in
+      load.(n) <- (row_load.(n) +. t) /. 2.0
+    done;
+    let bucket_load b = float_of_int weights.(b) /. 2.0 in
+    let mean = Array.fold_left ( +. ) 0.0 load /. float_of_int shards in
+    let moves = ref [] in
+    let continue_ = ref (mean > 0.0) in
+    let steps = ref 0 in
+    while !continue_ && !steps < n_buckets do
+      incr steps;
+      let hot = ref 0 and cold = ref 0 in
+      for n = 1 to shards - 1 do
+        if load.(n) > load.(!hot) then hot := n;
+        if load.(n) < load.(!cold) then cold := n
+      done;
+      if load.(!hot) <= threshold *. mean then continue_ := false
+      else begin
+        (* heaviest movable bucket on the hot node that fits: moving it must
+           not just swap the skew onto the cold node, and must erase a
+           meaningful share of the excess — otherwise the loop would dribble
+           near-empty buckets around without curing the imbalance *)
+        let min_gain = (load.(!hot) -. mean) *. 0.1 in
+        let best = ref (-1) in
+        for b = 0 to n_buckets - 1 do
+          if
+            assign.(b) = !hot
+            && bucket_load b >= min_gain
+            && load.(!cold) +. bucket_load b < load.(!hot)
+            && (!best < 0 || bucket_load b > bucket_load !best)
+          then best := b
+        done;
+        if !best < 0 then continue_ := false
+        else begin
+          let b = !best in
+          moves := { mv_bucket = b; mv_from = !hot; mv_to = !cold } :: !moves;
+          assign.(b) <- !cold;
+          load.(!hot) <- load.(!hot) -. bucket_load b;
+          load.(!cold) <- load.(!cold) +. bucket_load b
+        end
+      end
+    done;
+    List.rev !moves
+  end
+
+(* Physically migrate the fragments of every hash-distributed relation
+   according to [moves]: rewrite the bucket map, then for each source node
+   split its fragment into kept rows and per-destination moved rows, charge
+   the moved rows as [Rebalance] exchange, and append them at their new
+   owner. Replacing the source fragment changes its physical identity, so
+   any persistent index on it invalidates (and rebuilds) automatically. *)
+let apply part ex ~(nodes : Node.t array) ~moves =
+  List.iter (fun m -> Partitioner.move_bucket part ~bucket:m.mv_bucket ~node:m.mv_to) moves;
+  let moved_to = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace moved_to m.mv_bucket m.mv_to) moves;
+  let sources = List.sort_uniq compare (List.map (fun m -> m.mv_from) moves) in
+  let rows_moved = ref 0 in
+  List.iter
+    (fun (name, col) ->
+      let frag_name = Shard_planner.local_name name in
+      List.iter
+        (fun src ->
+          let nd = nodes.(src) in
+          if Catalog.mem nd.Node.catalog frag_name then begin
+            let frag = Catalog.rel nd.Node.catalog frag_name in
+            let arity = Relation.arity frag in
+            let n = Relation.nrows frag in
+            let keep = Relation.create ~name:frag_name arity in
+            let out = Array.make (Array.length nodes) None in
+            let row = Array.make arity 0 in
+            for i = 0 to n - 1 do
+              for c = 0 to arity - 1 do
+                row.(c) <- Relation.get frag ~row:i ~col:c
+              done;
+              let b = Partitioner.bucket_of_key part row.(col) in
+              match Hashtbl.find_opt moved_to b with
+              | Some dst when dst <> src ->
+                  let r =
+                    match out.(dst) with
+                    | Some r -> r
+                    | None ->
+                        let r = Relation.create arity in
+                        out.(dst) <- Some r;
+                        r
+                  in
+                  Relation.push_row r row
+              | _ -> Relation.push_row keep row
+            done;
+            Relation.account keep;
+            Node.replace_table nd frag_name keep;
+            Catalog.analyze_rows nd.Node.catalog frag_name;
+            Array.iteri
+              (fun dst out_r ->
+                match out_r with
+                | None -> ()
+                | Some r ->
+                    let moved = Relation.nrows r in
+                    rows_moved := !rows_moved + moved;
+                    Exchange.send ex ~kind:Exchange.Rebalance ~src ~dst ~tuples:moved ~arity
+                      ~dest_pool:nodes.(dst).Node.pool
+                      ~point:(Printf.sprintf "shard.rebalance.%s" name);
+                    let dfrag = Catalog.rel nodes.(dst).Node.catalog frag_name in
+                    Relation.append_all dfrag r;
+                    Relation.account dfrag;
+                    Catalog.analyze_rows nodes.(dst).Node.catalog frag_name)
+              out
+          end)
+        sources)
+    (Partitioner.hash_relations part);
+  !rows_moved

@@ -1,0 +1,25 @@
+(** Shard rebalancing between fixpoint strata.
+
+    Skew detection reads two signals the run has already produced:
+    per-bucket routed-row weights (the {!Partitioner} counters) and
+    per-node accumulated simulated busy time. When the hottest node's
+    combined load exceeds [threshold] x the mean, buckets migrate greedily
+    from hottest to coldest — a pure {!plan} (unit-testable on synthetic
+    skew) followed by a physical {!apply} that rewrites the bucket map,
+    moves fragment rows over the exchange, and lets persistent indexes on
+    replaced fragments invalidate through the physical-identity check. *)
+
+type move = { mv_bucket : int; mv_from : int; mv_to : int }
+
+val plan :
+  shards:int ->
+  assign:int array ->
+  weights:int array ->
+  busy:float array ->
+  threshold:float ->
+  move list
+(** Pure planning; does not mutate the inputs. Empty when balanced or
+    [shards <= 1]. *)
+
+val apply : Partitioner.t -> Exchange.t -> nodes:Node.t array -> moves:move list -> int
+(** Executes the moves; returns rows physically migrated. *)

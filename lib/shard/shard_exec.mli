@@ -1,0 +1,105 @@
+(** Distributed semi-naive evaluation over simulated shard nodes.
+
+    The coordinator hash-partitions every relation across [shards] virtual
+    nodes ({!Partitioner}), compiles each stratum into colocation-aware
+    binding plans ({!Shard_planner}), and runs Jacobi supersteps: every
+    node evaluates its variants against its own catalog (a full simulated
+    machine with its own pool, executor, and per-shard persistent
+    indexes), derived tuples route to their owning node over the typed
+    exchange ({!Exchange}), and owners absorb them with the stock
+    dedup/DSD set-difference machinery. A superstep is charged to the
+    coordinator clock at the slowest node's simulated time
+    ({!Rs_parallel.Pool.absorb}), so the makespan reflects skew; total
+    busy time is preserved for utilization.
+
+    [colocation = false] keeps the physical execution identical but
+    additionally charges head-local rows as a forced repartition — outputs
+    stay byte-identical while shuffle counters and makespan degrade, which
+    is the §13 cost-model experiment. [rebalance = true] runs the
+    {!Rebalancer} between strata.
+
+    Chaos integration: when an injection plan is armed, each stratum
+    snapshots committed state first; [node_loss] / [shuffle_drop] faults
+    abort the stratum, restore the snapshot, and retry up to
+    [max_recoveries] times before the fault escapes to the caller. *)
+
+exception Unsupported of string
+(** Raised for programs the sharded engine cannot run (aggregates). *)
+
+type options = {
+  shards : int;
+  colocation : bool;
+  rebalance : bool;
+  rebalance_threshold : float;
+  fast_dedup : bool;
+  persistent_indexes : bool;
+  dsd : Recstep.Interpreter.dsd_mode;
+  alpha : float;
+  query_overhead_s : float;
+  share_builds : bool;
+  timeout_vs : float option;
+  max_recoveries : int;
+  reference_max_rows : int;
+  trace : Rs_obs.Trace.t option;
+}
+
+val options :
+  ?shards:int ->
+  ?colocation:bool ->
+  ?rebalance:bool ->
+  ?rebalance_threshold:float ->
+  ?fast_dedup:bool ->
+  ?persistent_indexes:bool ->
+  ?dsd:Recstep.Interpreter.dsd_mode ->
+  ?alpha:float ->
+  ?query_overhead_s:float ->
+  ?share_builds:bool ->
+  ?timeout_vs:float ->
+  ?max_recoveries:int ->
+  ?reference_max_rows:int ->
+  ?trace:Rs_obs.Trace.t ->
+  unit ->
+  options
+
+val default_options : options
+
+type node_stats = {
+  ns_node : int;
+  ns_rows : int;
+  ns_bytes : int;
+  ns_busy_s : float;
+  ns_sim_s : float;
+  ns_queries : int;
+}
+
+type result = {
+  outputs : (string * Rs_relation.Relation.t) list;
+  relation_of : string -> Rs_relation.Relation.t;
+      (** assembles (and caches) the global content of any program relation *)
+  iterations : int;
+  queries : int;
+  supersteps : int;
+  recoveries : int;
+  colocated_rules : int;
+  broadcast_rules : int;
+  shuffled_rules : int;
+  rebalance_moves : int;
+  rebalance_rows : int;
+  shuffle_tuples : int;
+  shuffle_bytes : int;
+  shuffle_msgs : int;
+  broadcast_tuples : int;
+  node_stats : node_stats list;
+}
+
+val run :
+  ?options:options ->
+  pool:Rs_parallel.Pool.t ->
+  edb:(string * Rs_relation.Relation.t) list ->
+  Recstep.Ast.program ->
+  result
+(** Evaluates [program] to fixpoint across the simulated shards. Outputs
+    are assembled eagerly in node order (deterministic given the
+    partitioner). Raises {!Unsupported} on aggregate programs,
+    {!Recstep.Interpreter.Timeout_simulated} on budget exhaustion, and
+    re-raises shard faults once recovery attempts are spent. *)

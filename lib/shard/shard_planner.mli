@@ -1,0 +1,70 @@
+(** Colocation-aware rule planning for sharded evaluation.
+
+    For each rule the planner picks an {e anchor} variable — one appearing
+    at the partition column of a positive hash-distributed atom. Node [n]
+    then evaluates the rule only over valuations whose anchor value it
+    owns: the anchored atom's local fragment enforces the restriction for
+    free, and the anchor partitions the global valuation space exactly once
+    across nodes. Each body occurrence is classified [Local] (its fragment
+    is complete for node-owned valuations: reference tables, and
+    hash-distributed atoms whose partition column is bound to the anchor —
+    including negated atoms, whose local anti-join is then complete) or
+    broadcast (reads a full "@b" copy).
+
+    Rules classify three ways, the shuffle cost model of DESIGN.md §13:
+    - {!Colocated}: all occurrences local and the head's partition column
+      bound to the anchor — zero exchange, the Citus colocated-join case;
+    - {!Broadcast_static}: only non-recursive occurrences broadcast — one
+      copy per stratum, no recurring traffic;
+    - {!Shuffled}: a recursive occurrence needs its Δ broadcast every
+      round, or derived heads must be routed to their owners (or the rule
+      has no anchor and runs whole on one designated node).
+
+    Variant plans are compiled by renaming body predicates to binding
+    names ("P@l" local fragment, "P@b" broadcast copy, "P@dl" / "P@db"
+    their Δ counterparts) and running the stock analyzer + planner on the
+    synthetic one-rule program: scans are by name, so one compiled plan
+    runs unchanged against every node's catalog. *)
+
+val local_name : string -> string
+
+val bcast_name : string -> string
+
+val delta_local_name : string -> string
+
+val delta_bcast_name : string -> string
+
+type source = Local | Bcast
+
+type rclass = Colocated | Broadcast_static | Shuffled
+
+val rclass_name : rclass -> string
+
+type variant = {
+  v_driver : string option;
+      (** current-stratum predicate whose Δ feeds this variant; [None] for
+          the delta-free base variant *)
+  v_plan : Rs_exec.Plan.t;
+}
+
+type rule_plan = {
+  rp_head : string;
+  rp_class : rclass;
+  rp_head_local : bool;  (** derived rows are born on their owning node *)
+  rp_solo : int option;  (** anchor-less: evaluated only on this node *)
+  rp_fact : int array option;
+  rp_base : variant option;
+  rp_deltas : variant list;
+}
+
+type stratum_plan = {
+  sp_rules : rule_plan list;
+  sp_bcast_full : string list;  (** predicates needing "@b" copies *)
+  sp_bcast_live : string list;
+      (** current-stratum subset of [sp_bcast_full]: their "@b" copies must
+          absorb each round's broadcast Δ *)
+  sp_bcast_delta : string list;  (** current-stratum predicates read via "@db" *)
+  sp_classes : (rclass * int) list;
+}
+
+val plan_stratum : Recstep.Analyzer.t -> Partitioner.t -> Recstep.Analyzer.stratum -> stratum_plan

@@ -283,4 +283,12 @@ let chaos_corpus : (string * string * string list) list =
        correctly — the harness checks rows against the store's final state. *)
     ("aborted delta leaves store and cache consistent", "delta:p=1", [ "done"; "done" ]);
     ("single delta abort only loses that delta", "delta:p=1,limit=1", [ "done"; "done" ]);
+    (* Shard classes route the case through the sharded executor (4 nodes):
+       each stratum snapshots committed state, so a bounded plan is
+       recovered in place and stays invisible in the outputs, while an
+       unbounded one exhausts the recovery budget and the fault escapes as
+       a typed rejection. *)
+    ("lost shard node is recovered in place", "node_loss:p=1,limit=1", [ "done"; "done" ]);
+    ("dropped shuffle is recovered in place", "shuffle_drop:p=1,limit=2", [ "done"; "done" ]);
+    ("persistent node loss ends in a typed fault", "node_loss:p=1", [ "fault"; "fault" ]);
   ]

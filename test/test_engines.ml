@@ -54,13 +54,13 @@ let gen_graph = Refs.arbitrary_edges ~max_nodes:9 ~max_edges:20 ()
 let prop_engines_agree_tc =
   QCheck2.Test.make ~name:"all engines agree on TC" ~count:25 gen_graph (fun edges ->
       QCheck2.assume (edges <> []);
-      agree Programs.tc [ ("arc", Refs.relation_of_edges edges) ] [ "tc" ] = 6)
+      agree Programs.tc [ ("arc", Refs.relation_of_edges edges) ] [ "tc" ] = 7)
 
 let prop_engines_agree_sg =
   QCheck2.Test.make ~name:"all engines agree on SG" ~count:20 gen_graph (fun edges ->
       QCheck2.assume (edges <> []);
-      (* Graspan cannot express SG's != literal: 5 engines run *)
-      agree Programs.sg [ ("arc", Refs.relation_of_edges edges) ] [ "sg" ] = 5)
+      (* Graspan cannot express SG's != literal: 6 engines run *)
+      agree Programs.sg [ ("arc", Refs.relation_of_edges edges) ] [ "sg" ] = 6)
 
 let prop_engines_agree_andersen =
   QCheck2.Test.make ~name:"engines agree on Andersen" ~count:15
@@ -77,9 +77,17 @@ let prop_engines_agree_andersen =
       in
       (* graspan (3-chain with shared var patterns unsupported) and bddbddb
          may or may not run; at least recstep+souffle+bigdatalog agree *)
-      agree ~engines:[ Engines.recstep; Engines.souffle_like; Engines.bigdatalog_like; Engines.bddbddb_like ]
+      agree
+        ~engines:
+          [
+            Engines.recstep;
+            Engines.sharded_recstep;
+            Engines.souffle_like;
+            Engines.bigdatalog_like;
+            Engines.bddbddb_like;
+          ]
         Programs.andersen edb [ "pointsTo" ]
-      = 4)
+      = 5)
 
 let prop_engines_agree_cspa =
   QCheck2.Test.make ~name:"engines agree on CSPA" ~count:15
@@ -92,8 +100,8 @@ let prop_engines_agree_cspa =
           ("dereference", Refs.relation_of_edges ~name:"dereference" deref);
         ]
       in
-      (* both BigDatalog configurations reject mutual recursion: 4 of 6 run *)
-      agree Programs.cspa edb [ "valueFlow"; "memoryAlias"; "valueAlias" ] = 4)
+      (* both BigDatalog configurations reject mutual recursion: 5 of 7 run *)
+      agree Programs.cspa edb [ "valueFlow"; "memoryAlias"; "valueAlias" ] = 5)
 
 let prop_engines_agree_csda =
   QCheck2.Test.make ~name:"engines agree on CSDA" ~count:20
@@ -106,7 +114,7 @@ let prop_engines_agree_csda =
           ("arc", Refs.relation_of_edges arc);
         ]
       in
-      agree Programs.csda edb [ "null" ] = 6)
+      agree Programs.csda edb [ "null" ] = 7)
 
 let even_odd =
   {|
@@ -121,13 +129,19 @@ let prop_engines_agree_even_odd =
   QCheck2.Test.make ~name:"engines agree on mutual even/odd" ~count:20 gen_graph
     (fun edges ->
       QCheck2.assume (edges <> []);
-      (* graspan rejects (unary head), both bigdatalogs reject (mutual): 3 run *)
+      (* graspan rejects (unary head), both bigdatalogs reject (mutual): 4 run *)
       agree
-        ~engines:[ Engines.recstep; Engines.souffle_like; Engines.bddbddb_like ]
+        ~engines:
+          [
+            Engines.recstep;
+            Engines.sharded_recstep;
+            Engines.souffle_like;
+            Engines.bddbddb_like;
+          ]
         even_odd
         [ ("next", Refs.relation_of_edges ~name:"next" edges) ]
         [ "even"; "odd" ]
-      = 3)
+      = 4)
 
 (* --- capability gating (Table 1) --- *)
 
@@ -147,6 +161,9 @@ let suite_gating () =
   expect_unsupported Engines.bigdatalog_like Programs.cspa
     [ ("assign", some_edges); ("dereference", Refs.relation_of_edges ~name:"dereference" []) ];
   expect_unsupported Engines.souffle_like Programs.cc [ ("arc", some_edges) ];
+  expect_unsupported Engines.sharded_recstep Programs.cc [ ("arc", some_edges) ];
+  expect_unsupported Engines.sharded_recstep Programs.sssp
+    [ ("arc", arc3 ()); ("id", id0 ()) ];
   expect_unsupported Engines.souffle_like Programs.sssp
     [ ("arc", arc3 ()); ("id", id0 ()) ];
   expect_unsupported Engines.graspan_like Programs.cc [ ("arc", some_edges) ];
@@ -249,8 +266,9 @@ let prop_inc_index =
         pairs)
 
 let test_engines_registry () =
-  Alcotest.(check int) "six engines" 6 (List.length Engines.all);
+  Alcotest.(check int) "seven engines" 7 (List.length Engines.all);
   check "lookup" true (Engines.by_name "RecStep" <> None);
+  check "sharded lookup" true (Engines.by_name "Sharded-RecStep" <> None);
   check "unknown" true (Engines.by_name "nope" = None)
 
 let qsuite =

@@ -281,6 +281,60 @@ let test_index_manager_clear_repopulate () =
   check "old keys gone" false (Hash_index.mem i2 [| 1; 2 |]);
   Index_manager.release_all m
 
+(* The serving-layer contract behind shared indexes: a store-lifetime parent
+   manager holds base-relation indexes across run-local child managers, an
+   insert-only replacement is absorbed by rebase + delta-append (generation
+   audit: the entry adopts the replacement's generation, no rebuild), and a
+   retraction invalidates so the next access rebuilds. *)
+let test_index_manager_parent_rebase () =
+  Rs_storage.Memtrack.hard_reset ();
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let parent = Index_manager.create ~persistent:(fun n -> n = "arc") pool in
+  let child = Index_manager.create ~parent ~persistent:(fun _ -> true) pool in
+  let arc = Relation.of_rows 2 [ [| 1; 2 |]; [| 2; 3 |] ] in
+  let i1 = Index_manager.get child ~name:"arc" arc [| 0 |] in
+  Alcotest.(check int) "build lands in the parent" 1 (Index_manager.builds parent);
+  Alcotest.(check int) "no build in the child" 0 (Index_manager.builds child);
+  (* a fresh child (the next interpreter run) still sees the parent's entry *)
+  Index_manager.release_all child;
+  let child2 = Index_manager.create ~parent ~persistent:(fun _ -> true) pool in
+  let i2 = Index_manager.get child2 ~name:"arc" arc [| 0 |] in
+  check "index survives the child's release" true (i1 == i2);
+  Alcotest.(check int) "still one build" 1 (Index_manager.builds parent);
+  Alcotest.(check int) "reuse hit in the parent" 1 (Index_manager.reuse_hits parent);
+  (* insert-only replacement (Edb_store.apply staging keeps old rows as a
+     prefix): rebase re-points the entry and adopts the new generation *)
+  let arc2 = Relation.copy arc in
+  Relation.push2 arc2 3 4;
+  Index_manager.rebase_to parent ~name:"arc" arc2;
+  Alcotest.(check int) "rebase counted" 1 (Index_manager.rebases parent);
+  let i3 = Index_manager.get child2 ~name:"arc" arc2 [| 0 |] in
+  check "rebased entry reused" true (i1 == i3);
+  Alcotest.(check int) "suffix covered by append, not rebuild" 1
+    (Index_manager.appends parent);
+  Alcotest.(check int) "no rebuild after rebase" 1 (Index_manager.builds parent);
+  check "generation adopted from the replacement" true
+    (Hash_index.generation i3 = Relation.generation arc2);
+  Alcotest.(check int) "covers the appended row" 3 (Hash_index.indexed_rows i3);
+  check "new key reachable" true (Hash_index.mem i3 [| 3; 4 |]);
+  (* a retraction does not preserve the indexed prefix: invalidate, rebuild *)
+  let arc3 = Relation.of_rows 2 [ [| 2; 3 |] ] in
+  Index_manager.invalidate parent ~name:"arc";
+  Alcotest.(check int) "invalidation counted" 1 (Index_manager.invalidations parent);
+  ignore (Index_manager.get child2 ~name:"arc" arc3 [| 0 |]);
+  Alcotest.(check int) "rebuild after invalidate" 2 (Index_manager.builds parent);
+  (* rebase refuses a shrinking replacement on its own: the entry is dropped
+     and counted as an invalidation instead of silently going stale *)
+  Index_manager.rebase_to parent ~name:"arc" (Relation.of_rows 2 []);
+  Alcotest.(check int) "refused rebase drops the entry" 2
+    (Index_manager.invalidations parent);
+  Alcotest.(check int) "refused rebase is not a rebase" 1 (Index_manager.rebases parent);
+  check "parent bytes tracked" true (Index_manager.bytes parent >= 0);
+  Index_manager.release_all child2;
+  Index_manager.release_all parent;
+  Alcotest.(check int) "all bytes returned" 0 (Rs_storage.Memtrack.live ())
+
 let test_executor_uses_manager () =
   (* a join against a managed table twice: second query must be a reuse hit,
      and results must match the unmanaged executor exactly *)
@@ -326,6 +380,8 @@ let suite =
     Alcotest.test_case "index manager lifecycle" `Quick test_index_manager_lifecycle;
     Alcotest.test_case "index manager clear-repopulate" `Quick
       test_index_manager_clear_repopulate;
+    Alcotest.test_case "index manager parent chain and rebase" `Quick
+      test_index_manager_parent_rebase;
     Alcotest.test_case "executor reuses managed index" `Quick test_executor_uses_manager;
   ]
   @ qsuite

@@ -107,6 +107,7 @@ let test_fault_injection_caught_and_shrunk () =
         dsd = Interpreter.Dsd_dynamic;
         pbme = false;
         fast_dedup = true;
+        shards = 1;
       }
   in
   let plan =

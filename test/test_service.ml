@@ -207,6 +207,104 @@ let test_service_refresh_fallback () =
   Alcotest.(check bool) "entry invalidated" true
     (r.Service.cache.Result_cache.invalidations >= 1)
 
+(* --- shared indexes across runs and deltas (store-lifetime manager) --- *)
+
+(* The store-lifetime index manager must carry base-relation indexes across
+   interpreter runs: with the cache off, two identical submissions are two
+   full recomputes, but the second reuses the first's arc index instead of
+   rebuilding it. An insert-only delta between two more submissions is
+   absorbed by rebase (+ delta-append on next access), not a rebuild; a
+   retraction invalidates and the next run rebuilds. The trace's
+   executor.index_* counters are the audit trail. The program is a
+   non-recursive join: PBME would collapse a recursive stratum into the
+   bit-matrix kernel and bypass the relational indexes entirely. *)
+let test_service_shared_indexes () =
+  let twohop =
+    Recstep.Programs.parsed
+      ".input arc\ntwohop(x, y) :- arc(x, z), arc(z, y).\n.output twohop"
+  in
+  let sub ~at = Service.submission ~at ~tenant:"t" ~edb:"g" twohop in
+  let run events =
+    let config = Service.config ~cache_bytes:0 ~ivm:false () in
+    let r = Service.run ~config ~edb:(store ()) events in
+    check_identities r;
+    r
+  in
+  let counter r name = Rs_obs.Trace.counter r.Service.trace name in
+  (* two identical cold runs: the arc index is built once and reused *)
+  let r = run [ Service.Submit (sub ~at:0.0); Service.Submit (sub ~at:100.0) ] in
+  Alcotest.(check int) "both recomputed (cache off)" 2 (Service.counter r "done");
+  Alcotest.(check bool) "second run reuses the shared index" true
+    (counter r "executor.index_reuse_hits" > 0);
+  let builds_two_runs = counter r "executor.index_builds" in
+  (* insert-only delta: the shared entry is rebased, not rebuilt *)
+  let r2 =
+    run
+      [
+        Service.Submit (sub ~at:0.0);
+        Service.delta_event ~at:50.0 ~edb:"g" (Delta.of_inserts "arc" [ [| 0; 3 |] ]);
+        Service.Submit (sub ~at:100.0);
+      ]
+  in
+  Alcotest.(check int) "one rebase for the insert-only delta" 1
+    (counter r2 "executor.index_rebases");
+  Alcotest.(check int) "no invalidation" 0 (counter r2 "executor.index_invalidations");
+  Alcotest.(check bool) "no extra build after the rebase" true
+    (counter r2 "executor.index_builds" <= builds_two_runs);
+  (* a retraction cannot preserve the indexed prefix: invalidate + rebuild *)
+  let r3 =
+    run
+      [
+        Service.Submit (sub ~at:0.0);
+        Service.delta_event ~at:50.0 ~edb:"g" (Delta.of_retracts "arc" [ [| 0; 1 |] ]);
+        Service.Submit (sub ~at:100.0);
+      ]
+  in
+  Alcotest.(check bool) "retraction invalidates the shared index" true
+    (counter r3 "executor.index_invalidations" > 0);
+  Alcotest.(check int) "no rebase on a retraction" 0 (counter r3 "executor.index_rebases");
+  Alcotest.(check bool) "post-retract run rebuilds" true
+    (counter r3 "executor.index_builds" > builds_two_runs)
+
+(* --- sharded serving --- *)
+
+let test_service_sharded () =
+  let sub ~at = Service.submission ~at ~tenant:"t" ~edb:"g" tc in
+  let events = [ Service.Submit (sub ~at:0.0); Service.Submit (sub ~at:100.0) ] in
+  let sharded =
+    Service.run
+      ~config:(Service.config ~shards:4 ~cache_bytes:0 ~ivm:false ())
+      ~edb:(store ()) events
+  in
+  check_identities sharded;
+  Alcotest.(check int) "both served sharded" 2 (Service.counter sharded "done");
+  Alcotest.(check int) "one stat row per shard" 4
+    (List.length sharded.Service.shard_stats);
+  List.iter
+    (fun (s : Service.shard_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d executed queries" s.Service.sh_shard)
+        true
+        (s.Service.sh_queries > 0))
+    sharded.Service.shard_stats;
+  let unsharded =
+    Service.run
+      ~config:(Service.config ~cache_bytes:0 ~ivm:false ())
+      ~edb:(store ()) events
+  in
+  Alcotest.(check int) "unsharded report has no shard stats" 0
+    (List.length unsharded.Service.shard_stats);
+  let rows r =
+    List.map
+      (fun (c : Service.completion) ->
+        match c.Service.c_outcome with
+        | Service.Done v -> List.map (fun (n, rs) -> (n, List.map Array.to_list rs)) v
+        | _ -> Alcotest.fail "expected Done")
+      r.Service.completions
+  in
+  Alcotest.(check bool) "sharded rows = unsharded rows" true
+    (rows sharded = rows unsharded)
+
 (* --- admission control --- *)
 
 let test_admission_memory () =
@@ -397,6 +495,9 @@ let suite =
     Alcotest.test_case "warm refresh across a retraction" `Quick test_service_warm_retract;
     Alcotest.test_case "refresh falls back past the threshold" `Quick
       test_service_refresh_fallback;
+    Alcotest.test_case "shared indexes survive runs and deltas" `Quick
+      test_service_shared_indexes;
+    Alcotest.test_case "sharded serving with per-shard stats" `Quick test_service_sharded;
     Alcotest.test_case "admission: memory budget" `Quick test_admission_memory;
     Alcotest.test_case "admission: bounded queue" `Quick test_admission_queue_full;
     Alcotest.test_case "admission: unknown edb" `Quick test_admission_unknown_edb;

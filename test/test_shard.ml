@@ -1,0 +1,315 @@
+module Relation = Rs_relation.Relation
+module Pool = Rs_parallel.Pool
+module Parser = Recstep.Parser
+module Frontend = Recstep.Frontend
+module Interpreter = Recstep.Interpreter
+module Programs = Recstep.Programs
+module Partitioner = Rs_shard.Partitioner
+module Exchange = Rs_shard.Exchange
+module Rebalancer = Rs_shard.Rebalancer
+module Shard_planner = Rs_shard.Shard_planner
+module Shard_exec = Rs_shard.Shard_exec
+module Fault = Rs_chaos.Fault
+module Inject = Rs_chaos.Inject
+
+let check = Alcotest.(check bool)
+
+let run_sharded ?shards ?colocation ?rebalance ?trace src edb =
+  let pool = Pool.create ~workers:8 () in
+  Pool.begin_run pool;
+  let options = Shard_exec.options ?shards ?colocation ?rebalance ?trace () in
+  Shard_exec.run ~options ~pool ~edb (Parser.parse src)
+
+let rows_of r =
+  let rows = ref [] in
+  for i = Relation.nrows r - 1 downto 0 do
+    rows := Array.init (Relation.arity r) (fun c -> Relation.get r ~row:i ~col:c) :: !rows
+  done;
+  List.sort compare !rows
+
+let sharded_rows (res : Shard_exec.result) name = rows_of (res.Shard_exec.relation_of name)
+
+(* --- partitioner ------------------------------------------------------- *)
+
+let test_partitioner_hash_stable () =
+  let p = Partitioner.create ~shards:4 () in
+  let r = Relation.create ~name:"big" 2 in
+  for i = 0 to 500 do
+    Relation.push2 r i (i * 7)
+  done;
+  (match Partitioner.decide_edb p "big" r with
+  | Partitioner.Hash { col } -> Alcotest.(check int) "hash on col 0" 0 col
+  | Partitioner.Reference -> Alcotest.fail "large relation should hash-distribute");
+  for k = -50 to 50 do
+    let n = Partitioner.node_of_key p k in
+    check "stable" true (n = Partitioner.node_of_key p k);
+    check "in range" true (n >= 0 && n < 4);
+    let b = Partitioner.bucket_of_key p k in
+    check "bucket range" true (b >= 0 && b < 32)
+  done;
+  (* two-level routing: reassigning a bucket moves every key of that bucket *)
+  let k = 17 in
+  let b = Partitioner.bucket_of_key p k in
+  let before = Partitioner.node_of_key p k in
+  let target = (before + 1) mod 4 in
+  Partitioner.move_bucket p ~bucket:b ~node:target;
+  Alcotest.(check int) "moved" target (Partitioner.node_of_key p k)
+
+let test_partitioner_reference () =
+  let p = Partitioner.create ~shards:4 () in
+  let small = Relation.create ~name:"small" 2 in
+  for i = 0 to 9 do
+    Relation.push2 small i i
+  done;
+  check "small is reference" true (Partitioner.decide_edb p "small" small = Partitioner.Reference);
+  check "strategy remembered" true (Partitioner.strategy p "small" = Partitioner.Reference);
+  check "reference rows owned by node 0" true
+    (Partitioner.owner_of_row p "small" [| 3; 3 |] = 0)
+
+let test_partitioner_wide_keys () =
+  let p = Partitioner.create ~shards:3 () in
+  let wide = Relation.create ~name:"wide" 4 in
+  for i = 0 to 400 do
+    Relation.push_row wide [| i; i + 1; i + 2; i + 3 |]
+  done;
+  (match Partitioner.decide_edb p "wide" wide with
+  | Partitioner.Hash { col } ->
+      Alcotest.(check int) "wide hashes on col 0" 0 col;
+      let owner = Partitioner.owner_of_row p "wide" [| 42; 0; 0; 0 |] in
+      Alcotest.(check int) "owner follows key col" (Partitioner.node_of_key p 42) owner
+  | Partitioner.Reference -> Alcotest.fail "wide relation should hash-distribute");
+  check "idb arity 0 is reference" true (Partitioner.decide_idb p "flag" ~arity:0 = Partitioner.Reference)
+
+(* --- agreement with the single-node interpreter ------------------------ *)
+
+let interp_rows src edb name =
+  let r, _ = Frontend.run_text ~edb src in
+  List.sort compare (Frontend.result_rows r name)
+
+let gen_graph = Refs.arbitrary_edges ~max_nodes:10 ~max_edges:25 ()
+
+let prop_sharded_tc_agrees =
+  QCheck2.Test.make ~name:"sharded TC = reference (shards 1/2/4)" ~count:30 gen_graph
+    (fun edges ->
+      let expected =
+        Refs.IntPairSet.elements (Refs.transitive_closure edges) |> List.sort compare
+      in
+      List.for_all
+        (fun shards ->
+          let res =
+            run_sharded ~shards Programs.tc [ ("arc", Refs.relation_of_edges edges) ]
+          in
+          Refs.sorted_pairs (sharded_rows res "tc") = expected)
+        [ 1; 2; 4 ])
+
+let prop_sharded_sg_agrees =
+  QCheck2.Test.make ~name:"sharded SG = reference" ~count:20 gen_graph (fun edges ->
+      let expected = Refs.IntPairSet.elements (Refs.same_generation edges) |> List.sort compare in
+      let res = run_sharded ~shards:4 Programs.sg [ ("arc", Refs.relation_of_edges edges) ] in
+      Refs.sorted_pairs (sharded_rows res "sg") = expected)
+
+let prop_sharded_negation_agrees =
+  QCheck2.Test.make ~name:"sharded NTC (stratified negation) = interpreter" ~count:15 gen_graph
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let expected = interp_rows Programs.ntc [ ("arc", Refs.relation_of_edges edges) ] "ntc" in
+      let res = run_sharded ~shards:4 Programs.ntc [ ("arc", Refs.relation_of_edges edges) ] in
+      sharded_rows res "ntc" = expected)
+
+let even_odd =
+  {|
+.input next
+.output even
+even(0).
+odd(y) :- even(x), next(x, y).
+even(y) :- odd(x), next(x, y).
+|}
+
+let prop_sharded_mutual_recursion_agrees =
+  QCheck2.Test.make ~name:"sharded even/odd (mutual recursion) = interpreter" ~count:15 gen_graph
+    (fun edges ->
+      let edb () = [ ("next", Refs.relation_of_edges ~name:"next" edges) ] in
+      let expected = interp_rows even_odd (edb ()) "even" in
+      let res = run_sharded ~shards:4 even_odd (edb ()) in
+      sharded_rows res "even" = expected)
+
+let prop_no_colocation_same_output =
+  QCheck2.Test.make ~name:"--no-colocation: same rows, shuffle charged" ~count:15 gen_graph
+    (fun edges ->
+      QCheck2.assume (List.length edges > 3);
+      let expected =
+        Refs.IntPairSet.elements (Refs.transitive_closure edges) |> List.sort compare
+      in
+      let res =
+        run_sharded ~shards:4 ~colocation:false Programs.tc
+          [ ("arc", Refs.relation_of_edges edges) ]
+      in
+      Refs.sorted_pairs (sharded_rows res "tc") = expected
+      && res.Shard_exec.shuffle_tuples > 0)
+
+(* --- colocation classification and exchange counters ------------------- *)
+
+let big_arc n =
+  let r = Relation.create ~name:"arc" 2 in
+  for i = 0 to n - 1 do
+    Relation.push2 r i ((i + 1) mod n);
+    Relation.push2 r i ((i * 3 + 7) mod n)
+  done;
+  r
+
+let test_tc_classification () =
+  (* left-linear TC, hash-distributed arc: the base rule is fully
+     colocated, the recursive rule broadcasts arc once per stratum —
+     nothing shuffles, so colocated TC moves zero repartition tuples. *)
+  let res = run_sharded ~shards:4 Programs.tc [ ("arc", big_arc 120) ] in
+  Alcotest.(check int) "colocated rules" 1 res.Shard_exec.colocated_rules;
+  Alcotest.(check int) "broadcast rules" 1 res.Shard_exec.broadcast_rules;
+  Alcotest.(check int) "no shuffles when colocated" 0 res.Shard_exec.shuffle_tuples;
+  check "broadcast traffic exists" true (res.Shard_exec.broadcast_tuples > 0);
+  check "supersteps counted" true (res.Shard_exec.supersteps > 0)
+
+let test_forced_shuffle_is_slower () =
+  let edb () = [ ("arc", big_arc 150) ] in
+  let run colocation =
+    let pool = Pool.create ~workers:8 () in
+    Pool.begin_run pool;
+    let options = Shard_exec.options ~shards:4 ~colocation () in
+    let res = Shard_exec.run ~options ~pool ~edb:(edb ()) (Parser.parse Programs.tc) in
+    (Pool.vtime_now pool, res)
+  in
+  let v_col, r_col = run true in
+  let v_shuf, r_shuf = run false in
+  check "same result rows" true (sharded_rows r_col "tc" = sharded_rows r_shuf "tc");
+  check "forced shuffle moves tuples" true (r_shuf.Shard_exec.shuffle_tuples > 0);
+  check "colocated makespan is better" true (v_col < v_shuf)
+
+(* --- rebalancer -------------------------------------------------------- *)
+
+let test_rebalancer_plan_balanced () =
+  let weights = Array.make 32 10 in
+  let assign = Array.init 32 (fun b -> b mod 4) in
+  let busy = Array.make 4 1.0 in
+  check "balanced load plans nothing" true
+    (Rebalancer.plan ~shards:4 ~assign ~weights ~busy ~threshold:1.5 = [])
+
+let test_rebalancer_plan_skewed () =
+  (* node 0 holds two heavy buckets; greedy should offload one of them *)
+  let weights = Array.make 32 1 in
+  weights.(0) <- 400;
+  weights.(4) <- 400;
+  let assign = Array.init 32 (fun b -> b mod 4) in
+  let busy = Array.make 4 0.0 in
+  let moves = Rebalancer.plan ~shards:4 ~assign ~weights ~busy ~threshold:1.5 in
+  check "skew plans moves" true (moves <> []);
+  (match moves with
+  | first :: _ -> Alcotest.(check int) "first move comes from hot node" 0 first.Rebalancer.mv_from
+  | [] -> ());
+  List.iter
+    (fun m -> check "never moves to its own node" true (m.Rebalancer.mv_to <> m.Rebalancer.mv_from))
+    moves;
+  check "does not move everything away" true (List.length moves < 8)
+
+let test_rebalancer_plan_no_swap () =
+  (* a single dominant bucket cannot be moved without swapping the skew *)
+  let weights = Array.make 32 0 in
+  weights.(0) <- 1000;
+  let assign = Array.init 32 (fun b -> b mod 4) in
+  let busy = Array.make 4 0.0 in
+  check "dominant bucket stays put" true
+    (Rebalancer.plan ~shards:4 ~assign ~weights ~busy ~threshold:1.5 = [])
+
+let test_rebalance_end_to_end () =
+  (* Zipf-ish key skew: pick source keys that land in distinct buckets of
+     node 0 (probed through an identically-configured partitioner), load
+     them heavily, and check the run both rebalances and stays correct. *)
+  let probe = Partitioner.create ~shards:4 () in
+  let heavy =
+    let rec collect k acc seen =
+      if List.length acc >= 3 then List.rev acc
+      else
+        let b = Partitioner.bucket_of_key probe k in
+        if Partitioner.node_of_key probe k = 0 && not (List.mem b seen) then
+          collect (k + 1) (k :: acc) (b :: seen)
+        else collect (k + 1) acc seen
+    in
+    collect 0 [] []
+  in
+  let edges =
+    List.concat_map (fun k -> List.init 150 (fun i -> (k, 1000 + (i mod 40)))) heavy
+    @ List.init 30 (fun i -> (2000 + i, 2000 + i + 1))
+  in
+  let expected = Refs.IntPairSet.elements (Refs.transitive_closure edges) |> List.sort compare in
+  let res =
+    run_sharded ~shards:4 ~rebalance:true Programs.tc [ ("arc", Refs.relation_of_edges edges) ]
+  in
+  check "rebalance planned moves" true (res.Shard_exec.rebalance_moves > 0);
+  check "rows migrated" true (res.Shard_exec.rebalance_rows > 0);
+  check "result survives migration" true (Refs.sorted_pairs (sharded_rows res "tc") = expected)
+
+(* --- chaos recovery ---------------------------------------------------- *)
+
+let test_node_loss_recovery () =
+  let edges = List.init 60 (fun i -> (i, (i + 1) mod 60)) in
+  let expected = Refs.IntPairSet.elements (Refs.transitive_closure edges) |> List.sort compare in
+  let plan = Fault.plan [ Fault.spec ~p:1.0 ~limit:2 Fault.Node_loss ] in
+  let res, fired =
+    Inject.with_plan plan (fun () ->
+        let r = run_sharded ~shards:4 Programs.tc [ ("arc", Refs.relation_of_edges edges) ] in
+        (r, Inject.fires ()))
+  in
+  check "fault actually fired" true (List.mem_assoc Fault.Node_loss fired);
+  check "recovered" true (res.Shard_exec.recoveries > 0);
+  check "result correct after recovery" true
+    (Refs.sorted_pairs (sharded_rows res "tc") = expected)
+
+let test_shuffle_drop_recovery () =
+  let edges = List.init 50 (fun i -> (i, (i + 3) mod 50)) in
+  let expected = Refs.IntPairSet.elements (Refs.transitive_closure edges) |> List.sort compare in
+  let plan = Fault.plan [ Fault.spec ~p:1.0 ~limit:1 Fault.Shuffle_drop ] in
+  let res =
+    Inject.with_plan plan (fun () ->
+        (* force repartition traffic so the drop probe has messages to hit *)
+        run_sharded ~shards:4 ~colocation:false Programs.tc
+          [ ("arc", Refs.relation_of_edges edges) ])
+  in
+  check "recovered from dropped shuffle" true (res.Shard_exec.recoveries > 0);
+  check "result correct" true (Refs.sorted_pairs (sharded_rows res "tc") = expected)
+
+let test_recovery_exhaustion () =
+  let edges = List.init 40 (fun i -> (i, (i + 1) mod 40)) in
+  let plan = Fault.plan [ Fault.spec ~p:1.0 Fault.Node_loss ] in
+  check "persistent node loss escapes after max recoveries" true
+    (Inject.with_plan plan (fun () ->
+         match run_sharded ~shards:4 Programs.tc [ ("arc", Refs.relation_of_edges edges) ] with
+         | _ -> false
+         | exception Fault.Injected { cls = Fault.Node_loss; _ } -> true))
+
+(* --- aggregates gate --------------------------------------------------- *)
+
+let test_aggregates_unsupported () =
+  check "aggregate program raises Unsupported" true
+    (match run_sharded ~shards:2 Programs.gtc [ ("arc", big_arc 20) ] with
+    | _ -> false
+    | exception Shard_exec.Unsupported _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "partitioner: hash routing stable" `Quick test_partitioner_hash_stable;
+    Alcotest.test_case "partitioner: reference tables" `Quick test_partitioner_reference;
+    Alcotest.test_case "partitioner: wide keys / nullary idb" `Quick test_partitioner_wide_keys;
+    QCheck_alcotest.to_alcotest prop_sharded_tc_agrees;
+    QCheck_alcotest.to_alcotest prop_sharded_sg_agrees;
+    QCheck_alcotest.to_alcotest prop_sharded_negation_agrees;
+    QCheck_alcotest.to_alcotest prop_sharded_mutual_recursion_agrees;
+    QCheck_alcotest.to_alcotest prop_no_colocation_same_output;
+    Alcotest.test_case "TC classification and exchange counters" `Quick test_tc_classification;
+    Alcotest.test_case "forced shuffle degrades makespan" `Quick test_forced_shuffle_is_slower;
+    Alcotest.test_case "rebalancer: balanced plans nothing" `Quick test_rebalancer_plan_balanced;
+    Alcotest.test_case "rebalancer: skew plans moves" `Quick test_rebalancer_plan_skewed;
+    Alcotest.test_case "rebalancer: dominant bucket stays" `Quick test_rebalancer_plan_no_swap;
+    Alcotest.test_case "rebalance end-to-end (Zipf TC)" `Quick test_rebalance_end_to_end;
+    Alcotest.test_case "chaos: node loss recovery" `Quick test_node_loss_recovery;
+    Alcotest.test_case "chaos: shuffle drop recovery" `Quick test_shuffle_drop_recovery;
+    Alcotest.test_case "chaos: recovery exhaustion escapes" `Quick test_recovery_exhaustion;
+    Alcotest.test_case "aggregates are rejected" `Quick test_aggregates_unsupported;
+  ]
