@@ -107,6 +107,62 @@ sort "$tmp/idx_off/tc.tsv" >"$tmp/tc_off.sorted"
 cmp "$tmp/tc_on.sorted" "$tmp/tc_off.sorted"
 echo "results identical with and without persistent indexes"
 
+echo "== compiled-kernel smoke =="
+# The same relational TC fixpoint with the fused rule kernels on (default)
+# and off: output checksums must be byte-identical, and the profile must
+# show the recursive rule actually compiled (not silently gated out).
+dune exec bin/recstep_cli.exe -- run "$tmp/tc_only.dl" --fact "arc=$tmp/arc.tsv" \
+  --no-pbme --profile "$tmp/pkern.json" --out "$tmp/kern_on" >/dev/null
+dune exec bin/recstep_cli.exe -- run "$tmp/tc_only.dl" --fact "arc=$tmp/arc.tsv" \
+  --no-pbme --no-kernels --out "$tmp/kern_off" >/dev/null
+sort "$tmp/kern_on/tc.tsv" >"$tmp/tc_kern_on.sorted"
+sort "$tmp/kern_off/tc.tsv" >"$tmp/tc_kern_off.sorted"
+cmp "$tmp/tc_kern_on.sorted" "$tmp/tc_kern_off.sorted"
+echo "results identical with and without compiled kernels"
+
+cat >"$tmp/validate_kernel.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    p = json.load(f)
+c = p["counters"]
+assert c.get("kernel.compiled_rules", 0) > 0, "no rule compiled to a fused kernel"
+assert c.get("kernel.execs", 0) > 0, "compiled kernels never executed"
+assert c.get("kernel.fallbacks", 0) == 0, "kernel executions degraded without faults"
+print("kernel profile OK: %d compiled rules, %d executions, %d fused probes, %d rows emitted"
+      % (c["kernel.compiled_rules"], c["kernel.execs"],
+         c.get("kernel.fused_probes", 0), c.get("kernel.emitted", 0)))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_kernel.py" "$tmp/pkern.json"
+else
+  test -s "$tmp/pkern.json"
+  echo "kernel profile written (python3 unavailable, JSON not validated)"
+fi
+
+# Kernel benchmark: the fused path must be at least 2x faster in simulated
+# time on recursive TC, with byte-identical outputs on every workload.
+dune exec bench/main.exe -- --only kernel >/dev/null
+cat >"$tmp/validate_bench_kernel.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+ws = {w["workload"]: w for w in b["workloads"]}
+for w in b["workloads"]:
+    assert w["identical"], "%s outputs diverged between kernel and interpreted runs" % w["workload"]
+tc = ws["tc"]
+assert tc["compiled_rules"] > 0, "TC recursive rule did not compile"
+assert tc["ratio"] >= 2.0, \
+    "kernels under 2x on recursive TC: %.2fx" % tc["ratio"]
+print("BENCH_kernel OK: tc %.1fx with %d compiled rules, %d workloads identical"
+      % (tc["ratio"], tc["compiled_rules"], len(b["workloads"])))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_bench_kernel.py" BENCH_kernel.json
+else
+  test -s BENCH_kernel.json
+  echo "BENCH_kernel.json written (python3 unavailable, JSON not validated)"
+fi
+
 echo "== sharded execution smoke =="
 # The same TC fixpoint across 4 simulated shard nodes must produce exactly
 # the unsharded tuple set; with colocation analysis disabled the outputs
@@ -165,7 +221,6 @@ else
   test -s BENCH_shard.json
   echo "BENCH_shard.json written (python3 unavailable, JSON not validated)"
 fi
-rm -f BENCH_shard.json
 
 echo "== differential fuzz smoke =="
 # A fixed-seed campaign over every engine and every optimization-toggle
@@ -259,7 +314,7 @@ fi
 # Incremental-vs-recompute benchmark: the maintained view must beat
 # recompute-per-delta on the serving-shaped churn stream, with identical
 # outputs at every version. BENCH_ivm.json lands in the working directory
-# (gitignored) and is removed after validation.
+# (tracked, like the other BENCH_*.json snapshots).
 dune exec bench/main.exe -- --only ivm >/dev/null
 BENCH_IVM="BENCH_ivm.json"
 
@@ -279,7 +334,6 @@ else
   test -s "$BENCH_IVM"
   echo "BENCH_ivm.json written (python3 unavailable, JSON not validated)"
 fi
-rm -f BENCH_ivm.json
 
 echo "== CLI serve smoke =="
 dune exec bin/recstep_cli.exe -- serve programs/serve_demo.workload \

@@ -74,7 +74,7 @@ let parse_program path =
       raise (Recstep.Frontend.Parse_error { path; line; msg = message })
 
 let run_cmd program_path facts out_dir engine workers verbose explain_only profile dsd
-    no_pbme no_persistent_indexes shards no_colocation rebalance =
+    no_pbme no_kernels no_persistent_indexes shards no_colocation rebalance =
   with_input_errors @@ fun () ->
   let program = parse_program program_path in
   if explain_only then explain program
@@ -126,6 +126,7 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
     | None ->
         let options =
           Recstep.Interpreter.options ~dsd ~pbme:(not no_pbme)
+            ~compiled_kernels:(not no_kernels)
             ~persistent_indexes:(not no_persistent_indexes) ?trace ()
         in
         let result = Recstep.Interpreter.run ~options ~pool ~edb program in
@@ -181,7 +182,7 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
   end
 
 let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_ivm
-    ivm_max_delta shards report_path verbose =
+    ivm_max_delta shards no_kernels report_path verbose =
   with_input_errors @@ fun () ->
   let script = Rs_service.Script.load script_path in
   let setting key = List.assoc_opt key script.Rs_service.Script.settings in
@@ -206,13 +207,18 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_
   in
   let ivm_max_delta = pick ivm_max_delta (int_setting "ivm_max_delta") 512 in
   let shards = pick shards (int_setting "shards") 1 in
+  let kernels =
+    if no_kernels then false
+    else
+      Option.value (Option.bind (setting "kernels") bool_of_string_opt) ~default:true
+  in
   let store = Rs_service.Edb_store.create () in
   List.iter
     (fun (name, rels) -> Rs_service.Edb_store.define store name rels)
     script.Rs_service.Script.defs;
   let config =
     Rs_service.Service.config ~workers ~queue_capacity ?mem_budget ~cache_bytes
-      ~cache_hit_cost_s ~seed ~ivm ~ivm_max_delta ~shards ()
+      ~cache_hit_cost_s ~seed ~ivm ~ivm_max_delta ~shards ~kernels ()
   in
   let report = Rs_service.Service.run ~config ~edb:store script.Rs_service.Script.events in
   print_string (Rs_service.Service.report_summary report);
@@ -359,7 +365,7 @@ let facts_arg =
 let out_arg = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc:"write output relations as TSV under DIR")
 
 let engine_arg =
-  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"NAME" ~doc:"evaluate with a baseline engine instead of RecStep")
+  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"NAME" ~doc:"evaluate with one of the seven registry engines instead of the stock interpreter: RecStep, Souffle-like, bddbddb-like, Graspan-like, BigDatalog-like, Distributed-BigDatalog, Sharded-RecStep")
 
 let workers_arg = Arg.(value & opt int 16 & info [ "workers"; "j" ] ~doc:"simulated worker count")
 
@@ -377,6 +383,9 @@ let dsd_arg =
 let no_pbme_arg =
   Arg.(value & flag & info [ "no-pbme" ] ~doc:"disable the bit-matrix kernels for TC/SG-shaped strata (forces the relational path)")
 
+let no_kernels_arg =
+  Arg.(value & flag & info [ "no-kernels" ] ~doc:"disable the compiled rule kernels (fused join-project-dedup closures for hot recursive rules); every rule takes the interpreted plan path")
+
 let no_persistent_indexes_arg =
   Arg.(value & flag & info [ "no-persistent-indexes" ] ~doc:"disable the fixpoint-lifetime index manager (rebuild join indexes per query, the pre-optimization behavior)")
 
@@ -390,7 +399,7 @@ let rebalance_arg =
   Arg.(value & flag & info [ "rebalance" ] ~doc:"detect load skew between fixpoint strata and migrate hot partition buckets to colder shard nodes")
 
 let run_term =
-  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg $ dsd_arg $ no_pbme_arg $ no_persistent_indexes_arg $ shards_arg $ no_colocation_arg $ rebalance_arg)
+  Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg $ dsd_arg $ no_pbme_arg $ no_kernels_arg $ no_persistent_indexes_arg $ shards_arg $ no_colocation_arg $ rebalance_arg)
 
 let script_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"workload script: EDB definitions plus a stream of submit/delta events (see lib/service/script.mli)")
@@ -424,11 +433,14 @@ let ivm_max_delta_arg =
 let serve_shards_arg =
   Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"run engine-less submissions on N simulated shard nodes and report per-shard utilization (default: script setting or 1)")
 
+let serve_no_kernels_arg =
+  Arg.(value & flag & info [ "no-kernels" ] ~doc:"disable the compiled rule kernels for engine-less submissions (default: script 'kernels' setting or enabled)")
+
 let serve_term =
   Term.(
     const serve_cmd $ script_arg $ serve_workers_arg $ queue_arg $ cache_bytes_arg
     $ no_cache_arg $ serve_seed_arg $ mem_budget_arg $ no_ivm_arg $ ivm_max_delta_arg
-    $ serve_shards_arg $ report_arg $ verbose_arg)
+    $ serve_shards_arg $ serve_no_kernels_arg $ report_arg $ verbose_arg)
 
 let kind_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"gnp | rmat | livejournal | orkut | arabic | twitter")
 
@@ -472,7 +484,7 @@ let chaos_iters_arg =
   Arg.(value & opt int 50 & info [ "iters"; "n" ] ~docv:"K" ~doc:"number of chaos cases (program x fault plan) to run")
 
 let plan_arg =
-  Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc:"force one fault plan for every case instead of the builtin rotation; syntax: 'class:key=value,...;class:...' with classes mem, txn, stall, crash, dedup, dedup_drop, index, cache — e.g. 'mem:p=1,threshold=65536,limit=1;crash:p=0.5'")
+  Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc:"force one fault plan for every case instead of the builtin rotation; syntax: 'class:key=value,...;class:...' with classes mem, txn, stall, crash, dedup, dedup_drop, index, cache, delta, node_loss, shuffle_drop, kernel — e.g. 'mem:p=1,threshold=65536,limit=1;crash:p=0.5'")
 
 let chaos_report_arg =
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"write the campaign report (per-class fire counts, outcome histogram, violations, leaks) to FILE as JSON")

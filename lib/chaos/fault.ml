@@ -10,12 +10,13 @@ type cls =
   | Delta_abort
   | Node_loss
   | Shuffle_drop
+  | Kernel_fail
 
 exception Injected of { cls : cls; point : string }
 
 let all_classes =
   [ Mem; Txn; Stall; Crash; Dedup_fail; Dedup_drop; Index_fail; Cache_corrupt; Delta_abort;
-    Node_loss; Shuffle_drop ]
+    Node_loss; Shuffle_drop; Kernel_fail ]
 
 let cls_index = function
   | Mem -> 0
@@ -29,6 +30,7 @@ let cls_index = function
   | Delta_abort -> 8
   | Node_loss -> 9
   | Shuffle_drop -> 10
+  | Kernel_fail -> 11
 
 let n_classes = List.length all_classes
 
@@ -44,6 +46,7 @@ let cls_name = function
   | Delta_abort -> "delta"
   | Node_loss -> "node_loss"
   | Shuffle_drop -> "shuffle_drop"
+  | Kernel_fail -> "kernel"
 
 let cls_of_name = function
   | "mem" -> Some Mem
@@ -57,6 +60,7 @@ let cls_of_name = function
   | "delta" -> Some Delta_abort
   | "node_loss" -> Some Node_loss
   | "shuffle_drop" -> Some Shuffle_drop
+  | "kernel" -> Some Kernel_fail
   | _ -> None
 
 (* A crash mid-injection must still name what was injected. *)

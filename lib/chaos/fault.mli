@@ -28,7 +28,11 @@
       from the last committed fragment snapshot;
     - {!Shuffle_drop} — a repartition exchange message is lost in flight.
       Recovered the same way: the stratum restarts from committed state, so
-      a dropped message can never silently shrink an output. *)
+      a dropped message can never silently shrink an output;
+    - {!Kernel_fail} — a compiled rule kernel fails to compile or to
+      execute. Typed and fully recoverable: the interpreter falls back to
+      the interpreted plan for that rule, so a fired probe can change
+      counters and simulated time but never the answer. *)
 
 type cls =
   | Mem
@@ -42,6 +46,7 @@ type cls =
   | Delta_abort
   | Node_loss
   | Shuffle_drop
+  | Kernel_fail
 
 exception Injected of { cls : cls; point : string }
 (** Raised by the probes of the typed-failure classes ({!Txn}, {!Crash},
@@ -58,8 +63,8 @@ val cls_index : cls -> int
 
 val cls_name : cls -> string
 (** "mem" / "txn" / "stall" / "crash" / "dedup" / "dedup_drop" / "index" /
-    "cache" / "delta" / "node_loss" / "shuffle_drop" — the plan-syntax and
-    report vocabulary. *)
+    "cache" / "delta" / "node_loss" / "shuffle_drop" / "kernel" — the
+    plan-syntax and report vocabulary. *)
 
 val cls_of_name : string -> cls option
 

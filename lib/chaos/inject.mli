@@ -78,3 +78,9 @@ val shuffle_should_drop : point:string -> unit
 (** {!Fault.Shuffle_drop}: raises {!Fault.Injected} when a repartition
     exchange message should be lost in flight. Recovered like node loss:
     the stratum restarts from committed state. *)
+
+val kernel_should_fail : point:string -> unit
+(** {!Fault.Kernel_fail}: raises {!Fault.Injected} when a compiled rule
+    kernel should fail at the given point ([kernel.compile] /
+    [kernel.exec]). The interpreter recovers by evaluating the rule's
+    interpreted plan instead — results are never affected. *)

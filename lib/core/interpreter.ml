@@ -5,6 +5,7 @@ module Catalog = Rs_exec.Catalog
 module Executor = Rs_exec.Executor
 module Plan = Rs_exec.Plan
 module Cost = Rs_exec.Cost
+module Kernel = Rs_exec.Kernel
 module Txn = Rs_storage.Txn
 module Int_vec = Rs_util.Int_vec
 
@@ -20,6 +21,7 @@ type options = {
   fast_dedup : bool;
   pbme : bool;
   persistent_indexes : bool;
+  compiled_kernels : bool;
   shared_indexes : Rs_exec.Index_manager.t option;
   query_overhead_s : float;
   alpha : float;
@@ -30,7 +32,8 @@ type options = {
 }
 
 let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true)
-    ?(fast_dedup = true) ?(pbme = true) ?(persistent_indexes = true) ?shared_indexes
+    ?(fast_dedup = true) ?(pbme = true) ?(persistent_indexes = true)
+    ?(compiled_kernels = true) ?shared_indexes
     ?(query_overhead_s = 0.002) ?(alpha = Cost.default_alpha) ?timeout_vs
     ?(hoard_memory = false) ?(share_builds = true) ?trace () =
   {
@@ -41,6 +44,7 @@ let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true
     fast_dedup;
     pbme;
     persistent_indexes;
+    compiled_kernels;
     shared_indexes;
     query_overhead_s;
     alpha;
@@ -223,8 +227,17 @@ type idb_state = {
   arity : int;
   compiled : Planner.compiled list;  (* one per rule for this head *)
   agg : agg_state option;
+  kernels : Kernel.t list option;
+      (* compiled fused kernels, aligned 1:1 with the concatenation of the
+         rules' delta plans; [None] = stay on the interpreted path *)
   mutable mu_prev : float option;  (* DSD µ from the previous iteration *)
 }
+
+(* What one IDB produced in a recursive round, before absorption. *)
+type eval_result =
+  | Ev_none  (* every subplan skipped *)
+  | Ev_raw of Relation.t  (* interpreted bag; dedup still pending *)
+  | Ev_dedup of Relation.t  (* kernel output; already deduplicated *)
 
 let run ?(options = default_options) ?on_iteration ~pool ~edb program =
   let an = Analyzer.analyze program in
@@ -381,6 +394,73 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
     Catalog.drop catalog name;
     Catalog.register catalog name rel
   in
+  let count_kernel name n =
+    match trace with Some tr -> Rs_obs.Trace.count tr name n | None -> ()
+  in
+  (* Compile this IDB's delta plans into fused kernels — all-or-nothing: a
+     rule set evaluates either entirely through kernels or entirely through
+     the interpreter, so the two paths never interleave within one IDB and
+     results stay bit-for-bit comparable. The cost gate screens out rules
+     that can never win (cold strata, aggregates, wide heads) before any
+     plan is inspected. *)
+  let compile_kernels ~arity ~agg ~compiled ~recursive =
+    let rule_deltas =
+      List.filter_map
+        (function
+          | Planner.Fact _ -> None
+          | Planner.Query { deltas; _ } -> if deltas = [] then None else Some deltas)
+        compiled
+    in
+    let n_rules = List.length rule_deltas in
+    if (not options.compiled_kernels) || n_rules = 0 then None
+    else
+      match Cost.kernel_gate ~recursive ~has_agg:(agg <> None) ~head_arity:arity with
+      | Error _reason ->
+          count_kernel "kernel.fallback_rules" n_rules;
+          None
+      | Ok () -> (
+          let rec go acc = function
+            | [] -> Some (List.rev acc)
+            | (dpred, plan) :: rest -> (
+                match Kernel.compile exec ~probe_table:(Planner.delta_name dpred) plan with
+                | Ok k -> go (k :: acc) rest
+                | Error _reason -> None)
+          in
+          match go [] (List.concat rule_deltas) with
+          | Some ks ->
+              count_kernel "kernel.compiled_rules" n_rules;
+              Some ks
+          | None ->
+              count_kernel "kernel.fallback_rules" n_rules;
+              None)
+  in
+  (* Kernel-path evaluation of one IDB's live delta plans: matches stream
+     straight through FAST-DEDUP into the candidate relation, no query
+     issued and no intermediate bag. A chaos-degraded kernel re-evaluates
+     interpreted — the probe fires before any write, so falling back can
+     never double-count. *)
+  let eval_kernels plans ks ~name ~arity =
+    let dd = Dedup.create ~expected:(dedup_expected plans) dedup_mode arity in
+    let out = Relation.create ~name:(name ^ "@cand") arity in
+    match List.iter (fun k -> ignore (Kernel.run exec k ~dedup:dd ~out)) ks with
+    | () ->
+        Dedup.release dd;
+        Relation.account out;
+        if not options.eost then begin
+          Txn.note_dirty txn (Relation.bytes out);
+          Txn.query_boundary txn
+        end;
+        Ev_dedup out
+    | exception Kernel.Degraded _ ->
+        Dedup.release dd;
+        Relation.release out;
+        count_kernel "kernel.fallbacks" 1;
+        (match eval_plans plans with Some rt -> Ev_raw rt | None -> Ev_none)
+    | exception e ->
+        Dedup.release dd;
+        Relation.release out;
+        raise e
+  in
   (* Process the deduplicated candidates of one IDB; returns |Δ|. *)
   let absorb_candidates (st : idb_state) rdelta =
     match st.agg with
@@ -471,19 +551,24 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
       List.map
         (fun name ->
           let rules = List.filter (fun r -> r.Ast.head_pred = name) stratum.rules in
+          let arity = Analyzer.arity an name in
+          let compiled = List.map (Planner.compile_rule an stratum) rules in
+          let agg =
+            Option.map
+              (fun s ->
+                {
+                  sig_ = s;
+                  table = Hashtbl.create 256;
+                  dense = (if dense_shape s && arity = 2 then Some [||] else None);
+                })
+              (Analyzer.agg_sig an name)
+          in
           {
             name;
-            arity = Analyzer.arity an name;
-            compiled = List.map (Planner.compile_rule an stratum) rules;
-            agg =
-              Option.map
-                (fun s ->
-                  {
-                    sig_ = s;
-                    table = Hashtbl.create 256;
-                    dense = (if dense_shape s && Analyzer.arity an name = 2 then Some [||] else None);
-                  })
-                (Analyzer.agg_sig an name);
+            arity;
+            compiled;
+            agg;
+            kernels = compile_kernels ~arity ~agg ~compiled ~recursive:stratum.recursive;
             mu_prev = None;
           })
         stratum.preds
@@ -563,21 +648,37 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
                   (* Empty-delta skip: a subplan scanning a Δ-table that went
                      empty cannot derive anything, so it is never issued —
                      a stratum whose deltas all drain terminates without
-                     evaluating the remaining rule subplans. *)
-                  let live =
-                    List.filter
-                      (fun (dpred, _) ->
-                        Relation.nrows (Catalog.rel catalog (Planner.delta_name dpred)) > 0)
-                      (delta_plans st)
+                     evaluating the remaining rule subplans. The kernel path
+                     honors the same skip (its kernels are aligned 1:1 with
+                     the delta plans). *)
+                  let dps = delta_plans st in
+                  let is_live (dpred, _) =
+                    Relation.nrows (Catalog.rel catalog (Planner.delta_name dpred)) > 0
                   in
-                  let plans = List.map snd live in
-                  (st, plans, eval_plans plans))
+                  let plans = List.map snd (List.filter is_live dps) in
+                  let result =
+                    if plans = [] then Ev_none
+                    else
+                      match st.kernels with
+                      | Some ks ->
+                          let live_ks =
+                            List.filter_map
+                              (fun (dp, k) -> if is_live dp then Some k else None)
+                              (List.combine dps ks)
+                          in
+                          eval_kernels plans live_ks ~name:st.name ~arity:st.arity
+                      | None -> (
+                          match eval_plans plans with
+                          | Some rt -> Ev_raw rt
+                          | None -> Ev_none)
+                  in
+                  (st, plans, result))
                 idb_states
             in
             List.iter
-              (fun (st, plans, rt_opt) ->
-                match rt_opt with
-                | None ->
+              (fun (st, plans, result) ->
+                match result with
+                | Ev_none ->
                     (* Every subplan was skipped, but this IDB's own Δ-table
                        may still hold the previous round's delta; drain it so
                        mutually recursive consumers don't re-read it next
@@ -595,12 +696,26 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
                         it_delta_rows = 0;
                         it_vtime = Pool.vtime_now pool;
                       }
-                | Some rt ->
+                | Ev_raw rt ->
                     let rdelta =
                       Dedup.dedup_relation_parallel ~expected:(dedup_expected plans) ?trace ~pool
                         dedup_mode rt
                     in
                     if not options.hoard_memory then Relation.release rt;
+                    let d = absorb_candidates st rdelta in
+                    if not options.hoard_memory then Relation.release rdelta;
+                    analyze_updated [ st.name; Planner.delta_name st.name ];
+                    if d > 0 then any := true;
+                    note_iteration
+                      {
+                        it_stratum = stratum.index;
+                        it_iteration = !iteration;
+                        it_idb = st.name;
+                        it_delta_rows = d;
+                        it_vtime = Pool.vtime_now pool;
+                      }
+                | Ev_dedup rdelta ->
+                    (* kernel output is already a set: skip the dedup pass *)
                     let d = absorb_candidates st rdelta in
                     if not options.hoard_memory then Relation.release rdelta;
                     analyze_updated [ st.name; Planner.delta_name st.name ];

@@ -14,7 +14,10 @@
       until the fixpoint (off: flush after every query);
     - [fast_dedup] — CCK-GSCHT deduplication (off: boxed hash table);
     - [pbme] — bit-matrix kernels for TC/SG-shaped strata that fit in
-      memory. *)
+      memory;
+    - [compiled_kernels] — fused join→project→dedup closures
+      ({!Rs_exec.Kernel}) for hot recursive rules (off: every delta plan
+      goes through the query interpreter). *)
 
 module Pool = Rs_parallel.Pool
 module Relation = Rs_relation.Relation
@@ -35,6 +38,14 @@ type options = {
           {!Rs_exec.Index_manager} (EDB indexes built once, recursive full
           tables delta-appended); off = the seed's rebuild-per-query
           behavior, kept as an ablation toggle *)
+  compiled_kernels : bool;
+      (** compile hot recursive rules to fused join→project→dedup closures
+          ({!Rs_exec.Kernel}): the Δ-scan probes persistent indexes and
+          streams matches straight into FAST-DEDUP, skipping the per-query
+          dispatch overhead and the intermediate bag. Rules the
+          {!Rs_exec.Cost.kernel_gate} or the kernel compiler rejects
+          (negation, aggregates, heads wider than 3, deep join trees) stay
+          interpreted; results are identical either way *)
   shared_indexes : Rs_exec.Index_manager.t option;
       (** optional caller-owned parent manager: indexes on names its
           predicate accepts (typically the serving layer's EDB store
@@ -64,6 +75,7 @@ val options :
   ?fast_dedup:bool ->
   ?pbme:bool ->
   ?persistent_indexes:bool ->
+  ?compiled_kernels:bool ->
   ?shared_indexes:Rs_exec.Index_manager.t ->
   ?query_overhead_s:float ->
   ?alpha:float ->

@@ -117,3 +117,20 @@ let choose ~alpha ~r_rows ~rdelta_rows ~mu_prev =
 let observed_mu ~rdelta_rows ~intersection_rows =
   if intersection_rows = 0 then float_of_int (max 1 rdelta_rows)
   else float_of_int rdelta_rows /. float_of_int intersection_rows
+
+(* --- compiled-kernel admission gate ------------------------------------ *)
+
+let kernel_max_arity = 3
+
+(* The compiler monomorphizes emitters up to arity 3; beyond that the
+   generic row path erases the win over the interpreter. Cold rules
+   (non-recursive strata run exactly once) never amortize compilation, and
+   aggregates need the interpreter's grouping machinery. Shape-level
+   reasons (negation, deep join trees) are reported by the compiler itself;
+   this gate only holds the facts the interpreter knows before looking at
+   plans. *)
+let kernel_gate ~recursive ~has_agg ~head_arity =
+  if not recursive then Error "cold"
+  else if has_agg then Error "aggregate"
+  else if head_arity > kernel_max_arity then Error "arity"
+  else Ok ()

@@ -32,3 +32,16 @@ val choose : alpha:float -> r_rows:int -> rdelta_rows:int -> mu_prev:float optio
 
 val observed_mu : rdelta_rows:int -> intersection_rows:int -> float
 (** Helper to fold this iteration's µ for the next decision. *)
+
+(** {2 Compiled-kernel admission gate} *)
+
+val kernel_max_arity : int
+(** Largest head arity with a monomorphized emit path (3). *)
+
+val kernel_gate :
+  recursive:bool -> has_agg:bool -> head_arity:int -> (unit, string) result
+(** Whether a rule is worth compiling to a fused kernel. [Error reason]
+    (["cold"] — non-recursive stratum, runs once; ["aggregate"];
+    ["arity"] — head wider than {!kernel_max_arity}) means: stay on the
+    interpreted path. Shape restrictions (negation, >2-atom join trees)
+    are decided later by [Kernel.compile], which sees the plans. *)

@@ -45,6 +45,16 @@ let idx_iter_matches idx key f =
   | Chained i -> Hash_index.iter_matches i key f
   | Radix i -> Radix_index.iter_matches i key f
 
+let idx_iter_matches1 idx k f =
+  match idx with
+  | Chained i -> Hash_index.iter_matches1 i k f
+  | Radix i -> Radix_index.iter_matches1 i k f
+
+let idx_iter_matches2 idx k0 k1 f =
+  match idx with
+  | Chained i -> Hash_index.iter_matches2 i k0 k1 f
+  | Radix i -> Radix_index.iter_matches2 i k0 k1 f
+
 let idx_mem idx key =
   match idx with Chained i -> Hash_index.mem i key | Radix i -> Radix_index.mem i key
 
@@ -109,6 +119,15 @@ let build_index t ?(cache : cache option) ?scan_name rel keys =
       | _ -> (build_transient t rel keys, true))
 
 let release_cache (c : cache) = Hashtbl.iter (fun _ idx -> Hash_index.release idx) c
+
+(* Index acquisition for compiled kernels: same three-tier policy as a
+   join's build side, minus the per-query cache (a kernel is not a query). *)
+let acquire_index t ?scan_name rel keys = build_index t ?scan_name rel keys
+
+let index_iter_matches = idx_iter_matches
+let index_iter_matches1 = idx_iter_matches1
+let index_iter_matches2 = idx_iter_matches2
+let index_release = idx_release
 
 (* Merge per-chunk output fragments in chunk order (the virtual pool runs
    chunks sequentially, so a list ref is race-free; chunk order keeps results

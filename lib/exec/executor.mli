@@ -70,3 +70,32 @@ val tpsd : t -> ?name:string -> rdelta:Relation.t -> r:Relation.t -> unit -> Rel
 val estimate : t -> Plan.t -> int
 (** The optimizer's cardinality estimate for a plan under current catalog
     statistics. *)
+
+(** {2 Index acquisition for compiled kernels}
+
+    {!Kernel} probes build-side indexes directly instead of issuing queries;
+    it acquires them through the same three-tier policy as a join's build
+    side (manager-persistent, else transient radix/chained). *)
+
+type built_index
+(** Either index layout behind one probe interface; matches enumerate
+    newest-row-first in both, so the layout choice never changes result
+    bytes. *)
+
+val acquire_index :
+  t -> ?scan_name:string -> Relation.t -> int array -> built_index * bool
+(** [acquire_index t ?scan_name rel keys] returns [(idx, owned)]. When
+    [scan_name] names a table the {!Index_manager} deems persistent, the
+    manager's index is returned and [owned] is [false] (the manager
+    releases it); otherwise a transient index is built and [owned] is
+    [true] — the caller must {!index_release} it. *)
+
+val index_iter_matches : built_index -> int array -> (int -> unit) -> unit
+
+val index_iter_matches1 : built_index -> int -> (int -> unit) -> unit
+(** Specialization for one-column keys. *)
+
+val index_iter_matches2 : built_index -> int -> int -> (int -> unit) -> unit
+(** Specialization for two-column keys. *)
+
+val index_release : built_index -> unit

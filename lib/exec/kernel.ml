@@ -1,0 +1,213 @@
+module Relation = Rs_relation.Relation
+module Dedup = Rs_relation.Dedup
+module Pool = Rs_parallel.Pool
+module Fault = Rs_chaos.Fault
+module Inject = Rs_chaos.Inject
+
+exception Degraded of string
+
+let () =
+  Printexc.register_printer (function
+    | Degraded point -> Some (Printf.sprintf "Rs_exec.Kernel.Degraded(%s)" point)
+    | _ -> None)
+
+(* A scan side reduced to its table plus the filters sitting on it; the
+   predicates use the table's local column frame. *)
+type probe_side = { p_name : string; p_preds : Expr.pred list }
+
+type binary = {
+  b_probe : probe_side;  (* the Δ-side, scanned row by row *)
+  b_build_name : string;  (* the indexed side *)
+  b_probe_keys : int array;
+  b_build_keys : int array;
+  b_extra : Expr.pred list;  (* over the combined l++r frame *)
+  b_la : int;  (* left arity of the combined frame *)
+  b_probe_is_left : bool;
+}
+
+type shape = Binary of binary | Unary of probe_side
+
+type t = { shape : shape; out : Expr.t array; arity : int }
+
+let arity k = k.arity
+
+(* Collapse Filter* over a Scan; anything deeper is not kernel-shaped. *)
+let rec flatten_scan preds = function
+  | Plan.Scan name -> Some (name, preds)
+  | Plan.Filter (ps, src) -> flatten_scan (preds @ ps) src
+  | _ -> None
+
+let compile_shape (ex : Executor.t) ~probe_table plan =
+  let table_arity name = Relation.arity (Catalog.rel ex.catalog name) in
+  match plan with
+  | Plan.Project (out, src) -> (
+      match flatten_scan [] src with
+      | Some (name, preds) when name = probe_table ->
+          Ok { shape = Unary { p_name = name; p_preds = preds }; out; arity = Array.length out }
+      | Some _ -> Error "probe"
+      | None -> Error "shape")
+  | Plan.Join { l; r; lkeys; rkeys; extra; out = Some out } -> (
+      match (flatten_scan [] l, flatten_scan [] r) with
+      | Some (lname, lpreds), Some (rname, rpreds) -> (
+          if Array.length lkeys = 0 then Error "cross"
+          else
+            match (lname = probe_table, rname = probe_table) with
+            | true, true | false, false -> Error "probe"
+            | probe_is_left, _ ->
+                let la = table_arity lname in
+                let probe, probe_keys, build_name, build_keys, build_preds =
+                  if probe_is_left then
+                    (* build side is the right table: lift its local filters
+                       into the combined frame *)
+                    ( { p_name = lname; p_preds = lpreds },
+                      lkeys,
+                      rname,
+                      rkeys,
+                      List.map (Expr.shift_pred la) rpreds )
+                  else
+                    ({ p_name = rname; p_preds = rpreds }, rkeys, lname, lkeys, lpreds)
+                in
+                Ok
+                  {
+                    shape =
+                      Binary
+                        {
+                          b_probe = probe;
+                          b_build_name = build_name;
+                          b_probe_keys = probe_keys;
+                          b_build_keys = build_keys;
+                          b_extra = build_preds @ extra;
+                          b_la = la;
+                          b_probe_is_left = probe_is_left;
+                        };
+                    out;
+                    arity = Array.length out;
+                  })
+      | _ -> Error "shape")
+  | Plan.Join { out = None; _ } -> Error "shape"
+  | Plan.AntiJoin _ -> Error "negation"
+  | Plan.Aggregate _ -> Error "aggregate"
+  | _ -> Error "shape"
+
+let compile ex ~probe_table plan =
+  match Inject.kernel_should_fail ~point:"kernel.compile" with
+  | () -> compile_shape ex ~probe_table plan
+  | exception Fault.Injected _ -> Error "chaos"
+
+let count (ex : Executor.t) name n =
+  match ex.trace with Some tr -> Rs_obs.Trace.count tr name n | None -> ()
+
+let run (ex : Executor.t) k ~dedup ~out =
+  (* The exec probe sits before any write, so a fired fault leaves [dedup]
+     and [out] untouched and the caller can re-evaluate interpreted. *)
+  (match Inject.kernel_should_fail ~point:"kernel.exec" with
+  | () -> ()
+  | exception Fault.Injected _ -> raise (Degraded "kernel.exec"));
+  let emitted = ref 0 in
+  let batches = ref 0 in
+  (* One emit closure, monomorphized on head arity: evaluate the head
+     expressions, claim the tuple in FAST-DEDUP, and append on freshness —
+     no intermediate relation ever exists. *)
+  let emit =
+    match k.out with
+    | [| e0 |] ->
+        fun get ->
+          let v0 = Expr.eval get e0 in
+          if Dedup.add1 dedup v0 then begin
+            Relation.push1 out v0;
+            incr emitted
+          end
+    | [| e0; e1 |] ->
+        fun get ->
+          let v0 = Expr.eval get e0 and v1 = Expr.eval get e1 in
+          if Dedup.add2 dedup v0 v1 then begin
+            Relation.push2 out v0 v1;
+            incr emitted
+          end
+    | [| e0; e1; e2 |] ->
+        (* scratch row is chunk-safe: the virtual pool runs chunks
+           sequentially, and both dedup layouts copy on insert *)
+        let row = Array.make 3 0 in
+        fun get ->
+          row.(0) <- Expr.eval get e0;
+          row.(1) <- Expr.eval get e1;
+          row.(2) <- Expr.eval get e2;
+          if Dedup.add_row dedup row then begin
+            Relation.push3 out row.(0) row.(1) row.(2);
+            incr emitted
+          end
+    | exprs ->
+        let a = Array.length exprs in
+        let row = Array.make a 0 in
+        fun get ->
+          for i = 0 to a - 1 do
+            row.(i) <- Expr.eval get exprs.(i)
+          done;
+          if Dedup.add_row dedup row then begin
+            Relation.push_row out row;
+            incr emitted
+          end
+  in
+  (match k.shape with
+  | Unary u ->
+      let prel = Catalog.rel ex.catalog u.p_name in
+      let n = Relation.nrows prel in
+      Pool.parallel_for ex.pool 0 n (fun lo hi ->
+          incr batches;
+          count ex "kernel.batch_rows" (hi - lo);
+          for row = lo to hi - 1 do
+            let get c = Relation.get prel ~row ~col:c in
+            if List.for_all (Expr.test get) u.p_preds then emit get
+          done);
+      count ex "kernel.fused_probes" n
+  | Binary b ->
+      let prel = Catalog.rel ex.catalog b.b_probe.p_name in
+      let brel = Catalog.rel ex.catalog b.b_build_name in
+      let idx, owned = Executor.acquire_index ex ~scan_name:b.b_build_name brel b.b_build_keys in
+      let la = b.b_la in
+      let lrel, rrel = if b.b_probe_is_left then (prel, brel) else (brel, prel) in
+      let p_preds = b.b_probe.p_preds in
+      let has_extra = b.b_extra <> [] in
+      let visit prow brow =
+        let lrow, rrow = if b.b_probe_is_left then (prow, brow) else (brow, prow) in
+        let get c =
+          if c < la then Relation.get lrel ~row:lrow ~col:c
+          else Relation.get rrel ~row:rrow ~col:(c - la)
+        in
+        if (not has_extra) || List.for_all (Expr.test get) b.b_extra then emit get
+      in
+      (* Probe closure monomorphized on key shape: 1- and 2-column keys go
+         through the specialized index entry points (no key array). *)
+      let probe_row =
+        match b.b_probe_keys with
+        | [| c0 |] ->
+            fun prow ->
+              Executor.index_iter_matches1 idx
+                (Relation.get prel ~row:prow ~col:c0)
+                (fun brow -> visit prow brow)
+        | [| c0; c1 |] ->
+            fun prow ->
+              Executor.index_iter_matches2 idx
+                (Relation.get prel ~row:prow ~col:c0)
+                (Relation.get prel ~row:prow ~col:c1)
+                (fun brow -> visit prow brow)
+        | pkeys ->
+            let key = Array.make (Array.length pkeys) 0 in
+            fun prow ->
+              Array.iteri (fun i c -> key.(i) <- Relation.get prel ~row:prow ~col:c) pkeys;
+              Executor.index_iter_matches idx key (fun brow -> visit prow brow)
+      in
+      let n = Relation.nrows prel in
+      Pool.parallel_for ex.pool 0 n (fun lo hi ->
+          incr batches;
+          count ex "kernel.batch_rows" (hi - lo);
+          for prow = lo to hi - 1 do
+            let pget c = Relation.get prel ~row:prow ~col:c in
+            if p_preds = [] || List.for_all (Expr.test pget) p_preds then probe_row prow
+          done);
+      if owned then Executor.index_release idx;
+      count ex "kernel.fused_probes" n);
+  count ex "kernel.execs" 1;
+  count ex "kernel.batches" !batches;
+  count ex "kernel.emitted" !emitted;
+  !emitted

@@ -35,6 +35,11 @@ let builtin_plans =
     "node_loss:p=1,limit=1";
     "shuffle_drop:p=1,limit=2";
     "node_loss:p=1";
+    (* kernel faults: compile-time fires demote rules to the interpreted
+       path, exec-time fires degrade mid-fixpoint — both must recover with
+       identical results *)
+    "kernel:p=1,limit=1";
+    "kernel:p=0.5";
   |]
 
 type violation = { v_iter : int; v_seed : int; v_plan : string; v_msg : string }

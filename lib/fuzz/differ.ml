@@ -108,6 +108,7 @@ type toggles = {
   dsd : Interpreter.dsd_mode;
   pbme : bool;
   fast_dedup : bool;
+  kernels : bool;
   shards : int;  (** 1 = the stock interpreter; > 1 = {!Rs_shard.Shard_exec} *)
 }
 
@@ -120,16 +121,20 @@ let toggle_matrix =
             (fun pbme ->
               List.concat_map
                 (fun fast_dedup ->
-                  List.map
-                    (fun shards -> { persistent_indexes; dsd; pbme; fast_dedup; shards })
-                    [ 1; 4 ])
+                  List.concat_map
+                    (fun kernels ->
+                      List.map
+                        (fun shards ->
+                          { persistent_indexes; dsd; pbme; fast_dedup; kernels; shards })
+                        [ 1; 4 ])
+                    [ true; false ])
                 [ true; false ])
             [ true; false ])
         [ Interpreter.Dsd_dynamic; Interpreter.Dsd_force_opsd; Interpreter.Dsd_force_tpsd ])
     [ true; false ]
 
 let toggle_label t =
-  Printf.sprintf "recstep[pi=%s,dsd=%s,pbme=%s,dedup=%s,shards=%d]"
+  Printf.sprintf "recstep[pi=%s,dsd=%s,pbme=%s,dedup=%s,kern=%s,shards=%d]"
     (if t.persistent_indexes then "on" else "off")
     (match t.dsd with
     | Interpreter.Dsd_dynamic -> "dyn"
@@ -137,6 +142,7 @@ let toggle_label t =
     | Interpreter.Dsd_force_tpsd -> "tpsd")
     (if t.pbme then "on" else "off")
     (if t.fast_dedup then "fast" else "boxed")
+    (if t.kernels then "on" else "off")
     t.shards
 
 let toggle_runner t =
@@ -145,8 +151,9 @@ let toggle_runner t =
     run =
       guarded_run (fun pool edb program ->
           if t.shards > 1 then (
-            (* [pbme] has no shard-side analogue: each node always builds
-               its fragments from scratch, so the toggle only picks the
+            (* [pbme] and [kernels] have no shard-side analogue: each node
+               always builds its fragments from scratch through the
+               interpreted superstep loop, so those toggles only pick the
                matrix point's label apart. *)
             let options =
               Rs_shard.Shard_exec.options ~shards:t.shards
@@ -161,14 +168,14 @@ let toggle_runner t =
           else
             let options =
               Interpreter.options ~persistent_indexes:t.persistent_indexes ~dsd:t.dsd
-                ~pbme:t.pbme ~fast_dedup:t.fast_dedup ()
+                ~pbme:t.pbme ~fast_dedup:t.fast_dedup ~compiled_kernels:t.kernels ()
             in
             let result = Interpreter.run ~options ~pool ~edb program in
             fun p -> canon (result.Interpreter.relation_of p));
   }
 
 (* All runners: the baseline engines (including the stock RecStep
-   configuration) plus the full 2 x 3 x 2 x 2 toggle matrix. *)
+   configuration) plus the full 2 x 3 x 2 x 2 x 2 x 2 toggle matrix. *)
 let all_runners () =
   List.map (fun (module E : Engine_intf.S) -> engine_runner (module E)) Engines.all
   @ List.map toggle_runner toggle_matrix

@@ -49,8 +49,11 @@ let retryable = function
      a fresh attempt re-runs from the committed store. *)
   | Fault_failure (Rs_chaos.Fault.Node_loss | Shuffle_drop) -> true
   (* Delta_abort fires at delta application, not query execution: the store
-     rolls back atomically and the retry ladder has nothing to re-run. *)
-  | Fault_failure (Rs_chaos.Fault.Mem | Stall | Dedup_drop | Cache_corrupt | Delta_abort)
+     rolls back atomically and the retry ladder has nothing to re-run.
+     Kernel_fail is recovered inside the interpreter (fallback to the
+     interpreted plan) and never surfaces as a failure here. *)
+  | Fault_failure
+      (Rs_chaos.Fault.Mem | Stall | Dedup_drop | Cache_corrupt | Delta_abort | Kernel_fail)
     -> false
 
 type policy = { max_attempts : int; backoff_base_s : float; backoff_cap_s : float }

@@ -75,11 +75,13 @@ type config = {
   ivm : bool;
   ivm_max_delta : int;
   shards : int;
+  kernels : bool;
 }
 
 let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
     ?(cache_bytes = 64 * 1024 * 1024) ?(cache_hit_cost_s = 1e-4) ?(seed = 1)
-    ?(retry = Retry.default) ?(ivm = true) ?(ivm_max_delta = 512) ?(shards = 1) () =
+    ?(retry = Retry.default) ?(ivm = true) ?(ivm_max_delta = 512) ?(shards = 1)
+    ?(kernels = true) () =
   {
     workers;
     queue_capacity;
@@ -91,6 +93,7 @@ let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
     ivm;
     ivm_max_delta;
     shards = max 1 shards;
+    kernels;
   }
 
 type shard_stat = {
@@ -358,7 +361,8 @@ let run ?(config = config ()) ~edb:store events =
                   Interpreter.options ?timeout_vs:deadline_left ~trace
                     ~persistent_indexes:knobs.Retry.k_persistent_indexes
                     ~shared_indexes ~pbme:knobs.Retry.k_fast_path
-                    ~fast_dedup:knobs.Retry.k_fast_path ()
+                    ~fast_dedup:knobs.Retry.k_fast_path
+                    ~compiled_kernels:(config.kernels && knobs.Retry.k_fast_path) ()
                 in
                 let r = Interpreter.run ~options ~pool ~edb:rels sub.program in
                 Engine_intf.mk_result ~pool ~trace ~iterations:r.Interpreter.iterations

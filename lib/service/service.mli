@@ -114,6 +114,10 @@ type config = {
       (** > 1 routes engine-less submissions through the sharded executor
           ({!Rs_shard.Shard_exec}) with this many simulated nodes; the
           report then carries per-shard utilization *)
+  kernels : bool;
+      (** compiled rule kernels for engine-less unsharded submissions; the
+          retry ladder's [No_fast_path] rung disables them together with the
+          other fast-path structures *)
 }
 
 val config :
@@ -127,11 +131,12 @@ val config :
   ?ivm:bool ->
   ?ivm_max_delta:int ->
   ?shards:int ->
+  ?kernels:bool ->
   unit ->
   config
 (** Defaults: 8 workers, queue capacity 64, no memory budget, 64 MiB cache,
     100 µs per cache hit, seed 1, {!Retry.default}, maintenance on with a
-    512-op refresh threshold, 1 shard (unsharded). *)
+    512-op refresh threshold, 1 shard (unsharded), compiled kernels on. *)
 
 type shard_stat = {
   sh_shard : int;

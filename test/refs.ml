@@ -203,6 +203,20 @@ let fuzz_corpus : (string * string * (string * int list list) list) list =
     ( "empty edb",
       ".input e0\np0(x, y) :- e0(x, y).\np0(x, y) :- p0(x, z), e0(z, y).\n.output p0",
       [ ("e0", []) ] );
+    (* Exercises every compiled-kernel shape in one case: a binary fused
+       join with local predicates on both sides (p0), a unary project-only
+       delta plan inside mutual recursion (p1), and a cold non-recursive
+       head (p2) the cost gate keeps interpreted. Diffed across the toggle
+       matrix this pins kernels-on against kernels-off and the oracle. *)
+    ( "kernel shapes: fused join, unary project, cold head",
+      ".input e0\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y), y != x.\n\
+       p1(y, x) :- p0(x, y).\n\
+       p0(x, y) :- p1(x, z), e0(z, y).\n\
+       p2(x) :- p0(x, x).\n\
+       .output p0\n.output p1\n.output p2",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ]; [ 2; 2 ] ]) ] );
   ]
 
 (* --- delta-sequence regression corpus -----------------------------------
@@ -291,4 +305,9 @@ let chaos_corpus : (string * string * string list) list =
     ("lost shard node is recovered in place", "node_loss:p=1,limit=1", [ "done"; "done" ]);
     ("dropped shuffle is recovered in place", "shuffle_drop:p=1,limit=2", [ "done"; "done" ]);
     ("persistent node loss ends in a typed fault", "node_loss:p=1", [ "fault"; "fault" ]);
+    (* Kernel_fail is the one class the interpreter absorbs entirely: a
+       fired compile probe leaves the rule interpreted, a fired exec probe
+       degrades that round before anything is written, and in both cases
+       the submission completes with the exact interpreted answer. *)
+    ("kernel faults fall back to the interpreted path", "kernel:p=1", [ "done"; "done" ]);
   ]

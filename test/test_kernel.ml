@@ -1,0 +1,230 @@
+(* Compiled rule kernels (Rs_exec.Kernel): fused join→project→dedup closures
+   for hot recursive rules. Every test runs the same program twice — kernels
+   on and kernels off — on fresh pools and asserts the canonical output rows
+   are identical; the trace counters then pin which path actually ran. PBME
+   is held off throughout so TC/SG-shaped strata take the relational path
+   the kernels accelerate (with PBME on they would collapse to the
+   bit-matrix kernels and neither path under test would execute). *)
+
+module Parser = Recstep.Parser
+module Interpreter = Recstep.Interpreter
+module Relation = Rs_relation.Relation
+module Pool = Rs_parallel.Pool
+module Trace = Rs_obs.Trace
+module Fault = Rs_chaos.Fault
+module Inject = Rs_chaos.Inject
+
+let check = Alcotest.(check bool)
+
+let canon rel = List.map Array.to_list (Relation.sorted_distinct_rows rel)
+
+(* One interpreter run on a fresh pool; returns (rows of each output, trace). *)
+let run_one ~kernels src edb =
+  let program = Parser.parse src in
+  let pool = Pool.create ~workers:4 () in
+  Pool.begin_run pool;
+  let trace = Trace.create ~now:(fun () -> Pool.vtime_now pool) () in
+  let edb =
+    List.map
+      (fun (name, arity, rows) ->
+        (name, Relation.of_rows ~name arity (List.map Array.of_list rows)))
+      edb
+  in
+  let options =
+    Interpreter.options ~pbme:false ~compiled_kernels:kernels ~trace ()
+  in
+  let result = Interpreter.run ~options ~pool ~edb program in
+  let outs =
+    List.map
+      (fun name -> (name, canon (result.Interpreter.relation_of name)))
+      program.Recstep.Ast.outputs
+  in
+  (outs, trace)
+
+(* Both toggle positions must produce byte-identical canonical outputs. *)
+let run_both src edb =
+  let on, tr_on = run_one ~kernels:true src edb in
+  let off, tr_off = run_one ~kernels:false src edb in
+  Alcotest.(check (list (pair string (list (list int)))))
+    "kernels on = kernels off" off on;
+  (tr_on, tr_off)
+
+let c tr name = Trace.counter tr name
+
+(* --- per-arity closures vs the interpreted path --------------------------- *)
+
+let tc_src =
+  ".input e0\np0(x, y) :- e0(x, y).\np0(x, y) :- p0(x, z), e0(z, y).\n.output p0"
+
+let tc_edb = [ ("e0", 2, [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 0 ] ]) ]
+
+let test_arity2 () =
+  let tr_on, tr_off = run_both tc_src tc_edb in
+  check "rules compiled" true (c tr_on "kernel.compiled_rules" > 0);
+  check "kernels executed" true (c tr_on "kernel.execs" > 0);
+  check "probes fused" true (c tr_on "kernel.fused_probes" > 0);
+  check "rows emitted" true (c tr_on "kernel.emitted" > 0);
+  check "no fallback" true (c tr_on "kernel.fallbacks" = 0);
+  check "toggle off compiles nothing" true (c tr_off "kernel.compiled_rules" = 0);
+  check "toggle off executes nothing" true (c tr_off "kernel.execs" = 0)
+
+let test_arity1 () =
+  (* unary head: reachability from a source set *)
+  let src =
+    ".input s\n.input e0\n\
+     r(x) :- s(x).\n\
+     r(y) :- r(x), e0(x, y).\n\
+     .output r"
+  in
+  let edb =
+    [ ("s", 1, [ [ 0 ] ]); ("e0", 2, [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 5; 6 ] ]) ]
+  in
+  let tr_on, _ = run_both src edb in
+  check "rules compiled" true (c tr_on "kernel.compiled_rules" > 0);
+  check "kernels executed" true (c tr_on "kernel.execs" > 0)
+
+let test_arity3 () =
+  let src =
+    ".input e1\n\
+     p0(x, y, z) :- e1(x, y, z).\n\
+     p0(x, y, w) :- p0(x, y, z), e1(z, w, w).\n\
+     .output p0"
+  in
+  let edb = [ ("e1", 3, [ [ 0; 1; 2 ]; [ 1; 2; 2 ]; [ 2; 0; 0 ]; [ 2; 3; 3 ] ]) ] in
+  let tr_on, _ = run_both src edb in
+  check "rules compiled" true (c tr_on "kernel.compiled_rules" > 0);
+  check "kernels executed" true (c tr_on "kernel.execs" > 0)
+
+(* A delta plan with no join at all — pure project over the Δ-scan — takes
+   the unary kernel shape. *)
+let test_unary_shape () =
+  let src =
+    ".input e0\n\
+     q(x, y) :- e0(x, y).\n\
+     p(y, x) :- q(x, y).\n\
+     q(x, y) :- p(x, z), e0(z, y).\n\
+     .output p\n.output q"
+  in
+  let edb = [ ("e0", 2, [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ]) ] in
+  let tr_on, _ = run_both src edb in
+  check "rules compiled" true (c tr_on "kernel.compiled_rules" > 0);
+  check "kernels executed" true (c tr_on "kernel.execs" > 0)
+
+(* Local predicates ride inside the fused closure: probe-side, build-side
+   and cross-side comparisons must all be honored. *)
+let test_filters_fused () =
+  let src =
+    ".input e0\n\
+     p0(x, y) :- e0(x, y).\n\
+     p0(x, y) :- p0(x, z), e0(z, y), y != x, y <= 6.\n\
+     .output p0"
+  in
+  let edb =
+    [ ("e0", 2, [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 7 ]; [ 2; 0 ]; [ 3; 4 ] ]) ]
+  in
+  let tr_on, _ = run_both src edb in
+  check "rules compiled" true (c tr_on "kernel.compiled_rules" > 0)
+
+(* --- the cost-model gate and unsupported shapes --------------------------- *)
+
+let test_fallback_wide_head () =
+  (* head arity 4 > Cost.kernel_max_arity: gate says "arity", every rule
+     stays interpreted, answers unchanged *)
+  let src =
+    ".input e3\n\
+     p0(x, y, z, w) :- e3(x, y, z, w).\n\
+     p0(x, y, z, w) :- p0(x, y, z, u), e3(u, y, z, w).\n\
+     .output p0"
+  in
+  let edb = [ ("e3", 4, [ [ 0; 1; 1; 2 ]; [ 2; 1; 1; 3 ]; [ 3; 1; 1; 0 ] ]) ] in
+  let tr_on, _ = run_both src edb in
+  check "gate refused" true (c tr_on "kernel.fallback_rules" > 0);
+  check "nothing compiled" true (c tr_on "kernel.compiled_rules" = 0);
+  check "nothing executed" true (c tr_on "kernel.execs" = 0)
+
+let test_fallback_negation () =
+  (* a negated atom in the recursive rule is outside the fused shape: the
+     whole IDB stays on the interpreted path (all-or-nothing) *)
+  let src =
+    ".input e0\n.input bad\n\
+     p0(x, y) :- e0(x, y).\n\
+     p0(x, y) :- p0(x, z), e0(z, y), !bad(x, y).\n\
+     .output p0"
+  in
+  let edb =
+    [
+      ("e0", 2, [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] ]);
+      ("bad", 2, [ [ 0; 3 ] ]);
+    ]
+  in
+  let tr_on, _ = run_both src edb in
+  check "compile refused" true (c tr_on "kernel.fallback_rules" > 0);
+  check "nothing compiled" true (c tr_on "kernel.compiled_rules" = 0)
+
+let test_cold_rules_not_compiled () =
+  (* a non-recursive program has no delta plans: the kernel path never
+     engages and charges no counters at all *)
+  let src = ".input e0\np0(y, x) :- e0(x, y).\n.output p0" in
+  let edb = [ ("e0", 2, [ [ 0; 1 ]; [ 1; 2 ] ]) ] in
+  let tr_on, _ = run_both src edb in
+  check "nothing compiled" true (c tr_on "kernel.compiled_rules" = 0);
+  check "nothing refused" true (c tr_on "kernel.fallback_rules" = 0);
+  check "nothing executed" true (c tr_on "kernel.execs" = 0)
+
+(* --- chaos: Kernel_fail is recovered, never a wrong answer ---------------- *)
+
+let run_with_plan plan_str src edb =
+  Inject.with_plan
+    (Fault.plan_of_string ~seed:7 plan_str)
+    (fun () -> run_one ~kernels:true src edb)
+
+let test_chaos_compile_fault () =
+  (* every compile probe fires: no kernel compiles, the whole run is
+     interpreted, and the answer matches the clean kernels-off run *)
+  let clean, _ = run_one ~kernels:false tc_src tc_edb in
+  let faulted, tr = run_with_plan "kernel:p=1" tc_src tc_edb in
+  Alcotest.(check (list (pair string (list (list int)))))
+    "compile fault never changes the answer" clean faulted;
+  check "nothing compiled" true (c tr "kernel.compiled_rules" = 0);
+  check "refusals counted" true (c tr "kernel.fallback_rules" > 0);
+  check "nothing executed" true (c tr "kernel.execs" = 0)
+
+let test_chaos_exec_fault () =
+  (* after=1 lets the single compile probe through, limit=1 degrades exactly
+     one kernel execution: that round re-evaluates interpreted, later rounds
+     run the kernel again, and the answer still matches the clean run *)
+  let clean, _ = run_one ~kernels:false tc_src tc_edb in
+  let faulted, tr = run_with_plan "kernel:p=1,after=1,limit=1" tc_src tc_edb in
+  Alcotest.(check (list (pair string (list (list int)))))
+    "exec fault never changes the answer" clean faulted;
+  check "rules compiled" true (c tr "kernel.compiled_rules" > 0);
+  check "one degraded execution" true (c tr "kernel.fallbacks" = 1);
+  check "later rounds still fused" true (c tr "kernel.execs" > 0)
+
+let test_chaos_persistent_exec_fault () =
+  (* unbounded exec faults: every round degrades to the interpreted path;
+     still the right answer, just slower *)
+  let clean, _ = run_one ~kernels:false tc_src tc_edb in
+  let faulted, tr = run_with_plan "kernel:p=1,after=1" tc_src tc_edb in
+  Alcotest.(check (list (pair string (list (list int)))))
+    "persistent exec fault never changes the answer" clean faulted;
+  check "every round degraded" true (c tr "kernel.fallbacks" > 0);
+  check "no fused execution completed" true (c tr "kernel.execs" = 0)
+
+let suite =
+  [
+    Alcotest.test_case "arity-2 kernel matches interpreted" `Quick test_arity2;
+    Alcotest.test_case "arity-1 kernel matches interpreted" `Quick test_arity1;
+    Alcotest.test_case "arity-3 kernel matches interpreted" `Quick test_arity3;
+    Alcotest.test_case "unary (no-join) kernel shape" `Quick test_unary_shape;
+    Alcotest.test_case "local predicates fused into the closure" `Quick test_filters_fused;
+    Alcotest.test_case "gate: wide head stays interpreted" `Quick test_fallback_wide_head;
+    Alcotest.test_case "gate: negation stays interpreted" `Quick test_fallback_negation;
+    Alcotest.test_case "cold rules never touch the kernel path" `Quick
+      test_cold_rules_not_compiled;
+    Alcotest.test_case "chaos: compile fault falls back" `Quick test_chaos_compile_fault;
+    Alcotest.test_case "chaos: one exec fault degrades one round" `Quick
+      test_chaos_exec_fault;
+    Alcotest.test_case "chaos: persistent exec faults stay correct" `Quick
+      test_chaos_persistent_exec_fault;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("storage", Test_storage.suite);
       ("relation", Test_relation.suite);
       ("exec", Test_exec.suite);
+      ("kernel", Test_kernel.suite);
       ("core", Test_core.suite);
       ("ivm", Test_ivm.suite);
       ("bitmatrix", Test_bitmatrix.suite);
