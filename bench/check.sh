@@ -408,4 +408,79 @@ if dune exec bin/recstep_cli.exe -- chaos --seed 7 --iters 5 \
 fi
 echo "chaos self-test OK: seeded silent corruption detected and reported"
 
+echo "== load model smoke =="
+# Fixed-seed production-shaped load: a 20k-tenant Zipf population, bursty
+# open-loop arrivals, EDB churn, autoscaler on. The SLO report must be
+# well-formed (three classes, ordered quantiles, population accounting that
+# adds up to the submitted queries) and the autoscaler must actually move.
+dune exec bin/recstep_cli.exe -- load --tenants 20000 --queries 120 --seed 42 \
+  --duration 0.5 --deltas 2 --report "$tmp/slo.json" >/dev/null
+
+cat >"$tmp/validate_load.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+classes = r["classes"]
+assert [c["class"] for c in classes] == ["gold", "silver", "bronze"], "class order"
+total = 0
+for c in classes:
+    lat = c["latency"]
+    assert lat["count"] == c["served"], \
+        "%s: histogram holds %d of %d served" % (c["class"], lat["count"], c["served"])
+    qs = [lat["p50"], lat["p95"], lat["p99"], lat["p999"]]
+    assert qs == sorted(qs), "%s: quantiles not monotone: %s" % (c["class"], qs)
+    assert lat["min"] <= lat["p50"] and lat["p999"] <= lat["max"], \
+        "%s: quantiles escape [min, max]" % c["class"]
+    assert 0.0 <= c["attainment"] <= 1.0, "%s: attainment out of range" % c["class"]
+    assert c["degraded"] <= c["served"], "%s: degraded exceeds served" % c["class"]
+    total += c["served"] + c["failed"] + c["rejected"]
+assert total == r["spec"]["queries"], \
+    "class accounting (%d) does not cover the %d submitted queries" % (total, r["spec"]["queries"])
+a = r["autoscale"]
+assert a["evals"] > 0, "autoscaler never evaluated a window"
+assert a["up"] + a["down"] > 0, "autoscaler never resized under burst load"
+assert r["tenants_used"] > 0 and r["top_tenants"], "no tenant accounting"
+print("load smoke OK: %d tenants drawn, %d queries accounted, autoscale evals=%d up=%d down=%d"
+      % (r["tenants_used"], total, a["evals"], a["up"], a["down"]))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_load.py" "$tmp/slo.json"
+else
+  test -s "$tmp/slo.json"
+  echo "SLO report written (python3 unavailable, JSON not validated)"
+fi
+
+# Autoscaler A/B benchmark: same generated load against a fixed-size
+# service and an autoscaled one. Served outputs must be byte-identical
+# (the scaler may only move latency, never answers), the scaled arm must
+# win the tail, and BENCH_service.json lands in the working directory
+# (tracked, like the other BENCH_*.json snapshots).
+dune exec bench/main.exe -- --only load >/dev/null
+cat >"$tmp/validate_bench_load.py" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["identical_outputs"], "autoscaler changed served results"
+arms = {a["autoscale"]: a for a in b["arms"]}
+assert set(arms) == {True, False}, "expected exactly an on and an off arm"
+on, off = arms[True], arms[False]
+assert on["slo"]["autoscale"]["up"] > 0, "autoscaler never scaled up"
+assert off["slo"]["autoscale"]["evals"] == 0, "fixed arm ran the scaler"
+gold = {c["class"]: c for c in on["slo"]["classes"]}["gold"]
+gold_off = {c["class"]: c for c in off["slo"]["classes"]}["gold"]
+assert gold["latency"]["p95"] < gold_off["latency"]["p95"], \
+    "autoscaled gold p95 (%.4f) did not beat fixed (%.4f)" \
+    % (gold["latency"]["p95"], gold_off["latency"]["p95"])
+assert on["slo"]["makespan_s"] <= off["slo"]["makespan_s"], "autoscaling lost makespan"
+print("BENCH_service OK: outputs identical, gold p95 %.4fs -> %.4fs, makespan %.3fs -> %.3fs"
+      % (gold_off["latency"]["p95"], gold["latency"]["p95"],
+         off["slo"]["makespan_s"], on["slo"]["makespan_s"]))
+EOF
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$tmp/validate_bench_load.py" BENCH_service.json
+else
+  test -s BENCH_service.json
+  echo "BENCH_service.json written (python3 unavailable, JSON not validated)"
+fi
+
 echo "== check passed =="

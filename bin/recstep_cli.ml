@@ -182,7 +182,8 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
   end
 
 let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_ivm
-    ivm_max_delta shards no_kernels report_path verbose =
+    ivm_max_delta shards no_kernels autoscale_flag autoscale_min autoscale_max
+    report_path verbose =
   with_input_errors @@ fun () ->
   let script = Rs_service.Script.load script_path in
   let setting key = List.assoc_opt key script.Rs_service.Script.settings in
@@ -212,13 +213,32 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_
     else
       Option.value (Option.bind (setting "kernels") bool_of_string_opt) ~default:true
   in
+  let autoscale_on =
+    autoscale_flag
+    || Option.value (Option.bind (setting "autoscale") bool_of_string_opt) ~default:false
+  in
+  let autoscale =
+    if not autoscale_on then None
+    else begin
+      let min_workers = pick autoscale_min (int_setting "autoscale_min") 1 in
+      let max_workers =
+        pick autoscale_max (int_setting "autoscale_max") (max workers (4 * workers))
+      in
+      let tail_target_s =
+        Option.value (float_setting "autoscale_target_ms") ~default:500.0 /. 1000.0
+      in
+      Some
+        (Rs_service.Autoscale.policy ~min_workers ~max_workers ~tail_target_s
+           ~cache_max_bytes:(max cache_bytes (4 * cache_bytes)) ())
+    end
+  in
   let store = Rs_service.Edb_store.create () in
   List.iter
     (fun (name, rels) -> Rs_service.Edb_store.define store name rels)
     script.Rs_service.Script.defs;
   let config =
     Rs_service.Service.config ~workers ~queue_capacity ?mem_budget ~cache_bytes
-      ~cache_hit_cost_s ~seed ~ivm ~ivm_max_delta ~shards ~kernels ()
+      ~cache_hit_cost_s ~seed ~ivm ~ivm_max_delta ~shards ~kernels ?autoscale ()
   in
   let report = Rs_service.Service.run ~config ~edb:store script.Rs_service.Script.events in
   print_string (Rs_service.Service.report_summary report);
@@ -232,6 +252,86 @@ let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_
       with Sys_error msg -> die "cannot write report: %s" msg)
   | None -> ());
   if verbose then print_string (Rs_obs.Trace.summary report.Rs_service.Service.trace)
+
+(* "gold=50,silver=200,bronze=1000" → per-class SLO targets in seconds *)
+let parse_slo_ms spec (dg, ds, db) =
+  let gold = ref dg and silver = ref ds and bronze = ref db in
+  String.split_on_char ',' spec
+  |> List.iter (fun part ->
+         if String.trim part <> "" then
+           match String.index_opt part '=' with
+           | Some i ->
+               let k = String.trim (String.sub part 0 i) in
+               let v = String.sub part (i + 1) (String.length part - i - 1) in
+               let ms =
+                 match float_of_string_opt (String.trim v) with
+                 | Some f when f > 0.0 -> f
+                 | _ -> die "bad --slo-ms %S (positive milliseconds expected)" part
+               in
+               let s = ms /. 1000.0 in
+               (match k with
+               | "gold" -> gold := s
+               | "silver" -> silver := s
+               | "bronze" -> bronze := s
+               | _ -> die "bad --slo-ms class %S (gold, silver or bronze)" k)
+           | None -> die "bad --slo-ms %S (expected class=ms)" part);
+  (!gold, !silver, !bronze)
+
+let load_cmd tenants queries seed duration skew burstiness bursts deltas slo_ms
+    workers max_workers no_autoscale cache_bytes queue deadlines plan report_path
+    verbose =
+  with_input_errors @@ fun () ->
+  let slo_gold_s, slo_silver_s, slo_bronze_s =
+    parse_slo_ms slo_ms (0.05, 0.2, 1.0)
+  in
+  let spec =
+    Rs_load.Load.spec ~tenants ~queries ~seed ~duration_s:duration ~skew ~burstiness
+      ~bursts ~deltas ~slo_gold_s ~slo_silver_s ~slo_bronze_s ~deadlines ()
+  in
+  let load = Rs_load.Load.generate spec in
+  let autoscale =
+    if no_autoscale then None
+    else
+      Some
+        (Rs_service.Autoscale.policy ~min_workers:workers
+           ~max_workers:(max workers max_workers) ~window:16 ~queue_hi:2.0
+           ~queue_lo:0.5 ~tail_target_s:slo_gold_s ~cooldown:2
+           ~cache_min_bytes:(min cache_bytes (1 * 1024 * 1024))
+           ~cache_max_bytes:(max cache_bytes (4 * cache_bytes)) ())
+  in
+  let config =
+    Rs_service.Service.config ~workers
+      ~queue_capacity:(match queue with Some q -> q | None -> queries + 8)
+      ~cache_bytes ~seed ?autoscale ()
+  in
+  (* build the store before arming any fault plan: dataset generation is
+     setup, not the system under test — only the serve loop (whose retry
+     ladder and typed outcomes absorb the faults) runs inside the storm *)
+  let store = load.Rs_load.Load.make_store () in
+  let run_service () =
+    Rs_service.Service.run ~config ~edb:store load.Rs_load.Load.events
+  in
+  let report =
+    match plan with
+    | None -> run_service ()
+    | Some p -> (
+        (* fault storm under load: the SLO scorecard shows what the burst
+           train looks like through a chaos plan *)
+        match Rs_chaos.Fault.plan_of_string ~seed p with
+        | plan -> Rs_chaos.Inject.with_plan plan run_service
+        | exception Rs_chaos.Fault.Parse_error m -> die "bad --plan: %s" m)
+  in
+  print_string (Rs_load.Load.slo_summary load report);
+  (match report_path with
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Rs_obs.Json.to_string (Rs_load.Load.slo_json load report));
+        output_char oc '\n';
+        close_out oc
+      with Sys_error msg -> die "cannot write report: %s" msg)
+  | None -> ());
+  if verbose then print_string (Rs_service.Service.report_summary report)
 
 (* Delta-sequence mode: random insert/retract streams maintained through the
    IVM and diffed against a from-scratch recompute at every version. *)
@@ -436,11 +536,68 @@ let serve_shards_arg =
 let serve_no_kernels_arg =
   Arg.(value & flag & info [ "no-kernels" ] ~doc:"disable the compiled rule kernels for engine-less submissions (default: script 'kernels' setting or enabled)")
 
+let serve_autoscale_arg =
+  Arg.(value & flag & info [ "autoscale" ] ~doc:"let the service resize its virtual worker pool and cache budget from queue depth and windowed tail latency (default: script 'autoscale' setting or off); --workers becomes the starting size")
+
+let serve_autoscale_min_arg =
+  Arg.(value & opt (some int) None & info [ "autoscale-min" ] ~docv:"N" ~doc:"autoscaler worker floor (default: script setting or 1)")
+
+let serve_autoscale_max_arg =
+  Arg.(value & opt (some int) None & info [ "autoscale-max" ] ~docv:"N" ~doc:"autoscaler worker ceiling (default: script setting or 4x --workers)")
+
 let serve_term =
   Term.(
     const serve_cmd $ script_arg $ serve_workers_arg $ queue_arg $ cache_bytes_arg
     $ no_cache_arg $ serve_seed_arg $ mem_budget_arg $ no_ivm_arg $ ivm_max_delta_arg
-    $ serve_shards_arg $ serve_no_kernels_arg $ report_arg $ verbose_arg)
+    $ serve_shards_arg $ serve_no_kernels_arg $ serve_autoscale_arg
+    $ serve_autoscale_min_arg $ serve_autoscale_max_arg $ report_arg $ verbose_arg)
+
+let tenants_arg =
+  Arg.(value & opt int 10_000 & info [ "tenants" ] ~docv:"N" ~doc:"tenant population size (Zipf ranks)")
+
+let load_queries_arg =
+  Arg.(value & opt int 400 & info [ "queries"; "n" ] ~docv:"K" ~doc:"total submissions over the horizon")
+
+let load_seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"workload + scheduler seed")
+
+let duration_arg =
+  Arg.(value & opt float 0.5 & info [ "duration" ] ~docv:"S" ~doc:"arrival horizon in simulated seconds")
+
+let skew_arg =
+  Arg.(value & opt float 1.1 & info [ "skew" ] ~docv:"S" ~doc:"Zipf exponent of the tenant traffic distribution (0 = uniform)")
+
+let burstiness_arg =
+  Arg.(value & opt float 0.7 & info [ "burstiness" ] ~docv:"F" ~doc:"fraction of arrivals inside burst windows (0..1)")
+
+let bursts_arg =
+  Arg.(value & opt int 4 & info [ "bursts" ] ~docv:"K" ~doc:"burst windows across the horizon")
+
+let load_deltas_arg =
+  Arg.(value & opt int 4 & info [ "deltas" ] ~docv:"K" ~doc:"EDB churn events spread over the horizon")
+
+let slo_ms_arg =
+  Arg.(value & opt string "" & info [ "slo-ms" ] ~docv:"SPEC" ~doc:"per-class SLO latency targets in milliseconds, e.g. 'gold=50,silver=200,bronze=1000' (defaults 50/200/1000)")
+
+let load_workers_arg =
+  Arg.(value & opt int 2 & info [ "workers"; "j" ] ~doc:"initial (and autoscaler floor) simulated worker count")
+
+let load_max_workers_arg =
+  Arg.(value & opt int 16 & info [ "max-workers" ] ~docv:"N" ~doc:"autoscaler worker ceiling")
+
+let no_autoscale_arg =
+  Arg.(value & flag & info [ "no-autoscale" ] ~doc:"hold the worker count and cache budget fixed at their initial sizes")
+
+let load_cache_bytes_arg =
+  Arg.(value & opt int (1 * 1024 * 1024) & info [ "cache-bytes" ] ~docv:"BYTES" ~doc:"initial result-cache budget (0 disables)")
+
+let load_queue_arg =
+  Arg.(value & opt (some int) None & info [ "queue" ] ~docv:"N" ~doc:"admission queue capacity (default: admit the whole workload)")
+
+let deadlines_arg =
+  Arg.(value & flag & info [ "deadlines" ] ~doc:"attach hard per-query deadlines at 8x the class SLO target")
+
+let load_report_arg =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc:"write the SLO report (per-class latency histograms, attainment, autoscale counters, busiest tenants) to FILE as JSON")
 
 let kind_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"gnp | rmat | livejournal | orkut | arabic | twitter")
 
@@ -494,6 +651,14 @@ let chaos_term =
     const chaos_cmd $ fuzz_seed_arg $ chaos_iters_arg $ plan_arg $ chaos_report_arg
     $ verbose_arg)
 
+let load_term =
+  Term.(
+    const load_cmd $ tenants_arg $ load_queries_arg $ load_seed_arg $ duration_arg
+    $ skew_arg $ burstiness_arg $ bursts_arg $ load_deltas_arg $ slo_ms_arg
+    $ load_workers_arg $ load_max_workers_arg $ no_autoscale_arg
+    $ load_cache_bytes_arg $ load_queue_arg $ deadlines_arg $ plan_arg
+    $ load_report_arg $ verbose_arg)
+
 let () =
   let run = Cmd.v (Cmd.info "run" ~doc:"evaluate a Datalog program") run_term in
   let serve =
@@ -526,5 +691,16 @@ let () =
             otherwise)")
       chaos_term
   in
-  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; gen; fuzz; chaos ] in
+  let load =
+    Cmd.v
+      (Cmd.info "load"
+         ~doc:
+           "drive the serving layer with a synthetic multi-tenant load model: \
+            Zipf-skewed tenant traffic in bursty open-loop arrivals over shared \
+            size-class databases, per-class SLO targets, and (by default) the \
+            autoscaler resizing workers and cache from queue depth and tail \
+            latency; prints the per-class SLO scorecard")
+      load_term
+  in
+  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; load; gen; fuzz; chaos ] in
   exit (Cmd.eval main)

@@ -1,0 +1,117 @@
+(** The serving layer under production-shape load (ROADMAP item 5).
+
+    One fixed-seed {!Rs_load.Load} workload — Zipf tenant skew, bursty
+    open-loop arrivals, three SLO classes over shared size-class databases
+    — replayed through {!Rs_service.Service.run} twice: a fixed-size arm
+    (the configured worker floor, no scaling) and an autoscaled arm
+    ({!Rs_service.Autoscale}) growing the virtual machine and cache budget
+    from queue depth and windowed tail latency. No deltas and no deadlines
+    in this spec, so both arms must serve byte-identical rows per query id
+    — the run asserts it via the served checksums — and the arms differ
+    only in {e when} results land: makespan and tail latency. Per-class
+    p50/p95/p99/p999 for both arms go to [BENCH_service.json]. *)
+
+module Service = Rs_service.Service
+module Autoscale = Rs_service.Autoscale
+module Load = Rs_load.Load
+module Result_cache = Rs_service.Result_cache
+module Json = Rs_obs.Json
+module Histogram = Rs_obs.Histogram
+
+let base_workers = 2
+
+(* Arrivals crowd a short horizon so the burst windows genuinely queue
+   behind [base_workers] — the regime the autoscaler exists for. *)
+let load_spec ~scale =
+  Load.spec ~tenants:20_000 ~queries:(150 * scale) ~seed:42 ~duration_s:0.5
+    ~skew:1.1 ~burstiness:0.8 ~bursts:3 ~deltas:0 ()
+
+let policy () =
+  Autoscale.policy ~min_workers:base_workers ~max_workers:16 ~window:16
+    ~queue_hi:2.0 ~queue_lo:0.5 ~tail_target_s:0.05 ~cooldown:2
+    ~cache_min_bytes:(1 * 1024 * 1024) ~cache_max_bytes:(16 * 1024 * 1024) ()
+
+let run_arm (load : Load.t) ?autoscale () =
+  let config =
+    Service.config ~workers:base_workers
+      ~queue_capacity:(load.Load.spec.Load.queries + 8)
+      ~cache_bytes:(1 * 1024 * 1024) ~seed:1 ?autoscale ()
+  in
+  Service.run ~config ~edb:(load.Load.make_store ()) load.Load.events
+
+(* id → checksum of the served rows; the cross-arm identity oracle *)
+let checksums (r : Service.report) =
+  List.filter_map
+    (fun (c : Service.completion) ->
+      match c.Service.c_outcome with
+      | Service.Done v -> Some (c.Service.c_id, Result_cache.value_checksum v)
+      | _ -> None)
+    r.Service.completions
+  |> List.sort compare
+
+let exp ~scale =
+  Report.section ~id:"load"
+    ~title:"EXTRA: SLO scorecard under Zipf burst load, autoscaler on vs off";
+  let load = Load.generate (load_spec ~scale) in
+  let off = run_arm load () in
+  let on = run_arm load ~autoscale:(policy ()) () in
+  let identical = checksums off = checksums on in
+  let stats_off = Load.slo_stats load off and stats_on = Load.slo_stats load on in
+  let pct h p = Printf.sprintf "%.4f" (Histogram.percentile h p) in
+  Rs_util.Table_printer.print
+    ~header:
+      [ "class"; "served"; "slo (s)"; "attain off"; "attain on"; "p95 off";
+        "p95 on"; "p99 off"; "p99 on" ]
+    (List.map2
+       (fun (o : Load.class_stats) (n : Load.class_stats) ->
+         [
+           Load.class_name o.Load.cs_class;
+           string_of_int o.Load.cs_served;
+           Printf.sprintf "%.3f" o.Load.cs_target_s;
+           Printf.sprintf "%.1f%%" (100.0 *. Load.attainment o);
+           Printf.sprintf "%.1f%%" (100.0 *. Load.attainment n);
+           pct o.Load.cs_hist 95.0;
+           pct n.Load.cs_hist 95.0;
+           pct o.Load.cs_hist 99.0;
+           pct n.Load.cs_hist 99.0;
+         ])
+       stats_off stats_on);
+  Report.note
+    (Printf.sprintf
+       "(fixed %d workers vs autoscaled %d..16: makespan %.3fs -> %.3fs, \
+        %d scale-ups, %d scale-downs, outputs %s)"
+       base_workers base_workers off.Service.vtime on.Service.vtime
+       (Service.counter on "autoscale.up")
+       (Service.counter on "autoscale.down")
+       (if identical then "identical" else "DIVERGED"));
+  let json =
+    Json.Obj
+      [
+        ("version", Json.Int 1);
+        ("scale", Json.Int scale);
+        ("identical_outputs", Json.Bool identical);
+        ( "arms",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("autoscale", Json.Bool false);
+                  ("workers", Json.Int base_workers);
+                  ("slo", Load.slo_json load off);
+                ];
+              Json.Obj
+                [
+                  ("autoscale", Json.Bool true);
+                  ("workers", Json.Int base_workers);
+                  ("slo", Load.slo_json load on);
+                ];
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Report.note "(wrote BENCH_service.json)"
+
+let run ~scale = exp ~scale

@@ -1,0 +1,7 @@
+(** Million-tenant-shape load benchmark: the autoscaler A/B under a fixed
+    Zipf burst train, SLO scorecards per class, outputs proven
+    byte-identical across arms. Writes [BENCH_service.json]. *)
+
+val exp : scale:int -> unit
+
+val run : scale:int -> unit

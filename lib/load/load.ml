@@ -1,0 +1,397 @@
+module Service = Rs_service.Service
+module Edb_store = Rs_service.Edb_store
+module Admission = Rs_service.Admission
+module Json = Rs_obs.Json
+module Histogram = Rs_obs.Histogram
+module Rng = Rs_util.Rng
+module Delta = Rs_relation.Delta
+module Graphs = Rs_datagen.Graphs
+module Programs = Recstep.Programs
+
+type slo_class = Gold | Silver | Bronze
+
+let class_name = function Gold -> "gold" | Silver -> "silver" | Bronze -> "bronze"
+let all_classes = [ Gold; Silver; Bronze ]
+
+type spec = {
+  tenants : int;
+  queries : int;
+  seed : int;
+  duration_s : float;
+  skew : float;
+  burstiness : float;
+  bursts : int;
+  deltas : int;
+  slo_gold_s : float;
+  slo_silver_s : float;
+  slo_bronze_s : float;
+  deadlines : bool;
+}
+
+let spec ?(tenants = 10_000) ?(queries = 400) ?(seed = 1) ?(duration_s = 60.0)
+    ?(skew = 1.1) ?(burstiness = 0.7) ?(bursts = 4) ?(deltas = 4)
+    ?(slo_gold_s = 0.05) ?(slo_silver_s = 0.2) ?(slo_bronze_s = 1.0)
+    ?(deadlines = false) () =
+  {
+    tenants = max 1 tenants;
+    queries = max 0 queries;
+    seed;
+    duration_s = max 1e-3 duration_s;
+    skew = max 0.0 skew;
+    burstiness = min 1.0 (max 0.0 burstiness);
+    bursts = max 1 bursts;
+    deltas = max 0 deltas;
+    slo_gold_s;
+    slo_silver_s;
+    slo_bronze_s;
+    deadlines;
+  }
+
+let target_s s = function
+  | Gold -> s.slo_gold_s
+  | Silver -> s.slo_silver_s
+  | Bronze -> s.slo_bronze_s
+
+type t = {
+  spec : spec;
+  events : Service.event list;
+  make_store : unit -> Edb_store.t;
+  class_of : string -> slo_class;
+  tenants_used : int;
+  class_population : (slo_class * int) list;
+}
+
+(* Rank cuts: the heaviest ~1% of the population is Gold, the next ~9%
+   Silver, the tail Bronze — at least one tenant in each of the top tiers
+   so small specs still exercise all three targets. *)
+let class_of_rank ~tenants rank =
+  let gold_cut = max 1 (tenants / 100) in
+  let silver_cut = max (gold_cut + 1) (tenants / 10) in
+  if rank < gold_cut then Gold else if rank < silver_cut then Silver else Bronze
+
+let db_of_class = function
+  | Gold -> "db_gold"
+  | Silver -> "db_silver"
+  | Bronze -> "db_bronze"
+
+(* size-class databases: bigger tenants, bigger shared graph — sized so
+   the joins have enough rows for the pool's chunking to matter, i.e. so
+   worker count is a real capacity knob *)
+let db_nodes = function Gold -> 192 | Silver -> 128 | Bronze -> 96
+
+(* Per-tenant programs: each tenant watches the graph from its own source
+   vertex, so distinct tenants are distinct cache keys (the cross-tenant
+   diversity that makes the cache and the engines both work) while a
+   tenant's own repeats hit. [reach_src] is single-source TC — recursive;
+   [twohop_src] is the non-recursive fast lane. *)
+let reach_src c =
+  Printf.sprintf
+    ".input arc\nreach(y) :- arc(%d, y).\nreach(y) :- reach(x), arc(x, y).\n.output reach"
+    c
+
+let twohop_src c =
+  Printf.sprintf ".input arc\ntwohop(y) :- arc(%d, x), arc(x, y).\n.output twohop" c
+
+let generate spec =
+  let rng = Rng.create spec.seed in
+  let zipf = Zipf.create ~n:spec.tenants ~s:spec.skew in
+  let sg = Programs.parsed Programs.sg in
+  let parsed_memo : (string, Recstep.Ast.program) Hashtbl.t = Hashtbl.create 256 in
+  let parsed src =
+    match Hashtbl.find_opt parsed_memo src with
+    | Some p -> p
+    | None ->
+        let p = Programs.parsed src in
+        Hashtbl.add parsed_memo src p;
+        p
+  in
+  let drawn : (string, slo_class) Hashtbl.t = Hashtbl.create 1024 in
+  let burst_width = spec.duration_s /. (4.0 *. float_of_int spec.bursts) in
+  let arrival () =
+    if Rng.bool rng spec.burstiness then begin
+      (* storm: a uniform spot inside one of the burst windows *)
+      let b = Rng.int rng spec.bursts in
+      let center =
+        spec.duration_s *. ((float_of_int b +. 0.5) /. float_of_int spec.bursts)
+      in
+      let at = center -. (burst_width /. 2.0) +. Rng.float rng burst_width in
+      min spec.duration_s (max 0.0 at)
+    end
+    else Rng.float rng spec.duration_s
+  in
+  let submissions =
+    List.init spec.queries (fun _ ->
+        let rank = Zipf.sample zipf rng in
+        let tenant = "t" ^ string_of_int rank in
+        let cls = class_of_rank ~tenants:spec.tenants rank in
+        if not (Hashtbl.mem drawn tenant) then Hashtbl.add drawn tenant cls;
+        let source = rank mod db_nodes cls in
+        let program, mem =
+          match Rng.int rng 10 with
+          | 0 | 1 | 2 | 3 | 4 -> (parsed (reach_src source), Admission.Small)
+          | 5 | 6 | 7 -> (sg, Admission.Medium)
+          | _ -> (parsed (twohop_src source), Admission.Small)
+        in
+        let deadline_vs =
+          if spec.deadlines then Some (8.0 *. target_s spec cls) else None
+        in
+        Service.Submit
+          (Service.submission ~at:(arrival ()) ?deadline_vs ~mem ~tenant
+             ~edb:(db_of_class cls) program))
+  in
+  let delta_events =
+    List.init spec.deltas (fun d ->
+        let cls = List.nth all_classes (d mod 3) in
+        let n = db_nodes cls in
+        let ops =
+          List.init 4 (fun _ ->
+              {
+                Delta.sign = Delta.Insert;
+                row = [| Rng.int rng n; Rng.int rng n |];
+              })
+        in
+        let at =
+          spec.duration_s *. ((float_of_int d +. 0.5) /. float_of_int (max 1 spec.deltas))
+        in
+        Service.delta_event ~at ~edb:(db_of_class cls) [ ("arc", ops) ])
+  in
+  let make_store () =
+    let t = Edb_store.create () in
+    List.iteri
+      (fun i cls ->
+        Edb_store.define t (db_of_class cls)
+          [ ("arc", Graphs.gnp ~seed:(spec.seed + (7 * (i + 1))) ~n:(db_nodes cls) ~p:0.05) ])
+      all_classes;
+    t
+  in
+  let class_population =
+    List.map
+      (fun c ->
+        (c, Hashtbl.fold (fun _ c' acc -> if c' = c then acc + 1 else acc) drawn 0))
+      all_classes
+  in
+  {
+    spec;
+    events =
+      (* arrival order, auto ids already assigned in generation order;
+         stable so simultaneous arrivals keep their draw order *)
+      List.stable_sort
+        (fun a b -> compare (Service.event_time a) (Service.event_time b))
+        (submissions @ delta_events);
+    make_store;
+    class_of =
+      (fun tenant ->
+        match Hashtbl.find_opt drawn tenant with Some c -> c | None -> Bronze);
+    tenants_used = Hashtbl.length drawn;
+    class_population;
+  }
+
+type class_stats = {
+  cs_class : slo_class;
+  cs_target_s : float;
+  cs_tenants : int;
+  cs_served : int;
+  cs_degraded : int;
+  cs_failed : int;
+  cs_rejected : int;
+  cs_within : int;
+  cs_hist : Histogram.t;
+}
+
+let attainment cs =
+  if cs.cs_served = 0 then 1.0
+  else float_of_int cs.cs_within /. float_of_int cs.cs_served
+
+let slo_stats t (report : Service.report) =
+  let stats =
+    List.map
+      (fun c ->
+        ( c,
+          ref
+            {
+              cs_class = c;
+              cs_target_s = target_s t.spec c;
+              cs_tenants = List.assoc c t.class_population;
+              cs_served = 0;
+              cs_degraded = 0;
+              cs_failed = 0;
+              cs_rejected = 0;
+              cs_within = 0;
+              cs_hist = Histogram.create ();
+            } ))
+      all_classes
+  in
+  List.iter
+    (fun (c : Service.completion) ->
+      let cell = List.assoc (t.class_of c.Service.c_tenant) stats in
+      let cs = !cell in
+      match c.Service.c_outcome with
+      | Service.Done _ ->
+          let lat = c.Service.c_finished -. c.Service.c_at in
+          (* degraded served results are part of the distribution — the
+             tenant waited for them — and counted separately *)
+          Histogram.add cs.cs_hist lat;
+          cell :=
+            {
+              cs with
+              cs_served = cs.cs_served + 1;
+              cs_degraded =
+                (cs.cs_degraded + if c.Service.c_degraded <> None then 1 else 0);
+              cs_within =
+                (cs.cs_within + if lat <= cs.cs_target_s then 1 else 0);
+            }
+      | Service.Rejected _ -> cell := { cs with cs_rejected = cs.cs_rejected + 1 }
+      | _ -> cell := { cs with cs_failed = cs.cs_failed + 1 })
+    report.Service.completions;
+  List.map (fun (_, cell) -> !cell) stats
+
+let spec_json s =
+  Json.Obj
+    [
+      ("tenants", Json.Int s.tenants);
+      ("queries", Json.Int s.queries);
+      ("seed", Json.Int s.seed);
+      ("duration_s", Json.Float s.duration_s);
+      ("skew", Json.Float s.skew);
+      ("burstiness", Json.Float s.burstiness);
+      ("bursts", Json.Int s.bursts);
+      ("deltas", Json.Int s.deltas);
+      ( "slo_s",
+        Json.Obj
+          [
+            ("gold", Json.Float s.slo_gold_s);
+            ("silver", Json.Float s.slo_silver_s);
+            ("bronze", Json.Float s.slo_bronze_s);
+          ] );
+      ("deadlines", Json.Bool s.deadlines);
+    ]
+
+let class_json cs =
+  Json.Obj
+    [
+      ("class", Json.String (class_name cs.cs_class));
+      ("target_s", Json.Float cs.cs_target_s);
+      ("tenants", Json.Int cs.cs_tenants);
+      ("served", Json.Int cs.cs_served);
+      ("degraded", Json.Int cs.cs_degraded);
+      ("failed", Json.Int cs.cs_failed);
+      ("rejected", Json.Int cs.cs_rejected);
+      ("attainment", Json.Float (attainment cs));
+      ("latency", Histogram.quantile_json cs.cs_hist);
+    ]
+
+(* the busiest tenants, for the "who is eating the cluster" view *)
+let top_tenants t (report : Service.report) k =
+  let per : (string, int * int * float * float * int) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (c : Service.completion) ->
+      let qs, served, sum, mx, within =
+        Option.value ~default:(0, 0, 0.0, 0.0, 0)
+          (Hashtbl.find_opt per c.Service.c_tenant)
+      in
+      match c.Service.c_outcome with
+      | Service.Done _ ->
+          let lat = c.Service.c_finished -. c.Service.c_at in
+          let target = target_s t.spec (t.class_of c.Service.c_tenant) in
+          Hashtbl.replace per c.Service.c_tenant
+            ( qs + 1,
+              served + 1,
+              sum +. lat,
+              max mx lat,
+              within + if lat <= target then 1 else 0 )
+      | _ -> Hashtbl.replace per c.Service.c_tenant (qs + 1, served, sum, mx, within))
+    report.Service.completions;
+  let rows = Hashtbl.fold (fun t v acc -> (t, v) :: acc) per [] in
+  let rows =
+    List.sort
+      (fun (t1, (q1, _, _, _, _)) (t2, (q2, _, _, _, _)) ->
+        match compare q2 q1 with 0 -> compare t1 t2 | c -> c)
+      rows
+  in
+  List.filteri (fun i _ -> i < k) rows
+
+let autoscale_json (report : Service.report) =
+  Json.Obj
+    (List.map
+       (fun k -> (k, Json.Int (Service.counter report ("autoscale." ^ k))))
+       [ "evals"; "up"; "down"; "cache_up"; "cache_down" ])
+
+let slo_json t report =
+  let stats = slo_stats t report in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("spec", spec_json t.spec);
+      ("tenants_used", Json.Int t.tenants_used);
+      ("makespan_s", Json.Float report.Service.vtime);
+      ("throughput", Json.Float report.Service.throughput);
+      ("served_degraded", Json.Int report.Service.served_degraded);
+      ("classes", Json.List (List.map class_json stats));
+      ("autoscale", autoscale_json report);
+      ( "top_tenants",
+        Json.List
+          (List.map
+             (fun (tenant, (qs, served, sum, mx, within)) ->
+               Json.Obj
+                 [
+                   ("tenant", Json.String tenant);
+                   ("class", Json.String (class_name (t.class_of tenant)));
+                   ("queries", Json.Int qs);
+                   ("served", Json.Int served);
+                   ( "mean_s",
+                     Json.Float (if served = 0 then 0.0 else sum /. float_of_int served)
+                   );
+                   ("max_s", Json.Float mx);
+                   ( "attainment",
+                     Json.Float
+                       (if served = 0 then 1.0
+                        else float_of_int within /. float_of_int served) );
+                 ])
+             (top_tenants t report 8)) );
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             report.Service.counters) );
+    ]
+
+let slo_summary t report =
+  let stats = slo_stats t report in
+  let rows =
+    List.map
+      (fun cs ->
+        let h = cs.cs_hist in
+        [
+          class_name cs.cs_class;
+          string_of_int cs.cs_tenants;
+          string_of_int cs.cs_served;
+          string_of_int cs.cs_degraded;
+          string_of_int (cs.cs_failed + cs.cs_rejected);
+          Printf.sprintf "%.3f" cs.cs_target_s;
+          Printf.sprintf "%.1f%%" (100.0 *. attainment cs);
+          Printf.sprintf "%.4f" (Histogram.percentile h 50.0);
+          Printf.sprintf "%.4f" (Histogram.percentile h 95.0);
+          Printf.sprintf "%.4f" (Histogram.percentile h 99.0);
+          Printf.sprintf "%.4f" (Histogram.percentile h 99.9);
+        ])
+      stats
+  in
+  let table =
+    Rs_util.Table_printer.render
+      ~header:
+        [
+          "class"; "tenants"; "served"; "degraded"; "lost"; "slo (s)"; "attain";
+          "p50"; "p95"; "p99"; "p999";
+        ]
+      rows
+  in
+  Printf.sprintf
+    "%s%d tenants drawn of %d  makespan=%.3fs  throughput=%.1f q/s  \
+     autoscale: evals=%d up=%d down=%d\n"
+    table t.tenants_used t.spec.tenants report.Service.vtime
+    report.Service.throughput
+    (Service.counter report "autoscale.evals")
+    (Service.counter report "autoscale.up")
+    (Service.counter report "autoscale.down")

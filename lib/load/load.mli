@@ -1,0 +1,124 @@
+(** Synthetic multi-tenant load model at production shape (ROADMAP item 5).
+
+    The serving layer's unit tests drive it with a handful of tenants; the
+    paper's scaling story needs the other regime — a very large tenant
+    population with Zipf-skewed traffic, bursty open-loop arrivals, shared
+    databases, and per-tenant latency objectives. This module generates
+    that workload deterministically from a {!spec} and scores a service
+    run against it:
+
+    - {b population}: [tenants] ranks under a Zipf([skew]) draw; rank 0 is
+      the heaviest. The top ~1% of ranks are {!Gold}, the next ~9%
+      {!Silver}, the rest {!Bronze} — each class with its own SLO latency
+      target and its own shared database (size-class multi-tenancy: tenants
+      of a class query the same graph, the Citus capacity-planning shape).
+    - {b traffic}: [queries] open-loop submissions over [duration_s]
+      simulated seconds. A [burstiness] fraction of arrivals lands inside
+      [bursts] short windows (storms), the rest spread uniformly. The
+      program mix, drawn per query: single-source reachability from a
+      tenant-specific vertex (recursive; distinct tenants are distinct
+      cache keys, a tenant's repeats hit), shared SG, and a non-recursive
+      tenant-specific two-hop.
+    - {b churn}: [deltas] typed insert deltas against the shared databases,
+      spread over the horizon, so IVM refresh and cache invalidation are
+      exercised under load.
+
+    Everything is a pure function of [spec] — two calls to {!generate}
+    yield identical event lists, and the store builder is replayable so
+    one generated load can drive several service configurations (the
+    autoscaler A/B of the [load] benchmark).
+
+    {!slo_stats} folds a {!Rs_service.Service.report} into per-class SLO
+    accounting: full latency histograms ({!Rs_obs.Histogram}) over {e all}
+    served results — degraded ones included, counted separately — plus
+    attainment against the class target, failures and rejections. *)
+
+module Service = Rs_service.Service
+module Json = Rs_obs.Json
+module Histogram = Rs_obs.Histogram
+
+type slo_class = Gold | Silver | Bronze
+
+val class_name : slo_class -> string
+(** "gold" / "silver" / "bronze". *)
+
+type spec = {
+  tenants : int;  (** population size (ranks); >= 1 *)
+  queries : int;  (** total submissions over the horizon *)
+  seed : int;
+  duration_s : float;  (** arrival horizon, simulated seconds *)
+  skew : float;  (** Zipf exponent; 0 = uniform traffic *)
+  burstiness : float;  (** fraction of arrivals inside burst windows *)
+  bursts : int;  (** number of burst windows across the horizon *)
+  deltas : int;  (** EDB churn events spread over the horizon *)
+  slo_gold_s : float;  (** per-class latency targets, simulated seconds *)
+  slo_silver_s : float;
+  slo_bronze_s : float;
+  deadlines : bool;
+      (** attach hard per-query deadlines (8x the class target); off by
+          default — SLOs are accounting targets, not admission knives, and
+          the autoscaler A/B needs identical outcome sets *)
+}
+
+val spec :
+  ?tenants:int ->
+  ?queries:int ->
+  ?seed:int ->
+  ?duration_s:float ->
+  ?skew:float ->
+  ?burstiness:float ->
+  ?bursts:int ->
+  ?deltas:int ->
+  ?slo_gold_s:float ->
+  ?slo_silver_s:float ->
+  ?slo_bronze_s:float ->
+  ?deadlines:bool ->
+  unit ->
+  spec
+(** Defaults: 10_000 tenants, 400 queries, seed 1, 60 s horizon, skew 1.1,
+    burstiness 0.7 across 4 bursts, 4 deltas, SLO targets 0.05 / 0.2 / 1.0
+    s, no deadlines. *)
+
+type t = {
+  spec : spec;
+  events : Service.event list;  (** submissions + deltas, arrival-ordered *)
+  make_store : unit -> Rs_service.Edb_store.t;
+      (** fresh store with the three size-class databases — build one per
+          {!Service.run}, the run mutates it *)
+  class_of : string -> slo_class;
+      (** tenant name → class (tenants never drawn default to {!Bronze}) *)
+  tenants_used : int;  (** distinct tenants that actually submitted *)
+  class_population : (slo_class * int) list;
+      (** distinct drawn tenants per class *)
+}
+
+val generate : spec -> t
+
+val target_s : spec -> slo_class -> float
+
+(** Per-class scorecard over one service run. *)
+type class_stats = {
+  cs_class : slo_class;
+  cs_target_s : float;
+  cs_tenants : int;  (** distinct tenants of the class that submitted *)
+  cs_served : int;  (** Done completions, degraded included *)
+  cs_degraded : int;  (** served below [Retry.Full] — inside [cs_served] *)
+  cs_failed : int;  (** admitted but not served (oom/timeout/fault/...) *)
+  cs_rejected : int;
+  cs_within : int;  (** served within the class target *)
+  cs_hist : Histogram.t;  (** latency distribution of every served result *)
+}
+
+val attainment : class_stats -> float
+(** [cs_within / cs_served]; 1.0 when nothing was served. *)
+
+val slo_stats : t -> Service.report -> class_stats list
+(** Always three entries, Gold first. *)
+
+val slo_json : t -> Service.report -> Json.t
+(** The SLO report: spec echo, makespan/throughput, per-class targets with
+    p50/p95/p99/p999 histograms and attainment, autoscaler counters, and
+    the busiest tenants. *)
+
+val slo_summary : t -> Service.report -> string
+(** ASCII scorecard. *)

@@ -1,0 +1,33 @@
+type t = { size : int; cdf : float array }
+
+let create ~n ~s =
+  let n = max 1 n in
+  let s = max 0.0 s in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (k + 1) ** s));
+    cdf.(k) <- !acc
+  done;
+  let z = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. z
+  done;
+  { size = n; cdf }
+
+let n t = t.size
+
+let weight t k =
+  if k < 0 || k >= t.size then 0.0
+  else if k = 0 then t.cdf.(0)
+  else t.cdf.(k) -. t.cdf.(k - 1)
+
+(* smallest rank whose cumulative mass covers [u] *)
+let sample t rng =
+  let u = Rs_util.Rng.float rng 1.0 in
+  let lo = ref 0 and hi = ref (t.size - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,22 @@
+(** Zipf-distributed rank sampling for the tenant population.
+
+    Multi-tenant traffic is heavy-tailed: a handful of tenants generate
+    most of the queries while a long tail barely shows up (the Citus
+    capacity-planning shape). [Zipf.create ~n ~s] fixes the distribution
+    [P(rank = k) ∝ 1/(k+1)^s] over ranks [0..n-1]; {!sample} draws from it
+    by inverse CDF (binary search, O(log n)). Deterministic given the
+    caller's {!Rs_util.Rng} stream. [s = 0] degenerates to uniform. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [n >= 1]; [s >= 0] (clamped). The CDF is materialized once: O(n) space,
+    built in O(n). *)
+
+val n : t -> int
+
+val sample : t -> Rs_util.Rng.t -> int
+(** A rank in [0, n): 0 is the heaviest. *)
+
+val weight : t -> int -> float
+(** [weight t k]: the probability mass of rank [k]. *)

@@ -1,0 +1,63 @@
+(** Latency histograms for the serving layer's SLO accounting.
+
+    The service used to keep every served latency in a sorted list and walk
+    it with [List.nth] per percentile — O(n) per quantile per call, which
+    the million-tenant load model turns into a hot path. This module gives
+    both replacements:
+
+    - {!percentile_sorted}: the exact nearest-rank quantile over a sorted
+      array, O(1) per call after one O(n log n) sort. Same rank convention
+      as the old list walk ([ceil (p/100 · n)], clamped), so existing
+      report values are unchanged.
+    - {!t}: a fixed-size log-bucketed histogram (≈ 9% relative resolution
+      over [1 µs, ~30 h]) for populations too large or too long-lived to
+      keep raw samples — per-SLO-class latency distributions across a
+      million-tenant run. O(1) record, O(buckets) quantile, constant
+      memory, mergeable.
+
+    Everything is deterministic: no clocks, no randomness — a histogram is
+    a pure fold over the recorded values. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one value (seconds). Negative values clamp to the lowest
+    bucket. *)
+
+val merge : into:t -> t -> unit
+(** Fold the second histogram's population into [into]. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+(** Exact smallest recorded value; 0 when empty. *)
+
+val max_value : t -> float
+(** Exact largest recorded value; 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100]: the nearest-rank quantile, read
+    from the bucket containing the rank and reported at the bucket's
+    geometric midpoint, clamped to the exact recorded [min]/[max] so p0 and
+    p100 are exact. 0 when empty. *)
+
+val rank_of : n:int -> float -> int
+(** The shared nearest-rank convention: 0-based index of the [p]-th
+    percentile in a population of [n], [ceil (p/100 · n) - 1] clamped to
+    [\[0, n-1\]]. *)
+
+val percentile_sorted : float array -> float -> float
+(** Exact nearest-rank percentile over an ascending-sorted array; 0 when
+    empty. This is the replacement for the service report's old
+    [List.length]/[List.nth] walk. *)
+
+val quantile_json : t -> Json.t
+(** [{"count"; "mean"; "min"; "max"; "p50"; "p95"; "p99"; "p999"}] — the
+    fixed quantile set the SLO reports carry. *)

@@ -1,0 +1,130 @@
+module Histogram = Rs_obs.Histogram
+
+type policy = {
+  min_workers : int;
+  max_workers : int;
+  queue_hi : float;
+  queue_lo : float;
+  tail_target_s : float;
+  window : int;
+  cooldown : int;
+  cache_min_bytes : int;
+  cache_max_bytes : int;
+}
+
+let policy ?(min_workers = 1) ?(max_workers = 64) ?(queue_hi = 4.0)
+    ?(queue_lo = 1.0) ?(tail_target_s = 0.5) ?(window = 32) ?(cooldown = 3)
+    ?(cache_min_bytes = 16 * 1024 * 1024) ?(cache_max_bytes = 256 * 1024 * 1024)
+    () =
+  let min_workers = max 1 min_workers in
+  {
+    min_workers;
+    max_workers = max min_workers max_workers;
+    queue_hi;
+    queue_lo = min queue_lo queue_hi;
+    tail_target_s;
+    window = max 1 window;
+    cooldown = max 1 cooldown;
+    cache_min_bytes = max 0 cache_min_bytes;
+    cache_max_bytes = max (max 0 cache_min_bytes) cache_max_bytes;
+  }
+
+type direction = Up | Down
+
+type decision = {
+  d_dir : direction;
+  d_workers_from : int;
+  d_workers_to : int;
+  d_cache_from : int;
+  d_cache_to : int;
+  d_p95_s : float;
+  d_queue_per_worker : float;
+}
+
+type t = {
+  pol : policy;
+  mutable cur_workers : int;
+  mutable cur_cache : int;
+  mutable win : Histogram.t;
+  mutable win_n : int;
+  mutable win_queue_max : int;
+  mutable calm : int;  (* consecutive calm windows *)
+  mutable n_evals : int;
+}
+
+let create pol ~workers ~cache_bytes =
+  {
+    pol;
+    cur_workers = min pol.max_workers (max pol.min_workers workers);
+    cur_cache = cache_bytes;
+    win = Histogram.create ();
+    win_n = 0;
+    win_queue_max = 0;
+    calm = 0;
+    n_evals = 0;
+  }
+
+let workers t = t.cur_workers
+let cache_bytes t = t.cur_cache
+let evals t = t.n_evals
+
+(* cache budget tracks the worker count linearly through the policy's
+   range, so scaling capacity up also grants the state to feed it *)
+let cache_for pol w =
+  if pol.max_workers = pol.min_workers then pol.cache_max_bytes
+  else
+    pol.cache_min_bytes
+    + (pol.cache_max_bytes - pol.cache_min_bytes)
+      * (w - pol.min_workers)
+      / (pol.max_workers - pol.min_workers)
+
+let resize t dir w' ~p95 ~per_worker =
+  let d =
+    {
+      d_dir = dir;
+      d_workers_from = t.cur_workers;
+      d_workers_to = w';
+      d_cache_from = t.cur_cache;
+      d_cache_to = cache_for t.pol w';
+      d_p95_s = p95;
+      d_queue_per_worker = per_worker;
+    }
+  in
+  t.cur_workers <- w';
+  t.cur_cache <- d.d_cache_to;
+  Some d
+
+let note t ~queue_depth ~latency_s =
+  Histogram.add t.win latency_s;
+  t.win_n <- t.win_n + 1;
+  if queue_depth > t.win_queue_max then t.win_queue_max <- queue_depth;
+  if t.win_n < t.pol.window then None
+  else begin
+    let p95 = Histogram.percentile t.win 95.0 in
+    let per_worker = float_of_int t.win_queue_max /. float_of_int t.cur_workers in
+    t.win <- Histogram.create ();
+    t.win_n <- 0;
+    t.win_queue_max <- 0;
+    t.n_evals <- t.n_evals + 1;
+    let hot = per_worker >= t.pol.queue_hi || p95 > t.pol.tail_target_s in
+    let calm = per_worker <= t.pol.queue_lo && p95 <= t.pol.tail_target_s in
+    if hot then begin
+      t.calm <- 0;
+      if t.cur_workers < t.pol.max_workers then
+        resize t Up (min t.pol.max_workers (2 * t.cur_workers)) ~p95 ~per_worker
+      else None
+    end
+    else if calm then begin
+      t.calm <- t.calm + 1;
+      if t.calm >= t.pol.cooldown && t.cur_workers > t.pol.min_workers then begin
+        t.calm <- 0;
+        resize t Down (max t.pol.min_workers (t.cur_workers / 2)) ~p95 ~per_worker
+      end
+      else None
+    end
+    else begin
+      (* neither hot nor calm: hold, and break any calm streak *)
+      t.calm <- 0;
+      None
+    end
+  end

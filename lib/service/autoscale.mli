@@ -1,0 +1,97 @@
+(** Reactive autoscaler for the serving loop's virtual machine size.
+
+    The service simulates one k-worker machine ({!Rs_parallel.Pool}) and a
+    byte-budgeted result cache. Under the load model's bursty Zipf arrivals
+    a fixed [k] is wrong twice: too small while a burst queues behind it,
+    too large (paying coordination overhead and cache bytes) in the valleys
+    between bursts. This module is the policy loop that resizes both from
+    the two signals the service already observes — ready-queue depth and
+    served tail latency.
+
+    Mechanics: completions stream into a fixed-size evaluation window (a
+    {!Rs_obs.Histogram} plus the max queue depth seen). When the window
+    fills it is evaluated and reset:
+
+    - {e scale up} (double the workers, clamp to [max_workers]) when the
+      window's queue depth per worker reached [queue_hi] or its p95 latency
+      exceeded [tail_target_s];
+    - {e scale down} (halve, clamp to [min_workers]) only after [cooldown]
+      {e consecutive} calm windows — queue depth per worker at most
+      [queue_lo] {e and} p95 within target. One hot window resets the
+      streak.
+
+    The gap between [queue_hi] and [queue_lo] plus the cooldown is the
+    hysteresis: a burst train cannot make the scaler flap. The cache byte
+    budget moves with the worker count (linear between [cache_min_bytes]
+    and [cache_max_bytes]) so capacity and state shrink together.
+
+    Composition with the retry ladder: the scaler owns the {e base} worker
+    count, and each attempt's knobs are derived from it through
+    {!Retry.knobs} — a [Half_workers] retry under a scaled-up service halves
+    the scaled-up count, exactly as it halved the configured count before.
+
+    Decisions take effect at the {e next} dispatch (the pool's worker count
+    is applied per attempt), matching the pool's own set-workers
+    semantics. Everything is deterministic: same completions in, same
+    decisions out. *)
+
+type policy = {
+  min_workers : int;
+  max_workers : int;
+  queue_hi : float;  (** queued items per worker that makes a window hot *)
+  queue_lo : float;  (** per-worker depth a calm window must stay under *)
+  tail_target_s : float;  (** windowed p95 latency budget, simulated s *)
+  window : int;  (** completions per evaluation *)
+  cooldown : int;  (** consecutive calm windows before a scale-down *)
+  cache_min_bytes : int;  (** cache budget at [min_workers] *)
+  cache_max_bytes : int;  (** cache budget at [max_workers] *)
+}
+
+val policy :
+  ?min_workers:int ->
+  ?max_workers:int ->
+  ?queue_hi:float ->
+  ?queue_lo:float ->
+  ?tail_target_s:float ->
+  ?window:int ->
+  ?cooldown:int ->
+  ?cache_min_bytes:int ->
+  ?cache_max_bytes:int ->
+  unit ->
+  policy
+(** Defaults: workers in [1, 64]; hot at 4 queued per worker, calm under 1;
+    p95 target 0.5 s; 32-completion windows; 3 calm windows before scaling
+    down; cache budget 16–256 MiB. *)
+
+type direction = Up | Down
+
+type decision = {
+  d_dir : direction;
+  d_workers_from : int;
+  d_workers_to : int;
+  d_cache_from : int;
+  d_cache_to : int;
+  d_p95_s : float;  (** the window p95 that drove the decision *)
+  d_queue_per_worker : float;  (** the window's max depth per worker *)
+}
+
+type t
+
+val create : policy -> workers:int -> cache_bytes:int -> t
+(** Start from the service's configured size; [workers] is clamped into
+    the policy's range (the initial cache budget is taken as configured). *)
+
+val workers : t -> int
+(** Current base worker count — what {!Retry.knobs} should derive from. *)
+
+val cache_bytes : t -> int
+(** Current cache byte budget. *)
+
+val evals : t -> int
+(** Windows evaluated so far. *)
+
+val note : t -> queue_depth:int -> latency_s:float -> decision option
+(** Record one served completion (its end-to-end latency and the ready-queue
+    depth at completion time). Returns a decision exactly when this
+    completion closed a window whose evaluation changed the size. The
+    returned sizes are already applied to [t]. *)

@@ -27,7 +27,7 @@ type entry = {
 }
 
 type t = {
-  budget : int;
+  mutable budget : int;
   table : (key, entry) Hashtbl.t;
   mutable live_bytes : int;
   mutable tick : int;  (* logical recency clock *)
@@ -226,6 +226,12 @@ let refresh_edb t edb ~version refresher =
     evict_lru t
   done;
   !refreshed
+
+let set_budget t budget_bytes =
+  t.budget <- max 0 budget_bytes;
+  while t.live_bytes > t.budget && Hashtbl.length t.table > 0 do
+    evict_lru t
+  done
 
 let value_checksum = checksum
 

@@ -84,6 +84,12 @@ val refresh_edb :
     serving layer keeps tenants' materialized results warm across EDB
     versions instead of cold-dropping them on every delta. *)
 
+val set_budget : t -> int -> unit
+(** Retarget the byte budget in place — the autoscaler grows and shrinks
+    the cache alongside the worker count. Shrinking below the live bytes
+    evicts LRU entries immediately; setting [0] disables the cache (and
+    empties it). Statistics and surviving entries' recency carry over. *)
+
 val value_bytes : value -> int
 (** The size estimate used for budgeting. *)
 

@@ -1,55 +1,130 @@
+(* The ring is a dynamic array of arrival-ordered slots, kept across pops
+   instead of being rebuilt from a list on every pop (the seed behavior —
+   O(tenants) per dequeue, quadratic under a tenant-scale load, and drained
+   tenants were never retired, so a long-running serve leaked one queue and
+   one ring slot per tenant ever seen).
+
+   Invariants:
+   - every live (non-retired) slot's tenant has a non-empty queue in
+     [queues]; a queue that drains on pop is retired immediately (queue
+     removed, slot marked dead);
+   - a tenant that re-submits after retirement gets a fresh slot at the
+     ring's tail — round-robin order stays arrival order;
+   - when more than half the slots of a large ring are dead the ring is
+     compacted in place (live slots keep their relative order, the cursor
+     is remapped to the same next-to-serve slot), so ring memory tracks the
+     set of tenants with queued work, not the set ever seen.
+
+   [probes] counts slots examined by [pop]: the regression tests assert it
+   stays linear in pops at 50k tenants, which is what rules the quadratic
+   rebuild out for good. *)
+
+type slot = { s_tenant : string; mutable s_dead : bool }
+
+let filler = { s_tenant = ""; s_dead = true }
+
+(* rings smaller than this never compact: the arithmetic of small serves —
+   everything the frozen corpora cover — is untouched by retirement *)
+let min_compact = 64
+
 type 'a t = {
   queues : (string, 'a Queue.t) Hashtbl.t;
-  mutable ring : string list;  (* reversed arrival order *)
+  mutable ring : slot array;
+  mutable len : int;  (* slots in use, live or dead *)
+  mutable live : int;  (* slots whose tenant has queued work *)
   mutable cursor : int;  (* next ring position to serve *)
   rng : Rs_util.Rng.t;
   mutable cursor_seeded : bool;
   mutable total : int;
+  mutable probes : int;
+  mutable pops : int;
 }
 
 let create ~seed =
   {
     queues = Hashtbl.create 8;
-    ring = [];
+    ring = [||];
+    len = 0;
+    live = 0;
     cursor = 0;
     rng = Rs_util.Rng.create seed;
     cursor_seeded = false;
     total = 0;
+    probes = 0;
+    pops = 0;
   }
 
 let push t ~tenant x =
-  let q =
-    match Hashtbl.find_opt t.queues tenant with
-    | Some q -> q
-    | None ->
-        let q = Queue.create () in
-        Hashtbl.add t.queues tenant q;
-        t.ring <- tenant :: t.ring;
-        q
-  in
-  Queue.push x q;
+  (match Hashtbl.find_opt t.queues tenant with
+  | Some q -> Queue.push x q
+  | None ->
+      let q = Queue.create () in
+      Queue.push x q;
+      Hashtbl.add t.queues tenant q;
+      if t.len = Array.length t.ring then begin
+        let grown = Array.make (max 8 (2 * t.len)) filler in
+        Array.blit t.ring 0 grown 0 t.len;
+        t.ring <- grown
+      end;
+      t.ring.(t.len) <- { s_tenant = tenant; s_dead = false };
+      t.len <- t.len + 1;
+      t.live <- t.live + 1);
   t.total <- t.total + 1
 
 let length t = t.total
+let tenants t = t.live
+let ring_slots t = t.len
+let probes t = t.probes
+let pops t = t.pops
+
+(* Drop dead slots, preserving live order. The cursor is remapped to the
+   count of live slots before it, which is exactly the new index of the
+   next live slot at-or-after the old cursor position (mod the new
+   length) — the walk resumes at the same tenant it would have served. *)
+let compact t =
+  let kept = Array.make (max 8 t.live) filler in
+  let j = ref 0 and cursor' = ref 0 in
+  for i = 0 to t.len - 1 do
+    let s = t.ring.(i) in
+    if not s.s_dead then begin
+      if i < t.cursor then incr cursor';
+      kept.(!j) <- s;
+      incr j
+    end
+  done;
+  t.ring <- kept;
+  t.len <- t.live;
+  t.cursor <- (if t.len = 0 then 0 else !cursor' mod t.len)
 
 let pop t =
   if t.total = 0 then None
   else begin
-    let ring = Array.of_list (List.rev t.ring) in
-    let n = Array.length ring in
     if not t.cursor_seeded then begin
-      (* one seeded draw fixes where the ring walk starts *)
-      t.cursor <- Rs_util.Rng.int t.rng (max 1 n);
+      (* one seeded draw fixes where the ring walk starts; before the first
+         pop every slot is live, so [len] equals the seed code's ring size
+         and the draw is bit-identical on existing seeds *)
+      t.cursor <- Rs_util.Rng.int t.rng (max 1 t.len);
       t.cursor_seeded <- true
     end;
+    let n = t.len in
     let rec find i =
-      let tenant = ring.((t.cursor + i) mod n) in
-      let q = Hashtbl.find t.queues tenant in
-      if Queue.is_empty q then find (i + 1)
+      let p = (t.cursor + i) mod n in
+      let s = t.ring.(p) in
+      t.probes <- t.probes + 1;
+      if s.s_dead then find (i + 1)
       else begin
-        t.cursor <- (t.cursor + i + 1) mod n;
+        let q = Hashtbl.find t.queues s.s_tenant in
+        let x = Queue.pop q in
+        t.cursor <- (p + 1) mod n;
         t.total <- t.total - 1;
-        Some (tenant, Queue.pop q)
+        t.pops <- t.pops + 1;
+        if Queue.is_empty q then begin
+          Hashtbl.remove t.queues s.s_tenant;
+          s.s_dead <- true;
+          t.live <- t.live - 1;
+          if t.len >= min_compact && 2 * t.live < t.len then compact t
+        end;
+        Some (s.s_tenant, x)
       end
     in
     find 0

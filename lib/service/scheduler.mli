@@ -6,18 +6,42 @@
     tenant ring so one chatty tenant cannot starve the others. The starting
     point of the ring walk is drawn once from the seed, making the whole
     dispatch order a deterministic function of (seed, submission order) —
-    the property the determinism test pins down. *)
+    the property the determinism tests pin down.
+
+    Scale: the ring is a persistent dynamic array (the seed rebuilt it from
+    a list on {e every} pop — quadratic in tenant count under the load
+    model), a tenant whose FIFO drains is retired immediately (its queue
+    and, after lazy compaction, its ring slot are reclaimed), and {!probes}
+    exposes the slots-examined count the 50k-tenant regression test holds
+    linear in {!pops}. *)
 
 type 'a t
 
 val create : seed:int -> 'a t
 
 val push : 'a t -> tenant:string -> 'a -> unit
-(** Enqueue at the tail of the tenant's FIFO; first-seen tenants join the
-    ring in arrival order. *)
+(** Enqueue at the tail of the tenant's FIFO; tenants without queued work
+    (first-seen, or re-submitting after their FIFO drained) join the ring
+    at the tail, in arrival order. *)
 
 val pop : 'a t -> (string * 'a) option
-(** Next (tenant, item) in round-robin order; [None] when empty. *)
+(** Next (tenant, item) in round-robin order; [None] when empty. A tenant
+    whose FIFO drains is retired from the ring on the spot. *)
 
 val length : 'a t -> int
 (** Total queued items across tenants. *)
+
+val tenants : 'a t -> int
+(** Tenants currently holding queued work (= live ring slots). *)
+
+val ring_slots : 'a t -> int
+(** Current ring slots including retired ones not yet compacted away —
+    bounded by twice {!tenants} once the ring is large, and by a small
+    constant after a full drain. *)
+
+val probes : 'a t -> int
+(** Ring slots examined by {!pop} since creation — the scheduler's work
+    counter. Sub-quadratic behavior means [probes = O(pops + tenants)]. *)
+
+val pops : 'a t -> int
+(** Successful {!pop}s since creation. *)

@@ -1,5 +1,6 @@
 module Trace = Rs_obs.Trace
 module Json = Rs_obs.Json
+module Histogram = Rs_obs.Histogram
 module Pool = Rs_parallel.Pool
 module Memtrack = Rs_storage.Memtrack
 module Engine_intf = Rs_engines.Engine_intf
@@ -76,12 +77,13 @@ type config = {
   ivm_max_delta : int;
   shards : int;
   kernels : bool;
+  autoscale : Autoscale.policy option;
 }
 
 let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
     ?(cache_bytes = 64 * 1024 * 1024) ?(cache_hit_cost_s = 1e-4) ?(seed = 1)
     ?(retry = Retry.default) ?(ivm = true) ?(ivm_max_delta = 512) ?(shards = 1)
-    ?(kernels = true) () =
+    ?(kernels = true) ?autoscale () =
   {
     workers;
     queue_capacity;
@@ -94,6 +96,7 @@ let config ?(workers = 8) ?(queue_capacity = 64) ?mem_budget
     ivm_max_delta;
     shards = max 1 shards;
     kernels;
+    autoscale;
   }
 
 type shard_stat = {
@@ -110,6 +113,9 @@ type report = {
   cache : Result_cache.stats;
   p50_latency : float;
   p95_latency : float;
+  p99_latency : float;
+  p999_latency : float;
+  served_degraded : int;
   throughput : float;
   vtime : float;
   shard_stats : shard_stat list;
@@ -121,16 +127,9 @@ let counter_names =
     "submitted"; "admitted"; "rejected"; "done"; "oom"; "timeout"; "unsupported";
     "fault"; "cache_hit"; "cache_miss"; "retried"; "degraded"; "deadline_miss";
     "delta_applied"; "delta_noop"; "delta_fault"; "refreshed"; "view_built";
-    "view_dropped";
+    "view_dropped"; "autoscale.evals"; "autoscale.up"; "autoscale.down";
+    "autoscale.cache_up"; "autoscale.cache_down";
   ]
-
-let percentile p sorted =
-  match sorted with
-  | [] -> 0.0
-  | l ->
-      let n = List.length l in
-      let rank = int_of_float (ceil (p *. float_of_int n /. 100.0)) - 1 in
-      List.nth l (min (n - 1) (max 0 rank))
 
 (* The declared outputs of a program, or all its IDBs — same convention as
    the CLI's run command. *)
@@ -161,6 +160,17 @@ let run ?(config = config ()) ~edb:store events =
     Trace.count trace ("service." ^ name) n
   in
   let cache = Result_cache.create ~budget_bytes:config.cache_bytes in
+  (* The autoscaler owns the base worker count when enabled; the retry
+     ladder's knobs derive from it per attempt, so [Half_workers] halves
+     whatever the scaler has currently granted. *)
+  let scaler =
+    Option.map
+      (fun p -> Autoscale.create p ~workers:config.workers ~cache_bytes:config.cache_bytes)
+      config.autoscale
+  in
+  let base_workers () =
+    match scaler with Some s -> Autoscale.workers s | None -> config.workers
+  in
   (* Store-lifetime persistent join indexes: keyed by base-relation name,
      shared across every interpreter run of the service and kept live
      across EDB deltas by the store's rebase/invalidate commit hook. *)
@@ -423,7 +433,7 @@ let run ?(config = config ()) ~edb:store events =
               let rec attempts rung attempt elapsed =
                 let res, cost =
                   run_attempt sub rels
-                    (Retry.knobs ~workers:config.workers rung)
+                    (Retry.knobs ~workers:(base_workers ()) rung)
                     (left_after elapsed) (started +. elapsed)
                 in
                 (* every exit path — success or any fault class — restores
@@ -537,7 +547,41 @@ let run ?(config = config ()) ~edb:store events =
         c_retries = retries;
         c_degraded = degraded;
       }
-      :: !completions
+      :: !completions;
+    match scaler with
+    | None -> ()
+    | Some s ->
+        let before = Autoscale.evals s in
+        let decision =
+          Autoscale.note s ~queue_depth:(Scheduler.length sched)
+            ~latency_s:(!clock -. sub.at)
+        in
+        let evaluated = Autoscale.evals s - before in
+        if evaluated > 0 then bump "autoscale.evals" evaluated;
+        (match decision with
+        | None -> ()
+        | Some d ->
+            (match d.Autoscale.d_dir with
+            | Autoscale.Up -> bump "autoscale.up" 1
+            | Autoscale.Down -> bump "autoscale.down" 1);
+            (* a zero initial budget means the cache is off for the whole
+               run — the scaler must not resurrect it *)
+            if config.cache_bytes > 0 && d.Autoscale.d_cache_to <> d.Autoscale.d_cache_from
+            then begin
+              Result_cache.set_budget cache d.Autoscale.d_cache_to;
+              bump
+                (if d.Autoscale.d_cache_to > d.Autoscale.d_cache_from then
+                   "autoscale.cache_up"
+                 else "autoscale.cache_down")
+                1
+            end;
+            Trace.event trace ~kind:"service" "autoscale"
+              [
+                ("workers", float_of_int d.Autoscale.d_workers_to);
+                ("cache_bytes", float_of_int d.Autoscale.d_cache_to);
+                ("p95", d.Autoscale.d_p95_s);
+                ("queue_per_worker", d.Autoscale.d_queue_per_worker);
+              ])
   in
   let prev_budget = Memtrack.budget () in
   Memtrack.set_budget config.mem_budget;
@@ -561,16 +605,27 @@ let run ?(config = config ()) ~edb:store events =
       in
       loop ());
   let completions = List.rev !completions in
+  (* every served result counts toward the latency distribution, degraded
+     ones included — the tenant waited for those bytes too; the report
+     carries [served_degraded] so SLO accounting can split them out *)
   let served_latencies =
     List.filter_map
       (fun c -> match c.c_outcome with Done _ -> Some (c.c_finished -. c.c_at) | _ -> None)
       completions
-    |> List.sort compare
+    |> List.sort compare |> Array.of_list
+  in
+  let served_degraded =
+    List.fold_left
+      (fun acc c ->
+        match c.c_outcome with
+        | Done _ when c.c_degraded <> None -> acc + 1
+        | _ -> acc)
+      0 completions
   in
   let counters =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
   in
-  let served = List.length served_latencies in
+  let served = Array.length served_latencies in
   let shard_stats =
     if config.shards <= 1 then []
     else
@@ -587,8 +642,11 @@ let run ?(config = config ()) ~edb:store events =
     completions;
     counters;
     cache = Result_cache.stats cache;
-    p50_latency = percentile 50.0 served_latencies;
-    p95_latency = percentile 95.0 served_latencies;
+    p50_latency = Histogram.percentile_sorted served_latencies 50.0;
+    p95_latency = Histogram.percentile_sorted served_latencies 95.0;
+    p99_latency = Histogram.percentile_sorted served_latencies 99.0;
+    p999_latency = Histogram.percentile_sorted served_latencies 99.9;
+    served_degraded;
     throughput = (if !clock > 0.0 then float_of_int served /. !clock else 0.0);
     vtime = !clock;
     shard_stats;
@@ -646,7 +704,14 @@ let report_json r =
       ("vtime", Json.Float r.vtime);
       ("throughput", Json.Float r.throughput);
       ( "latency",
-        Json.Obj [ ("p50", Json.Float r.p50_latency); ("p95", Json.Float r.p95_latency) ] );
+        Json.Obj
+          [
+            ("p50", Json.Float r.p50_latency);
+            ("p95", Json.Float r.p95_latency);
+            ("p99", Json.Float r.p99_latency);
+            ("p999", Json.Float r.p999_latency);
+            ("served_degraded", Json.Int r.served_degraded);
+          ] );
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
       ( "cache",
         Json.Obj
@@ -729,5 +794,7 @@ let report_summary r =
                stats)
         ^ "\n"
   in
-  Printf.sprintf "%s%s\n%slatency p50=%.4fs p95=%.4fs  throughput=%.2f q/s  vtime=%.4fs\n"
-    table counters shards r.p50_latency r.p95_latency r.throughput r.vtime
+  Printf.sprintf
+    "%s%s\n%slatency p50=%.4fs p95=%.4fs p99=%.4fs  throughput=%.2f q/s  vtime=%.4fs\n"
+    table counters shards r.p50_latency r.p95_latency r.p99_latency r.throughput
+    r.vtime

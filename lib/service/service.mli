@@ -118,6 +118,13 @@ type config = {
       (** compiled rule kernels for engine-less unsharded submissions; the
           retry ladder's [No_fast_path] rung disables them together with the
           other fast-path structures *)
+  autoscale : Autoscale.policy option;
+      (** when set, an {!Autoscale} loop owns the base worker count and the
+          cache byte budget: [workers]/[cache_bytes] become the initial
+          sizes, and each completion feeds the scaler, which resizes within
+          the policy's range from queue depth and windowed tail latency.
+          The retry ladder composes — [Half_workers] halves the scaled
+          count. [None] (the default) keeps the configured sizes fixed. *)
 }
 
 val config :
@@ -132,6 +139,7 @@ val config :
   ?ivm_max_delta:int ->
   ?shards:int ->
   ?kernels:bool ->
+  ?autoscale:Autoscale.policy ->
   unit ->
   config
 (** Defaults: 8 workers, queue capacity 64, no memory budget, 64 MiB cache,
@@ -150,8 +158,16 @@ type report = {
   completions : completion list;  (** in completion order *)
   counters : (string * int) list;  (** sorted by name, see below *)
   cache : Result_cache.stats;
-  p50_latency : float;  (** over served (Done) queries; 0 if none *)
+  p50_latency : float;
+      (** over {e all} served (Done) queries, degraded ones included —
+          nearest-rank over the sorted latencies; 0 if none *)
   p95_latency : float;
+  p99_latency : float;
+  p999_latency : float;
+  served_degraded : int;
+      (** served (Done) completions whose final attempt ran below
+          [Retry.Full] — part of the latency population above, split out so
+          SLO accounting can flag them *)
   throughput : float;  (** served queries per simulated second *)
   vtime : float;  (** service clock when the last event settled *)
   shard_stats : shard_stat list;  (** per-shard utilization; [] when unsharded *)
@@ -164,7 +180,11 @@ type report = {
     that normalized away), [delta_fault] (applies aborted by an injected
     fault or a memory probe, store rolled back), [refreshed] (cache entries
     incrementally re-keyed),
-    [view_built], [view_dropped]. Two identities hold by construction and
+    [view_built], [view_dropped], plus the autoscaler set:
+    [autoscale.evals] (windows evaluated), [autoscale.up]/[autoscale.down]
+    (worker resizes applied) and [autoscale.cache_up]/[autoscale.cache_down]
+    (cache-budget moves) — all zero when [config.autoscale] is [None]. Two
+    identities hold by construction and
     are checked by the CI smoke: [submitted = admitted + rejected] and
     [admitted = done + oom + timeout + unsupported + fault]. *)
 
@@ -178,8 +198,10 @@ val counter : report -> string -> int
 
 val report_json : report -> Json.t
 (** The service report: {v
-    {"version": 1, "workers": _, "vtime": _, "throughput": _,
-     "latency": {"p50": _, "p95": _}, "counters": {...}, "cache": {...},
+    {"version": 1, "vtime": _, "throughput": _,
+     "latency": {"p50": _, "p95": _, "p99": _, "p999": _,
+                 "served_degraded": _},
+     "counters": {...}, "cache": {...},
      "queries": [{"id", "tenant", "edb", "at", "started", "finished",
                   "outcome", "cache_hit", "retries", "degraded",
                   "latency", ...}]} v} *)

@@ -14,6 +14,7 @@ let () =
       ("bdd", Test_bdd.suite);
       ("engines", Test_engines.suite);
       ("service", Test_service.suite);
+      ("load", Test_load.suite);
       ("datagen", Test_datagen.suite);
       ("integration", Test_integration.suite);
       ("invariants", Test_invariants.suite);

@@ -176,6 +176,86 @@ let test_run_guarded_unsupported () =
   | Engine_intf.Unsupported m -> check "has a reason" true (String.length m > 0)
   | _ -> Alcotest.fail "expected Unsupported"
 
+(* --- histogram / percentile edge cases --- *)
+
+module Histogram = Rs_obs.Histogram
+
+let test_percentile_sorted_edges () =
+  let p = Histogram.percentile_sorted in
+  Alcotest.(check (float 0.0)) "empty is 0" 0.0 (p [||] 95.0);
+  (* single element: every percentile is that element *)
+  List.iter
+    (fun q -> Alcotest.(check (float 0.0)) "singleton" 0.25 (p [| 0.25 |] q))
+    [ 0.0; 50.0; 99.9; 100.0 ];
+  let a = [| 0.1; 0.2; 0.3; 0.4 |] in
+  Alcotest.(check (float 0.0)) "p100 is max" 0.4 (p a 100.0);
+  Alcotest.(check (float 0.0)) "p0 clamps to min" 0.1 (p a 0.0);
+  (* nearest-rank: ceil(p/100 * n) - 1, the seed report's convention *)
+  Alcotest.(check (float 0.0)) "p50 of 4" 0.2 (p a 50.0);
+  Alcotest.(check (float 0.0)) "p75 of 4" 0.3 (p a 75.0);
+  Alcotest.(check (float 0.0)) "p95 of 4" 0.4 (p a 95.0);
+  (* duplicate latencies collapse to the same answer *)
+  let d = [| 0.5; 0.5; 0.5; 0.5; 0.5 |] in
+  List.iter
+    (fun q -> Alcotest.(check (float 0.0)) "duplicates" 0.5 (p d q))
+    [ 0.0; 50.0; 95.0; 100.0 ];
+  (* parity with the List.nth walk it replaced *)
+  let legacy l q =
+    let n = List.length l in
+    let idx =
+      min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n /. 100.0)) - 1))
+    in
+    List.nth l idx
+  in
+  let pop = [ 0.001; 0.02; 0.02; 0.3; 0.7; 1.5; 4.0 ] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        "matches the seed walk" (legacy pop q)
+        (p (Array.of_list pop) q))
+    [ 0.0; 10.0; 50.0; 90.0; 95.0; 99.0; 99.9; 100.0 ]
+
+let test_histogram_buckets () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty histogram is 0" 0.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "empty mean is 0" 0.0 (Histogram.mean h);
+  Histogram.add h 0.2;
+  (* single sample: exact at every quantile via the min/max clamp *)
+  List.iter
+    (fun q -> Alcotest.(check (float 0.0)) "single sample exact" 0.2 (Histogram.percentile h q))
+    [ 0.0; 50.0; 99.9; 100.0 ];
+  for i = 1 to 999 do
+    Histogram.add h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "min exact" 0.001 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max exact" 0.999 (Histogram.max_value h);
+  Alcotest.(check (float 0.0)) "p100 clamps to max" 0.999 (Histogram.percentile h 100.0);
+  (* log buckets: ~9% relative resolution against the exact rank *)
+  List.iter
+    (fun q ->
+      let exact =
+        Histogram.percentile_sorted
+          (Array.init 1000 (fun i ->
+               if i = 0 then 0.2 else float_of_int i /. 1000.0)
+           |> fun a -> Array.sort compare a; a)
+          q
+      in
+      let est = Histogram.percentile h q in
+      check "within bucket resolution" (abs_float (est -. exact) /. exact < 0.10) true)
+    [ 50.0; 95.0; 99.0 ];
+  (* negative values clamp into the lowest bucket rather than exploding *)
+  let n = Histogram.create () in
+  Histogram.add n (-1.0);
+  Alcotest.(check int) "negative recorded" 1 (Histogram.count n);
+  check "negative clamps low" (Histogram.percentile n 50.0 <= 1e-6) true;
+  (* merge preserves the population *)
+  let m = Histogram.create () in
+  Histogram.add m 10.0;
+  Histogram.merge ~into:m n;
+  Alcotest.(check int) "merged count" 2 (Histogram.count m);
+  Alcotest.(check (float 0.0)) "merged max" 10.0 (Histogram.max_value m)
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
@@ -188,4 +268,8 @@ let suite =
     Alcotest.test_case "run_guarded Timeout" `Quick test_run_guarded_timeout;
     Alcotest.test_case "run_guarded Oom" `Quick test_run_guarded_oom;
     Alcotest.test_case "run_guarded Unsupported" `Quick test_run_guarded_unsupported;
+    Alcotest.test_case "percentile_sorted edge cases" `Quick
+      test_percentile_sorted_edges;
+    Alcotest.test_case "histogram buckets, clamps and merge" `Quick
+      test_histogram_buckets;
   ]

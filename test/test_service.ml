@@ -483,6 +483,41 @@ let test_script_delta_roundtrip () =
   in
   Alcotest.(check bool) "ops round-trip" true (sig_of parsed = sig_of d)
 
+(* --- degraded serves in the latency population --- *)
+
+let test_degraded_latency_counted () =
+  (* a served-but-degraded result must land in the latency percentiles,
+     flagged and split out — not silently dropped from the population *)
+  let module Memtrack = Rs_storage.Memtrack in
+  let module Fault = Rs_chaos.Fault in
+  let module Inject = Rs_chaos.Inject in
+  Memtrack.hard_reset ();
+  let s = store () in
+  let threshold = Memtrack.live () + 256 in
+  let config = Service.config ~workers:8 ~seed:1 () in
+  let report =
+    Inject.with_plan
+      (Fault.plan ~seed:1 [ Fault.spec ~threshold ~limit:1 Fault.Mem ])
+      (fun () ->
+        Service.run ~config ~edb:s
+          [ Service.Submit (Service.submission ~tenant:"t" ~edb:"g" tc) ])
+  in
+  let c = List.hd report.Service.completions in
+  (match c.Service.c_outcome with
+  | Service.Done _ -> ()
+  | o -> Alcotest.fail ("expected done, got " ^ Service.outcome_label o));
+  Alcotest.(check (option string))
+    "flagged with the rung" (Some "half_workers") c.Service.c_degraded;
+  Alcotest.(check int) "split out in the report" 1 report.Service.served_degraded;
+  let lat = c.Service.c_finished -. c.Service.c_at in
+  Alcotest.(check bool) "retry made it slow" true (lat > 0.0);
+  (* the only served query is the degraded one: if degraded serves were
+     excluded from the latency population these would read 0 *)
+  Alcotest.(check (float 1e-9)) "p50 includes the degraded serve" lat
+    report.Service.p50_latency;
+  Alcotest.(check (float 1e-9)) "p999 includes the degraded serve" lat
+    report.Service.p999_latency
+
 let suite =
   [
     Alcotest.test_case "program key canonicalization" `Quick test_program_key;
@@ -505,4 +540,6 @@ let suite =
     Alcotest.test_case "deterministic replay" `Quick test_determinism;
     Alcotest.test_case "workload script parsing" `Quick test_script_parse;
     Alcotest.test_case "script delta render round-trip" `Quick test_script_delta_roundtrip;
+    Alcotest.test_case "degraded serves counted in latency population" `Quick
+      test_degraded_latency_counted;
   ]
