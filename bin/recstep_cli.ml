@@ -32,7 +32,7 @@ let load_facts an specs =
       | None -> die "bad --fact %S (expected name=path)" spec)
     specs
 
-let explain program =
+let explain_plan program =
   let an = Recstep.Analyzer.analyze program in
   List.iter
     (fun (s : Recstep.Analyzer.stratum) ->
@@ -77,7 +77,7 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
     no_pbme no_kernels no_persistent_indexes shards no_colocation rebalance =
   with_input_errors @@ fun () ->
   let program = parse_program program_path in
-  if explain_only then explain program
+  if explain_only then explain_plan program
   else begin
   let an = Recstep.Analyzer.analyze program in
   let edb = load_facts an facts in
@@ -180,6 +180,88 @@ let run_cmd program_path facts out_dir engine workers verbose explain_only profi
   Printf.printf "done in %.4fs simulated on %d workers (%.4fs wall)\n" stats.Rs_parallel.Pool.vtime
     stats.Rs_parallel.Pool.workers stats.Rs_parallel.Pool.wall
   end
+
+(* "tc(1, 3)" → ("tc", [1; 3]) *)
+let parse_fact spec =
+  let malformed () = die "bad FACT %S (expected pred(v1, ..., vk))" spec in
+  match String.index_opt spec '(' with
+  | None -> malformed ()
+  | Some i ->
+      let pred = String.trim (String.sub spec 0 i) in
+      let rest = String.trim (String.sub spec (i + 1) (String.length spec - i - 1)) in
+      let n = String.length rest in
+      if pred = "" || n = 0 || rest.[n - 1] <> ')' then malformed ();
+      let inner = String.trim (String.sub rest 0 (n - 1)) in
+      let row =
+        if inner = "" then []
+        else
+          List.map
+            (fun f ->
+              match int_of_string_opt (String.trim f) with
+              | Some v -> v
+              | None -> die "bad FACT %S (non-integer field %S)" spec f)
+            (String.split_on_char ',' inner)
+      in
+      (pred, row)
+
+(* Why-provenance: evaluate once with tagging on, then walk the derivation
+   chain of one fact down to its EDB leaves. Exit 0 iff the fact is
+   explained; 1 for absent / no proof / budget, so CI can smoke it. *)
+let explain_cmd program_path fact_spec facts workers sample no_provenance max_steps
+    json_out verbose =
+  with_input_errors @@ fun () ->
+  let program = parse_program program_path in
+  let pred, row = parse_fact fact_spec in
+  let an = Recstep.Analyzer.analyze program in
+  let edb = load_facts an facts in
+  let pool = Rs_parallel.Pool.create ~workers () in
+  Rs_parallel.Pool.begin_run pool;
+  let prov =
+    if no_provenance then None else Some (Recstep.Provenance.create ~sample ())
+  in
+  let options = Recstep.Interpreter.options ?provenance:prov () in
+  let result = Recstep.Interpreter.run ~options ~pool ~edb program in
+  let rows p =
+    List.map Array.to_list
+      (Rs_relation.Relation.sorted_distinct_rows (result.Recstep.Interpreter.relation_of p))
+  in
+  if verbose then
+    Printf.printf "evaluated: iterations=%d queries=%d%s\n"
+      result.Recstep.Interpreter.iterations result.Recstep.Interpreter.queries
+      (match prov with
+      | Some p ->
+          Printf.sprintf " tagged=%d (sample %g)" (Recstep.Provenance.recorded p)
+            (Recstep.Provenance.sample p)
+      | None -> "");
+  let outcome = Recstep.Explain.explain ?prov ~max_steps ~an ~rows pred row in
+  (match outcome with
+  | Recstep.Explain.Explained node ->
+      if json_out then
+        print_endline
+          (Rs_obs.Json.to_string
+             (Rs_obs.Json.Obj
+                [
+                  ("fact", Rs_obs.Json.String (Recstep.Explain.fact_to_string pred row));
+                  ("status", Rs_obs.Json.String "explained");
+                  ( "rules",
+                    Rs_obs.Json.List
+                      (List.map
+                         (fun i -> Rs_obs.Json.Int i)
+                         (Recstep.Explain.rules_used node)) );
+                  ("depth", Rs_obs.Json.Int (Recstep.Explain.depth node));
+                  ("chain", Recstep.Explain.node_json node);
+                ]))
+      else begin
+        print_string (Recstep.Explain.render ?tags:prov node);
+        Printf.printf "rules used: %s  depth: %d\n"
+          (String.concat ", "
+             (List.map string_of_int (Recstep.Explain.rules_used node)))
+          (Recstep.Explain.depth node)
+      end
+  | o ->
+      print_endline (Recstep.Explain.outcome_to_string ~pred ~row o);
+      exit 1);
+  ignore (Rs_parallel.Pool.stats pool)
 
 let serve_cmd script_path workers queue cache_bytes no_cache seed mem_budget no_ivm
     ivm_max_delta shards no_kernels autoscale_flag autoscale_min autoscale_max
@@ -427,7 +509,13 @@ let chaos_cmd seed iters plan report_path verbose =
     (fun v ->
       Printf.printf "  VIOLATION case %d (seed %d, plan %s): %s\n"
         v.Rs_fuzz.Chaos_harness.v_iter v.Rs_fuzz.Chaos_harness.v_seed
-        v.Rs_fuzz.Chaos_harness.v_plan v.Rs_fuzz.Chaos_harness.v_msg)
+        v.Rs_fuzz.Chaos_harness.v_plan v.Rs_fuzz.Chaos_harness.v_msg;
+      List.iter
+        (fun w ->
+          List.iter
+            (fun line -> if line <> "" then Printf.printf "    why: %s\n" line)
+            (String.split_on_char '\n' w))
+        v.Rs_fuzz.Chaos_harness.v_why)
     report.Rs_fuzz.Chaos_harness.violations;
   (match report_path with
   | Some path -> (
@@ -500,6 +588,26 @@ let rebalance_arg =
 
 let run_term =
   Term.(const run_cmd $ program_arg $ facts_arg $ out_arg $ engine_arg $ workers_arg $ verbose_arg $ explain_arg $ profile_arg $ dsd_arg $ no_pbme_arg $ no_kernels_arg $ no_persistent_indexes_arg $ shards_arg $ no_colocation_arg $ rebalance_arg)
+
+let fact_pos_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"FACT" ~doc:"the fact to explain, e.g. 'tc(1, 3)'")
+
+let sample_arg =
+  Arg.(value & opt float 1.0 & info [ "sample" ] ~docv:"RATE" ~doc:"provenance sampling rate in [0,1]: the fraction of tuples tagged (deterministic per tuple content); explain still works below 1.0, tags just stop guiding the search")
+
+let no_provenance_arg =
+  Arg.(value & flag & info [ "no-provenance" ] ~doc:"evaluate without recording derivation tags; the explanation is reconstructed by top-down search alone (results are byte-identical either way)")
+
+let max_steps_arg =
+  Arg.(value & opt int 200_000 & info [ "max-steps" ] ~docv:"N" ~doc:"proof-search step budget before giving up")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"print the derivation chain as JSON instead of the indented rendering")
+
+let explain_term =
+  Term.(
+    const explain_cmd $ program_arg $ fact_pos_arg $ facts_arg $ workers_arg
+    $ sample_arg $ no_provenance_arg $ max_steps_arg $ json_arg $ verbose_arg)
 
 let script_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"workload script: EDB definitions plus a stream of submit/delta events (see lib/service/script.mli)")
@@ -669,6 +777,15 @@ let () =
             control, tenant-fair scheduling, result cache)")
       serve_term
   in
+  let explain =
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "why-provenance: evaluate the program and print the full rule + premise \
+            derivation chain of one fact, down to the EDB leaves (exit 1 if the fact \
+            is absent or underivable)")
+      explain_term
+  in
   let gen = Cmd.v (Cmd.info "gen" ~doc:"generate benchmark datasets") gen_term in
   let fuzz =
     Cmd.v
@@ -702,5 +819,5 @@ let () =
             latency; prints the per-class SLO scorecard")
       load_term
   in
-  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; serve; load; gen; fuzz; chaos ] in
+  let main = Cmd.group (Cmd.info "recstep" ~doc:"RecStep: Datalog on a parallel relational backend") [ run; explain; serve; load; gen; fuzz; chaos ] in
   exit (Cmd.eval main)

@@ -57,7 +57,10 @@ let exp ~scale =
   let on = run_arm load ~autoscale:(policy ()) () in
   let identical = checksums off = checksums on in
   let stats_off = Load.slo_stats load off and stats_on = Load.slo_stats load on in
-  let pct h p = Printf.sprintf "%.4f" (Histogram.percentile h p) in
+  let pct h p =
+    if Histogram.count h = 0 then "-"
+    else Printf.sprintf "%.4f" (Histogram.percentile h p)
+  in
   Rs_util.Table_printer.print
     ~header:
       [ "class"; "served"; "slo (s)"; "attain off"; "attain on"; "p95 off";

@@ -29,13 +29,14 @@ type options = {
   hoard_memory : bool;
   share_builds : bool;
   trace : Rs_obs.Trace.t option;
+  provenance : Provenance.t option;
 }
 
 let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true)
     ?(fast_dedup = true) ?(pbme = true) ?(persistent_indexes = true)
     ?(compiled_kernels = true) ?shared_indexes
     ?(query_overhead_s = 0.002) ?(alpha = Cost.default_alpha) ?timeout_vs
-    ?(hoard_memory = false) ?(share_builds = true) ?trace () =
+    ?(hoard_memory = false) ?(share_builds = true) ?trace ?provenance () =
   {
     uie;
     oof;
@@ -52,6 +53,7 @@ let options ?(uie = true) ?(oof = Oof_normal) ?(dsd = Dsd_dynamic) ?(eost = true
     hoard_memory;
     share_builds;
     trace;
+    provenance;
   }
 
 let default_options = options ()
@@ -322,6 +324,35 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
         if v > budget then raise (Timeout_simulated v)
     | None -> ()
   in
+  (* Why-provenance recording: every tuple that enters an IDB relation does
+     so through exactly one absorption point per path — the Δ produced by
+     [absorb_candidates] (interpreted plans and compiled kernels both feed
+     it their deduplicated candidates) or the PBME solve's output relation.
+     Tagging the absorbed rows therefore covers every derived tuple with no
+     per-path special cases: with sampling at 1.0 an IDB can never end up
+     half-tagged, whichever mix of kernels, degraded rounds and retries
+     produced it. Recording is charged to the simulated clock so the
+     benchmark arm measures an honest overhead. *)
+  let prov_scan_cost = 2e-9 and prov_tag_cost = 16e-9 in
+  let prov_record ~pred ~stratum ~iteration rel =
+    match options.provenance with
+    | None -> ()
+    | Some p ->
+        let n = Relation.nrows rel and arity = Relation.arity rel in
+        if n > 0 then begin
+          let before = Provenance.recorded p in
+          for row = 0 to n - 1 do
+            let t = List.init arity (fun col -> Relation.get rel ~row ~col) in
+            Provenance.record p ~pred ~stratum ~iteration t
+          done;
+          let tagged = Provenance.recorded p - before in
+          Pool.add_serial pool
+            ((float_of_int n *. prov_scan_cost) +. (float_of_int tagged *. prov_tag_cost));
+          match trace with
+          | Some tr -> Rs_obs.Trace.count tr "provenance.recorded" tagged
+          | None -> ()
+        end
+  in
   (* Register EDBs. *)
   List.iter
     (fun name ->
@@ -461,8 +492,10 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
         Relation.release out;
         raise e
   in
-  (* Process the deduplicated candidates of one IDB; returns |Δ|. *)
-  let absorb_candidates (st : idb_state) rdelta =
+  (* Process the deduplicated candidates of one IDB; returns |Δ|.
+     [stratum]/[iteration] locate the absorption on the fixpoint timeline
+     for provenance tags. *)
+  let absorb_candidates ~stratum ~iteration (st : idb_state) rdelta =
     match st.agg with
     | Some ag ->
         (* Two-phase parallel aggregation (like the backend's group-by):
@@ -504,6 +537,12 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
                 | None -> ())
               changed_keys);
         Relation.account delta;
+        (* Tag the changed groups with their current merged value: the tuple
+           a group holds in the final relation is exactly the one recorded
+           at its last improvement, so every surviving aggregate row carries
+           a tag (superseded values keep stale tags that no live row ever
+           looks up). *)
+        prov_record ~pred:st.name ~stratum ~iteration delta;
         replace_table (Planner.delta_name st.name) delta;
         (* R is the finalized view of the state. *)
         replace_table st.name (agg_rebuild_relation pool ag st.name st.arity);
@@ -542,6 +581,7 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
           Txn.note_dirty txn (Relation.bytes delta);
           Txn.query_boundary txn
         end;
+        prov_record ~pred:st.name ~stratum ~iteration delta;
         replace_table (Planner.delta_name st.name) delta;
         Relation.nrows delta
   in
@@ -609,7 +649,7 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
       in
       let rdelta = Dedup.dedup_relation_parallel ~expected ?trace ~pool dedup_mode candidates in
       if not options.hoard_memory then Relation.release candidates;
-      let d = absorb_candidates st rdelta in
+      let d = absorb_candidates ~stratum:stratum.index ~iteration:0 st rdelta in
       if not options.hoard_memory then Relation.release rdelta;
       analyze_updated [ st.name; Planner.delta_name st.name ];
       d
@@ -702,7 +742,7 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
                         dedup_mode rt
                     in
                     if not options.hoard_memory then Relation.release rt;
-                    let d = absorb_candidates st rdelta in
+                    let d = absorb_candidates ~stratum:stratum.index ~iteration:!iteration st rdelta in
                     if not options.hoard_memory then Relation.release rdelta;
                     analyze_updated [ st.name; Planner.delta_name st.name ];
                     if d > 0 then any := true;
@@ -716,7 +756,7 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
                       }
                 | Ev_dedup rdelta ->
                     (* kernel output is already a set: skip the dedup pass *)
-                    let d = absorb_candidates st rdelta in
+                    let d = absorb_candidates ~stratum:stratum.index ~iteration:!iteration st rdelta in
                     if not options.hoard_memory then Relation.release rdelta;
                     analyze_updated [ st.name; Planner.delta_name st.name ];
                     if d > 0 then any := true;
@@ -779,6 +819,12 @@ let run ?(options = default_options) ?on_iteration ~pool ~edb program =
             in
             let r = Rs_bitmatrix.Bitmatrix.to_relation ~name:idb_name m in
             Rs_bitmatrix.Bitmatrix.release m;
+            (* The bit-matrix solve collapses the whole stratum, so the
+               per-iteration timeline is gone: tag its output wholesale at
+               iteration 0. Evaluation is identical with recording on or
+               off — tags are a side table — so PBME stays enabled and the
+               outputs remain byte-identical. *)
+            prov_record ~pred:idb_name ~stratum:stratum.index ~iteration:0 r;
             replace_table idb_name r;
             if not options.eost then begin
               Txn.note_dirty txn (Relation.bytes r);

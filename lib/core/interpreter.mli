@@ -65,6 +65,15 @@ type options = {
       (** observability sink: when set, the run records stratum/iteration
           spans, per-iteration delta cardinalities, DSD decision events with
           their cost-model inputs, and the storage/dedup/executor counters *)
+  provenance : Provenance.t option;
+      (** why-provenance sink: when set, every tuple absorbed into an IDB is
+          tagged with its (stratum, iteration, sequence) at the single
+          absorption point all evaluation paths share — interpreted plans,
+          compiled kernels and the PBME solve produce identical tag
+          coverage, and evaluation results are byte-identical with
+          recording on or off (tags live beside the relations, never in
+          them). Recording time is charged to the simulated clock.
+          Sampling is the store's knob; see {!Provenance.create} *)
 }
 
 val options :
@@ -83,6 +92,7 @@ val options :
   ?hoard_memory:bool ->
   ?share_builds:bool ->
   ?trace:Rs_obs.Trace.t ->
+  ?provenance:Provenance.t ->
   unit ->
   options
 (** Misuse-proof constructor: every omitted knob takes the RecStep default,

@@ -41,6 +41,10 @@ type t = {
   counts : (string, (int list, int) Hashtbl.t) Hashtbl.t;
       (* derivation counts, non-recursive IDB preds only *)
   ms : mstats;
+  prov : Provenance.t option;
+      (* why-provenance tags for the maintained IDB rows; reconciled against
+         the net change of every apply so the view stays explainable across
+         EDB deltas *)
 }
 
 let rel db pred = match Hashtbl.find_opt db pred with Some s -> s | None -> Rows.empty
@@ -555,7 +559,7 @@ let zero_stats () =
     m_emitted_retracts = 0;
   }
 
-let create ~edb (program : Ast.program) =
+let create ?prov ~edb (program : Ast.program) =
   let an = Analyzer.analyze program in
   (match an.Analyzer.agg_sigs with
   | (p, _) :: _ ->
@@ -576,7 +580,7 @@ let create ~edb (program : Ast.program) =
           if List.mem name an.Analyzer.edbs then
             invalid_arg (Printf.sprintf "ivm: no EDB named %s was supplied" name))
     (List.filter (fun (n, _) -> List.mem n an.Analyzer.edbs) an.Analyzer.arities);
-  let t = { an; db; counts = Hashtbl.create 8; ms = zero_stats () } in
+  let t = { an; db; counts = Hashtbl.create 8; ms = zero_stats (); prov } in
   t.ms.m_applies <- 1;
   (* Initial evaluation — NOT a delta apply: rules satisfied with no
      positive support (empty bodies, negation over an empty relation) would
@@ -615,6 +619,21 @@ let create ~edb (program : Ast.program) =
                 set db pred (Rows.add row (rel db pred))))
           s.Analyzer.rules)
     an.Analyzer.strata;
+  (* Seed the tag store from the bootstrap evaluation: every maintained IDB
+     row starts explainable. *)
+  (match prov with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (s : Analyzer.stratum) ->
+          List.iter
+            (fun pred ->
+              Rows.iter
+                (fun row ->
+                  Provenance.record p ~pred ~stratum:s.Analyzer.index ~iteration:0 row)
+                (rel db pred))
+            s.Analyzer.preds)
+        an.Analyzer.strata);
   t
 
 (* --- apply --------------------------------------------------------------- *)
@@ -667,6 +686,30 @@ let apply t (d : Delta.t) =
           if s.Analyzer.recursive then maintain_dred t old chgs s
           else maintain_counting t old chgs s)
       t.an.Analyzer.strata;
+  (* Reconcile tags with the net IDB change: rows that entered a maintained
+     relation are tagged at this apply's sequence point, rows that left drop
+     their tag. DRed's transient delete-then-restore churn nets out in
+     [chgs], so a rederived row keeps its original tag; reconciliation is
+     against final membership, so tags always mirror the view exactly. *)
+  (match t.prov with
+  | None -> ()
+  | Some p ->
+      let iteration = t.ms.m_applies in
+      Hashtbl.iter
+        (fun pred (c : chg) ->
+          if List.mem pred t.an.Analyzer.idbs then begin
+            let stratum = Analyzer.stratum_of t.an pred in
+            Rows.iter
+              (fun row ->
+                if Rows.mem row (rel t.db pred) then
+                  Provenance.record p ~pred ~stratum ~iteration row)
+              c.ins;
+            Rows.iter
+              (fun row ->
+                if not (Rows.mem row (rel t.db pred)) then Provenance.retract p ~pred row)
+              c.del
+          end)
+        chgs);
   let out =
     List.concat_map
       (fun (s : Analyzer.stratum) ->
@@ -694,6 +737,10 @@ let apply t (d : Delta.t) =
 let rows t pred = Rows.elements (rel t.db pred)
 
 let idbs t = t.an.Analyzer.idbs
+
+let analyzer t = t.an
+
+let provenance t = t.prov
 
 let outputs t =
   List.concat_map

@@ -48,11 +48,15 @@ val supported : Ast.program -> bool
     no aggregates). Analysis errors are not masked — an ill-formed program
     still raises {!Analyzer.Analysis_error} at {!create}. *)
 
-val create : edb:(string * int list list) list -> Ast.program -> t
+val create : ?prov:Provenance.t -> edb:(string * int list list) list -> Ast.program -> t
 (** Evaluate the program to fixpoint over [edb] and return the maintained
     view. Raises {!Unsupported} on aggregates, [Analyzer.Analysis_error] /
     [Invalid_argument] on the same ill-formedness the interpreter rejects
-    (unknown EDB, arity mismatch). *)
+    (unknown EDB, arity mismatch). With [prov], every IDB row of the
+    bootstrap evaluation is tagged, and each {!apply} afterwards reconciles
+    the store against its net change (inserted rows tagged at the apply's
+    sequence point, retracted rows dropped) — so a maintained view stays
+    {!Explain}-able across EDB deltas. *)
 
 val apply : t -> Rs_relation.Delta.t -> Rs_relation.Delta.t
 (** [apply t d] folds a typed EDB delta into the view and returns the net
@@ -69,6 +73,13 @@ val rows : t -> string -> int list list
     duplicate-free — same contract as the {!Naive} oracle's lookup. *)
 
 val idbs : t -> string list
+
+val analyzer : t -> Analyzer.t
+(** The program analysis backing the view — what {!Explain.explain}
+    needs alongside {!rows}. *)
+
+val provenance : t -> Provenance.t option
+(** The tag store supplied at {!create}, kept current by every {!apply}. *)
 
 val outputs : t -> (string * int list list) list
 (** [rows] for every IDB predicate, in stratum order — the shape the

@@ -1,0 +1,77 @@
+type tag = { t_stratum : int; t_iteration : int; t_seq : int }
+
+type t = {
+  tables : (string, (int list, tag) Hashtbl.t) Hashtbl.t;
+  sample_rate : float;
+  mutable seq : int;
+  mutable n_recorded : int;
+  mutable n_skipped : int;
+}
+
+let create ?(sample = 1.0) () =
+  if sample < 0.0 || sample > 1.0 then
+    invalid_arg (Printf.sprintf "provenance: sample %g outside [0,1]" sample);
+  {
+    tables = Hashtbl.create 16;
+    sample_rate = sample;
+    seq = 0;
+    n_recorded = 0;
+    n_skipped = 0;
+  }
+
+let sample t = t.sample_rate
+
+(* Deterministic content hash: the decision to tag a tuple must not depend
+   on which evaluation path absorbed it, which attempt of the retry ladder
+   is running, or the order tuples arrived in — only on the tuple itself.
+   FNV-1a over the pred name and the row values. *)
+let content_hash pred row =
+  let h = ref 0x811c9dc5 in
+  let mix v =
+    h := (!h lxor (v land 0xff)) * 0x01000193;
+    h := (!h lxor ((v asr 8) land 0xffff)) * 0x01000193;
+    h := (!h lxor ((v asr 24) land 0xffff)) * 0x01000193
+  in
+  String.iter (fun c -> mix (Char.code c)) pred;
+  List.iter mix row;
+  !h land max_int
+
+let sampled t ~pred row =
+  t.sample_rate >= 1.0
+  || (t.sample_rate > 0.0 && content_hash pred row mod 1_000_000 < int_of_float (t.sample_rate *. 1e6))
+
+let table_of t pred =
+  match Hashtbl.find_opt t.tables pred with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 256 in
+      Hashtbl.replace t.tables pred tbl;
+      tbl
+
+let record t ~pred ~stratum ~iteration row =
+  if not (sampled t ~pred row) then t.n_skipped <- t.n_skipped + 1
+  else begin
+    let tbl = table_of t pred in
+    if not (Hashtbl.mem tbl row) then begin
+      t.seq <- t.seq + 1;
+      Hashtbl.replace tbl row { t_stratum = stratum; t_iteration = iteration; t_seq = t.seq };
+      t.n_recorded <- t.n_recorded + 1
+    end
+  end
+
+let retract t ~pred row =
+  match Hashtbl.find_opt t.tables pred with
+  | Some tbl -> Hashtbl.remove tbl row
+  | None -> ()
+
+let find t ~pred row =
+  match Hashtbl.find_opt t.tables pred with
+  | Some tbl -> Hashtbl.find_opt tbl row
+  | None -> None
+
+let tagged t ~pred =
+  match Hashtbl.find_opt t.tables pred with Some tbl -> Hashtbl.length tbl | None -> 0
+
+let recorded t = t.n_recorded
+
+let skipped t = t.n_skipped

@@ -42,7 +42,13 @@ let builtin_plans =
     "kernel:p=0.5";
   |]
 
-type violation = { v_iter : int; v_seed : int; v_plan : string; v_msg : string }
+type violation = {
+  v_iter : int;
+  v_seed : int;
+  v_plan : string;
+  v_msg : string;
+  v_why : string list;
+}
 
 type case_result = {
   cr_iter : int;
@@ -175,14 +181,14 @@ let run_case ~iter ~cseed ~plan_str (case : Gen.case) (oracle : Differ.oracle) =
         cr_leak = leak;
         cr_ok = false;
       },
-      [ { v_iter = iter; v_seed = cseed; v_plan = plan_str; v_msg = v } ]
+      [ { v_iter = iter; v_seed = cseed; v_plan = plan_str; v_msg = v; v_why = [] } ]
   | Ok (report, fires) ->
       let violations = ref [] in
-      let note fmt =
+      let note ?(why = []) fmt =
         Printf.ksprintf
           (fun m ->
             violations :=
-              { v_iter = iter; v_seed = cseed; v_plan = plan_str; v_msg = m }
+              { v_iter = iter; v_seed = cseed; v_plan = plan_str; v_msg = m; v_why = why }
               :: !violations)
           fmt
       in
@@ -226,9 +232,23 @@ let run_case ~iter ~cseed ~plan_str (case : Gen.case) (oracle : Differ.oracle) =
                 (fun (name, rows) ->
                   let got = canon_rows rows in
                   let expect = expect_of name in
-                  if got <> expect then
-                    note "%s: wrong rows for %s (%d got, %d expected)"
-                      c.Service.c_id name (List.length got) (List.length expect))
+                  if got <> expect then begin
+                    (* explain the divergence from the reference: chains for
+                       rows the service lost, no-proof verdicts for rows it
+                       invented — against the EDB the submission ran on *)
+                    let missing = List.filter (fun r -> not (List.mem r got)) expect
+                    and extra = List.filter (fun r -> not (List.mem r expect)) got in
+                    let why_case =
+                      if c.Service.c_at < 50.0 then case
+                      else { case with Gen.edb = store_rows () }
+                    in
+                    let why =
+                      Fuzz.why_of_case why_case
+                        [ { Differ.pred = name; missing; extra } ]
+                    in
+                    note ~why "%s: wrong rows for %s (%d got, %d expected)"
+                      c.Service.c_id name (List.length got) (List.length expect)
+                  end)
                 value
           | Service.Oom | Service.Timeout | Service.Unsupported _
           | Service.Fault _ | Service.Rejected _ ->
@@ -359,6 +379,7 @@ let report_json (r : report) =
                    ("seed", Json.Int v.v_seed);
                    ("plan", Json.String v.v_plan);
                    ("error", Json.String v.v_msg);
+                   ("why", Json.List (List.map (fun w -> Json.String w) v.v_why));
                  ])
              r.violations) );
       ("clean", Json.Bool (clean r));

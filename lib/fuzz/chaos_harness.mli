@@ -33,7 +33,18 @@
     dedup corruption must produce violations (a campaign that stays green
     under it proves nothing). *)
 
-type violation = { v_iter : int; v_seed : int; v_plan : string; v_msg : string }
+type violation = {
+  v_iter : int;
+  v_seed : int;
+  v_plan : string;
+  v_msg : string;
+  v_why : string list;
+      (** for wrong-rows violations: per mismatched tuple (capped), the
+          reference derivation chain the service lost or the no-proof
+          verdict for a row it invented — computed against the EDB the
+          submission actually ran on (post-delta store contents for the
+          second submission). [[]] for non-row violations. *)
+}
 
 type case_result = {
   cr_iter : int;

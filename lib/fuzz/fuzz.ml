@@ -10,7 +10,52 @@ type divergence = {
   div_runner : string;
   div_mismatches : Differ.mismatch list;
   div_shrunk : Gen.case option;
+  div_why : string list;
+      (** per mismatched tuple: the reference evaluator's derivation chain
+          (missing rows) or the statement that no proof exists (extra
+          rows) — the reproducer explains itself *)
 }
+
+(* The self-explaining half of a reproducer. Missing tuples (the reference
+   derived them, the engine did not) get the reference's full rule chain
+   down to EDB leaves; extra tuples (the engine invented them) get the
+   proof-search verdict against the reference database. Computed from the
+   naive oracle only, so the text is engine-independent. *)
+let why_of_case (c : Gen.case) (ms : Differ.mismatch list) =
+  match Recstep.Naive.run ~edb:c.Gen.edb c.Gen.program with
+  | exception _ -> []
+  | _, rows_of -> (
+      match Recstep.Analyzer.analyze c.Gen.program with
+      | exception _ -> []
+      | an ->
+          let edbs = an.Recstep.Analyzer.edbs in
+          let rows p =
+            if List.mem p edbs then Option.value ~default:[] (List.assoc_opt p c.Gen.edb)
+            else rows_of p
+          in
+          let cap = 2 in
+          let take l = List.filteri (fun i _ -> i < cap) l in
+          let explain pred row =
+            match Recstep.Explain.explain ~an ~rows pred row with
+            | Recstep.Explain.Explained n ->
+                Printf.sprintf "reference derivation:\n%s" (Recstep.Explain.render n)
+            | o -> Recstep.Explain.outcome_to_string ~pred ~row o
+          in
+          List.concat_map
+            (fun (m : Differ.mismatch) ->
+              List.map
+                (fun row ->
+                  Printf.sprintf "missing %s: %s"
+                    (Recstep.Explain.fact_to_string m.Differ.pred row)
+                    (explain m.Differ.pred row))
+                (take m.Differ.missing)
+              @ List.map
+                  (fun row ->
+                    Printf.sprintf "extra %s: %s"
+                      (Recstep.Explain.fact_to_string m.Differ.pred row)
+                      (explain m.Differ.pred row))
+                  (take m.Differ.extra))
+            ms)
 
 type failure = { fail_iter : int; fail_seed : int; fail_runner : string; fail_msg : string }
 
@@ -72,6 +117,20 @@ let run ?(log = fun (_ : string) -> ()) ?(shrink = true) ?runners ~seed ~iters (
                   end
                   else None
                 in
+                (* the why-chains describe the dumped reproducer: re-diff the
+                   shrunk case for its own mismatches when we have one *)
+                let div_why =
+                  match div_shrunk with
+                  | Some minimal -> (
+                      match
+                        let o = Differ.oracle_of_case minimal in
+                        r.Differ.run minimal o
+                      with
+                      | Differ.Diverged ms' -> why_of_case minimal ms'
+                      | _ | (exception _) -> why_of_case case ms)
+                  | None -> why_of_case case ms
+                in
+                List.iter (fun w -> log ("  why: " ^ w)) div_why;
                 divergences :=
                   {
                     div_iter = i;
@@ -79,6 +138,7 @@ let run ?(log = fun (_ : string) -> ()) ?(shrink = true) ?runners ~seed ~iters (
                     div_runner = r.Differ.rname;
                     div_mismatches = ms;
                     div_shrunk;
+                    div_why;
                   }
                   :: !divergences)
           runners
@@ -101,8 +161,10 @@ let run ?(log = fun (_ : string) -> ()) ?(shrink = true) ?runners ~seed ~iters (
 (* --- reproducer dumping ------------------------------------------------- *)
 
 (* Writes case<iter>.dl plus one .tsv per EDB into [dir]; the .dl header
-   says how to replay it. Returns the .dl path. *)
-let dump_case ~dir ~tag (c : Gen.case) =
+   says how to replay it and, when [why] chains are given, what diverged and
+   how the reference derives it — the reproducer explains itself. Returns
+   the .dl path. *)
+let dump_case ?(why = []) ~dir ~tag (c : Gen.case) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let base = Filename.concat dir (Printf.sprintf "case%s" tag) in
   let facts =
@@ -112,6 +174,12 @@ let dump_case ~dir ~tag (c : Gen.case) =
   let oc = open_out dl in
   Printf.fprintf oc "%% rs_fuzz reproducer (case seed %d)\n" c.Gen.case_seed;
   Printf.fprintf oc "%% replay: recstep run %s %s\n" dl (String.concat " " facts);
+  List.iter
+    (fun w ->
+      List.iter
+        (fun line -> if line <> "" then Printf.fprintf oc "%% why: %s\n" line)
+        (String.split_on_char '\n' w))
+    why;
   output_string oc (Gen.case_to_source c);
   close_out oc;
   List.iter
@@ -127,7 +195,7 @@ let dump_divergences ~dir (r : report) =
     (fun d ->
       match d.div_shrunk with
       | None -> None
-      | Some c -> Some (dump_case ~dir ~tag:(string_of_int d.div_iter) c))
+      | Some c -> Some (dump_case ~why:d.div_why ~dir ~tag:(string_of_int d.div_iter) c))
     r.divergences
 
 (* --- JSON report -------------------------------------------------------- *)
@@ -172,6 +240,7 @@ let report_json (r : report) =
                     ("seed", Json.Int d.div_seed);
                     ("runner", Json.String d.div_runner);
                     ("mismatches", Json.List (List.map mismatch_json d.div_mismatches));
+                    ("why", Json.List (List.map (fun w -> Json.String w) d.div_why));
                   ]
                  @ size))
              r.divergences) );

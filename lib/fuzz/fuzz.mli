@@ -16,6 +16,12 @@ type divergence = {
   div_shrunk : Gen.case option;
       (** minimal reproducer; [None] for runners after the first diverging
           one on the same case (only the first is shrunk) *)
+  div_why : string list;
+      (** the offending rule chains, from the naive reference evaluator:
+          for each mismatched tuple (capped per mismatch), either the full
+          derivation the engine missed — rendered by {!Recstep.Explain} down
+          to EDB leaves — or the verdict that no proof exists for a tuple it
+          invented. Describes the shrunk reproducer when there is one. *)
 }
 
 type failure = { fail_iter : int; fail_seed : int; fail_runner : string; fail_msg : string }
@@ -47,10 +53,17 @@ val run :
   unit ->
   report
 
-val dump_case : dir:string -> tag:string -> Gen.case -> string
+val dump_case : ?why:string list -> dir:string -> tag:string -> Gen.case -> string
 (** Write [case<tag>.dl] plus one [.tsv] per EDB under [dir] (created if
-    missing); the [.dl] header comments carry the replay command line.
-    Returns the [.dl] path. *)
+    missing); the [.dl] header comments carry the replay command line and,
+    with [why], one [% why:] line per chain line — a reproducer that states
+    the offending rule chain instead of a bare diff. Returns the [.dl]
+    path. *)
+
+val why_of_case : Gen.case -> Differ.mismatch list -> string list
+(** The self-explaining text for a diverging case: per mismatched tuple
+    (capped), the reference derivation chain (missing) or the no-proof
+    verdict (extra). [[]] if the reference evaluator rejects the case. *)
 
 val dump_divergences : dir:string -> report -> string list
 (** Dump every shrunk reproducer; returns the [.dl] paths. *)

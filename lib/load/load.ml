@@ -363,6 +363,12 @@ let slo_summary t report =
     List.map
       (fun cs ->
         let h = cs.cs_hist in
+        (* a class that served nothing has no latency distribution: print
+           "-" rather than quantiles of zero, mirroring quantile_json *)
+        let pct p =
+          if Histogram.count h = 0 then "-"
+          else Printf.sprintf "%.4f" (Histogram.percentile h p)
+        in
         [
           class_name cs.cs_class;
           string_of_int cs.cs_tenants;
@@ -371,10 +377,10 @@ let slo_summary t report =
           string_of_int (cs.cs_failed + cs.cs_rejected);
           Printf.sprintf "%.3f" cs.cs_target_s;
           Printf.sprintf "%.1f%%" (100.0 *. attainment cs);
-          Printf.sprintf "%.4f" (Histogram.percentile h 50.0);
-          Printf.sprintf "%.4f" (Histogram.percentile h 95.0);
-          Printf.sprintf "%.4f" (Histogram.percentile h 99.0);
-          Printf.sprintf "%.4f" (Histogram.percentile h 99.9);
+          pct 50.0;
+          pct 95.0;
+          pct 99.0;
+          pct 99.9;
         ])
       stats
   in

@@ -75,14 +75,19 @@ let percentile t p =
   end
 
 let quantile_json t =
-  Json.Obj
-    [
-      ("count", Json.Int t.n);
-      ("mean", Json.Float (mean t));
-      ("min", Json.Float (min_value t));
-      ("max", Json.Float (max_value t));
-      ("p50", Json.Float (percentile t 50.0));
-      ("p95", Json.Float (percentile t 95.0));
-      ("p99", Json.Float (percentile t 99.0));
-      ("p999", Json.Float (percentile t 99.9));
-    ]
+  (* a zero-sample population has no quantiles: emitting min/max/p50 of 0.0
+     would read as "every query returned instantly" in an SLO report, so
+     the empty histogram carries only its count and consumers branch on it *)
+  if t.n = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int t.n);
+        ("mean", Json.Float (mean t));
+        ("min", Json.Float (min_value t));
+        ("max", Json.Float (max_value t));
+        ("p50", Json.Float (percentile t 50.0));
+        ("p95", Json.Float (percentile t 95.0));
+        ("p99", Json.Float (percentile t 99.0));
+        ("p999", Json.Float (percentile t 99.9));
+      ]

@@ -60,4 +60,7 @@ val percentile_sorted : float array -> float -> float
 
 val quantile_json : t -> Json.t
 (** [{"count"; "mean"; "min"; "max"; "p50"; "p95"; "p99"; "p999"}] — the
-    fixed quantile set the SLO reports carry. *)
+    fixed quantile set the SLO reports carry. An {e empty} histogram emits
+    only [{"count": 0}]: a zero-sample population has no quantiles, and
+    fabricated zeros would read as real zero-latency measurements in SLO
+    JSON. Consumers must branch on [count]. *)

@@ -9,6 +9,8 @@ module Relation = Rs_relation.Relation
 module Ast = Recstep.Ast
 module Interpreter = Recstep.Interpreter
 module Ivm = Recstep.Ivm
+module Provenance = Recstep.Provenance
+module Explain = Recstep.Explain
 module Delta = Rs_relation.Delta
 module Fault = Rs_chaos.Fault
 
@@ -27,13 +29,26 @@ let submission ?(id = "") ?(at = 0.0) ?deadline_vs ?(mem = Admission.Small) ?eng
     ~tenant ~edb program =
   { sub_id = id; tenant; program; edb; at; deadline_vs; mem; engine }
 
+type explain_request = {
+  ex_at : float;
+  ex_tenant : string;
+  ex_edb : string;
+  ex_program : Ast.program;
+  ex_pred : string;
+  ex_row : int list;
+}
+
 type event =
   | Submit of submission
   | Delta of { at : float; edb : string; delta : Delta.t }
+  | Explain of explain_request
 
-let event_time = function Submit s -> s.at | Delta d -> d.at
+let event_time = function Submit s -> s.at | Delta d -> d.at | Explain r -> r.ex_at
 
 let delta_event ~at ~edb delta = Delta { at; edb; delta }
+
+let explain_event ?(at = 0.0) ~tenant ~edb ~pred ~row program =
+  Explain { ex_at = at; ex_tenant = tenant; ex_edb = edb; ex_program = program; ex_pred = pred; ex_row = row }
 
 type outcome =
   | Done of Result_cache.value
@@ -107,8 +122,29 @@ type shard_stat = {
   sh_rows : int;
 }
 
+type latency_note = {
+  ln_query : string;
+  ln_outcome : string;
+  ln_latency : float;
+  ln_spans : (string * float) list;
+}
+
+type explanation = {
+  x_at : float;
+  x_tenant : string;
+  x_edb : string;
+  x_fact : string;
+  x_status : string;
+  x_rules : int list;
+  x_depth : int;
+  x_from_view : bool;
+  x_text : string;
+  x_latency : latency_note option;
+}
+
 type report = {
   completions : completion list;
+  explanations : explanation list;
   counters : (string * int) list;
   cache : Result_cache.stats;
   p50_latency : float;
@@ -127,7 +163,7 @@ let counter_names =
     "submitted"; "admitted"; "rejected"; "done"; "oom"; "timeout"; "unsupported";
     "fault"; "cache_hit"; "cache_miss"; "retried"; "degraded"; "deadline_miss";
     "delta_applied"; "delta_noop"; "delta_fault"; "refreshed"; "view_built";
-    "view_dropped"; "autoscale.evals"; "autoscale.up"; "autoscale.down";
+    "view_dropped"; "explain"; "autoscale.evals"; "autoscale.up"; "autoscale.down";
     "autoscale.cache_up"; "autoscale.cache_down";
   ]
 
@@ -291,13 +327,28 @@ let run ?(config = config ()) ~edb:store events =
             bump "delta_applied" 1;
             if config.ivm && Delta.size net <= config.ivm_max_delta then begin
               (* warm path: fold the net change into every view of this
-                 database, then re-key its cache entries to [version] *)
+                 database, then re-key its cache entries to [version]. A
+                 view whose maintenance raises — Ivm.Unsupported from a
+                 program the support check mispredicted, a count underflow,
+                 an arity clash — must degrade to invalidation of that one
+                 view, never surface to the tenant: the store commit already
+                 happened, and the refresher below recomputes anything the
+                 dropped view can no longer answer *)
+              let doomed = ref [] in
               Hashtbl.iter
-                (fun (e, _) v ->
+                (fun (e, c) v ->
                   if e = edb then
                     let mine = List.filter (fun (rl, _) -> List.mem rl v.v_edbs) net in
-                    ignore (Ivm.apply v.v_ivm mine))
+                    match Ivm.apply v.v_ivm mine with
+                    | _ -> ()
+                    | exception _ -> doomed := (e, c) :: !doomed)
                 views;
+              List.iter
+                (fun key ->
+                  Hashtbl.remove views key;
+                  bump "view_dropped" 1;
+                  Trace.event trace ~kind:"service" "view_maintenance_failed" [])
+                !doomed;
               let refreshed =
                 Result_cache.refresh_edb cache edb ~version (fun ~canonical ->
                     Option.map view_value (Hashtbl.find_opt views (edb, canonical)))
@@ -321,14 +372,141 @@ let run ?(config = config ()) ~edb:store events =
                   ("invalidated", float_of_int dropped);
                 ]
             end)
-    | Submit _ -> assert false
+    | Submit _ | Explain _ -> assert false
+  in
+  let explanations = ref [] in
+  (* Join the derivation answer with the serving timeline: the tenant's
+     latest dispatched query on this database, its end-to-end latency, and
+     the slowest spans nested under its service span — "why is this fact
+     here" and "where did the time go" in one report entry. *)
+  let latency_note (r : explain_request) =
+    match
+      List.find_opt
+        (fun c -> c.c_tenant = r.ex_tenant && c.c_edb = r.ex_edb && c.c_started <> None)
+        !completions
+    with
+    | None -> None
+    | Some c ->
+        let name = c.c_tenant ^ "/" ^ c.c_id in
+        let arr = Array.of_list (Trace.spans trace) in
+        let idx = ref (-1) in
+        Array.iteri
+          (fun i (s : Trace.span) ->
+            if s.Trace.sp_kind = "service" && s.Trace.sp_name = name then idx := i)
+          arr;
+        let spans =
+          if !idx < 0 then []
+          else begin
+            let me = arr.(!idx) in
+            let dur (s : Trace.span) =
+              match s.Trace.sp_stop with Some e -> e -. s.Trace.sp_start | None -> 0.0
+            in
+            let children = ref [] in
+            (try
+               for i = !idx + 1 to Array.length arr - 1 do
+                 let s = arr.(i) in
+                 if s.Trace.sp_depth <= me.Trace.sp_depth then raise Exit;
+                 children := (s.Trace.sp_kind ^ ":" ^ s.Trace.sp_name, dur s) :: !children
+               done
+             with Exit -> ());
+            List.filteri
+              (fun i _ -> i < 3)
+              (List.sort (fun (_, a) (_, b) -> compare (b : float) a) !children)
+          end
+        in
+        Some
+          {
+            ln_query = c.c_id;
+            ln_outcome = outcome_label c.c_outcome;
+            ln_latency = c.c_finished -. c.c_at;
+            ln_spans = spans;
+          }
+  in
+  let explain_one (r : explain_request) =
+    bump "explain" 1;
+    let canonical = Program_key.canonical r.ex_program in
+    let answer () =
+      match Hashtbl.find_opt views (r.ex_edb, canonical) with
+      | Some v ->
+          (* warm: the maintained view's materialized rows and its tag
+             store, kept current across deltas by Ivm.apply *)
+          Ok (Ivm.analyzer v.v_ivm, Ivm.rows v.v_ivm, Ivm.provenance v.v_ivm, true)
+      | None ->
+          if not (Edb_store.mem store r.ex_edb) then
+            Error (Printf.sprintf "unknown EDB %S" r.ex_edb)
+          else begin
+            (* cold: one provenance-enabled evaluation against the current
+               store version — an operator/debug action, off the query
+               budget like the delta path *)
+            let prov = Provenance.create () in
+            let saved = Memtrack.budget () in
+            Memtrack.set_budget None;
+            Fun.protect
+              ~finally:(fun () -> Memtrack.set_budget saved)
+              (fun () ->
+                Pool.begin_run pool;
+                match
+                  Interpreter.run
+                    ~options:(Interpreter.options ~provenance:prov ())
+                    ~pool
+                    ~edb:(Edb_store.lookup store r.ex_edb)
+                    r.ex_program
+                with
+                | result ->
+                    let an = Recstep.Analyzer.analyze r.ex_program in
+                    let rows p =
+                      List.map Array.to_list
+                        (Relation.sorted_distinct_rows (result.Interpreter.relation_of p))
+                    in
+                    Ok (an, rows, Some prov, false)
+                | exception Recstep.Analyzer.Analysis_error m ->
+                    Error ("analysis error: " ^ m))
+          end
+    in
+    let fact = Explain.fact_to_string r.ex_pred r.ex_row in
+    let status, rules, depth, from_view, text =
+      match answer () with
+      | Error m -> ("error", [], 0, false, m)
+      | Ok (an, rows, prov, from_view) -> (
+          match Explain.explain ?prov ~an ~rows r.ex_pred r.ex_row with
+          | Explain.Explained n ->
+              ( "explained",
+                Explain.rules_used n,
+                Explain.depth n,
+                from_view,
+                Explain.render ?tags:prov n )
+          | Explain.Absent as o ->
+              ("absent", [], 0, from_view, Explain.outcome_to_string ~pred:r.ex_pred ~row:r.ex_row o)
+          | Explain.No_proof as o ->
+              ("no_proof", [], 0, from_view, Explain.outcome_to_string ~pred:r.ex_pred ~row:r.ex_row o)
+          | Explain.Budget_exceeded _ as o ->
+              ("budget", [], 0, from_view, Explain.outcome_to_string ~pred:r.ex_pred ~row:r.ex_row o)
+          | exception exn -> ("error", [], 0, from_view, Printexc.to_string exn))
+    in
+    explanations :=
+      {
+        x_at = !clock;
+        x_tenant = r.ex_tenant;
+        x_edb = r.ex_edb;
+        x_fact = fact;
+        x_status = status;
+        x_rules = rules;
+        x_depth = depth;
+        x_from_view = from_view;
+        x_text = text;
+        x_latency = latency_note r;
+      }
+      :: !explanations
   in
   let apply_due () =
     let rec go () =
       match !pending with
       | e :: rest when event_time e <= !clock ->
           pending := rest;
-          (match e with Submit s -> admit s | Delta _ -> apply_delta e);
+          (match e with
+          | Submit s -> admit s
+          | Delta _ -> apply_delta e
+          | Explain r -> explain_one r);
           go ()
       | _ -> ()
     in
@@ -508,7 +686,7 @@ let run ?(config = config ()) ~edb:store events =
                             (n, List.map Array.to_list (Relation.to_rows r)))
                           rels
                       in
-                      match Ivm.create ~edb:edb_rows sub.program with
+                      match Ivm.create ~prov:(Provenance.create ()) ~edb:edb_rows sub.program with
                       | ivm ->
                           Hashtbl.replace views (sub.edb, canonical)
                             {
@@ -640,6 +818,7 @@ let run ?(config = config ()) ~edb:store events =
   in
   {
     completions;
+    explanations = List.rev !explanations;
     counters;
     cache = Result_cache.stats cache;
     p50_latency = Histogram.percentile_sorted served_latencies 50.0;
@@ -729,6 +908,43 @@ let report_json r =
             ("refreshes", Json.Int cache.Result_cache.refreshes);
           ] );
       ("queries", Json.List (List.map query r.completions));
+      ( "explanations",
+        Json.List
+          (List.map
+             (fun x ->
+               Json.Obj
+                 ([
+                    ("at", Json.Float x.x_at);
+                    ("tenant", Json.String x.x_tenant);
+                    ("edb", Json.String x.x_edb);
+                    ("fact", Json.String x.x_fact);
+                    ("status", Json.String x.x_status);
+                    ("rules", Json.List (List.map (fun i -> Json.Int i) x.x_rules));
+                    ("depth", Json.Int x.x_depth);
+                    ("from_view", Json.Bool x.x_from_view);
+                    ("chain", Json.String x.x_text);
+                  ]
+                 @
+                 match x.x_latency with
+                 | None -> []
+                 | Some ln ->
+                     [
+                       ( "latest_query",
+                         Json.Obj
+                           [
+                             ("id", Json.String ln.ln_query);
+                             ("outcome", Json.String ln.ln_outcome);
+                             ("latency", Json.Float ln.ln_latency);
+                             ( "slowest_spans",
+                               Json.List
+                                 (List.map
+                                    (fun (n, d) ->
+                                      Json.Obj
+                                        [ ("span", Json.String n); ("seconds", Json.Float d) ])
+                                    ln.ln_spans) );
+                           ] );
+                     ]))
+             r.explanations) );
     ]
     @
     match r.shard_stats with
@@ -794,7 +1010,31 @@ let report_summary r =
                stats)
         ^ "\n"
   in
+  let explanations =
+    match r.explanations with
+    | [] -> ""
+    | xs ->
+        String.concat ""
+          (List.map
+             (fun x ->
+               let note =
+                 match x.x_latency with
+                 | None -> ""
+                 | Some ln ->
+                     Printf.sprintf "  latest query %s: %s in %.4fs%s\n" ln.ln_query
+                       ln.ln_outcome ln.ln_latency
+                       (match ln.ln_spans with
+                       | [] -> ""
+                       | (n, d) :: _ -> Printf.sprintf " (slowest span %s %.4fs)" n d)
+               in
+               Printf.sprintf "explain %s for %s@%s: %s%s\n%s%s" x.x_fact x.x_tenant
+                 x.x_edb x.x_status
+                 (if x.x_from_view then " [warm view]" else "")
+                 (if x.x_status = "explained" then x.x_text else "  " ^ x.x_text ^ "\n")
+                 note)
+             xs)
+  in
   Printf.sprintf
-    "%s%s\n%slatency p50=%.4fs p95=%.4fs p99=%.4fs  throughput=%.2f q/s  vtime=%.4fs\n"
-    table counters shards r.p50_latency r.p95_latency r.p99_latency r.throughput
-    r.vtime
+    "%s%s\n%s%slatency p50=%.4fs p95=%.4fs p99=%.4fs  throughput=%.2f q/s  vtime=%.4fs\n"
+    table counters shards explanations r.p50_latency r.p95_latency r.p99_latency
+    r.throughput r.vtime

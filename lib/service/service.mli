@@ -55,6 +55,15 @@ val submission :
 (** Defaults: auto id ("q1", "q2", ... in event order), arrival 0, no
     deadline, [Small], RecStep. *)
 
+type explain_request = {
+  ex_at : float;
+  ex_tenant : string;
+  ex_edb : string;
+  ex_program : Recstep.Ast.program;
+  ex_pred : string;
+  ex_row : int list;
+}
+
 type event =
   | Submit of submission
   | Delta of { at : float; edb : string; delta : Rs_relation.Delta.t }
@@ -64,11 +73,30 @@ type event =
           either incrementally refreshes that database's cached results
           through its maintained views (small deltas, supported programs)
           or drops them and lets queries recompute. *)
+  | Explain of explain_request
+      (** "Why is this fact here?" — answered from the tenant's maintained
+          view when one exists (its tag store is kept current across
+          deltas), otherwise by one provenance-enabled evaluation against
+          the current store version. The resulting {!explanation} carries
+          the full rule + premise chain to EDB leaves and, when the tenant
+          has a completed query on that database, the latency + slowest
+          trace spans of its latest one — the self-debugging join of
+          derivation and timeline. *)
 
 val event_time : event -> float
 
 val delta_event : at:float -> edb:string -> Rs_relation.Delta.t -> event
 (** Convenience constructor for {!Delta}. *)
+
+val explain_event :
+  ?at:float ->
+  tenant:string ->
+  edb:string ->
+  pred:string ->
+  row:int list ->
+  Recstep.Ast.program ->
+  event
+(** Convenience constructor for {!Explain}. *)
 
 type outcome =
   | Done of Result_cache.value  (** output name → sorted distinct rows *)
@@ -154,8 +182,33 @@ type shard_stat = {
   sh_rows : int;  (** resident rows after the last sharded run *)
 }
 
+type latency_note = {
+  ln_query : string;  (** the tenant's latest dispatched query on the EDB *)
+  ln_outcome : string;
+  ln_latency : float;  (** end-to-end, arrival to completion *)
+  ln_spans : (string * float) list;
+      (** up to three slowest trace spans nested under its service span,
+          as ["kind:name"] with their simulated durations *)
+}
+
+type explanation = {
+  x_at : float;  (** service clock when the request was processed *)
+  x_tenant : string;
+  x_edb : string;
+  x_fact : string;  (** rendered goal, e.g. ["tc(1, 3)"] *)
+  x_status : string;
+      (** ["explained"] / ["absent"] / ["no_proof"] / ["budget"] /
+          ["error"] *)
+  x_rules : int list;  (** distinct 1-based rule indexes on the chain *)
+  x_depth : int;
+  x_from_view : bool;  (** answered from a maintained view's tag store *)
+  x_text : string;  (** the rendered chain, or the failure report *)
+  x_latency : latency_note option;
+}
+
 type report = {
   completions : completion list;  (** in completion order *)
+  explanations : explanation list;  (** in request order *)
   counters : (string * int) list;  (** sorted by name, see below *)
   cache : Result_cache.stats;
   p50_latency : float;
@@ -180,7 +233,10 @@ type report = {
     that normalized away), [delta_fault] (applies aborted by an injected
     fault or a memory probe, store rolled back), [refreshed] (cache entries
     incrementally re-keyed),
-    [view_built], [view_dropped], plus the autoscaler set:
+    [view_built], [view_dropped] (also counts views discarded because their
+    maintenance raised — the warm path degrades to invalidation instead of
+    surfacing the exception), [explain] (explain requests processed), plus
+    the autoscaler set:
     [autoscale.evals] (windows evaluated), [autoscale.up]/[autoscale.down]
     (worker resizes applied) and [autoscale.cache_up]/[autoscale.cache_down]
     (cache-budget moves) — all zero when [config.autoscale] is [None]. Two

@@ -311,3 +311,58 @@ let chaos_corpus : (string * string * string list) list =
        the submission completes with the exact interpreted answer. *)
     ("kernel faults fall back to the interpreted path", "kernel:p=1", [ "done"; "done" ]);
   ]
+
+(* --- explain regression corpus -------------------------------------------
+   Frozen derivation chains: (tag, program, EDB, goal pred, goal row,
+   expected tag-free render). Explain's proof search is deterministic over
+   the final database alone — rules in source order, candidate premise rows
+   in lexicographic order — so every engine that can evaluate the program
+   must yield this exact chain, byte for byte, from its own result
+   relations. Drift means the search order, the render format, or an
+   engine's result rows changed. *)
+
+let explain_corpus :
+    (string * string * (string * int list list) list * string * int list * string) list =
+  [
+    ( "tc chain to edb leaves",
+      ".input e0\np0(x, y) :- e0(x, y).\np0(x, y) :- p0(x, z), e0(z, y).\n.output p0",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ]) ],
+      "p0",
+      [ 0; 3 ],
+      "p0(0, 3) <= rule 2: p0(x, y) :- p0(x, z), e0(z, y).\n\
+      \  p0(0, 2) <= rule 2: p0(x, y) :- p0(x, z), e0(z, y).\n\
+      \    p0(0, 1) <= rule 1: p0(x, y) :- e0(x, y).\n\
+      \      e0(0, 1) [edb]\n\
+      \    e0(1, 2) [edb]\n\
+      \  e0(2, 3) [edb]" );
+    ( "sg chain with comparison premise",
+      ".input e0\n\
+       sg(x, y) :- e0(a, x), e0(a, y), x != y.\n\
+       sg(x, y) :- e0(a, x), sg(a, b), e0(b, y).\n\
+       .output sg",
+      [ ("e0", [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 3 ]; [ 2; 4 ] ]) ],
+      "sg",
+      [ 3; 4 ],
+      "sg(3, 4) <= rule 2: sg(x, y) :- e0(a, x), sg(a, b), e0(b, y).\n\
+      \  e0(1, 3) [edb]\n\
+      \  sg(1, 2) <= rule 1: sg(x, y) :- e0(a, x), e0(a, y), x != y.\n\
+      \    e0(0, 1) [edb]\n\
+      \    e0(0, 2) [edb]\n\
+      \    [1 != 2]\n\
+      \  e0(2, 4) [edb]" );
+    ( "negation chain with absence leaf",
+      ".input e0\n.input e1\n\
+       p0(x, y) :- e0(x, y).\n\
+       p0(x, y) :- p0(x, z), e0(z, y).\n\
+       p1(x, y) :- p0(x, y), !e1(x, y).\n\
+       .output p0\n.output p1",
+      [ ("e0", [ [ 0; 1 ]; [ 1; 2 ] ]); ("e1", [ [ 0; 1 ] ]) ],
+      "p1",
+      [ 0; 2 ],
+      "p1(0, 2) <= rule 3: p1(x, y) :- p0(x, y), !e1(x, y).\n\
+      \  p0(0, 2) <= rule 2: p0(x, y) :- p0(x, z), e0(z, y).\n\
+      \    p0(0, 1) <= rule 1: p0(x, y) :- e0(x, y).\n\
+      \      e0(0, 1) [edb]\n\
+      \    e0(1, 2) [edb]\n\
+      \  !e1(0, 2) [absent]" );
+  ]

@@ -64,7 +64,7 @@ let test_resample () =
 
 let test_registry () =
   let ids = List.map (fun e -> e.Registry.id) Registry.all in
-  Alcotest.(check int) "24 experiments" 24 (List.length ids);
+  Alcotest.(check int) "25 experiments" 25 (List.length ids);
   check "unique ids" true (List.length (List.sort_uniq compare ids) = List.length ids);
   check "find" true (Registry.find "fig10" <> None);
   check "find missing" true (Registry.find "fig99" = None);

@@ -265,6 +265,53 @@ let prop_inc_index =
           List.sort compare !got = List.sort compare expected)
         pairs)
 
+(* --- explain corpus: frozen chains, byte-stable across engines --- *)
+
+(* The proof search reads only the final database, so every engine able to
+   evaluate a corpus program must reproduce the frozen chain byte for byte
+   from its own result relations — the cross-engine guarantee that makes
+   `recstep explain` trustworthy no matter which backend served the query. *)
+let test_explain_corpus () =
+  List.iter
+    (fun (tag, src, edb, pred, row, frozen) ->
+      let program = Recstep.Parser.parse src in
+      let an = Recstep.Analyzer.analyze program in
+      let edb_rels =
+        List.map
+          (fun (n, rows) ->
+            ( n,
+              Relation.of_rows ~name:n (Recstep.Analyzer.arity an n)
+                (List.map Array.of_list rows) ))
+          edb
+      in
+      let outs = program.Recstep.Ast.outputs in
+      let supported = ref 0 in
+      List.iter
+        (fun ((module E : Engine_intf.S) as engine) ->
+          match run_engine engine src edb_rels outs with
+          | Engine_intf.Unsupported _ -> ()
+          | Engine_intf.Done results ->
+              incr supported;
+              let rows p =
+                match List.assoc_opt p results with
+                | Some rs -> List.map Array.to_list rs
+                | None -> Option.value ~default:[] (List.assoc_opt p edb)
+              in
+              (match Recstep.Explain.explain ~an ~rows pred row with
+              | Recstep.Explain.Explained node ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s: %s chain is frozen" E.name tag)
+                    frozen
+                    (String.trim (Recstep.Explain.render node))
+              | o ->
+                  Alcotest.fail
+                    (Printf.sprintf "%s: %s not explained: %s" E.name tag
+                       (Recstep.Explain.outcome_to_string ~pred ~row o)))
+          | _ -> Alcotest.fail (Printf.sprintf "%s failed on %S" E.name tag))
+        Engines.all;
+      check (tag ^ ": several engines support the case") true (!supported >= 2))
+    Refs.explain_corpus
+
 let test_engines_registry () =
   Alcotest.(check int) "seven engines" 7 (List.length Engines.all);
   check "lookup" true (Engines.by_name "RecStep" <> None);
@@ -288,6 +335,8 @@ let suite =
     Alcotest.test_case "capability gating" `Quick suite_gating;
     Alcotest.test_case "Table 1 capability rows" `Quick capability_rows;
     Alcotest.test_case "maintain agrees across engines" `Quick test_maintain_agree;
+    Alcotest.test_case "explain corpus is byte-stable across engines" `Quick
+      test_explain_corpus;
     Alcotest.test_case "engines registry" `Quick test_engines_registry;
   ]
   @ qsuite

@@ -15,6 +15,11 @@ module Pool = Rs_parallel.Pool
 
 let check = Alcotest.(check bool)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let case_of src edb = { Gen.case_seed = 0; program = Parser.parse src; edb }
 
 (* --- the oracle ---------------------------------------------------------- *)
@@ -127,7 +132,29 @@ let test_fault_injection_caught_and_shrunk () =
           let rules, tuples = Gen.size c in
           check "reproducer has <= 3 rules" true (rules <= 3);
           check "reproducer has <= 10 tuples" true (tuples <= 10))
-        shrunk)
+        shrunk;
+      (* a divergence ships its explanation: every record carries the
+         reference rule chain for what the engine got wrong, and the
+         dumped reproducer states it as "% why:" header comments *)
+      List.iter
+        (fun (d : Fuzz.divergence) ->
+          check "divergence carries a why-chain" true (d.Fuzz.div_why <> []))
+        r.Fuzz.divergences;
+      check "some why-chain names an offending rule" true
+        (List.exists
+           (fun (d : Fuzz.divergence) ->
+             List.exists (fun w -> contains w "<= rule") d.Fuzz.div_why)
+           r.Fuzz.divergences);
+      let dir = Filename.concat (Filename.get_temp_dir_name ()) "rs_fuzz_why_test" in
+      let paths = Fuzz.dump_divergences ~dir r in
+      check "reproducers dumped" true (paths <> []);
+      List.iter
+        (fun p ->
+          let ic = open_in p in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          check "reproducer explains itself" true (contains s "% why:"))
+        paths)
 
 (* --- delta-sequence mode -------------------------------------------------- *)
 

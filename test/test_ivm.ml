@@ -251,6 +251,42 @@ let test_supported () =
     (Ivm.supported
        (Parser.parse ".input e\n.output d\nd(x, MIN(c)) :- e(x, c).\n"))
 
+(* --- provenance maintenance ----------------------------------------------- *)
+
+(* With a tag store attached, every maintained IDB row must carry a tag at
+   every version — inserts tag new derivations, retractions drop tags, and
+   a DRed overdelete-then-rederive round trip may not leave the survivor
+   untagged. [tagged] counts the store's current tags, so coverage equality
+   also proves no stale tags linger for departed tuples. *)
+let test_provenance_maintained () =
+  let module Prov = Recstep.Provenance in
+  let prov = Prov.create () in
+  let edb = [ ("arc", [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ]) ] in
+  let v = Ivm.create ~prov ~edb (Parser.parse tc_src) in
+  check "store attached" true
+    (match Ivm.provenance v with Some p -> p == prov | None -> false);
+  let assert_cov what =
+    List.iter
+      (fun p ->
+        let rows = Ivm.rows v p in
+        Alcotest.(check int) (what ^ ": tagged = rows for " ^ p)
+          (List.length rows) (Prov.tagged prov ~pred:p);
+        List.iter
+          (fun row ->
+            check (what ^ ": tag present") true (Prov.find prov ~pred:p row <> None))
+          rows)
+      (Ivm.idbs v)
+  in
+  assert_cov "bootstrap";
+  ignore (Ivm.apply v (Delta.of_inserts "arc" [ [| 3; 4 |] ]));
+  assert_cov "after insert";
+  (* retracting arc(1,2) overdeletes tc(1,3)/tc(1,4) and rederives them via
+     the direct edge; tc(1,2) leaves for good *)
+  ignore (Ivm.apply v (Delta.of_retracts "arc" [ [| 1; 2 |] ]));
+  assert_cov "after dred retract";
+  check "rederived tuple kept a tag" true (Prov.find prov ~pred:"tc" [ 1; 3 ] <> None);
+  check "departed tuple lost its tag" true (Prov.find prov ~pred:"tc" [ 1; 2 ] = None)
+
 (* --- delta module round-trips -------------------------------------------- *)
 
 let test_delta_normalize () =
@@ -290,6 +326,8 @@ let suite =
     Alcotest.test_case "no underflow under churn" `Quick test_no_underflow_under_churn;
     Alcotest.test_case "apply rejects bad input" `Quick test_apply_rejects_bad_input;
     Alcotest.test_case "supported" `Quick test_supported;
+    Alcotest.test_case "provenance maintained across apply" `Quick
+      test_provenance_maintained;
     Alcotest.test_case "delta normalize" `Quick test_delta_normalize;
     Alcotest.test_case "delta counts" `Quick test_delta_counts;
   ]

@@ -211,6 +211,75 @@ let test_chaos_persistent_exec_fault () =
   check "every round degraded" true (c tr "kernel.fallbacks" > 0);
   check "no fused execution completed" true (c tr "kernel.execs" = 0)
 
+(* --- provenance × kernels: all-or-nothing tagging -------------------------- *)
+
+(* Tags are recorded at the single absorption point both paths share, so a
+   per-IDB compile decision (or a mid-fixpoint kernel fault bouncing rounds
+   between the fused and interpreted paths) must never yield a relation
+   where only the kernel-emitted tuples carry tags. *)
+let run_prov ?plan ~kernels src edb =
+  let program = Parser.parse src in
+  let body () =
+    let pool = Pool.create ~workers:4 () in
+    Pool.begin_run pool;
+    let edb =
+      List.map
+        (fun (name, arity, rows) ->
+          (name, Relation.of_rows ~name arity (List.map Array.of_list rows)))
+        edb
+    in
+    let prov = Recstep.Provenance.create () in
+    let options =
+      Interpreter.options ~pbme:false ~compiled_kernels:kernels ~provenance:prov ()
+    in
+    let result = Interpreter.run ~options ~pool ~edb program in
+    let outs =
+      List.map
+        (fun name -> (name, canon (result.Interpreter.relation_of name)))
+        program.Recstep.Ast.outputs
+    in
+    (outs, prov)
+  in
+  match plan with
+  | None -> body ()
+  | Some p -> Inject.with_plan (Fault.plan_of_string ~seed:7 p) body
+
+let assert_full_coverage ~what outs prov =
+  List.iter
+    (fun (name, rows) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: every %s tuple tagged" what name)
+        (List.length rows)
+        (Recstep.Provenance.tagged prov ~pred:name);
+      List.iter
+        (fun row ->
+          check
+            (Printf.sprintf "%s: tag present for %s row" what name)
+            true
+            (Recstep.Provenance.find prov ~pred:name row <> None))
+        rows)
+    outs
+
+let test_provenance_all_or_nothing () =
+  let on, prov_on = run_prov ~kernels:true tc_src tc_edb in
+  let off, prov_off = run_prov ~kernels:false tc_src tc_edb in
+  Alcotest.(check (list (pair string (list (list int)))))
+    "kernel and interpreted outputs identical under provenance" off on;
+  assert_full_coverage ~what:"kernels on" on prov_on;
+  assert_full_coverage ~what:"kernels off" off prov_off
+
+let test_provenance_kernel_chaos () =
+  (* one exec-time kernel fault: that round re-runs interpreted, later
+     rounds run fused — the relation crosses both emit paths mid-fixpoint
+     and must still end up fully tagged with the same rows *)
+  let clean, _ = run_prov ~kernels:false tc_src tc_edb in
+  let faulted, prov =
+    run_prov ~plan:"kernel:p=1,after=1,limit=1" ~kernels:true tc_src tc_edb
+  in
+  Alcotest.(check (list (pair string (list (list int)))))
+    "kernel fault never changes the answer under provenance" clean faulted;
+  assert_full_coverage ~what:"faulted" faulted prov
+
 let suite =
   [
     Alcotest.test_case "arity-2 kernel matches interpreted" `Quick test_arity2;
@@ -227,4 +296,8 @@ let suite =
       test_chaos_exec_fault;
     Alcotest.test_case "chaos: persistent exec faults stay correct" `Quick
       test_chaos_persistent_exec_fault;
+    Alcotest.test_case "provenance: kernel and interpreted tag all-or-nothing"
+      `Quick test_provenance_all_or_nothing;
+    Alcotest.test_case "provenance: kernel chaos keeps full tag coverage" `Quick
+      test_provenance_kernel_chaos;
   ]

@@ -152,6 +152,7 @@ let event_sig = function
   | Service.Submit s ->
       (s.Service.at, s.Service.tenant, s.Service.sub_id, s.Service.edb)
   | Service.Delta { at; edb; _ } -> (at, "<delta>", "", edb)
+  | Service.Explain r -> (r.Service.ex_at, r.Service.ex_tenant, "<explain>", r.Service.ex_edb)
 
 let test_generate_deterministic () =
   let spec = Load.spec ~tenants:5_000 ~queries:120 ~seed:9 ~deltas:3 () in
@@ -175,7 +176,7 @@ let test_generate_deterministic () =
       | Service.Submit s ->
           check "classes agree across runs" true
             (a.Load.class_of s.Service.tenant = b.Load.class_of s.Service.tenant)
-      | Service.Delta _ -> ())
+      | Service.Delta _ | Service.Explain _ -> ())
     a.Load.events;
   check "unknown tenants default bronze" true
     (a.Load.class_of "nobody" = Load.Bronze);
@@ -294,9 +295,15 @@ let test_slo_scorecard () =
   List.iter
     (fun c ->
       let lat = Json.member "latency" c in
-      List.iter
-        (fun k -> ignore (Json.to_float (Json.member k lat)))
-        [ "p50"; "p95"; "p99"; "p999"; "min"; "max"; "mean" ])
+      if Json.to_int (Json.member "count" lat) = 0 then
+        (* empty class: quantiles must be omitted, not fabricated zeros *)
+        List.iter
+          (fun k -> check "empty class omits quantiles" true (Json.member k lat = Json.Null))
+          [ "p50"; "p95"; "p99"; "p999"; "min"; "max"; "mean" ]
+      else
+        List.iter
+          (fun k -> ignore (Json.to_float (Json.member k lat)))
+          [ "p50"; "p95"; "p99"; "p999"; "min"; "max"; "mean" ])
     classes;
   check "summary renders" true (String.length (Load.slo_summary t report) > 0)
 

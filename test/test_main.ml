@@ -9,6 +9,7 @@ let () =
       ("exec", Test_exec.suite);
       ("kernel", Test_kernel.suite);
       ("core", Test_core.suite);
+      ("explain", Test_explain.suite);
       ("ivm", Test_ivm.suite);
       ("bitmatrix", Test_bitmatrix.suite);
       ("bdd", Test_bdd.suite);

@@ -256,6 +256,30 @@ let test_histogram_buckets () =
   Alcotest.(check int) "merged count" 2 (Histogram.count m);
   Alcotest.(check (float 0.0)) "merged max" 10.0 (Histogram.max_value m)
 
+(* Zero-sample SLO accounting: an empty histogram must not fabricate
+   quantiles — the JSON carries only the count, and the scalar accessors
+   stay at their documented zeros rather than NaN or the infinities the
+   record seeds min/max with. *)
+let test_histogram_empty_json () =
+  let module Json = Rs_obs.Json in
+  let h = Histogram.create () in
+  (match Histogram.quantile_json h with
+  | Json.Obj kvs ->
+      Alcotest.(check (list string)) "empty emits only count" [ "count" ] (List.map fst kvs);
+      Alcotest.(check int) "count is 0" 0 (Json.to_int (List.assoc "count" kvs))
+  | _ -> Alcotest.fail "quantile_json must be an object");
+  check "empty min is finite" (Float.is_finite (Histogram.min_value h)) true;
+  check "empty max is finite" (Float.is_finite (Histogram.max_value h)) true;
+  check "empty percentile is not NaN" (not (Float.is_nan (Histogram.percentile h 99.0))) true;
+  (* one sample flips the report to the full fixed quantile set *)
+  Histogram.add h 0.3;
+  (match Histogram.quantile_json h with
+  | Json.Obj kvs ->
+      Alcotest.(check (list string)) "non-empty carries the quantile set"
+        [ "count"; "mean"; "min"; "max"; "p50"; "p95"; "p99"; "p999" ]
+        (List.map fst kvs)
+  | _ -> Alcotest.fail "quantile_json must be an object")
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
@@ -272,4 +296,6 @@ let suite =
       test_percentile_sorted_edges;
     Alcotest.test_case "histogram buckets, clamps and merge" `Quick
       test_histogram_buckets;
+    Alcotest.test_case "empty histogram omits quantiles" `Quick
+      test_histogram_empty_json;
   ]

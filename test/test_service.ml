@@ -518,6 +518,115 @@ let test_degraded_latency_counted () =
   Alcotest.(check (float 1e-9)) "p999 includes the degraded serve" lat
     report.Service.p999_latency
 
+(* --- aggregate program + delta: warm refresh must fall back, not raise --- *)
+
+let test_service_aggregate_delta () =
+  (* Ivm cannot maintain aggregates; a cached aggregate result crossing a
+     small delta must be invalidated and recomputed, never surface
+     Ivm.Unsupported to the tenant. Mix in a maintainable tc view so the
+     warm path actually runs its view loop alongside the aggregate entry. *)
+  let cc = Recstep.Programs.parsed Recstep.Programs.cc in
+  let sub p ~at = Service.submission ~at ~tenant:"t" ~edb:"g" p in
+  let events =
+    [
+      Service.Submit (sub cc ~at:0.0);
+      Service.Submit (sub tc ~at:0.0);
+      (* a disconnected edge: a second component, so the aggregate output
+         (the set of min labels) actually changes *)
+      Service.delta_event ~at:50.0 ~edb:"g" (Delta.of_inserts "arc" [ [| 9; 10 |] ]);
+      Service.Submit (sub cc ~at:100.0);
+      Service.Submit (sub tc ~at:100.0);
+    ]
+  in
+  let r = Service.run ~edb:(store ()) events in
+  check_identities r;
+  Alcotest.(check int) "all four served" 4 (Service.counter r "done");
+  Alcotest.(check int) "only tc builds a view" 1 (Service.counter r "view_built");
+  Alcotest.(check int) "tc entry refreshed warm" 1 (Service.counter r "refreshed");
+  Alcotest.(check bool) "aggregate entry invalidated" true
+    (r.Service.cache.Result_cache.invalidations >= 1);
+  (* the post-delta aggregate recompute must see the new vertex *)
+  match List.filter_map
+          (fun c -> match c.Service.c_outcome with Service.Done v -> Some v | _ -> None)
+          r.Service.completions
+  with
+  | [ cc1; _; cc2; _ ] ->
+      let nrows v = List.length (List.assoc "cc" v) in
+      Alcotest.(check bool) "post-delta cc grew" true (nrows cc2 > nrows cc1)
+  | vs -> Alcotest.fail (Printf.sprintf "expected 4 Done values, got %d" (List.length vs))
+
+(* --- the explain API --- *)
+
+let test_service_explain_warm () =
+  let events =
+    [
+      Service.Submit (Service.submission ~at:0.0 ~tenant:"t" ~edb:"g" tc);
+      Service.explain_event ~at:100.0 ~tenant:"t" ~edb:"g" ~pred:"tc" ~row:[ 0; 3 ] tc;
+      Service.explain_event ~at:100.0 ~tenant:"t" ~edb:"g" ~pred:"tc" ~row:[ 0; 99 ] tc;
+    ]
+  in
+  let r = Service.run ~edb:(store ()) events in
+  Alcotest.(check int) "explains counted" 2 (Service.counter r "explain");
+  match r.Service.explanations with
+  | [ x1; x2 ] ->
+      Alcotest.(check string) "derived fact explained" "explained" x1.Service.x_status;
+      Alcotest.(check bool) "answered from the maintained view" true x1.Service.x_from_view;
+      Alcotest.(check bool) "chain names rules" true (x1.Service.x_rules <> []);
+      Alcotest.(check bool) "chain reaches edb leaves" true
+        (let rec contains s sub i =
+           i + String.length sub <= String.length s
+           && (String.sub s i (String.length sub) = sub || contains s sub (i + 1))
+         in
+         contains x1.Service.x_text "[edb]" 0);
+      (* the timeline join points at the tenant's served query *)
+      (match x1.Service.x_latency with
+      | Some ln ->
+          Alcotest.(check string) "joined with q1" "q1" ln.Service.ln_query;
+          Alcotest.(check string) "its outcome" "done" ln.Service.ln_outcome;
+          Alcotest.(check bool) "span breakdown present" true (ln.Service.ln_spans <> [])
+      | None -> Alcotest.fail "expected a latency note");
+      Alcotest.(check string) "missing fact is absent" "absent" x2.Service.x_status
+  | xs -> Alcotest.fail (Printf.sprintf "expected 2 explanations, got %d" (List.length xs))
+
+let test_service_explain_cold_and_aggregate () =
+  let cc = Recstep.Programs.parsed Recstep.Programs.cc in
+  let events =
+    [
+      (* no prior submission: no view, the service evaluates once with
+         provenance on — including for aggregate programs Ivm can't hold *)
+      Service.explain_event ~at:0.0 ~tenant:"t" ~edb:"g" ~pred:"tc" ~row:[ 0; 3 ] tc;
+      Service.explain_event ~at:0.0 ~tenant:"t" ~edb:"g" ~pred:"cc" ~row:[ 0 ] cc;
+      Service.explain_event ~at:0.0 ~tenant:"t" ~edb:"nope" ~pred:"tc" ~row:[ 0; 3 ] tc;
+    ]
+  in
+  let r = Service.run ~edb:(store ()) events in
+  match r.Service.explanations with
+  | [ x1; x2; x3 ] ->
+      Alcotest.(check string) "cold tc explained" "explained" x1.Service.x_status;
+      Alcotest.(check bool) "not from a view" false x1.Service.x_from_view;
+      Alcotest.(check string) "aggregate fact explained" "explained" x2.Service.x_status;
+      Alcotest.(check string) "unknown edb is a typed error" "error" x3.Service.x_status
+  | xs -> Alcotest.fail (Printf.sprintf "expected 3 explanations, got %d" (List.length xs))
+
+let test_service_explain_after_delta () =
+  (* tags must survive Ivm.apply: the explained fact only exists after the
+     delta, and the answer comes from the maintained view *)
+  let events =
+    [
+      Service.Submit (Service.submission ~at:0.0 ~tenant:"t" ~edb:"g" tc);
+      Service.delta_event ~at:50.0 ~edb:"g" (Delta.of_inserts "arc" [ [| 5; 6 |] ]);
+      Service.explain_event ~at:100.0 ~tenant:"t" ~edb:"g" ~pred:"tc" ~row:[ 0; 6 ] tc;
+    ]
+  in
+  let r = Service.run ~edb:(store ()) events in
+  Alcotest.(check int) "view refreshed across the delta" 1 (Service.counter r "refreshed");
+  match r.Service.explanations with
+  | [ x ] ->
+      Alcotest.(check string) "post-delta fact explained" "explained" x.Service.x_status;
+      Alcotest.(check bool) "from the maintained view" true x.Service.x_from_view;
+      Alcotest.(check bool) "chain names rules" true (x.Service.x_rules <> [])
+  | xs -> Alcotest.fail (Printf.sprintf "expected 1 explanation, got %d" (List.length xs))
+
 let suite =
   [
     Alcotest.test_case "program key canonicalization" `Quick test_program_key;
@@ -542,4 +651,10 @@ let suite =
     Alcotest.test_case "script delta render round-trip" `Quick test_script_delta_roundtrip;
     Alcotest.test_case "degraded serves counted in latency population" `Quick
       test_degraded_latency_counted;
+    Alcotest.test_case "aggregate program + delta falls back to recompute" `Quick
+      test_service_aggregate_delta;
+    Alcotest.test_case "explain from a warm view" `Quick test_service_explain_warm;
+    Alcotest.test_case "explain cold + aggregate + unknown edb" `Quick
+      test_service_explain_cold_and_aggregate;
+    Alcotest.test_case "explain across a delta" `Quick test_service_explain_after_delta;
   ]
